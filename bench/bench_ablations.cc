@@ -1,0 +1,147 @@
+// Ablations of the PERT design choices called out in DESIGN.md §4/§5:
+//   - early-response decrease factor (eq. (1) trade-off: 0.2 / 0.35 / 0.5),
+//   - gentle vs non-gentle emulated curve,
+//   - once-per-RTT response limiting on vs off,
+//   - srtt history weight (0.875 / 0.99 / 0.995),
+//   - co-existence with non-proactive (plain SACK) flows,
+//   - sensitivity to reverse-path traffic.
+#include <string>
+
+#include "common.h"
+#include "exp/dumbbell.h"
+#include "exp/table.h"
+
+namespace {
+
+using namespace pert;
+
+exp::DumbbellConfig base(bool full) {
+  exp::DumbbellConfig cfg;
+  cfg.scheme = exp::Scheme::kPert;
+  cfg.bottleneck_bps = full ? 150e6 : 50e6;
+  cfg.rtt = 0.060;
+  cfg.num_fwd_flows = 20;
+  cfg.start_window = 5.0;
+  cfg.seed = 99;
+  return cfg;
+}
+
+exp::WindowMetrics run(const exp::DumbbellConfig& cfg, bool full) {
+  exp::Dumbbell d(cfg);
+  return full ? d.run(50.0, 100.0) : d.run(20.0, 40.0);
+}
+
+void emit(exp::Table& t, const std::string& label, const exp::WindowMetrics& m) {
+  t.row({label, exp::fmt(m.avg_queue_pkts, "%.1f"),
+         exp::fmt(m.drop_rate, "%.2e"), exp::fmt(100 * m.utilization, "%.1f"),
+         exp::fmt(m.jain, "%.3f"), std::to_string(m.early_responses)});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Opts opt = bench::Opts::parse(argc, argv);
+  opt.banner("PERT design ablations",
+             "beta trades utilization vs queue; non-gentle over-responds; "
+             "unlimited response collapses utilization; heavier srtt weight "
+             "lowers FP-driven responses");
+
+  {
+    std::printf("-- early-response decrease factor (paper uses 0.35) --\n");
+    exp::Table t({"beta", "avg queue (pkts)", "drop rate", "util (%)", "jain",
+                  "early responses"});
+    for (double beta : {0.20, 0.35, 0.50}) {
+      exp::DumbbellConfig cfg = base(opt.full);
+      cfg.pert.early_beta = beta;
+      emit(t, exp::fmt(beta, "%.2f"), run(cfg, opt.full));
+    }
+    t.print();
+    std::printf("\n");
+  }
+
+  {
+    std::printf("-- gentle vs non-gentle emulated RED curve --\n");
+    exp::Table t({"curve", "avg queue (pkts)", "drop rate", "util (%)",
+                  "jain", "early responses"});
+    for (bool gentle : {true, false}) {
+      exp::DumbbellConfig cfg = base(opt.full);
+      cfg.pert.gentle = gentle;
+      emit(t, gentle ? "gentle" : "non-gentle", run(cfg, opt.full));
+    }
+    t.print();
+    std::printf("\n");
+  }
+
+  {
+    std::printf("-- once-per-RTT early-response limiting --\n");
+    exp::Table t({"limit", "avg queue (pkts)", "drop rate", "util (%)",
+                  "jain", "early responses"});
+    for (bool limit : {true, false}) {
+      exp::DumbbellConfig cfg = base(opt.full);
+      cfg.pert.limit_once_per_rtt = limit;
+      emit(t, limit ? "once-per-rtt" : "unlimited", run(cfg, opt.full));
+    }
+    t.print();
+    std::printf("\n");
+  }
+
+  {
+    std::printf("-- srtt history weight --\n");
+    exp::Table t({"alpha", "avg queue (pkts)", "drop rate", "util (%)",
+                  "jain", "early responses"});
+    for (double a : {0.875, 0.99, 0.995}) {
+      exp::DumbbellConfig cfg = base(opt.full);
+      cfg.pert.srtt_alpha = a;
+      emit(t, exp::fmt(a, "%.3f"), run(cfg, opt.full));
+    }
+    t.print();
+    std::printf("\n");
+  }
+
+  {
+    std::printf(
+        "-- co-existence with non-proactive SACK flows (Section 7) --\n");
+    exp::Table t({"sack fraction", "avg queue (pkts)", "drop rate",
+                  "util (%)", "jain", "early responses"});
+    for (double f : {0.0, 0.25, 0.5}) {
+      exp::DumbbellConfig cfg = base(opt.full);
+      cfg.nonproactive_fraction = f;
+      emit(t, exp::fmt(f, "%.2f"), run(cfg, opt.full));
+    }
+    t.print();
+    std::printf("\n");
+  }
+
+  {
+    std::printf("-- reverse-path traffic sensitivity (Section 7) --\n");
+    exp::Table t({"signal / reverse flows", "avg queue (pkts)", "drop rate",
+                  "util (%)", "jain", "early responses"});
+    for (std::int32_t rev : {0, 10, 20}) {
+      for (bool owd : {false, true}) {
+        exp::DumbbellConfig cfg = base(opt.full);
+        cfg.num_rev_flows = rev;
+        cfg.pert.use_one_way_delay = owd;
+        emit(t,
+             std::string(owd ? "one-way delay / " : "rtt / ") +
+                 std::to_string(rev),
+             run(cfg, opt.full));
+      }
+    }
+    t.print();
+    std::printf("\n");
+  }
+
+  {
+    std::printf("-- adaptive pmax (Section 7 self-configuring extension) --\n");
+    exp::Table t({"pmax mode", "avg queue (pkts)", "drop rate", "util (%)",
+                  "jain", "early responses"});
+    for (bool adaptive : {false, true}) {
+      exp::DumbbellConfig cfg = base(opt.full);
+      cfg.pert.adaptive_pmax = adaptive;
+      emit(t, adaptive ? "adaptive" : "fixed 0.05", run(cfg, opt.full));
+    }
+    t.print();
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,143 @@
+// Micro-benchmarks (google-benchmark): scheduler throughput, queue
+// disciplines, RNG, TCP ACK-path, and a small end-to-end simulation.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/response_curve.h"
+#include "net/network.h"
+#include "net/pi_queue.h"
+#include "net/red_queue.h"
+#include "sim/random.h"
+#include "sim/scheduler.h"
+#include "tcp/tcp_sender.h"
+#include "tcp/tcp_sink.h"
+
+namespace {
+
+using namespace pert;
+
+void BM_SchedulerScheduleDispatch(benchmark::State& state) {
+  sim::Scheduler s;
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i)
+      s.schedule_in(static_cast<double>(i % 7) * 1e-6, [&n] { ++n; });
+    s.run();
+  }
+  benchmark::DoNotOptimize(n);
+  state.SetItemsProcessed(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SchedulerScheduleDispatch);
+
+void BM_SchedulerCancel(benchmark::State& state) {
+  sim::Scheduler s;
+  for (auto _ : state) {
+    auto id = s.schedule_in(1.0, [] {});
+    s.cancel(id);
+  }
+}
+BENCHMARK(BM_SchedulerCancel);
+
+void BM_DropTailEnqueueDequeue(benchmark::State& state) {
+  sim::Scheduler s;
+  net::DropTailQueue q(s, 1024);
+  for (auto _ : state) {
+    auto p = std::make_unique<net::Packet>();
+    p->size_bytes = 1040;
+    q.enqueue(std::move(p));
+    benchmark::DoNotOptimize(q.dequeue());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DropTailEnqueueDequeue);
+
+void BM_RedEnqueueDequeue(benchmark::State& state) {
+  sim::Scheduler s;
+  net::RedParams rp;
+  rp.min_th = 200;
+  rp.max_th = 600;
+  rp.adaptive = false;
+  net::RedQueue q(s, 1024, rp);
+  for (auto _ : state) {
+    auto p = std::make_unique<net::Packet>();
+    p->size_bytes = 1040;
+    q.enqueue(std::move(p));
+    benchmark::DoNotOptimize(q.dequeue());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RedEnqueueDequeue);
+
+void BM_PiEnqueueDequeue(benchmark::State& state) {
+  sim::Scheduler s;
+  net::PiQueue q(s, 1024, net::PiDesign{});
+  for (auto _ : state) {
+    auto p = std::make_unique<net::Packet>();
+    p->size_bytes = 1040;
+    p->ecn = net::Ecn::Ect0;
+    q.enqueue(std::move(p));
+    benchmark::DoNotOptimize(q.dequeue());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PiEnqueueDequeue);
+
+void BM_RngUniform(benchmark::State& state) {
+  sim::Rng r(1);
+  double acc = 0;
+  for (auto _ : state) acc += r.uniform();
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_RngUniform);
+
+void BM_RngBoundedPareto(benchmark::State& state) {
+  sim::Rng r(1);
+  double acc = 0;
+  for (auto _ : state) acc += r.bounded_pareto(1.2, 2000, 5e6);
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_RngBoundedPareto);
+
+void BM_ResponseCurve(benchmark::State& state) {
+  core::ResponseCurve c{core::PertParams{}};
+  double tq = 0, acc = 0;
+  for (auto _ : state) {
+    acc += c.probability(tq);
+    tq += 1e-6;
+    if (tq > 0.025) tq = 0;
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_ResponseCurve);
+
+/// End-to-end: one second of simulated time on a loaded 10 Mbps dumbbell.
+void BM_EndToEndSimSecond(benchmark::State& state) {
+  net::Network net(1);
+  auto* a = net.add_node();
+  auto* b = net.add_node();
+  net.add_link(a, b, 10e6, 0.02,
+               std::make_unique<net::DropTailQueue>(net.sched(), 100));
+  net.add_link(b, a, 10e6, 0.02,
+               std::make_unique<net::DropTailQueue>(net.sched(), 1000));
+  net.compute_routes();
+  tcp::TcpConfig cfg;
+  for (int i = 0; i < 4; ++i) {
+    net.add_agent<tcp::TcpSink>(b, 10 + i, net, cfg);
+    auto* s = net.add_agent<tcp::TcpSender>(a, 10 + i, net, cfg, i);
+    s->connect(b->id(), 10 + i);
+    s->start(0.0);
+  }
+  double t = 1.0;
+  for (auto _ : state) {
+    net.run_until(t);
+    t += 1.0;
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(net.sched().dispatched()));
+}
+BENCHMARK(BM_EndToEndSimSecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,31 @@
+// Shared bench-harness helpers: --full flag handling and run-length scaling.
+//
+// Every reproduction bench runs a reduced (shape-preserving) grid by default
+// so the whole suite finishes in minutes; pass --full for paper-scale
+// parameters (Section "Scale substitution" in DESIGN.md).
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+namespace pert::bench {
+
+struct Opts {
+  bool full = false;
+
+  static Opts parse(int argc, char** argv) {
+    Opts o;
+    for (int i = 1; i < argc; ++i)
+      if (std::strcmp(argv[i], "--full") == 0) o.full = true;
+    return o;
+  }
+
+  void banner(const char* what, const char* paper_expectation) const {
+    std::printf("=== %s ===\n", what);
+    std::printf("mode: %s\n", full ? "FULL (paper-scale)" : "default (reduced grid; --full for paper scale)");
+    std::printf("paper shape: %s\n\n", paper_expectation);
+  }
+};
+
+}  // namespace pert::bench

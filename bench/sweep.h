@@ -1,0 +1,75 @@
+// Dumbbell parameter-sweep runner shared by the Figure 6-9 and 14 benches:
+// runs every (x, scheme) cell and prints one table per metric, matching the
+// four panels the paper plots (avg queue, drop rate, utilization, Jain).
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exp/dumbbell.h"
+#include "exp/table.h"
+
+namespace pert::bench {
+
+struct SweepSpec {
+  std::string x_name;
+  std::vector<double> xs;
+  std::vector<std::string> x_labels;  ///< same length as xs
+  std::vector<exp::Scheme> schemes;
+  /// Builds the scenario for one cell.
+  std::function<exp::DumbbellConfig(double x, exp::Scheme s)> config;
+  /// Measurement window per x: {warmup, measure} seconds.
+  std::function<std::pair<double, double>(double x)> window;
+};
+
+inline void run_dumbbell_sweep(const SweepSpec& spec) {
+  const std::size_t nx = spec.xs.size(), ns = spec.schemes.size();
+  std::vector<std::vector<exp::WindowMetrics>> grid(
+      nx, std::vector<exp::WindowMetrics>(ns));
+
+  for (std::size_t i = 0; i < nx; ++i) {
+    for (std::size_t j = 0; j < ns; ++j) {
+      const auto [warmup, measure] = spec.window(spec.xs[i]);
+      std::fprintf(stderr, "  running %s=%s scheme=%s ...\n",
+                   spec.x_name.c_str(), spec.x_labels[i].c_str(),
+                   std::string(exp::to_string(spec.schemes[j])).c_str());
+      exp::Dumbbell d(spec.config(spec.xs[i], spec.schemes[j]));
+      grid[i][j] = d.run(warmup, measure);
+    }
+  }
+
+  struct MetricDef {
+    const char* name;
+    const char* fmt;
+    double (*get)(const exp::WindowMetrics&);
+  };
+  const MetricDef metrics[] = {
+      {"avg queue (pkts)", "%.1f",
+       [](const exp::WindowMetrics& m) { return m.avg_queue_pkts; }},
+      {"drop rate", "%.2e",
+       [](const exp::WindowMetrics& m) { return m.drop_rate; }},
+      {"utilization (%)", "%.1f",
+       [](const exp::WindowMetrics& m) { return 100.0 * m.utilization; }},
+      {"jain fairness", "%.3f",
+       [](const exp::WindowMetrics& m) { return m.jain; }},
+  };
+
+  for (const auto& md : metrics) {
+    std::printf("-- %s --\n", md.name);
+    std::vector<std::string> headers{spec.x_name};
+    for (auto s : spec.schemes) headers.emplace_back(exp::to_string(s));
+    exp::Table t(headers);
+    for (std::size_t i = 0; i < nx; ++i) {
+      std::vector<std::string> row{spec.x_labels[i]};
+      for (std::size_t j = 0; j < ns; ++j)
+        row.push_back(exp::fmt(md.get(grid[i][j]), md.fmt));
+      t.row(std::move(row));
+    }
+    t.print();
+    std::printf("\n");
+  }
+}
+
+}  // namespace pert::bench

@@ -1,0 +1,42 @@
+// PERT parameters (Section 3 of the paper).
+#pragma once
+
+namespace pert::core {
+
+struct PertParams {
+  /// History weight of the smoothed-RTT congestion signal (srtt_0.99).
+  double srtt_alpha = 0.99;
+  /// Queueing-delay thresholds of the emulated gentle-RED curve, relative to
+  /// the propagation-delay estimate (min RTT): T_min = P + 5 ms,
+  /// T_max = P + 10 ms in the paper.
+  double tmin_offset = 0.005;
+  double tmax_offset = 0.010;
+  /// Response probability at T_max.
+  double pmax = 0.05;
+  /// Emulate *gentle* RED: probability ramps p_max -> 1 on [T_max, 2*T_max]
+  /// (measured as queueing delay). Non-gentle responds with 1 past T_max.
+  bool gentle = true;
+  /// Early-response multiplicative decrease: cwnd *= (1 - early_beta).
+  /// 0.35 keeps the bottleneck queue below half of one BDP (eq. (1)).
+  double early_beta = 0.35;
+  /// Limit proactive reductions to one per RTT (the impact of a response is
+  /// not visible earlier).
+  bool limit_once_per_rtt = true;
+  /// Skip early response while the window is at/below this floor; tiny
+  /// windows cannot meaningfully back off and only lose their ACK clock.
+  double min_cwnd_for_response = 2.0;
+
+  // --- Section 7 extensions (off by default = the paper's scheme) ---
+  /// Drive the signal with one-way forward delays instead of RTT, making
+  /// the scheme blind to reverse-path congestion.
+  bool use_one_way_delay = false;
+  /// Self-configuring pro-activeness (analogous to Adaptive RED / [12]):
+  /// AIMD-adapt pmax within [pmax_min, pmax_max] to hold the smoothed
+  /// queueing delay inside [T_min, T_max].
+  bool adaptive_pmax = false;
+  double pmax_min = 0.01;
+  double pmax_max = 0.5;
+  double adapt_interval = 0.5;  ///< seconds between pmax adjustments
+};
+
+}  // namespace pert::core

@@ -1,0 +1,39 @@
+#include "core/pert_sender.h"
+
+#include <algorithm>
+
+namespace pert::core {
+
+void PertSender::maybe_early_response(double rtt) {
+  if (!estimator_.ready()) return;
+  if (params_.adaptive_pmax) maybe_adapt_pmax();
+  const double p = curve_.probability(estimator_.queueing_delay());
+  if (p <= 0.0 || !rng_.bernoulli(p)) return;
+  // The effect of a reduction is not visible for one RTT; never respond
+  // proactively while loss recovery is already reducing the window, and
+  // keep the ACK clock alive at tiny windows.
+  if (in_recovery()) return;
+  if (cwnd_ <= params_.min_cwnd_for_response) return;
+  if (params_.limit_once_per_rtt && now() - last_early_ < rtt) return;
+  multiplicative_decrease(params_.early_beta);
+  last_early_ = now();
+  bump_early_responses();
+}
+
+void PertSender::maybe_adapt_pmax() {
+  // Self-configuring pro-activeness (Section 7 / Feng et al. [12]): if the
+  // smoothed queueing delay sits above T_max the response is too timid —
+  // additively raise pmax; below T_min it may be too aggressive —
+  // multiplicatively decay it. Mirrors Adaptive RED's steering of max_p.
+  if (now() - last_adapt_ < params_.adapt_interval) return;
+  last_adapt_ = now();
+  const double tq = estimator_.queueing_delay();
+  double pmax = curve_.pmax();
+  if (tq > params_.tmax_offset)
+    pmax = std::min(params_.pmax_max, pmax + std::min(0.01, pmax / 4.0));
+  else if (tq < params_.tmin_offset)
+    pmax = std::max(params_.pmax_min, pmax * 0.9);
+  curve_.set_pmax(pmax);
+}
+
+}  // namespace pert::core

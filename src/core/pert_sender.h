@@ -1,0 +1,57 @@
+// PERT: Probabilistic Early Response TCP emulating gentle RED (Section 3).
+//
+// On every ACK the sender updates srtt_0.99, maps the estimated queueing
+// delay through the emulated RED curve to a response probability, and — at
+// most once per RTT — performs a 35% multiplicative decrease. Packet losses
+// keep the inherited SACK fast-retransmit/recovery response.
+#pragma once
+
+#include "core/pert_params.h"
+#include "core/response_curve.h"
+#include "core/srtt_estimator.h"
+#include "sim/random.h"
+#include "tcp/tcp_sender.h"
+
+namespace pert::core {
+
+class PertSender : public tcp::TcpSender {
+ public:
+  PertSender(net::Network& net, tcp::TcpConfig cfg, net::FlowId flow,
+             PertParams params = {})
+      : tcp::TcpSender(net, cfg, flow),
+        params_(params),
+        estimator_(params.srtt_alpha),
+        curve_(params),
+        rng_(net.rng().fork()) {}
+
+  const SrttEstimator& estimator() const noexcept { return estimator_; }
+  const PertParams& params() const noexcept { return params_; }
+  /// Current pmax (moves only when the adaptive extension is on).
+  double cur_pmax() const noexcept { return curve_.pmax(); }
+  /// Current per-ACK response probability (diagnostics).
+  double response_probability() const {
+    return curve_.probability(estimator_.queueing_delay());
+  }
+
+ protected:
+  void cc_on_rtt_sample(double rtt) override {
+    if (!params_.use_one_way_delay) estimator_.add_sample(rtt);
+    maybe_early_response(rtt);
+  }
+  void cc_on_owd_sample(double owd) override {
+    if (params_.use_one_way_delay) estimator_.add_sample(owd);
+  }
+
+ private:
+  void maybe_early_response(double rtt);
+  void maybe_adapt_pmax();
+
+  PertParams params_;
+  SrttEstimator estimator_;
+  ResponseCurve curve_;
+  sim::Rng rng_;
+  sim::Time last_early_ = -1e18;
+  sim::Time last_adapt_ = 0.0;
+};
+
+}  // namespace pert::core

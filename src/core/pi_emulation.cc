@@ -1,0 +1,52 @@
+#include "core/pi_emulation.h"
+
+#include <cmath>
+
+namespace pert::core {
+
+PiEmuDesign PiEmuDesign::for_path(double capacity_pps, double n_min,
+                                  double rtt_max, double tq_ref,
+                                  double sample_hz, double gain_boost) {
+  PiEmuDesign d;
+  d.tq_ref = tq_ref;
+  d.sample_interval = 1.0 / sample_hz;
+  // Theorem 2 (eq. (21)): zero of the controller at the TCP window pole.
+  const double m = 2.0 * n_min / (rtt_max * rtt_max * capacity_pps);
+  // Delay-based loop gain carries C^2 (not C^3 as in router TCP/PI).
+  const double gain = std::pow(rtt_max, 3) * capacity_pps * capacity_pps /
+                      (4.0 * n_min * n_min);
+  const double k =
+      gain_boost * m * std::sqrt(rtt_max * rtt_max * m * m + 1.0) / gain;
+  d.a = k / m + k * d.sample_interval / 2.0;
+  d.b = k / m - k * d.sample_interval / 2.0;
+  return d;
+}
+
+PertPiSender::PertPiSender(net::Network& net, tcp::TcpConfig cfg,
+                           net::FlowId flow, PiEmuDesign design,
+                           double srtt_alpha)
+    : tcp::TcpSender(net, cfg, flow),
+      pi_(design),
+      estimator_(srtt_alpha),
+      rng_(net.rng().fork()),
+      sample_timer_(net.sched(), [this] { sample(); }) {
+  sample_timer_.schedule_in(design.sample_interval);
+}
+
+void PertPiSender::sample() {
+  if (estimator_.ready()) pi_.update(estimator_.queueing_delay());
+  sample_timer_.schedule_in(pi_.design().sample_interval);
+}
+
+void PertPiSender::cc_on_rtt_sample(double rtt) {
+  estimator_.add_sample(rtt);
+  const double p = pi_.probability();
+  if (p <= 0.0 || !rng_.bernoulli(p)) return;
+  if (in_recovery() || cwnd_ <= 2.0) return;
+  if (now() - last_early_ < rtt) return;  // once per RTT
+  multiplicative_decrease(pi_.design().early_beta);
+  last_early_ = now();
+  bump_early_responses();
+}
+
+}  // namespace pert::core

@@ -1,0 +1,89 @@
+// PERT/PI: emulating the PI AQM controller from end hosts (Section 6).
+//
+// The response probability is produced by a discretized PI controller on the
+// estimated queueing delay:
+//
+//   p(k) = p(k-1) + a * (Tq(k) - Tq_ref) - b * (Tq(k-1) - Tq_ref),
+//
+// the bilinear-transform discretization of C_PI(s) = K (1 + s/m) / s with
+// a = K/m + K*delta/2 and b = K/m - K*delta/2 (the paper's eq. (18)-(19);
+// note (19) prints the coefficients swapped — a PI controller must weight the
+// *current* error with the larger coefficient, otherwise the loop integrates
+// with negative gain).
+//
+// K and m follow Theorem 2: because the controller acts on queueing *delay*,
+// the loop gain carries C^2 where the router-based TCP/PI design has C^3 —
+// equivalently, the delay-based coefficients are the router coefficients
+// multiplied by the link capacity (what Section 6.1 does).
+#pragma once
+
+#include <algorithm>
+
+#include "core/srtt_estimator.h"
+#include "sim/random.h"
+#include "sim/timer.h"
+#include "tcp/tcp_sender.h"
+
+namespace pert::core {
+
+struct PiEmuDesign {
+  double a = 0.0;              ///< coefficient on the current delay error
+  double b = 0.0;              ///< coefficient on the previous delay error
+  double tq_ref = 0.003;       ///< target queueing delay (3 ms in the paper)
+  double sample_interval = 1.0 / 170.0;
+  double early_beta = 0.35;    ///< early-response multiplicative decrease
+
+  /// Theorem 2 design: capacity in packets/second, lower bound on flows,
+  /// upper bound on RTT. `gain_boost` scales K above the conservative
+  /// unity-crossover design (Theorem 2 leaves ample phase margin; modest
+  /// boosts tighten queue convergence without instability).
+  static PiEmuDesign for_path(double capacity_pps, double n_min,
+                              double rtt_max, double tq_ref = 0.003,
+                              double sample_hz = 170.0,
+                              double gain_boost = 1.0);
+};
+
+/// The controller itself, reusable outside the sender (tests, fluid checks).
+class PiEmulator {
+ public:
+  explicit PiEmulator(const PiEmuDesign& d) : d_(d) {}
+
+  /// Feeds one queueing-delay sample; returns the updated probability.
+  double update(double tq) {
+    prob_ += d_.a * (tq - d_.tq_ref) - d_.b * (prev_tq_ - d_.tq_ref);
+    prob_ = std::clamp(prob_, 0.0, 1.0);
+    prev_tq_ = tq;
+    return prob_;
+  }
+
+  double probability() const noexcept { return prob_; }
+  const PiEmuDesign& design() const noexcept { return d_; }
+
+ private:
+  PiEmuDesign d_;
+  double prob_ = 0.0;
+  double prev_tq_ = 0.0;
+};
+
+class PertPiSender : public tcp::TcpSender {
+ public:
+  PertPiSender(net::Network& net, tcp::TcpConfig cfg, net::FlowId flow,
+               PiEmuDesign design, double srtt_alpha = 0.99);
+
+  double response_probability() const noexcept { return pi_.probability(); }
+  const SrttEstimator& estimator() const noexcept { return estimator_; }
+
+ protected:
+  void cc_on_rtt_sample(double rtt) override;
+
+ private:
+  void sample();
+
+  PiEmulator pi_;
+  SrttEstimator estimator_;
+  sim::Rng rng_;
+  sim::Timer sample_timer_;
+  sim::Time last_early_ = -1e18;
+};
+
+}  // namespace pert::core

@@ -1,0 +1,111 @@
+// PERT/REM: emulating Random Exponential Marking from end hosts — the
+// "other AQM algorithms" generality claim of the paper's abstract and
+// conclusions, carried out for REM.
+//
+// The router REM price integrates gamma*((q - q_ref) + w*(q - q_prev));
+// dividing by capacity turns queue lengths into queueing delays, so the
+// end-host price uses the srtt_0.99 delay estimate:
+//
+//   price = max(0, price + gamma_d*((Tq - Tq_ref) + w*(Tq - Tq_prev)))
+//   p     = 1 - phi^(-price)
+//
+// with gamma_d = gamma_router * C (packets/s), exactly the capacity-scaling
+// Section 6.1 applies to PI.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/srtt_estimator.h"
+#include "sim/random.h"
+#include "sim/timer.h"
+#include "tcp/tcp_sender.h"
+
+namespace pert::core {
+
+struct RemEmuDesign {
+  double gamma = 0.0;        ///< price gain per sample, on delay error
+  double phi = 1.001;
+  double tq_ref = 0.003;     ///< target queueing delay, seconds
+  double rate_weight = 0.1;
+  double sample_interval = 1.0 / 170.0;
+  double early_beta = 0.35;
+
+  /// Router REM parameters scaled by the path capacity (packets/second).
+  static RemEmuDesign for_path(double capacity_pps, double gamma_router = 0.001,
+                               double tq_ref = 0.003,
+                               double sample_hz = 170.0) {
+    RemEmuDesign d;
+    d.gamma = gamma_router * capacity_pps;
+    d.tq_ref = tq_ref;
+    d.sample_interval = 1.0 / sample_hz;
+    return d;
+  }
+};
+
+/// The price/probability state machine, reusable outside the sender.
+class RemEmulator {
+ public:
+  explicit RemEmulator(const RemEmuDesign& d) : d_(d) {}
+
+  double update(double tq) {
+    price_ = std::max(
+        0.0, price_ + d_.gamma * ((tq - d_.tq_ref) +
+                                  d_.rate_weight * (tq - prev_tq_)));
+    prev_tq_ = tq;
+    prob_ = 1.0 - std::pow(d_.phi, -price_);
+    return prob_;
+  }
+
+  double price() const noexcept { return price_; }
+  double probability() const noexcept { return prob_; }
+  const RemEmuDesign& design() const noexcept { return d_; }
+
+ private:
+  RemEmuDesign d_;
+  double price_ = 0.0;
+  double prob_ = 0.0;
+  double prev_tq_ = 0.0;
+};
+
+class PertRemSender : public tcp::TcpSender {
+ public:
+  PertRemSender(net::Network& net, tcp::TcpConfig cfg, net::FlowId flow,
+                RemEmuDesign design, double srtt_alpha = 0.99)
+      : tcp::TcpSender(net, cfg, flow),
+        rem_(design),
+        estimator_(srtt_alpha),
+        rng_(net.rng().fork()),
+        sample_timer_(net.sched(), [this] { sample(); }) {
+    sample_timer_.schedule_in(design.sample_interval);
+  }
+
+  double response_probability() const noexcept { return rem_.probability(); }
+  const RemEmulator& emulator() const noexcept { return rem_; }
+
+ protected:
+  void cc_on_rtt_sample(double rtt) override {
+    estimator_.add_sample(rtt);
+    const double p = rem_.probability();
+    if (p <= 0.0 || !rng_.bernoulli(p)) return;
+    if (in_recovery() || cwnd_ <= 2.0) return;
+    if (now() - last_early_ < rtt) return;  // once per RTT
+    multiplicative_decrease(rem_.design().early_beta);
+    last_early_ = now();
+    bump_early_responses();
+  }
+
+ private:
+  void sample() {
+    if (estimator_.ready()) rem_.update(estimator_.queueing_delay());
+    sample_timer_.schedule_in(rem_.design().sample_interval);
+  }
+
+  RemEmulator rem_;
+  SrttEstimator estimator_;
+  sim::Rng rng_;
+  sim::Timer sample_timer_;
+  sim::Time last_early_ = -1e18;
+};
+
+}  // namespace pert::core

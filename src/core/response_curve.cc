@@ -1,0 +1,16 @@
+#include "core/response_curve.h"
+
+#include <algorithm>
+
+namespace pert::core {
+
+double ResponseCurve::probability(double tq) const {
+  if (tq < tmin_) return 0.0;
+  if (tq < tmax_) return pmax_ * (tq - tmin_) / (tmax_ - tmin_);
+  if (!gentle_) return 1.0;
+  if (tq < 2.0 * tmax_)
+    return pmax_ + (1.0 - pmax_) * (tq - tmax_) / tmax_;
+  return 1.0;
+}
+
+}  // namespace pert::core

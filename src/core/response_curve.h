@@ -1,0 +1,31 @@
+// The PERT probabilistic response curve (Figure 5): gentle-RED emulated on
+// estimated queueing delay.
+#pragma once
+
+#include "core/pert_params.h"
+
+namespace pert::core {
+
+class ResponseCurve {
+ public:
+  explicit ResponseCurve(const PertParams& p)
+      : tmin_(p.tmin_offset),
+        tmax_(p.tmax_offset),
+        pmax_(p.pmax),
+        gentle_(p.gentle) {}
+
+  /// Probability of responding to one ACK given queueing delay `tq` seconds.
+  double probability(double tq) const;
+
+  double tmin() const noexcept { return tmin_; }
+  double tmax() const noexcept { return tmax_; }
+  double pmax() const noexcept { return pmax_; }
+  /// Adjusts the knee probability (used by the adaptive-pmax extension).
+  void set_pmax(double p) noexcept { pmax_ = p; }
+
+ private:
+  double tmin_, tmax_, pmax_;
+  bool gentle_;
+};
+
+}  // namespace pert::core

@@ -1,0 +1,43 @@
+// The srtt_0.99 congestion signal (Section 2.4).
+//
+// Per-ACK RTT samples smoothed with a heavy-history EWMA; the estimated
+// propagation delay is the minimum raw sample, and the queueing-delay
+// estimate is their difference.
+#pragma once
+
+#include <algorithm>
+#include <limits>
+
+#include "stats/stats.h"
+
+namespace pert::core {
+
+class SrttEstimator {
+ public:
+  explicit SrttEstimator(double alpha = 0.99) : ewma_(alpha) {}
+
+  void add_sample(double rtt) {
+    min_rtt_ = std::min(min_rtt_, rtt);
+    ewma_.add(rtt);
+  }
+
+  bool ready() const noexcept { return ewma_.seeded(); }
+  double srtt() const noexcept { return ewma_.value(); }
+  /// Propagation-delay estimate P (minimum observed RTT).
+  double prop_delay() const noexcept { return min_rtt_; }
+  /// Estimated queueing delay: srtt - P (>= 0).
+  double queueing_delay() const noexcept {
+    return ready() ? std::max(0.0, ewma_.value() - min_rtt_) : 0.0;
+  }
+
+  void reset() {
+    ewma_.reset();
+    min_rtt_ = std::numeric_limits<double>::infinity();
+  }
+
+ private:
+  stats::Ewma ewma_;
+  double min_rtt_ = std::numeric_limits<double>::infinity();
+};
+
+}  // namespace pert::core

@@ -1,0 +1,148 @@
+#include "exp/cli.h"
+
+#include <charconv>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace pert::exp {
+
+namespace {
+
+double parse_num(std::string_view s, std::string_view what) {
+  char* end = nullptr;
+  const std::string buf(s);
+  const double v = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size() || buf.empty())
+    throw std::invalid_argument("bad number for " + std::string(what) + ": " +
+                                buf);
+  return v;
+}
+
+bool parse_bool(std::string_view s, std::string_view what) {
+  if (s == "1" || s == "true" || s == "on") return true;
+  if (s == "0" || s == "false" || s == "off") return false;
+  throw std::invalid_argument("bad boolean for " + std::string(what) + ": " +
+                              std::string(s));
+}
+
+std::vector<double> parse_ms_list(std::string_view s) {
+  std::vector<double> out;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    const std::size_t comma = s.find(',', pos);
+    const std::string_view tok =
+        s.substr(pos, comma == std::string_view::npos ? s.size() - pos
+                                                      : comma - pos);
+    out.push_back(parse_num(tok, "rtts element") * 1e-3);
+    if (comma == std::string_view::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+double parse_rate(std::string_view s) {
+  if (s.empty()) throw std::invalid_argument("empty rate");
+  double mult = 1.0;
+  std::string_view num = s;
+  switch (s.back()) {
+    case 'k': case 'K': mult = 1e3; num = s.substr(0, s.size() - 1); break;
+    case 'M': mult = 1e6; num = s.substr(0, s.size() - 1); break;
+    case 'G': mult = 1e9; num = s.substr(0, s.size() - 1); break;
+    default: break;
+  }
+  const double v = parse_num(num, "rate") * mult;
+  if (v <= 0) throw std::invalid_argument("rate must be positive");
+  return v;
+}
+
+Scheme parse_scheme(std::string_view s) {
+  if (s == "pert") return Scheme::kPert;
+  if (s == "pert-pi") return Scheme::kPertPi;
+  if (s == "pert-rem") return Scheme::kPertRem;
+  if (s == "vegas") return Scheme::kVegas;
+  if (s == "sack" || s == "sack-droptail") return Scheme::kSackDroptail;
+  if (s == "sack-red") return Scheme::kSackRedEcn;
+  if (s == "sack-pi") return Scheme::kSackPiEcn;
+  if (s == "sack-rem") return Scheme::kSackRemEcn;
+  if (s == "sack-avq") return Scheme::kSackAvqEcn;
+  throw std::invalid_argument("unknown scheme: " + std::string(s));
+}
+
+CliOptions parse_cli(const std::vector<std::string>& args) {
+  CliOptions o;
+  for (const std::string& tok : args) {
+    const std::size_t eq = tok.find('=');
+    if (eq == std::string::npos)
+      throw std::invalid_argument("expected key=value, got: " + tok);
+    const std::string_view key = std::string_view(tok).substr(0, eq);
+    const std::string_view val = std::string_view(tok).substr(eq + 1);
+
+    if (key == "scheme") {
+      o.cfg.scheme = parse_scheme(val);
+    } else if (key == "bw") {
+      o.cfg.bottleneck_bps = parse_rate(val);
+    } else if (key == "rtt") {
+      o.cfg.rtt = parse_num(val, key) * 1e-3;
+    } else if (key == "rtts") {
+      o.cfg.flow_rtts = parse_ms_list(val);
+    } else if (key == "flows") {
+      o.cfg.num_fwd_flows = static_cast<std::int32_t>(parse_num(val, key));
+    } else if (key == "rev_flows") {
+      o.cfg.num_rev_flows = static_cast<std::int32_t>(parse_num(val, key));
+    } else if (key == "web") {
+      o.cfg.num_web_sessions = static_cast<std::int32_t>(parse_num(val, key));
+    } else if (key == "buffer") {
+      o.cfg.buffer_pkts = static_cast<std::int32_t>(parse_num(val, key));
+    } else if (key == "seed") {
+      o.cfg.seed = static_cast<std::uint64_t>(parse_num(val, key));
+    } else if (key == "warmup") {
+      o.warmup = parse_num(val, key);
+    } else if (key == "measure") {
+      o.measure = parse_num(val, key);
+    } else if (key == "start_window") {
+      o.cfg.start_window = parse_num(val, key);
+    } else if (key == "sack_fraction") {
+      o.cfg.nonproactive_fraction = parse_num(val, key);
+    } else if (key == "beta") {
+      o.cfg.pert.early_beta = parse_num(val, key);
+    } else if (key == "pmax") {
+      o.cfg.pert.pmax = parse_num(val, key);
+    } else if (key == "gentle") {
+      o.cfg.pert.gentle = parse_bool(val, key);
+    } else if (key == "owd") {
+      o.cfg.pert.use_one_way_delay = parse_bool(val, key);
+    } else if (key == "adaptive") {
+      o.cfg.pert.adaptive_pmax = parse_bool(val, key);
+    } else if (key == "trace_out") {
+      o.trace_out = val;
+    } else if (key == "series_out") {
+      o.series_out = val;
+    } else if (key == "series_interval") {
+      o.series_interval = parse_num(val, key) * 1e-3;
+    } else {
+      throw std::invalid_argument("unknown key: " + std::string(key));
+    }
+  }
+  if (o.cfg.num_fwd_flows <= 0)
+    throw std::invalid_argument("flows must be >= 1");
+  if (o.warmup < 0 || o.measure <= 0)
+    throw std::invalid_argument("warmup/measure out of range");
+  return o;
+}
+
+std::string cli_usage() {
+  return "usage: pert_sim key=value ...\n"
+         "  scheme=pert|pert-pi|pert-rem|vegas|sack|sack-red|sack-pi|"
+         "sack-rem|sack-avq\n"
+         "  bw=150M rtt=60 [rtts=12,24,36] flows=50 [rev_flows=0] [web=0]\n"
+         "  [buffer=<pkts>] [seed=1] [warmup=20] [measure=40] "
+         "[start_window=10]\n"
+         "  [sack_fraction=0] [beta=0.35] [pmax=0.05] [gentle=1] [owd=0] "
+         "[adaptive=0]\n"
+         "  [trace_out=trace.csv] [series_out=queue.csv] "
+         "[series_interval=100]\n";
+}
+
+}  // namespace pert::exp

@@ -1,0 +1,50 @@
+// key=value command-line configuration for simulation drivers.
+//
+// Grammar (one token per argument, order-insensitive):
+//   scheme=pert|pert-pi|pert-rem|vegas|sack|sack-red|sack-pi|sack-rem|sack-avq
+//   bw=<rate>        link rate: plain bits/s or with k/M/G suffix (150M)
+//   rtt=<ms>         end-to-end RTT in milliseconds
+//   rtts=<ms,ms,..>  per-flow RTT list (overrides rtt for long-term flows)
+//   flows=<n> rev_flows=<n> web=<n> buffer=<pkts> seed=<n>
+//   warmup=<s> measure=<s> start_window=<s>
+//   sack_fraction=<0..1>   fraction of flows forced to plain SACK
+//   beta=<0..1> pmax=<0..1> gentle=0|1 owd=0|1 adaptive=0|1
+//   trace_out=<path>       record the tagged flow's trace (pert-trace v1)
+//   series_out=<path>      queue-length time series CSV
+//   series_interval=<ms>
+//
+// Unknown keys and malformed values throw std::invalid_argument with a
+// message naming the offending token.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "exp/dumbbell.h"
+#include "exp/scheme.h"
+
+namespace pert::exp {
+
+struct CliOptions {
+  DumbbellConfig cfg;
+  double warmup = 20.0;
+  double measure = 40.0;
+  std::string trace_out;
+  std::string series_out;
+  double series_interval = 0.1;  ///< seconds
+};
+
+/// Parses a rate like "150M", "2.5G", "64k", or "1000000".
+double parse_rate(std::string_view s);
+
+/// Parses a scheme name (see grammar above).
+Scheme parse_scheme(std::string_view s);
+
+/// Parses the whole argument list (each element one "key=value" token).
+CliOptions parse_cli(const std::vector<std::string>& args);
+
+/// One-line usage string for drivers.
+std::string cli_usage();
+
+}  // namespace pert::exp

@@ -1,0 +1,235 @@
+#include "exp/dumbbell.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "stats/stats.h"
+
+namespace pert::exp {
+
+namespace {
+constexpr std::int32_t kPort = 1;
+}
+
+Dumbbell::Dumbbell(DumbbellConfig cfg) : cfg_(cfg), net_(cfg.seed) {
+  assert(cfg_.num_fwd_flows > 0);
+  cfg_.tcp.ecn = sender_ecn(cfg_.scheme);
+
+  const double seg_bytes = cfg_.tcp.seg_bytes();
+
+  double min_rtt = cfg_.rtt;
+  if (!cfg_.flow_rtts.empty())
+    min_rtt = *std::min_element(cfg_.flow_rtts.begin(), cfg_.flow_rtts.end());
+
+  // Paper rule: buffer = BDP (packets), at least twice the number of flows.
+  const std::int32_t n_long = cfg_.num_fwd_flows + cfg_.num_rev_flows;
+  if (cfg_.buffer_pkts > 0) {
+    buffer_pkts_ = cfg_.buffer_pkts;
+  } else {
+    const double bdp = cfg_.bottleneck_bps * cfg_.rtt / (8.0 * seg_bytes);
+    buffer_pkts_ = static_cast<std::int32_t>(
+        std::max({bdp, 2.0 * n_long, 10.0}));
+  }
+
+  bottleneck_delay_ = 0.2 * min_rtt;  // one-way; access links supply the rest
+
+  r1_ = net_.add_node();
+  r2_ = net_.add_node();
+  fwd_link_ = net_.add_link(r1_, r2_, cfg_.bottleneck_bps, bottleneck_delay_,
+                            make_bottleneck_queue());
+  net_.add_link(r2_, r1_, cfg_.bottleneck_bps, bottleneck_delay_,
+                make_bottleneck_queue());
+  fwd_queue_ = &fwd_link_->queue();
+
+  // Long-term forward flows.
+  for (std::int32_t i = 0; i < cfg_.num_fwd_flows; ++i) {
+    const double rtt = cfg_.flow_rtts.empty()
+                           ? cfg_.rtt
+                           : cfg_.flow_rtts[i % cfg_.flow_rtts.size()];
+    const bool force_sack =
+        cfg_.nonproactive_fraction > 0 &&
+        static_cast<double>(i) <
+            cfg_.nonproactive_fraction * cfg_.num_fwd_flows;
+    const sim::Time start = net_.rng().uniform(0.0, cfg_.start_window);
+    fwd_senders_.push_back(add_flow_path(r1_, r2_, rtt, next_flow_++, start,
+                                         force_sack, /*reverse=*/false));
+  }
+  // Long-term reverse flows.
+  for (std::int32_t i = 0; i < cfg_.num_rev_flows; ++i) {
+    const sim::Time start = net_.rng().uniform(0.0, cfg_.start_window);
+    rev_senders_.push_back(add_flow_path(r2_, r1_, cfg_.rtt, next_flow_++,
+                                         start, /*force_sack=*/false,
+                                         /*reverse=*/true));
+  }
+  // Web sessions (forward direction).
+  for (std::int32_t i = 0; i < cfg_.num_web_sessions; ++i) {
+    tcp::TcpSender* s =
+        add_flow_path(r1_, r2_, cfg_.rtt, next_flow_++,
+                      /*start=*/-1.0, /*force_sack=*/false, /*reverse=*/false);
+    web_senders_.push_back(s);
+    const sim::Time start = net_.rng().uniform(0.0, cfg_.start_window);
+    web_sessions_.push_back(std::make_unique<traffic::WebSession>(
+        net_.sched(), *s, cfg_.web, net_.rng().fork(), start));
+  }
+
+  net_.compute_routes();
+}
+
+std::unique_ptr<net::Queue> Dumbbell::make_bottleneck_queue() {
+  const double pps = cfg_.bottleneck_bps / (8.0 * cfg_.tcp.seg_bytes());
+  switch (cfg_.scheme) {
+    case Scheme::kSackRedEcn: {
+      net::RedParams rp =
+          net::RedParams::auto_tuned(buffer_pkts_, pps, /*ecn=*/true);
+      return std::make_unique<net::RedQueue>(net_.sched(), buffer_pkts_, rp,
+                                             net_.rng().fork());
+    }
+    case Scheme::kSackPiEcn: {
+      const double rtt_max = cfg_.rtt * 1.5 + buffer_pkts_ / pps;
+      net::PiDesign d = net::PiDesign::for_link(
+          pps, std::max(1, cfg_.num_fwd_flows), rtt_max,
+          std::min<double>(buffer_pkts_ / 2.0, pps * cfg_.pi_target_delay));
+      return std::make_unique<net::PiQueue>(net_.sched(), buffer_pkts_, d,
+                                            /*ecn=*/true, net_.rng().fork());
+    }
+    case Scheme::kSackRemEcn: {
+      net::RemParams rp;
+      rp.q_ref = std::min<double>(buffer_pkts_ / 2.0,
+                                  pps * cfg_.pi_target_delay);
+      return std::make_unique<net::RemQueue>(net_.sched(), buffer_pkts_, rp,
+                                             net_.rng().fork());
+    }
+    case Scheme::kSackAvqEcn:
+      return std::make_unique<net::AvqQueue>(net_.sched(), buffer_pkts_,
+                                             cfg_.bottleneck_bps,
+                                             net::AvqParams{});
+    default:
+      return std::make_unique<net::DropTailQueue>(net_.sched(), buffer_pkts_);
+  }
+}
+
+tcp::TcpSender* Dumbbell::make_sender(net::FlowId flow, bool force_sack) {
+  const double pps = cfg_.bottleneck_bps / (8.0 * cfg_.tcp.seg_bytes());
+  Scheme s = force_sack ? Scheme::kSackDroptail : cfg_.scheme;
+  tcp::TcpConfig tc = cfg_.tcp;
+  tc.ecn = sender_ecn(s);
+  switch (s) {
+    case Scheme::kVegas:
+      return net_.add_agent<tcp::VegasSender>(nullptr, 0, net_, tc, flow);
+    case Scheme::kPert:
+      return net_.add_agent<core::PertSender>(nullptr, 0, net_, tc, flow,
+                                              cfg_.pert);
+    case Scheme::kPertPi: {
+      // When the controller works, the stationary RTT is close to the
+      // propagation RTT plus the target delay — designing for the full
+      // buffer-delay worst case makes K ~ R^-3 uselessly sluggish.
+      const double rtt_max = cfg_.rtt * 1.2 + 4.0 * cfg_.pi_target_delay;
+      core::PiEmuDesign d = core::PiEmuDesign::for_path(
+          pps, std::max(1, cfg_.num_fwd_flows), rtt_max, cfg_.pi_target_delay,
+          170.0, cfg_.pert_pi_gain_boost);
+      return net_.add_agent<core::PertPiSender>(nullptr, 0, net_, tc, flow, d);
+    }
+    case Scheme::kPertRem: {
+      core::RemEmuDesign d =
+          core::RemEmuDesign::for_path(pps, 0.001, cfg_.pi_target_delay);
+      return net_.add_agent<core::PertRemSender>(nullptr, 0, net_, tc, flow,
+                                                 d);
+    }
+    default:
+      return net_.add_agent<tcp::TcpSender>(nullptr, 0, net_, tc, flow);
+  }
+}
+
+tcp::TcpSender* Dumbbell::add_flow_path(net::Node* edge_src,
+                                        net::Node* edge_dst, double rtt,
+                                        net::FlowId flow, sim::Time start,
+                                        bool force_sack, bool reverse) {
+  // One-way budget: rtt/2 = access_src + bottleneck + access_dst.
+  const double access_delay =
+      std::max(0.0005, (rtt / 2.0 - bottleneck_delay_) / 2.0);
+  const double access_bps =
+      std::max(cfg_.bottleneck_bps * cfg_.access_multiplier, 10e6);
+  const std::int32_t access_buf =
+      std::max(64, buffer_pkts_);
+
+  net::Node* src = net_.add_node();
+  net::Node* dst = net_.add_node();
+  net_.add_duplex_droptail(src, edge_src, access_bps, access_delay, access_buf);
+  net_.add_duplex_droptail(edge_dst, dst, access_bps, access_delay, access_buf);
+
+  auto* sink = net_.add_agent<tcp::TcpSink>(dst, kPort, net_, cfg_.tcp);
+  if (!reverse) fwd_sinks_.push_back(sink);
+
+  tcp::TcpSender* sender = make_sender(flow, force_sack);
+  src->bind(*sender, kPort);
+  sender->connect(dst->id(), kPort);
+  if (start >= 0) sender->start(start);
+  return sender;
+}
+
+WindowMetrics Dumbbell::run(sim::Time warmup, sim::Time measure) {
+  net_.run_until(warmup);
+
+  const net::Queue::Stats q0 = fwd_queue_->snapshot();
+  const net::Link::Stats l0 = fwd_link_->snapshot();
+  std::vector<std::int64_t> acked0;
+  acked0.reserve(fwd_senders_.size());
+  std::uint64_t early0 = 0, to0 = 0, loss0 = 0;
+  for (auto* s : fwd_senders_) {
+    acked0.push_back(s->acked_bytes());
+    early0 += s->flow_stats().early_responses;
+    to0 += s->flow_stats().timeouts;
+    loss0 += s->flow_stats().loss_events;
+  }
+
+  net_.run_until(warmup + measure);
+
+  const net::Queue::Stats q1 = fwd_queue_->snapshot();
+  const net::Link::Stats l1 = fwd_link_->snapshot();
+
+  WindowMetrics m;
+  m.duration = measure;
+  m.avg_queue_pkts = (q1.len_integral - q0.len_integral) / measure;
+  m.norm_queue = m.avg_queue_pkts / buffer_pkts_;
+  const auto arrivals = q1.arrivals - q0.arrivals;
+  m.drops = q1.drops - q0.drops;
+  m.drop_rate =
+      arrivals == 0 ? 0.0
+                    : static_cast<double>(m.drops) / static_cast<double>(arrivals);
+  m.utilization = static_cast<double>(l1.bytes_tx - l0.bytes_tx) * 8.0 /
+                  (cfg_.bottleneck_bps * measure);
+  m.ecn_marks = q1.ecn_marks - q0.ecn_marks;
+
+  goodputs_.clear();
+  for (std::size_t i = 0; i < fwd_senders_.size(); ++i) {
+    goodputs_.push_back(
+        static_cast<double>(fwd_senders_[i]->acked_bytes() - acked0[i]) * 8.0 /
+        measure);
+    m.early_responses += fwd_senders_[i]->flow_stats().early_responses;
+    m.timeouts += fwd_senders_[i]->flow_stats().timeouts;
+    m.loss_events += fwd_senders_[i]->flow_stats().loss_events;
+  }
+  m.early_responses -= early0;
+  m.timeouts -= to0;
+  m.loss_events -= loss0;
+  m.jain = stats::jain_index(goodputs_);
+  for (double g : goodputs_) m.agg_goodput_bps += g;
+  return m;
+}
+
+std::vector<std::int32_t> Dumbbell::add_flows(std::int32_t n, sim::Time at) {
+  std::vector<std::int32_t> idx;
+  for (std::int32_t i = 0; i < n; ++i) {
+    idx.push_back(static_cast<std::int32_t>(fwd_senders_.size()));
+    fwd_senders_.push_back(add_flow_path(r1_, r2_, cfg_.rtt, next_flow_++, at,
+                                         /*force_sack=*/false,
+                                         /*reverse=*/false));
+  }
+  net_.compute_routes();
+  return idx;
+}
+
+void Dumbbell::stop_flow(std::int32_t i) { fwd_senders_.at(i)->stop(); }
+
+}  // namespace pert::exp

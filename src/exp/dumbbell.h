@@ -1,0 +1,136 @@
+// Single-bottleneck (dumbbell) scenario builder + windowed measurement.
+//
+// Two routers joined by the bottleneck; every long-term flow and web session
+// gets its own source and sink node on private access links, so per-flow RTTs
+// are set by access-link delays exactly as in the paper's Section 2.2 setup.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/pert_sender.h"
+#include "core/pi_emulation.h"
+#include "core/rem_emulation.h"
+#include "exp/scheme.h"
+#include "net/avq_queue.h"
+#include "net/network.h"
+#include "net/pi_queue.h"
+#include "net/red_queue.h"
+#include "net/rem_queue.h"
+#include "tcp/tcp_sender.h"
+#include "tcp/tcp_sink.h"
+#include "tcp/vegas.h"
+#include "traffic/web_session.h"
+
+namespace pert::exp {
+
+struct DumbbellConfig {
+  Scheme scheme = Scheme::kPert;
+  double bottleneck_bps = 150e6;
+  /// End-to-end two-way propagation delay for flows without an explicit RTT.
+  double rtt = 0.060;
+  /// Per-flow RTTs for forward long-term flows; empty = all use `rtt`.
+  std::vector<double> flow_rtts;
+  std::int32_t num_fwd_flows = 10;
+  std::int32_t num_rev_flows = 0;
+  std::int32_t num_web_sessions = 0;
+  /// 0 = auto: BDP in packets, at least 2x the number of flows (paper rule).
+  std::int32_t buffer_pkts = 0;
+  /// Access links run at this multiple of the bottleneck rate (>= 2).
+  double access_multiplier = 4.0;
+  /// Long-term flow start times are uniform in [0, start_window).
+  double start_window = 50.0;
+  std::uint64_t seed = 1;
+  tcp::TcpConfig tcp;            ///< seg size etc.; ecn set per scheme
+  core::PertParams pert;         ///< PERT knobs (ablations override)
+  traffic::WebParams web;
+  /// PI designs are derived from these bounds (both router PI and PERT/PI).
+  double pi_target_delay = 0.003;
+  /// Gain scale applied to the PERT/PI end-host controller design. Higher
+  /// gain tracks the target delay tighter but worsens fairness (flows with
+  /// a biased min-RTT estimate respond unequally); 0.5 balances the two and
+  /// reproduces the paper's "slightly worse fairness at low RTT".
+  double pert_pi_gain_boost = 0.5;
+  /// Mix: fraction of forward long-term flows using plain SACK instead of
+  /// the scheme under test (co-existence ablation). 0 = none.
+  double nonproactive_fraction = 0.0;
+};
+
+struct WindowMetrics {
+  double duration = 0;
+  double avg_queue_pkts = 0;      ///< time-average bottleneck queue (fwd)
+  double norm_queue = 0;          ///< avg queue / buffer capacity
+  double drop_rate = 0;           ///< drops / arrivals at fwd bottleneck queue
+  double utilization = 0;         ///< fwd bottleneck bytes tx / capacity
+  double jain = 0;                ///< fairness over fwd long-term goodputs
+  double agg_goodput_bps = 0;     ///< sum of fwd long-term goodputs
+  std::uint64_t drops = 0;
+  std::uint64_t ecn_marks = 0;
+  std::uint64_t early_responses = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t loss_events = 0;  ///< flow-level fast-retransmit episodes
+};
+
+class Dumbbell {
+ public:
+  explicit Dumbbell(DumbbellConfig cfg);
+
+  /// Advances to `warmup`, then measures until `warmup + measure`.
+  WindowMetrics run(sim::Time warmup, sim::Time measure);
+
+  net::Network& network() noexcept { return net_; }
+  net::Queue& fwd_queue() noexcept { return *fwd_queue_; }
+  net::Link& fwd_link() noexcept { return *fwd_link_; }
+  tcp::TcpSender& fwd_sender(std::int32_t i) { return *fwd_senders_.at(i); }
+  std::int32_t num_fwd() const {
+    return static_cast<std::int32_t>(fwd_senders_.size());
+  }
+  const DumbbellConfig& config() const noexcept { return cfg_; }
+  std::int32_t buffer_pkts() const noexcept { return buffer_pkts_; }
+
+  /// Goodput (acked payload bits/s) of forward flow i over the last run()
+  /// window. Valid after run().
+  double flow_goodput(std::int32_t i) const { return goodputs_.at(i); }
+
+  /// Creates and starts one more cohort of `n` forward flows at time `at`
+  /// (dynamic-behavior experiment). Returns indices of the new flows.
+  std::vector<std::int32_t> add_flows(std::int32_t n, sim::Time at);
+
+  /// Stops flow i (no more data after current window drains): used to model
+  /// departures in the dynamic experiment.
+  void stop_flow(std::int32_t i);
+
+  /// Acked packet count of flow i (for externally-managed measurement).
+  std::int64_t flow_acked(std::int32_t i) const {
+    return fwd_senders_.at(i)->snd_una();
+  }
+
+ private:
+  std::unique_ptr<net::Queue> make_bottleneck_queue();
+  tcp::TcpSender* make_sender(net::FlowId flow, bool force_sack);
+  /// Builds one source/sink pair with the given one-way access delays and
+  /// returns the started sender.
+  tcp::TcpSender* add_flow_path(net::Node* edge_src, net::Node* edge_dst,
+                                double rtt, net::FlowId flow, sim::Time start,
+                                bool force_sack, bool reverse);
+
+  DumbbellConfig cfg_;
+  net::Network net_;
+  net::Node* r1_ = nullptr;  ///< left router
+  net::Node* r2_ = nullptr;  ///< right router
+  net::Link* fwd_link_ = nullptr;
+  net::Queue* fwd_queue_ = nullptr;
+  std::int32_t buffer_pkts_ = 0;
+  double bottleneck_delay_ = 0;
+
+  std::vector<tcp::TcpSender*> fwd_senders_;
+  std::vector<tcp::TcpSink*> fwd_sinks_;
+  std::vector<tcp::TcpSender*> rev_senders_;
+  std::vector<tcp::TcpSender*> web_senders_;
+  std::vector<std::unique_ptr<traffic::WebSession>> web_sessions_;
+  std::vector<double> goodputs_;
+  net::FlowId next_flow_ = 0;
+};
+
+}  // namespace pert::exp

@@ -1,0 +1,164 @@
+#include "exp/multi_bottleneck.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "stats/stats.h"
+
+namespace pert::exp {
+
+namespace {
+constexpr std::int32_t kPort = 1;
+}
+
+MultiBottleneck::MultiBottleneck(MultiBottleneckConfig cfg)
+    : cfg_(cfg), net_(cfg.seed) {
+  assert(cfg_.num_routers >= 3);
+  cfg_.tcp.ecn = sender_ecn(cfg_.scheme);
+
+  const double seg_bytes = cfg_.tcp.seg_bytes();
+  // Longest path RTT: access + all router hops + access, both ways.
+  const double path_delay =
+      2.0 * (2.0 * cfg_.access_delay +
+             (cfg_.num_routers - 1) * cfg_.router_link_delay);
+  if (cfg_.buffer_pkts > 0) {
+    buffer_pkts_ = cfg_.buffer_pkts;
+  } else {
+    buffer_pkts_ = static_cast<std::int32_t>(std::max(
+        {cfg_.router_link_bps * path_delay / (8.0 * seg_bytes),
+         2.0 * cfg_.hosts_per_cloud * 2.0, 10.0}));
+  }
+
+  for (std::int32_t i = 0; i < cfg_.num_routers; ++i)
+    routers_.push_back(net_.add_node());
+  for (std::int32_t i = 0; i + 1 < cfg_.num_routers; ++i) {
+    hop_links_.push_back(net_.add_link(routers_[i], routers_[i + 1],
+                                       cfg_.router_link_bps,
+                                       cfg_.router_link_delay, make_queue()));
+    net_.add_link(routers_[i + 1], routers_[i], cfg_.router_link_bps,
+                  cfg_.router_link_delay, make_queue());
+  }
+
+  net::FlowId flow = 0;
+  // Groups 0..n-2: cloud i -> cloud i+1. Last group: cloud 0 -> last cloud.
+  groups_.resize(static_cast<std::size_t>(cfg_.num_routers));
+  auto add_group = [&](std::int32_t src_r, std::int32_t dst_r,
+                       std::size_t group) {
+    for (std::int32_t h = 0; h < cfg_.hosts_per_cloud; ++h) {
+      net::Node* src = net_.add_node();
+      net::Node* dst = net_.add_node();
+      net_.add_duplex_droptail(src, routers_[src_r], cfg_.access_bps,
+                               cfg_.access_delay, buffer_pkts_);
+      net_.add_duplex_droptail(routers_[dst_r], dst, cfg_.access_bps,
+                               cfg_.access_delay, buffer_pkts_);
+      net_.add_agent<tcp::TcpSink>(dst, kPort, net_, cfg_.tcp);
+      tcp::TcpSender* s = make_sender(flow++);
+      src->bind(*s, kPort);
+      s->connect(dst->id(), kPort);
+      s->start(net_.rng().uniform(0.0, cfg_.start_window));
+      groups_[group].push_back(s);
+    }
+  };
+  for (std::int32_t i = 0; i + 1 < cfg_.num_routers; ++i)
+    add_group(i, i + 1, static_cast<std::size_t>(i));
+  add_group(0, cfg_.num_routers - 1,
+            static_cast<std::size_t>(cfg_.num_routers - 1));
+
+  net_.compute_routes();
+}
+
+std::unique_ptr<net::Queue> MultiBottleneck::make_queue() {
+  const double pps = cfg_.router_link_bps / (8.0 * cfg_.tcp.seg_bytes());
+  switch (cfg_.scheme) {
+    case Scheme::kSackRedEcn: {
+      net::RedParams rp =
+          net::RedParams::auto_tuned(buffer_pkts_, pps, /*ecn=*/true);
+      return std::make_unique<net::RedQueue>(net_.sched(), buffer_pkts_, rp,
+                                             net_.rng().fork());
+    }
+    case Scheme::kSackPiEcn: {
+      net::PiDesign d = net::PiDesign::for_link(
+          pps, cfg_.hosts_per_cloud, 0.2, buffer_pkts_ / 4.0);
+      return std::make_unique<net::PiQueue>(net_.sched(), buffer_pkts_, d,
+                                            /*ecn=*/true, net_.rng().fork());
+    }
+    case Scheme::kSackRemEcn: {
+      net::RemParams rp;
+      rp.q_ref = buffer_pkts_ / 4.0;
+      return std::make_unique<net::RemQueue>(net_.sched(), buffer_pkts_, rp,
+                                             net_.rng().fork());
+    }
+    case Scheme::kSackAvqEcn:
+      return std::make_unique<net::AvqQueue>(net_.sched(), buffer_pkts_,
+                                             cfg_.router_link_bps,
+                                             net::AvqParams{});
+    default:
+      return std::make_unique<net::DropTailQueue>(net_.sched(), buffer_pkts_);
+  }
+}
+
+tcp::TcpSender* MultiBottleneck::make_sender(net::FlowId flow) {
+  switch (cfg_.scheme) {
+    case Scheme::kVegas:
+      return net_.add_agent<tcp::VegasSender>(nullptr, 0, net_, cfg_.tcp, flow);
+    case Scheme::kPert:
+      return net_.add_agent<core::PertSender>(nullptr, 0, net_, cfg_.tcp, flow,
+                                              cfg_.pert);
+    case Scheme::kPertPi: {
+      const double pps = cfg_.router_link_bps / (8.0 * cfg_.tcp.seg_bytes());
+      core::PiEmuDesign d = core::PiEmuDesign::for_path(
+          pps, cfg_.hosts_per_cloud, 0.2);
+      return net_.add_agent<core::PertPiSender>(nullptr, 0, net_, cfg_.tcp,
+                                                flow, d);
+    }
+    case Scheme::kPertRem: {
+      const double pps = cfg_.router_link_bps / (8.0 * cfg_.tcp.seg_bytes());
+      return net_.add_agent<core::PertRemSender>(
+          nullptr, 0, net_, cfg_.tcp, flow, core::RemEmuDesign::for_path(pps));
+    }
+    default:
+      return net_.add_agent<tcp::TcpSender>(nullptr, 0, net_, cfg_.tcp, flow);
+  }
+}
+
+std::vector<HopMetrics> MultiBottleneck::run(sim::Time warmup,
+                                             sim::Time measure) {
+  net_.run_until(warmup);
+  std::vector<net::Queue::Stats> q0;
+  std::vector<net::Link::Stats> l0;
+  for (auto* l : hop_links_) {
+    q0.push_back(l->queue().snapshot());
+    l0.push_back(l->snapshot());
+  }
+  std::vector<std::vector<std::int64_t>> acked0(groups_.size());
+  for (std::size_t g = 0; g < groups_.size(); ++g)
+    for (auto* s : groups_[g]) acked0[g].push_back(s->acked_bytes());
+
+  net_.run_until(warmup + measure);
+
+  std::vector<HopMetrics> out;
+  for (std::size_t h = 0; h < hop_links_.size(); ++h) {
+    const auto q1 = hop_links_[h]->queue().snapshot();
+    const auto l1 = hop_links_[h]->snapshot();
+    HopMetrics m;
+    m.avg_queue_pkts = (q1.len_integral - q0[h].len_integral) / measure;
+    m.norm_queue = m.avg_queue_pkts / buffer_pkts_;
+    const auto arr = q1.arrivals - q0[h].arrivals;
+    m.drop_rate = arr == 0 ? 0.0
+                           : static_cast<double>(q1.drops - q0[h].drops) /
+                                 static_cast<double>(arr);
+    m.utilization = static_cast<double>(l1.bytes_tx - l0[h].bytes_tx) * 8.0 /
+                    (cfg_.router_link_bps * measure);
+    // Fairness over the one-hop group whose path starts at this hop.
+    std::vector<double> gp;
+    for (std::size_t i = 0; i < groups_[h].size(); ++i)
+      gp.push_back(static_cast<double>(groups_[h][i]->acked_bytes() -
+                                       acked0[h][i]) *
+                   8.0 / measure);
+    m.jain = stats::jain_index(gp);
+    out.push_back(m);
+  }
+  return out;
+}
+
+}  // namespace pert::exp

@@ -1,0 +1,67 @@
+// Multi-bottleneck chain (paper Figure 10): routers R1..R6 in a line; each
+// router has a cloud of hosts. Cloud i sends to cloud i+1 (i = 1..5), and
+// cloud 1 additionally sends long-haul traffic to cloud 6, so every inter-
+// router link is a potential bottleneck shared by one-hop and six-hop flows.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "exp/dumbbell.h"
+#include "exp/scheme.h"
+#include "net/network.h"
+
+namespace pert::exp {
+
+struct MultiBottleneckConfig {
+  Scheme scheme = Scheme::kPert;
+  std::int32_t num_routers = 6;
+  std::int32_t hosts_per_cloud = 20;
+  double router_link_bps = 150e6;
+  double router_link_delay = 0.005;
+  double access_bps = 1e9;
+  double access_delay = 0.005;
+  std::int32_t buffer_pkts = 0;  ///< 0 = BDP of one router hop
+  double start_window = 50.0;
+  std::uint64_t seed = 1;
+  tcp::TcpConfig tcp;
+  core::PertParams pert;
+};
+
+struct HopMetrics {
+  double avg_queue_pkts = 0;
+  double norm_queue = 0;
+  double drop_rate = 0;
+  double utilization = 0;
+  double jain = 0;  ///< over the flows whose path starts at this hop
+};
+
+class MultiBottleneck {
+ public:
+  explicit MultiBottleneck(MultiBottleneckConfig cfg);
+
+  /// Runs warmup then a measurement window; returns one entry per router
+  /// pair (R1-R2, ..., R5-R6).
+  std::vector<HopMetrics> run(sim::Time warmup, sim::Time measure);
+
+  net::Network& network() noexcept { return net_; }
+  std::int32_t num_hops() const {
+    return static_cast<std::int32_t>(hop_links_.size());
+  }
+
+ private:
+  tcp::TcpSender* make_sender(net::FlowId flow);
+  std::unique_ptr<net::Queue> make_queue();
+
+  MultiBottleneckConfig cfg_;
+  net::Network net_;
+  std::int32_t buffer_pkts_ = 0;
+  std::vector<net::Node*> routers_;
+  std::vector<net::Link*> hop_links_;  ///< forward direction R_i -> R_{i+1}
+  /// senders grouped by source hop: index 0..4 = cloud i -> cloud i+1,
+  /// index 5 = cloud 1 -> cloud 6 long-haul.
+  std::vector<std::vector<tcp::TcpSender*>> groups_;
+};
+
+}  // namespace pert::exp

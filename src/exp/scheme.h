@@ -1,0 +1,44 @@
+// Scheme registry: the end-host + queue combinations compared in the paper.
+#pragma once
+
+#include <string_view>
+
+namespace pert::exp {
+
+enum class Scheme {
+  kSackDroptail,  ///< SACK senders, DropTail bottleneck
+  kSackRedEcn,    ///< ECN-enabled SACK, Adaptive-RED bottleneck with ECN
+  kSackPiEcn,     ///< ECN-enabled SACK, PI bottleneck with ECN
+  kSackRemEcn,    ///< ECN-enabled SACK, REM bottleneck with ECN (extension)
+  kSackAvqEcn,    ///< ECN-enabled SACK, AVQ bottleneck with ECN (extension)
+  kVegas,         ///< TCP Vegas, DropTail bottleneck
+  kPert,          ///< PERT (RED emulation), DropTail bottleneck
+  kPertPi,        ///< PERT/PI (PI emulation), DropTail bottleneck
+  kPertRem,       ///< PERT/REM (REM emulation), DropTail bottleneck (ext.)
+};
+
+constexpr std::string_view to_string(Scheme s) {
+  switch (s) {
+    case Scheme::kSackDroptail: return "Sack/Droptail";
+    case Scheme::kSackRedEcn: return "Sack/RED-ECN";
+    case Scheme::kSackPiEcn: return "Sack/PI-ECN";
+    case Scheme::kSackRemEcn: return "Sack/REM-ECN";
+    case Scheme::kSackAvqEcn: return "Sack/AVQ-ECN";
+    case Scheme::kVegas: return "Vegas";
+    case Scheme::kPert: return "PERT";
+    case Scheme::kPertPi: return "PERT-PI";
+    case Scheme::kPertRem: return "PERT-REM";
+  }
+  return "?";
+}
+
+/// Does the scheme place an AQM at the bottleneck router?
+constexpr bool router_aqm(Scheme s) {
+  return s == Scheme::kSackRedEcn || s == Scheme::kSackPiEcn ||
+         s == Scheme::kSackRemEcn || s == Scheme::kSackAvqEcn;
+}
+
+/// Does the scheme's sender use ECN?
+constexpr bool sender_ecn(Scheme s) { return router_aqm(s); }
+
+}  // namespace pert::exp

@@ -1,0 +1,55 @@
+// Minimal fixed-width table printer for the bench binaries: prints the same
+// rows/series the paper's figures and tables report.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace pert::exp {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  Table& row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> w(headers_.size());
+    for (std::size_t i = 0; i < headers_.size(); ++i) w[i] = headers_[i].size();
+    for (const auto& r : rows_)
+      for (std::size_t i = 0; i < r.size() && i < w.size(); ++i)
+        w[i] = std::max(w[i], r[i].size());
+    auto line = [&](const std::vector<std::string>& cells) {
+      for (std::size_t i = 0; i < w.size(); ++i) {
+        std::string c = i < cells.size() ? cells[i] : "";
+        os << (i ? "  " : "") << c << std::string(w[i] - c.size(), ' ');
+      }
+      os << '\n';
+    };
+    line(headers_);
+    std::size_t total = 0;
+    for (auto x : w) total += x + 2;
+    os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+    for (const auto& r : rows_) line(r);
+    os.flush();
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style float formatting helper for table cells.
+inline std::string fmt(double v, const char* spec = "%.3f") {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, spec, v);
+  return buf;
+}
+
+}  // namespace pert::exp

@@ -1,0 +1,66 @@
+#include "fluid/dde.h"
+
+#include <algorithm>
+
+namespace pert::fluid {
+
+State DdeIntegrator::delayed(double t) const {
+  const double td = t - tau_;
+  if (td <= hist_[hist_head_].first) return hist_[hist_head_].second;
+  // Binary search the retained window for the bracketing pair.
+  auto lo = hist_.begin() + static_cast<std::ptrdiff_t>(hist_head_);
+  auto it = std::lower_bound(
+      lo, hist_.end(), td,
+      [](const std::pair<double, State>& e, double v) { return e.first < v; });
+  if (it == hist_.end()) return hist_.back().second;
+  if (it == lo) return it->second;
+  const auto& [t1, x1] = *std::prev(it);
+  const auto& [t2, x2] = *it;
+  const double w = (td - t1) / (t2 - t1);
+  State out(x1.size());
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = x1[i] + w * (x2[i] - x1[i]);
+  return out;
+}
+
+State DdeIntegrator::eval(double t, const State& x) const {
+  return rhs_(t, x, delayed(t));
+}
+
+void DdeIntegrator::step() {
+  const std::size_t n = x_.size();
+  const State k1 = eval(t_, x_);
+  State tmp(n);
+  for (std::size_t i = 0; i < n; ++i) tmp[i] = x_[i] + 0.5 * h_ * k1[i];
+  const State k2 = eval(t_ + 0.5 * h_, tmp);
+  for (std::size_t i = 0; i < n; ++i) tmp[i] = x_[i] + 0.5 * h_ * k2[i];
+  const State k3 = eval(t_ + 0.5 * h_, tmp);
+  for (std::size_t i = 0; i < n; ++i) tmp[i] = x_[i] + h_ * k3[i];
+  const State k4 = eval(t_ + h_, tmp);
+  for (std::size_t i = 0; i < n; ++i)
+    x_[i] += h_ / 6.0 * (k1[i] + 2 * k2[i] + 2 * k3[i] + k4[i]);
+  t_ += h_;
+  hist_.emplace_back(t_, x_);
+
+  // Prune history older than tau (keep one entry before the cutoff).
+  const double cutoff = t_ - tau_ - h_;
+  while (hist_head_ + 1 < hist_.size() &&
+         hist_[hist_head_ + 1].first < cutoff)
+    ++hist_head_;
+  // Compact storage occasionally so memory stays O(tau / h).
+  if (hist_head_ > 4096 && hist_head_ > hist_.size() / 2) {
+    hist_.erase(hist_.begin(),
+                hist_.begin() + static_cast<std::ptrdiff_t>(hist_head_));
+    hist_head_ = 0;
+  }
+}
+
+void DdeIntegrator::run_until(
+    double t_end, const std::function<void(double, const State&)>& observe) {
+  while (t_ < t_end - 1e-12) {
+    step();
+    if (observe) observe(t_, x_);
+  }
+}
+
+}  // namespace pert::fluid

@@ -1,0 +1,54 @@
+// Fixed-step RK4 integrator for delay differential equations with a single
+// constant delay tau. Delayed state is linearly interpolated from a history
+// ring buffer; history before t=0 is the initial condition (constant).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace pert::fluid {
+
+using State = std::vector<double>;
+
+class DdeIntegrator {
+ public:
+  /// rhs(t, x(t), x(t - tau)) -> dx/dt
+  using Rhs = std::function<State(double t, const State& x, const State& xd)>;
+
+  DdeIntegrator(Rhs rhs, State x0, double tau, double step)
+      : rhs_(std::move(rhs)), tau_(tau), h_(step), x_(std::move(x0)) {
+    assert(tau_ >= 0 && h_ > 0);
+    hist_.push_back({0.0, x_});
+  }
+
+  double time() const noexcept { return t_; }
+  const State& state() const noexcept { return x_; }
+
+  /// Advances one RK4 step.
+  void step();
+
+  /// Integrates until `t_end`, invoking `observe(t, x)` after every step
+  /// when provided.
+  void run_until(double t_end,
+                 const std::function<void(double, const State&)>& observe = {});
+
+  /// Delayed state x(t - tau) by linear interpolation (clamped to x0 for
+  /// t - tau < 0).
+  State delayed(double t) const;
+
+ private:
+  State eval(double t, const State& x) const;
+
+  Rhs rhs_;
+  double tau_;
+  double h_;
+  double t_ = 0.0;
+  State x_;
+  /// (time, state) pairs at step boundaries, pruned to the last tau window.
+  std::vector<std::pair<double, State>> hist_;
+  std::size_t hist_head_ = 0;  ///< index of oldest retained entry
+};
+
+}  // namespace pert::fluid

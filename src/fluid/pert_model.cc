@@ -1,0 +1,88 @@
+#include "fluid/pert_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pert::fluid {
+
+double PertModelParams::k() const { return std::log(alpha) / delta; }
+
+Equilibrium equilibrium(const PertModelParams& p) {
+  Equilibrium e;
+  e.window = p.rtt * p.capacity / p.n_flows;
+  e.prob = 2.0 * p.n_flows * p.n_flows / (p.rtt * p.rtt * p.capacity * p.capacity);
+  e.t_queue = p.t_min + e.prob / p.l_pert();
+  return e;
+}
+
+double crossover_frequency(const PertModelParams& p) {
+  return 0.1 * std::min(2.0 * p.n_flows / (p.rtt * p.rtt * p.capacity),
+                        1.0 / p.rtt);
+}
+
+bool thm1_stable(const PertModelParams& p) {
+  const double lhs = p.l_pert() * std::pow(p.rtt, 3) * p.capacity * p.capacity /
+                     std::pow(2.0 * p.n_flows, 2);
+  const double wg = crossover_frequency(p);
+  const double k = p.k();
+  const double rhs = std::sqrt(wg * wg / (k * k) + 1.0);
+  return lhs <= rhs;
+}
+
+double min_delta(const PertModelParams& p) {
+  // Eq. (13): delta >= -ln(alpha) / (4 N^2 w_g) * sqrt(L^2 R^6 C^4 - 16 N^4).
+  const double inner = std::pow(p.l_pert(), 2) * std::pow(p.rtt, 6) *
+                           std::pow(p.capacity, 4) -
+                       16.0 * std::pow(p.n_flows, 4);
+  if (inner <= 0) return 0.0;  // stable for any sampling interval
+  const double wg = crossover_frequency(p);
+  return -std::log(p.alpha) / (4.0 * p.n_flows * p.n_flows * wg) *
+         std::sqrt(inner);
+}
+
+std::vector<TrajectoryPoint> simulate(const PertModelParams& p,
+                                      double duration, State x0, double step,
+                                      double sample_every) {
+  const double l = p.l_pert();
+  const double k = p.k();
+  const double r = p.rtt;
+
+  auto rhs = [&, l, k, r](double, const State& x, const State& xd) {
+    // x = {W, Tq_inst, Tq_smooth}; xd = state at t - R.
+    double prob = l * (xd[2] - p.t_min);
+    if (p.clamp_probability) prob = std::clamp(prob, 0.0, 1.0);
+    State dx(3);
+    dx[0] = 1.0 / r - prob * x[0] * xd[0] / (2.0 * r);
+    dx[1] = p.n_flows * x[0] / (r * p.capacity) - 1.0;
+    // Queue cannot drain below empty.
+    if (x[1] <= 0.0 && dx[1] < 0.0) dx[1] = 0.0;
+    dx[2] = k * (x[2] - x[1]);
+    return dx;
+  };
+
+  std::vector<TrajectoryPoint> out;
+  out.push_back({0.0, x0[0], x0[1], x0[2]});
+  DdeIntegrator integ(rhs, std::move(x0), r, step);
+  double next_sample = sample_every;
+  integ.run_until(duration, [&](double t, const State& x) {
+    if (t + 1e-12 >= next_sample) {
+      out.push_back({t, x[0], x[1], x[2]});
+      next_sample += sample_every;
+    }
+  });
+  return out;
+}
+
+double tail_window_error(const std::vector<TrajectoryPoint>& traj,
+                         const PertModelParams& p, double tail_fraction) {
+  if (traj.empty()) return 0.0;
+  const Equilibrium e = equilibrium(p);
+  const std::size_t start = static_cast<std::size_t>(
+      static_cast<double>(traj.size()) * (1.0 - tail_fraction));
+  double worst = 0.0;
+  for (std::size_t i = start; i < traj.size(); ++i)
+    worst = std::max(worst, std::abs(traj[i].window - e.window) / e.window);
+  return worst;
+}
+
+}  // namespace pert::fluid

@@ -1,0 +1,71 @@
+// The PERT fluid model (Section 5): window / queueing-delay / smoothed-delay
+// dynamics (eqs. (2)-(7), reduced to the DDE system (14)), the equilibrium
+// (9), Theorem 1's sufficient stability condition (11)-(12), and the minimum
+// sampling interval (13).
+#pragma once
+
+#include <vector>
+
+#include "fluid/dde.h"
+
+namespace pert::fluid {
+
+struct PertModelParams {
+  double rtt = 0.2;        ///< R, seconds (assumed constant, = R+)
+  double capacity = 100;   ///< C, packets/second
+  double n_flows = 5;      ///< N
+  double p_max = 0.1;
+  double t_max = 0.100;    ///< seconds of queueing delay
+  double t_min = 0.050;
+  double alpha = 0.99;     ///< srtt EWMA history weight
+  double delta = 1e-4;     ///< sampling interval of the LPF, seconds
+  /// Clamp the marking probability to [0, 1] (the linearized analysis does
+  /// not; turn off to reproduce the unclamped Matlab trajectories).
+  bool clamp_probability = true;
+
+  /// L_PERT = p_max / (T_max - T_min)   (eq. (10)).
+  double l_pert() const { return p_max / (t_max - t_min); }
+  /// K = ln(alpha) / delta   (eq. (10); negative).
+  double k() const;
+};
+
+struct Equilibrium {
+  double window;   ///< W* = RC/N
+  double prob;     ///< p* = 2 N^2 / (R C)^2
+  double t_queue;  ///< T_q* = T_min + p*/L
+};
+
+Equilibrium equilibrium(const PertModelParams& p);
+
+/// w_g per eq. (12).
+double crossover_frequency(const PertModelParams& p);
+
+/// Theorem 1 sufficient condition (11): true => locally stable for all
+/// N >= n_flows and stationary RTT <= rtt.
+bool thm1_stable(const PertModelParams& p);
+
+/// Minimum stable sampling interval per eq. (13) for the given bounds;
+/// returns 0 when the left side of (11) is already <= 1 for any delta.
+double min_delta(const PertModelParams& p);
+
+struct TrajectoryPoint {
+  double t;
+  double window;    ///< x1, packets
+  double tq_inst;   ///< x2, seconds (instantaneous queueing delay)
+  double tq_smooth; ///< x3, seconds (smoothed queueing delay)
+};
+
+/// Integrates the DDE system (14) from x(0) = x0 and samples every
+/// `sample_every` seconds.
+std::vector<TrajectoryPoint> simulate(const PertModelParams& p,
+                                      double duration,
+                                      State x0 = {1.0, 1.0, 1.0},
+                                      double step = 1e-3,
+                                      double sample_every = 0.1);
+
+/// Convergence check: max |x1 - W*| over the tail fraction of a trajectory,
+/// normalized by W*. Small (< tol) => converged/stable.
+double tail_window_error(const std::vector<TrajectoryPoint>& traj,
+                         const PertModelParams& p, double tail_fraction = 0.2);
+
+}  // namespace pert::fluid

@@ -1,0 +1,54 @@
+// Fault-injection queue: wraps any queue discipline and drops packets that
+// match a user predicate (specific uids, sequence numbers, probabilistic
+// loss, loss bursts...). Used for failure-injection testing and for
+// reproducing exact loss patterns.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "net/queue.h"
+
+namespace pert::net {
+
+class FaultInjectionQueue final : public Queue {
+ public:
+  /// Returns true if the packet must be dropped before reaching `inner`.
+  using DropFn = std::function<bool(const Packet&)>;
+
+  FaultInjectionQueue(sim::Scheduler& sched, std::unique_ptr<Queue> inner,
+                      DropFn should_drop)
+      : Queue(sched, inner->capacity_pkts()),
+        inner_(std::move(inner)),
+        should_drop_(std::move(should_drop)) {}
+
+  void enqueue(PacketPtr p) override {
+    count_arrival();
+    if (should_drop_ && should_drop_(*p)) {
+      drop(std::move(p), /*forced=*/false);
+      return;
+    }
+    inner_->enqueue(std::move(p));
+  }
+
+  PacketPtr dequeue() override { return inner_->dequeue(); }
+
+  double avg_estimate() const override { return inner_->avg_estimate(); }
+  std::int32_t len_pkts() const noexcept override { return inner_->len_pkts(); }
+  std::int64_t len_bytes() const noexcept override {
+    return inner_->len_bytes();
+  }
+
+  /// The wrapped discipline (its stats count what was actually offered).
+  Queue& inner() noexcept { return *inner_; }
+
+  /// Replaces the drop predicate (e.g., stop injecting after a phase).
+  void set_drop_fn(DropFn fn) { should_drop_ = std::move(fn); }
+
+ private:
+  std::unique_ptr<Queue> inner_;
+  DropFn should_drop_;
+};
+
+}  // namespace pert::net

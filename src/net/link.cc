@@ -1,0 +1,48 @@
+#include "net/link.h"
+
+#include <cassert>
+#include <utility>
+
+#include "net/node.h"
+
+namespace pert::net {
+
+Link::Link(sim::Scheduler& sched, Node& to, double rate_bps,
+           sim::Time prop_delay, std::unique_ptr<Queue> queue)
+    : sched_(&sched),
+      to_(&to),
+      rate_bps_(rate_bps),
+      prop_delay_(prop_delay),
+      queue_(std::move(queue)) {
+  assert(rate_bps_ > 0 && prop_delay_ >= 0 && queue_);
+}
+
+void Link::send(PacketPtr p) {
+  queue_->enqueue(std::move(p));
+  if (!busy_) try_transmit();
+}
+
+void Link::try_transmit() {
+  assert(!busy_);
+  PacketPtr p = queue_->dequeue();
+  if (!p) return;
+  busy_ = true;
+  busy_since_ = sched_->now();
+  const sim::Time tx = tx_time(p->size_bytes);
+  // Scheduler callbacks must be copyable (std::function), so the in-flight
+  // packet is held by shared_ptr across the end-of-tx and delivery events.
+  std::shared_ptr<Packet> sp{p.release()};
+  sched_->schedule_in(tx, [this, sp] {
+    stats_.pkts_tx += 1;
+    stats_.bytes_tx += static_cast<std::uint64_t>(sp->size_bytes);
+    stats_.busy_integral += sched_->now() - busy_since_;
+    busy_ = false;
+    // Propagation: deliver after the wire delay.
+    sched_->schedule_in(prop_delay_, [this, sp] {
+      to_->receive(std::make_unique<Packet>(*sp));
+    });
+    try_transmit();
+  });
+}
+
+}  // namespace pert::net

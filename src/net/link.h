@@ -1,0 +1,64 @@
+// Unidirectional point-to-point link: a queue, a serializing transmitter,
+// and a fixed propagation delay. The pipe can hold arbitrarily many packets
+// in flight (each delivery is its own event).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "net/packet.h"
+#include "net/queue.h"
+#include "sim/scheduler.h"
+
+namespace pert::net {
+
+class Node;
+
+class Link {
+ public:
+  struct Stats {
+    std::uint64_t pkts_tx = 0;   ///< packets fully serialized onto the wire
+    std::uint64_t bytes_tx = 0;
+    /// Integral of "transmitter busy" time; diff snapshots / elapsed = util.
+    double busy_integral = 0.0;
+  };
+
+  Link(sim::Scheduler& sched, Node& to, double rate_bps,
+       sim::Time prop_delay, std::unique_ptr<Queue> queue);
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  /// Entry point for traffic: enqueue and start transmitting if idle.
+  void send(PacketPtr p);
+
+  Queue& queue() noexcept { return *queue_; }
+  const Queue& queue() const noexcept { return *queue_; }
+  double rate_bps() const noexcept { return rate_bps_; }
+  sim::Time prop_delay() const noexcept { return prop_delay_; }
+
+  /// Time to serialize one packet of `bytes` at line rate.
+  sim::Time tx_time(std::int64_t bytes) const noexcept {
+    return static_cast<double>(bytes) * 8.0 / rate_bps_;
+  }
+
+  Stats snapshot() const {
+    Stats s = stats_;
+    if (busy_) s.busy_integral += sched_->now() - busy_since_;
+    return s;
+  }
+
+ private:
+  void try_transmit();
+
+  sim::Scheduler* sched_;
+  Node* to_;
+  double rate_bps_;
+  sim::Time prop_delay_;
+  std::unique_ptr<Queue> queue_;
+  bool busy_ = false;
+  sim::Time busy_since_ = 0.0;
+  Stats stats_;
+};
+
+}  // namespace pert::net

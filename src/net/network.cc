@@ -1,0 +1,71 @@
+#include "net/network.h"
+
+#include <cassert>
+#include <limits>
+#include <queue>
+
+namespace pert::net {
+
+Link* Network::add_link(Node* a, Node* b, double rate_bps, sim::Time delay,
+                        std::unique_ptr<Queue> q) {
+  assert(a && b && a != b);
+  links_.push_back(std::make_unique<Link>(sched_, *b, rate_bps, delay, std::move(q)));
+  Link* l = links_.back().get();
+  edges_.push_back(Edge{a->id(), b->id(), l});
+  return l;
+}
+
+std::pair<Link*, Link*> Network::add_duplex(
+    Node* a, Node* b, double rate_bps, sim::Time delay,
+    const std::function<std::unique_ptr<Queue>()>& make_queue) {
+  Link* ab = add_link(a, b, rate_bps, delay, make_queue());
+  Link* ba = add_link(b, a, rate_bps, delay, make_queue());
+  return {ab, ba};
+}
+
+std::pair<Link*, Link*> Network::add_duplex_droptail(Node* a, Node* b,
+                                                     double rate_bps,
+                                                     sim::Time delay,
+                                                     std::int32_t cap) {
+  return add_duplex(a, b, rate_bps, delay, [this, cap] {
+    return std::make_unique<DropTailQueue>(sched_, cap);
+  });
+}
+
+void Network::compute_routes() {
+  const std::size_t n = nodes_.size();
+  // Adjacency: for each node, (neighbor, link) ordered by insertion —
+  // deterministic next-hop choice on equal-length paths.
+  std::vector<std::vector<std::pair<NodeId, Link*>>> adj(n);
+  for (const Edge& e : edges_)
+    adj[static_cast<std::size_t>(e.from)].emplace_back(e.to, e.link);
+
+  // BFS from every destination over *reversed* edges, recording each node's
+  // forward next-hop link toward that destination.
+  std::vector<std::vector<std::pair<NodeId, Link*>>> radj(n);
+  for (const Edge& e : edges_)
+    radj[static_cast<std::size_t>(e.to)].emplace_back(e.from, e.link);
+
+  for (std::size_t dst = 0; dst < n; ++dst) {
+    std::vector<std::int32_t> dist(n, std::numeric_limits<std::int32_t>::max());
+    std::queue<NodeId> bfs;
+    dist[dst] = 0;
+    bfs.push(static_cast<NodeId>(dst));
+    while (!bfs.empty()) {
+      const NodeId u = bfs.front();
+      bfs.pop();
+      for (auto [v, link] : radj[static_cast<std::size_t>(u)]) {
+        auto& dv = dist[static_cast<std::size_t>(v)];
+        if (dv == std::numeric_limits<std::int32_t>::max()) {
+          dv = dist[static_cast<std::size_t>(u)] + 1;
+          // v reaches dst via link (v -> u edge in forward direction).
+          nodes_[static_cast<std::size_t>(v)]->set_route(
+              static_cast<NodeId>(dst), link);
+          bfs.push(v);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace pert::net

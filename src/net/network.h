@@ -1,0 +1,94 @@
+// Network: the simulation container.
+//
+// Owns the scheduler, the RNG, and every node/link/agent (C++ Core Guidelines
+// R.3: everything else holds non-owning raw pointers into this container).
+// Provides topology construction, deterministic shortest-path routing, and
+// the run loop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "net/link.h"
+#include "net/node.h"
+#include "net/packet.h"
+#include "net/queue.h"
+#include "sim/random.h"
+#include "sim/scheduler.h"
+
+namespace pert::net {
+
+class Network {
+ public:
+  explicit Network(std::uint64_t seed = 1) : rng_(seed) {}
+
+  sim::Scheduler& sched() noexcept { return sched_; }
+  sim::Rng& rng() noexcept { return rng_; }
+  sim::Time now() const noexcept { return sched_.now(); }
+
+  Node* add_node() {
+    nodes_.push_back(std::make_unique<Node>(static_cast<NodeId>(nodes_.size())));
+    return nodes_.back().get();
+  }
+
+  Node* node(NodeId id) const { return nodes_.at(static_cast<std::size_t>(id)).get(); }
+  std::size_t num_nodes() const noexcept { return nodes_.size(); }
+
+  /// Adds a unidirectional link a -> b with the given queue discipline.
+  Link* add_link(Node* a, Node* b, double rate_bps, sim::Time delay,
+                 std::unique_ptr<Queue> q);
+
+  /// Adds a duplex link (two unidirectional links with independent queues
+  /// from the factory). Returns {a->b, b->a}.
+  std::pair<Link*, Link*> add_duplex(
+      Node* a, Node* b, double rate_bps, sim::Time delay,
+      const std::function<std::unique_ptr<Queue>()>& make_queue);
+
+  /// Convenience duplex with DropTail queues of `cap` packets each way.
+  std::pair<Link*, Link*> add_duplex_droptail(Node* a, Node* b,
+                                              double rate_bps, sim::Time delay,
+                                              std::int32_t cap);
+
+  /// Computes hop-count shortest paths (BFS per destination, deterministic)
+  /// and installs next-hop routes on every node. Call after topology changes.
+  void compute_routes();
+
+  /// Registers an agent (owned by the network); binds it to node:port when
+  /// `at` is non-null (pass nullptr to bind later).
+  template <class T, class... Args>
+  T* add_agent(Node* at, std::int32_t port, Args&&... args) {
+    auto a = std::make_unique<T>(std::forward<Args>(args)...);
+    T* raw = a.get();
+    if (at) at->bind(*raw, port);
+    agents_.push_back(std::move(a));
+    return raw;
+  }
+
+  /// Allocates a packet with a unique uid.
+  PacketPtr make_packet() {
+    auto p = std::make_unique<Packet>();
+    p->uid = next_uid_++;
+    return p;
+  }
+
+  void run_until(sim::Time t) { sched_.run_until(t); }
+
+ private:
+  struct Edge {
+    NodeId from, to;
+    Link* link;
+  };
+
+  sim::Scheduler sched_;
+  sim::Rng rng_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::vector<Edge> edges_;
+  std::vector<std::unique_ptr<Agent>> agents_;
+  std::uint64_t next_uid_ = 1;
+};
+
+}  // namespace pert::net

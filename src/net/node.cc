@@ -1,0 +1,55 @@
+#include "net/node.h"
+
+#include <utility>
+
+#include "net/link.h"
+
+namespace pert::net {
+
+void Node::bind(Agent& a, std::int32_t port) {
+  assert(port >= 0);
+  assert(!ports_.contains(port) && "port already bound");
+  a.node_ = this;
+  a.port_ = port;
+  ports_[port] = &a;
+}
+
+void Node::receive(PacketPtr p) {
+  if (p->dst == id_) {
+    auto it = ports_.find(p->dst_port);
+    if (it == ports_.end()) {
+      ++routing_drops_;  // no listener: packet silently dies
+      return;
+    }
+    ++delivered_;
+    it->second->receive(std::move(p));
+    return;
+  }
+  if (--p->ttl <= 0) {
+    ++routing_drops_;
+    return;
+  }
+  Link* out = route(p->dst);
+  if (!out) {
+    ++routing_drops_;
+    return;
+  }
+  ++forwarded_;
+  out->send(std::move(p));
+}
+
+void Node::send(PacketPtr p) {
+  if (p->src == kNoNode) p->src = id_;
+  if (p->dst == id_) {  // loopback delivery
+    receive(std::move(p));
+    return;
+  }
+  Link* out = route(p->dst);
+  if (!out) {
+    ++routing_drops_;
+    return;
+  }
+  out->send(std::move(p));
+}
+
+}  // namespace pert::net

@@ -1,0 +1,72 @@
+// Node: packet forwarding + local agent demultiplexing.
+//
+// Routing is static: the Network builder computes shortest paths (BFS on hop
+// count, deterministic tie-break by node id) and installs a next-hop Link per
+// destination. Agents bind to ports; an arriving packet addressed to this
+// node is handed to the agent bound to its dst_port.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <unordered_map>
+
+#include "net/packet.h"
+
+namespace pert::net {
+
+class Link;
+class Node;
+
+/// Anything that terminates packets at a node (TCP senders/sinks, app stubs).
+class Agent {
+ public:
+  virtual ~Agent() = default;
+  virtual void receive(PacketPtr p) = 0;
+
+  Node* node() const noexcept { return node_; }
+  std::int32_t port() const noexcept { return port_; }
+
+ private:
+  friend class Node;
+  Node* node_ = nullptr;
+  std::int32_t port_ = -1;
+};
+
+class Node {
+ public:
+  explicit Node(NodeId id) : id_(id) {}
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeId id() const noexcept { return id_; }
+
+  /// Installs/overwrites the next hop toward `dst`.
+  void set_route(NodeId dst, Link* out) { routes_[dst] = out; }
+  Link* route(NodeId dst) const {
+    auto it = routes_.find(dst);
+    return it == routes_.end() ? nullptr : it->second;
+  }
+
+  /// Binds an agent to a local port (one agent per port).
+  void bind(Agent& a, std::int32_t port);
+
+  /// Handles an arriving packet: local delivery or forwarding.
+  void receive(PacketPtr p);
+
+  /// Sends a locally originated packet (fills src if unset).
+  void send(PacketPtr p);
+
+  std::uint64_t forwarded() const noexcept { return forwarded_; }
+  std::uint64_t delivered() const noexcept { return delivered_; }
+  std::uint64_t routing_drops() const noexcept { return routing_drops_; }
+
+ private:
+  NodeId id_;
+  std::unordered_map<NodeId, Link*> routes_;
+  std::unordered_map<std::int32_t, Agent*> ports_;
+  std::uint64_t forwarded_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t routing_drops_ = 0;
+};
+
+}  // namespace pert::net

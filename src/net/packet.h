@@ -1,0 +1,69 @@
+// Packet model.
+//
+// Packets carry a small fixed header set sufficient for the protocols in this
+// library: addressing (node + port), TCP-like sequence/ack numbers at *packet*
+// granularity (one sequence number per segment, as in ns-2), ECN codepoints
+// (RFC 3168), a timestamp echo for exact per-ACK RTT measurement, and up to
+// three SACK blocks.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+
+#include "sim/time.h"
+
+namespace pert::net {
+
+using NodeId = std::int32_t;
+using FlowId = std::int32_t;
+
+inline constexpr NodeId kNoNode = -1;
+inline constexpr FlowId kNoFlow = -1;
+
+/// ECN codepoint of the IP header (RFC 3168). Ect1 is not used.
+enum class Ecn : std::uint8_t { NotEct, Ect0, Ce };
+
+/// Half-open range [start, end) of packet sequence numbers.
+struct SackBlock {
+  std::int64_t start = 0;
+  std::int64_t end = 0;
+  bool empty() const noexcept { return start >= end; }
+};
+
+struct Packet {
+  std::uint64_t uid = 0;  ///< globally unique, assigned by Network
+  FlowId flow = kNoFlow;
+
+  NodeId src = kNoNode;
+  NodeId dst = kNoNode;
+  std::int32_t src_port = 0;
+  std::int32_t dst_port = 0;
+
+  std::int32_t size_bytes = 1040;  ///< on-wire size including headers
+  std::int32_t ttl = 64;
+
+  // --- transport header ---
+  bool is_ack = false;
+  std::int64_t seq = 0;    ///< data: segment sequence number
+  std::int64_t ack = -1;   ///< ack: next expected sequence (cumulative)
+  bool fin = false;        ///< last segment of a finite transfer
+  bool ece = false;        ///< ECN-echo (set on ACKs)
+  bool cwr = false;        ///< congestion window reduced (set on data)
+  Ecn ecn = Ecn::NotEct;
+
+  /// Sender clock echoed back by the receiver; enables exact per-ACK RTT.
+  sim::Time ts_echo = sim::kNever;
+  /// Receiver clock at data arrival, echoed on the ACK; enables one-way
+  /// forward-delay measurement (assumes synchronized clocks, which the
+  /// simulator provides; real deployments need clock sync or the techniques
+  /// of TCP-LP / Sync-TCP cited in Section 7).
+  sim::Time ts_rx = sim::kNever;
+
+  std::array<SackBlock, 3> sack{};
+  std::int32_t n_sack = 0;
+};
+
+using PacketPtr = std::unique_ptr<Packet>;
+
+}  // namespace pert::net

@@ -1,0 +1,62 @@
+#include "net/pi_queue.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pert::net {
+
+PiDesign PiDesign::for_link(double capacity_pps, double n_min, double rtt_max,
+                            double q_ref, double sample_hz) {
+  PiDesign d;
+  d.q_ref = q_ref;
+  d.sample_hz = sample_hz;
+  // Controller zero cancels the TCP window pole.
+  const double m = 2.0 * n_min / (rtt_max * rtt_max * capacity_pps);
+  // Loop gain of linearized TCP + queue (queue-length controlled => C^3).
+  const double gain =
+      std::pow(rtt_max, 3) * std::pow(capacity_pps, 3) / (4.0 * n_min * n_min);
+  // Unity magnitude at the crossover w_g ~ m (conservative phase margin).
+  const double k = m * std::sqrt(rtt_max * rtt_max * m * m + 1.0) / gain;
+  const double delta = 1.0 / sample_hz;
+  d.a = k / m + k * delta / 2.0;
+  d.b = k / m - k * delta / 2.0;
+  return d;
+}
+
+PiQueue::PiQueue(sim::Scheduler& sched, std::int32_t capacity_pkts,
+                 PiDesign design, bool ecn, sim::Rng rng)
+    : Queue(sched, capacity_pkts),
+      design_(design),
+      ecn_(ecn),
+      rng_(rng),
+      sample_timer_(sched, [this] { sample(); }) {
+  sample_timer_.schedule_in(1.0 / design_.sample_hz);
+}
+
+void PiQueue::sample() {
+  const double q = static_cast<double>(len_pkts());
+  prob_ += design_.a * (q - design_.q_ref) - design_.b * (prev_q_ - design_.q_ref);
+  prob_ = std::clamp(prob_, 0.0, 1.0);
+  prev_q_ = q;
+  sample_timer_.schedule_in(1.0 / design_.sample_hz);
+}
+
+void PiQueue::enqueue(PacketPtr p) {
+  count_arrival();
+  if (full()) {
+    drop(std::move(p), /*forced=*/true);
+    return;
+  }
+  if (prob_ > 0.0 && rng_.bernoulli(prob_)) {
+    if (ecn_ && p->ecn == Ecn::Ect0) {
+      p->ecn = Ecn::Ce;
+      count_mark();
+    } else {
+      drop(std::move(p), /*forced=*/false);
+      return;
+    }
+  }
+  push(std::move(p));
+}
+
+}  // namespace pert::net

@@ -1,0 +1,56 @@
+// PI AQM controller (Hollot, Misra, Towsley, Gong — INFOCOM 2001).
+//
+// The mark probability is driven by a discrete PI controller on the
+// *instantaneous* queue length sampled at a fixed frequency:
+//
+//   p(k) = p(k-1) + a * (q(k) - q_ref) - b * (q(k-1) - q_ref)
+//
+// with a > b > 0 obtained from the bilinear transform of K(1 + s/m)/s.
+// `PiDesign::for_link` computes K and m from the link capacity, the lower
+// bound on the number of flows, and the upper bound on RTT, mirroring
+// [16, Proposition 2] (C^3 loop gain for a queue-length-based controller).
+#pragma once
+
+#include "net/queue.h"
+#include "sim/random.h"
+#include "sim/timer.h"
+
+namespace pert::net {
+
+struct PiDesign {
+  double a = 0.00001822;  ///< coefficient on the current error
+  double b = 0.00001816;  ///< coefficient on the previous error
+  double q_ref = 50;      ///< target queue length, packets
+  double sample_hz = 170; ///< controller sampling frequency
+
+  /// Designs the controller for a link of `capacity_pps` packets/second,
+  /// at least `n_min` flows and RTT at most `rtt_max`, targeting `q_ref`.
+  /// Follows the TCP/PI design rules: zero at m = 2N/(R^2 C), unity loop
+  /// gain at the crossover, loop gain R^3 C^3 / (2N)^2.
+  static PiDesign for_link(double capacity_pps, double n_min, double rtt_max,
+                           double q_ref, double sample_hz = 170);
+};
+
+class PiQueue final : public Queue {
+ public:
+  PiQueue(sim::Scheduler& sched, std::int32_t capacity_pkts, PiDesign design,
+          bool ecn = true, sim::Rng rng = sim::Rng(0x9155eedULL));
+
+  void enqueue(PacketPtr p) override;
+
+  double avg_estimate() const override { return prob_ * 1000.0; }  // diagnostic
+  double mark_prob() const noexcept { return prob_; }
+  const PiDesign& design() const noexcept { return design_; }
+
+ private:
+  void sample();
+
+  PiDesign design_;
+  bool ecn_;
+  double prob_ = 0.0;
+  double prev_q_ = 0.0;
+  sim::Rng rng_;
+  sim::Timer sample_timer_;
+};
+
+}  // namespace pert::net

@@ -1,0 +1,23 @@
+#include "net/queue.h"
+
+namespace pert::net {
+
+PacketPtr Queue::dequeue() {
+  if (fifo_.empty()) return nullptr;
+  advance_integrals();
+  PacketPtr p = std::move(fifo_.front());
+  fifo_.pop_front();
+  bytes_ -= p->size_bytes;
+  return p;
+}
+
+void DropTailQueue::enqueue(PacketPtr p) {
+  count_arrival();
+  if (full()) {
+    drop(std::move(p), /*forced=*/true);
+    return;
+  }
+  push(std::move(p));
+}
+
+}  // namespace pert::net

@@ -1,0 +1,127 @@
+// Queue discipline interface and FIFO storage shared by all disciplines.
+//
+// Capacity is counted in packets (the paper sizes buffers in packets).
+// Every discipline keeps cumulative counters plus a time-weighted integral of
+// the instantaneous queue length; experiments compute windowed averages by
+// differencing snapshots, so no sampling timers are needed.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "net/packet.h"
+#include "sim/scheduler.h"
+
+namespace pert::net {
+
+class Queue {
+ public:
+  struct Stats {
+    std::uint64_t arrivals = 0;       ///< packets offered to enqueue()
+    std::uint64_t drops = 0;          ///< packets dropped (any reason)
+    std::uint64_t forced_drops = 0;   ///< overflow drops (buffer full)
+    std::uint64_t early_drops = 0;    ///< AQM probabilistic drops
+    std::uint64_t ecn_marks = 0;      ///< CE marks applied
+    std::uint64_t bytes_in = 0;       ///< bytes accepted into the queue
+    /// Integral of queue length (packets) over time; diff two snapshots and
+    /// divide by elapsed time for the windowed average queue length.
+    double len_integral = 0.0;
+    /// Integral of avg-estimator (RED) or raw length otherwise; diagnostics.
+    double avg_integral = 0.0;
+  };
+
+  Queue(sim::Scheduler& sched, std::int32_t capacity_pkts)
+      : sched_(&sched), capacity_(capacity_pkts) {
+    assert(capacity_pkts > 0);
+  }
+  virtual ~Queue() = default;
+  Queue(const Queue&) = delete;
+  Queue& operator=(const Queue&) = delete;
+
+  /// Offers a packet; the discipline either stores it, marks+stores it, or
+  /// drops it (drop is counted and the on_drop hook fires).
+  virtual void enqueue(PacketPtr p) = 0;
+
+  /// Removes the head packet, or returns nullptr when empty.
+  virtual PacketPtr dequeue();
+
+  virtual std::int32_t len_pkts() const noexcept {
+    return static_cast<std::int32_t>(fifo_.size());
+  }
+  virtual std::int64_t len_bytes() const noexcept { return bytes_; }
+  std::int32_t capacity_pkts() const noexcept { return capacity_; }
+
+  /// Cumulative stats with the length integral advanced to now().
+  Stats snapshot() const {
+    Stats s = stats_;
+    const sim::Time now = sched_->now();
+    s.len_integral += static_cast<double>(fifo_.size()) * (now - last_change_);
+    s.avg_integral += avg_estimate() * (now - last_change_);
+    return s;
+  }
+
+  /// The discipline's smoothed congestion estimate (RED avg; raw length for
+  /// disciplines without smoothing). Exposed for monitors and tests.
+  virtual double avg_estimate() const { return static_cast<double>(fifo_.size()); }
+
+  /// Fired for every dropped packet (after counting). Used by the predictor
+  /// study to observe queue-level loss events.
+  std::function<void(const Packet&, sim::Time)> on_drop;
+
+ protected:
+  sim::Scheduler& sched() noexcept { return *sched_; }
+  sim::Time now() const noexcept { return sched_->now(); }
+
+  bool full() const noexcept { return len_pkts() >= capacity_; }
+
+  /// Stores a packet at the tail, maintaining accounting.
+  void push(PacketPtr p) {
+    advance_integrals();
+    stats_.bytes_in += static_cast<std::uint64_t>(p->size_bytes);
+    bytes_ += p->size_bytes;
+    fifo_.push_back(std::move(p));
+  }
+
+  /// Counts and disposes a dropped packet.
+  void drop(PacketPtr p, bool forced) {
+    ++stats_.drops;
+    if (forced)
+      ++stats_.forced_drops;
+    else
+      ++stats_.early_drops;
+    if (on_drop) on_drop(*p, now());
+  }
+
+  void count_arrival() noexcept { ++stats_.arrivals; }
+  void count_mark() noexcept { ++stats_.ecn_marks; }
+
+  /// Accrues the length/avg integrals up to now; call before length changes.
+  void advance_integrals() {
+    const sim::Time t = now();
+    stats_.len_integral += static_cast<double>(fifo_.size()) * (t - last_change_);
+    stats_.avg_integral += avg_estimate() * (t - last_change_);
+    last_change_ = t;
+  }
+
+  std::deque<PacketPtr> fifo_;
+
+ private:
+  sim::Scheduler* sched_;
+  std::int32_t capacity_;
+  std::int64_t bytes_ = 0;
+  sim::Time last_change_ = 0.0;
+  Stats stats_;
+
+  friend class QueueTestPeer;  // white-box unit tests
+};
+
+/// Plain tail-drop FIFO.
+class DropTailQueue final : public Queue {
+ public:
+  using Queue::Queue;
+  void enqueue(PacketPtr p) override;
+};
+
+}  // namespace pert::net

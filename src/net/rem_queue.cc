@@ -1,0 +1,47 @@
+#include "net/rem_queue.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pert::net {
+
+RemQueue::RemQueue(sim::Scheduler& sched, std::int32_t capacity_pkts,
+                   RemParams params, sim::Rng rng)
+    : Queue(sched, capacity_pkts),
+      params_(params),
+      rng_(rng),
+      sample_timer_(sched, [this] { sample(); }) {
+  sample_timer_.schedule_in(1.0 / params_.sample_hz);
+}
+
+void RemQueue::sample() {
+  const double q = static_cast<double>(len_pkts());
+  // price <- max(0, price + gamma*((q - q_ref) + w*(q - q_prev))):
+  // backlog mismatch plus an input-rate proxy (the backlog derivative).
+  price_ = std::max(
+      0.0, price_ + params_.gamma * ((q - params_.q_ref) +
+                                     params_.rate_weight * (q - prev_q_)));
+  prob_ = 1.0 - std::pow(params_.phi, -price_);
+  prev_q_ = q;
+  sample_timer_.schedule_in(1.0 / params_.sample_hz);
+}
+
+void RemQueue::enqueue(PacketPtr p) {
+  count_arrival();
+  if (full()) {
+    drop(std::move(p), /*forced=*/true);
+    return;
+  }
+  if (prob_ > 0.0 && rng_.bernoulli(prob_)) {
+    if (params_.ecn && p->ecn == Ecn::Ect0) {
+      p->ecn = Ecn::Ce;
+      count_mark();
+    } else {
+      drop(std::move(p), /*forced=*/false);
+      return;
+    }
+  }
+  push(std::move(p));
+}
+
+}  // namespace pert::net

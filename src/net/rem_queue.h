@@ -1,0 +1,45 @@
+// REM — Random Exponential Marking (Athuraliya, Low, Li, Yin 2001).
+//
+// A "price" integrates the mismatch between backlog and target; packets are
+// marked with probability 1 - phi^(-price), decoupling the congestion
+// measure from the queue length itself.
+#pragma once
+
+#include "net/queue.h"
+#include "sim/random.h"
+#include "sim/timer.h"
+
+namespace pert::net {
+
+struct RemParams {
+  double gamma = 0.001;   ///< price gain per sample
+  double phi = 1.001;     ///< marking base: p = 1 - phi^(-price)
+  double q_ref = 20;      ///< target backlog, packets
+  double rate_weight = 0.1;  ///< weight of the backlog-derivative term
+  double sample_hz = 500;
+  bool ecn = true;
+};
+
+class RemQueue final : public Queue {
+ public:
+  RemQueue(sim::Scheduler& sched, std::int32_t capacity_pkts, RemParams params,
+           sim::Rng rng = sim::Rng(0x4e35eedULL));
+
+  void enqueue(PacketPtr p) override;
+
+  double avg_estimate() const override { return price_; }
+  double price() const noexcept { return price_; }
+  double mark_prob() const noexcept { return prob_; }
+
+ private:
+  void sample();
+
+  RemParams params_;
+  double price_ = 0.0;
+  double prob_ = 0.0;
+  double prev_q_ = 0.0;
+  sim::Rng rng_;
+  sim::Timer sample_timer_;
+};
+
+}  // namespace pert::net

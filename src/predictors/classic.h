@@ -1,0 +1,239 @@
+// The congestion predictors evaluated in Section 2.3/2.4: the classic
+// delay-based schemes (Vegas, CARD, TRI-S, DUAL, CIM) and the signals the
+// paper introduces (instantaneous RTT threshold, buffer-sized moving average,
+// EWMA with weights 7/8 and 0.99).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+#include "predictors/predictor.h"
+#include "stats/stats.h"
+
+namespace pert::predictors {
+
+/// Instantaneous RTT above an absolute threshold.
+class ThresholdPredictor final : public Predictor {
+ public:
+  explicit ThresholdPredictor(double threshold) : thr_(threshold) {}
+  std::string_view name() const override { return "inst-rtt"; }
+  void reset() override {}
+  bool on_sample(const TraceSample& s) override { return s.rtt > thr_; }
+
+ private:
+  double thr_;
+};
+
+/// Moving average of the last `window` samples above a threshold (the
+/// "buffer-sized" smoother, 750 samples in the paper).
+class MovingAvgPredictor final : public Predictor {
+ public:
+  MovingAvgPredictor(std::size_t window, double threshold)
+      : window_(window), thr_(threshold), ma_(window) {}
+  std::string_view name() const override { return "mavg"; }
+  void reset() override { ma_ = stats::MovingAverage(window_); }
+  bool on_sample(const TraceSample& s) override {
+    ma_.add(s.rtt);
+    return ma_.value() > thr_;
+  }
+
+ private:
+  std::size_t window_;
+  double thr_;
+  stats::MovingAverage ma_;
+};
+
+/// EWMA-smoothed RTT above a threshold; alpha = history weight
+/// (7/8 mimics TCP's RTO srtt, 0.99 is the paper's srtt_0.99).
+class EwmaPredictor final : public Predictor {
+ public:
+  EwmaPredictor(double alpha, double threshold)
+      : alpha_(alpha), thr_(threshold), ewma_(alpha) {}
+  std::string_view name() const override { return "ewma"; }
+  void reset() override { ewma_.reset(); }
+  bool on_sample(const TraceSample& s) override {
+    ewma_.add(s.rtt);
+    return ewma_.value() > thr_;
+  }
+  double value() const noexcept { return ewma_.value(); }
+
+ private:
+  double alpha_;
+  double thr_;
+  stats::Ewma ewma_;
+};
+
+/// Groups per-ACK samples into RTT-length epochs for the per-RTT predictors.
+class EpochBase : public Predictor {
+ public:
+  void reset() override {
+    epoch_start_ = -1;
+    sum_ = 0;
+    cnt_ = 0;
+    verdict_ = false;
+    min_rtt_ = std::numeric_limits<double>::infinity();
+    on_reset();
+  }
+  bool on_sample(const TraceSample& s) override {
+    if (s.rtt < min_rtt_) min_rtt_ = s.rtt;
+    if (epoch_start_ < 0) epoch_start_ = s.t;
+    sum_ += s.rtt;
+    ++cnt_;
+    last_ = s;
+    // Close the epoch after one (smoothed) RTT of samples.
+    if (s.t - epoch_start_ >= sum_ / static_cast<double>(cnt_)) {
+      const double avg = sum_ / static_cast<double>(cnt_);
+      const double duration = s.t - epoch_start_;
+      verdict_ = epoch_verdict(avg, duration, cnt_, s);
+      epoch_start_ = s.t;
+      sum_ = 0;
+      cnt_ = 0;
+    }
+    return verdict_;
+  }
+
+ protected:
+  virtual void on_reset() {}
+  /// Called once per epoch with the epoch's mean RTT, wall duration, and
+  /// sample (=ACK) count; returns the new verdict.
+  virtual bool epoch_verdict(double avg_rtt, double duration,
+                             std::int64_t acks, const TraceSample& s) = 0;
+  double min_rtt() const noexcept { return min_rtt_; }
+
+ private:
+  double epoch_start_ = -1;
+  double sum_ = 0;
+  std::int64_t cnt_ = 0;
+  bool verdict_ = false;
+  double min_rtt_ = std::numeric_limits<double>::infinity();
+  TraceSample last_{};
+};
+
+/// Vegas (1994): backlog estimate diff = cwnd * (rtt - base) / rtt exceeds
+/// beta packets.
+class VegasPredictor final : public EpochBase {
+ public:
+  explicit VegasPredictor(double beta = 3.0) : beta_(beta) {}
+  std::string_view name() const override { return "vegas"; }
+
+ protected:
+  bool epoch_verdict(double avg_rtt, double, std::int64_t,
+                     const TraceSample& s) override {
+    if (avg_rtt <= 0) return false;
+    const double diff = s.cwnd * (avg_rtt - min_rtt()) / avg_rtt;
+    return diff > beta_;
+  }
+
+ private:
+  double beta_;
+};
+
+/// CARD (Jain 1989): positive normalized delay gradient between epochs.
+class CardPredictor final : public EpochBase {
+ public:
+  std::string_view name() const override { return "card"; }
+
+ protected:
+  void on_reset() override { prev_rtt_ = -1; }
+  bool epoch_verdict(double avg_rtt, double, std::int64_t,
+                     const TraceSample&) override {
+    bool congested = false;
+    if (prev_rtt_ > 0) {
+      const double ndg = (avg_rtt - prev_rtt_) / (avg_rtt + prev_rtt_);
+      congested = ndg > 0.0;
+    }
+    prev_rtt_ = avg_rtt;
+    return congested;
+  }
+
+ private:
+  double prev_rtt_ = -1;
+};
+
+/// TRI-S (Wang & Crowcroft 1991): the normalized throughput gradient stays
+/// below a fraction of the expected gain while the window grows.
+class TrisPredictor final : public EpochBase {
+ public:
+  explicit TrisPredictor(double threshold = 0.5) : thr_(threshold) {}
+  std::string_view name() const override { return "tri-s"; }
+
+ protected:
+  void on_reset() override {
+    prev_tput_ = -1;
+    prev_cwnd_ = -1;
+  }
+  bool epoch_verdict(double, double duration, std::int64_t acks,
+                     const TraceSample& s) override {
+    const double tput = static_cast<double>(acks) / duration;
+    bool congested = false;
+    if (prev_tput_ > 0 && s.cwnd > prev_cwnd_ && prev_cwnd_ > 0) {
+      const double ntg = (tput - prev_tput_) / (tput + prev_tput_);
+      const double nwg = (s.cwnd - prev_cwnd_) / (s.cwnd + prev_cwnd_);
+      congested = ntg < thr_ * nwg;  // window grew, throughput did not follow
+    }
+    prev_tput_ = tput;
+    prev_cwnd_ = s.cwnd;
+    return congested;
+  }
+
+ private:
+  double thr_;
+  double prev_tput_ = -1;
+  double prev_cwnd_ = -1;
+};
+
+/// DUAL (Wang & Crowcroft 1992): every other epoch, RTT above the midpoint
+/// of observed min and max.
+class DualPredictor final : public EpochBase {
+ public:
+  std::string_view name() const override { return "dual"; }
+
+ protected:
+  void on_reset() override {
+    max_rtt_ = 0;
+    toggle_ = false;
+    verdict_hold_ = false;
+  }
+  bool epoch_verdict(double avg_rtt, double, std::int64_t,
+                     const TraceSample&) override {
+    max_rtt_ = std::max(max_rtt_, avg_rtt);
+    toggle_ = !toggle_;
+    if (toggle_) verdict_hold_ = avg_rtt > (min_rtt() + max_rtt_) / 2.0;
+    return verdict_hold_;
+  }
+
+ private:
+  double max_rtt_ = 0;
+  bool toggle_ = false;
+  bool verdict_hold_ = false;
+};
+
+/// CIM (Martin, Nilsson, Rhee 2003): short moving average of RTT samples
+/// above the long moving average.
+class CimPredictor final : public Predictor {
+ public:
+  CimPredictor(std::size_t small = 8, std::size_t large = 64,
+               double margin = 1.0)
+      : small_n_(small), large_n_(large), margin_(margin),
+        ma_s_(small), ma_l_(large) {}
+  std::string_view name() const override { return "cim"; }
+  void reset() override {
+    ma_s_ = stats::MovingAverage(small_n_);
+    ma_l_ = stats::MovingAverage(large_n_);
+  }
+  bool on_sample(const TraceSample& s) override {
+    ma_s_.add(s.rtt);
+    ma_l_.add(s.rtt);
+    if (!ma_l_.full()) return false;
+    return ma_s_.value() > margin_ * ma_l_.value();
+  }
+
+ private:
+  std::size_t small_n_, large_n_;
+  double margin_;
+  stats::MovingAverage ma_s_;
+  stats::MovingAverage ma_l_;
+};
+
+}  // namespace pert::predictors

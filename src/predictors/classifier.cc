@@ -1,0 +1,45 @@
+#include <algorithm>
+
+#include "predictors/predictor.h"
+
+namespace pert::predictors {
+
+TransitionCounts classify(const FlowTrace& trace, Predictor& p,
+                          const ClassifyOptions& opt) {
+  p.reset();
+  const std::vector<double>& losses =
+      opt.queue_level_losses ? trace.queue_losses : trace.flow_losses;
+
+  TransitionCounts c;
+  bool in_b = false;
+  double last_qnorm = 0.0;
+  double last_loss = -1e18;
+  std::size_t li = 0;
+
+  for (const TraceSample& s : trace.samples) {
+    // Process loss events up to this sample's time.
+    while (li < losses.size() && losses[li] <= s.t) {
+      const double lt = losses[li++];
+      if (lt - last_loss < opt.loss_coalesce) continue;  // same drop burst
+      last_loss = lt;
+      if (in_b) {
+        ++c.n2;
+        in_b = false;  // flow responds; episode over
+      } else {
+        ++c.n4;
+      }
+    }
+    const bool verdict = p.on_sample(s);
+    if (!in_b && verdict) {
+      in_b = true;
+    } else if (in_b && !verdict) {
+      ++c.n5;
+      if (opt.fp_qnorm) opt.fp_qnorm->push_back(last_qnorm);
+      in_b = false;
+    }
+    last_qnorm = s.qnorm;
+  }
+  return c;
+}
+
+}  // namespace pert::predictors

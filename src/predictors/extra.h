@@ -1,0 +1,87 @@
+// Additional predictors from the related work the paper surveys:
+//   TCP-BFA (Awadallah & Rai 1998) — RTT *variance* watcher,
+//   Sync-TCP (Weigle, Jeffay, Smith 2005) — trend of one-way delays.
+//
+// Both consume the same per-ACK trace samples as the Section 2 study, so
+// they can be dropped into the Figure 3 comparison.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+
+#include "predictors/predictor.h"
+#include "stats/stats.h"
+
+namespace pert::predictors {
+
+/// TCP-BFA: congestion when the short-window variance of the RTT rises
+/// well above its long-run level (the buffer is filling: samples climb).
+class BfaPredictor final : public Predictor {
+ public:
+  BfaPredictor(std::size_t window = 32, double ratio = 4.0)
+      : window_(window), ratio_(ratio) {}
+  std::string_view name() const override { return "tcp-bfa"; }
+  void reset() override {
+    recent_.clear();
+    baseline_ = stats::Ewma(0.99);
+  }
+  bool on_sample(const TraceSample& s) override {
+    recent_.push_back(s.rtt);
+    if (recent_.size() > window_) recent_.pop_front();
+    stats::Summary sum;
+    for (double r : recent_) sum.add(r);
+    const double var = sum.variance();
+    const bool verdict =
+        baseline_.seeded() && recent_.size() == window_ &&
+        var > ratio_ * std::max(baseline_.value(), 1e-12);
+    // Track the long-run variance level only while not alarming, so the
+    // baseline is the "quiet" variance.
+    if (!verdict && recent_.size() == window_) baseline_.add(var);
+    return verdict;
+  }
+
+ private:
+  std::size_t window_;
+  double ratio_;
+  std::deque<double> recent_;
+  stats::Ewma baseline_{0.99};
+};
+
+/// Sync-TCP-style trend detection: Kendall-like sign trend over the last N
+/// smoothed one-way delays (we feed RTTs when OWDs are unavailable in a
+/// trace); congestion when most recent deltas are increases.
+class TrendPredictor final : public Predictor {
+ public:
+  TrendPredictor(std::size_t window = 16, double fraction = 0.75)
+      : window_(window), fraction_(fraction), smooth_(0.9) {}
+  std::string_view name() const override { return "sync-trend"; }
+  void reset() override {
+    smooth_ = stats::Ewma(0.9);
+    deltas_.clear();
+    last_ = -1;
+  }
+  bool on_sample(const TraceSample& s) override {
+    smooth_.add(s.rtt);
+    const double v = smooth_.value();
+    if (last_ >= 0) {
+      deltas_.push_back(v > last_ ? 1 : (v < last_ ? -1 : 0));
+      if (deltas_.size() > window_) deltas_.pop_front();
+    }
+    last_ = v;
+    if (deltas_.size() < window_) return false;
+    std::int64_t ups = 0;
+    for (int d : deltas_) ups += d > 0;
+    return static_cast<double>(ups) >=
+           fraction_ * static_cast<double>(window_);
+  }
+
+ private:
+  std::size_t window_;
+  double fraction_;
+  stats::Ewma smooth_;
+  std::deque<int> deltas_;
+  double last_ = -1;
+};
+
+}  // namespace pert::predictors

@@ -1,0 +1,77 @@
+// End-host congestion-predictor framework (Section 2).
+//
+// A predictor consumes the tagged flow's per-ACK trace samples and maintains
+// a binary verdict: state A ("low delay") vs state B ("high delay"). The
+// classifier replays a trace through a predictor and counts the state-machine
+// transitions of Figure 1:
+//   "2" = B -> C  (loss while predictor was alarming; a correct prediction)
+//   "4" = A -> C  (loss without warning; a false negative)
+//   "5" = B -> A  (alarm retracted without a loss; a false positive)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pert::predictors {
+
+struct TraceSample {
+  double t = 0;      ///< time of the ACK
+  double rtt = 0;    ///< instantaneous RTT sample
+  double qnorm = 0;  ///< bottleneck queue length / capacity at sample time
+  double cwnd = 0;   ///< sender congestion window (packets)
+};
+
+struct FlowTrace {
+  std::vector<TraceSample> samples;  ///< time-ordered
+  std::vector<double> flow_losses;   ///< loss events seen by the tagged flow
+  std::vector<double> queue_losses;  ///< drop events at the bottleneck queue
+  double prop_delay = 0;             ///< two-way propagation delay estimate
+};
+
+class Predictor {
+ public:
+  virtual ~Predictor() = default;
+  virtual std::string_view name() const = 0;
+  virtual void reset() = 0;
+  /// Feeds one sample; returns the current verdict (true = congestion).
+  virtual bool on_sample(const TraceSample& s) = 0;
+};
+
+struct TransitionCounts {
+  std::int64_t n2 = 0;  ///< high-delay -> loss
+  std::int64_t n4 = 0;  ///< low-delay -> loss (false negative)
+  std::int64_t n5 = 0;  ///< high-delay -> low-delay (false positive)
+
+  double efficiency() const {
+    return n2 + n5 == 0 ? 0.0
+                        : static_cast<double>(n2) /
+                              static_cast<double>(n2 + n5);
+  }
+  double false_positive_rate() const {
+    return n2 + n5 == 0 ? 0.0
+                        : static_cast<double>(n5) /
+                              static_cast<double>(n2 + n5);
+  }
+  double false_negative_rate() const {
+    return n2 + n4 == 0 ? 0.0
+                        : static_cast<double>(n4) /
+                              static_cast<double>(n2 + n4);
+  }
+};
+
+struct ClassifyOptions {
+  bool queue_level_losses = true;  ///< else use the flow-level loss events
+  /// Losses closer than this are one congestion episode (a drop burst).
+  double loss_coalesce = 0.1;
+  /// When non-null, receives the qnorm at every false-positive event
+  /// (Figure 4's distribution).
+  std::vector<double>* fp_qnorm = nullptr;
+};
+
+/// Replays `trace` through `p` (after reset) and counts transitions.
+TransitionCounts classify(const FlowTrace& trace, Predictor& p,
+                          const ClassifyOptions& opt);
+
+}  // namespace pert::predictors

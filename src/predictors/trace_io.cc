@@ -1,0 +1,95 @@
+#include "predictors/trace_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pert::predictors {
+
+namespace {
+constexpr const char* kMagic = "# pert-trace v1";
+}
+
+void save_trace(const FlowTrace& trace, std::ostream& os) {
+  os << kMagic << '\n';
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "P,%.9g\n", trace.prop_delay);
+  os << buf;
+  for (const TraceSample& s : trace.samples) {
+    std::snprintf(buf, sizeof buf, "S,%.9g,%.9g,%.9g,%.9g\n", s.t, s.rtt,
+                  s.qnorm, s.cwnd);
+    os << buf;
+  }
+  for (double t : trace.flow_losses) {
+    std::snprintf(buf, sizeof buf, "L,%.9g\n", t);
+    os << buf;
+  }
+  for (double t : trace.queue_losses) {
+    std::snprintf(buf, sizeof buf, "Q,%.9g\n", t);
+    os << buf;
+  }
+}
+
+void save_trace(const FlowTrace& trace, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot open trace file for writing: " + path);
+  save_trace(trace, f);
+}
+
+FlowTrace load_trace(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line != kMagic)
+    throw std::runtime_error("not a pert-trace v1 stream");
+  FlowTrace t;
+  std::size_t lineno = 1;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    const char tag = line[0];
+    const char* rest = line.c_str() + 1;
+    auto bad = [&] {
+      throw std::runtime_error("malformed trace line " +
+                               std::to_string(lineno) + ": " + line);
+    };
+    switch (tag) {
+      case 'P': {
+        double v;
+        if (std::sscanf(rest, ",%lf", &v) != 1) bad();
+        t.prop_delay = v;
+        break;
+      }
+      case 'S': {
+        TraceSample s;
+        if (std::sscanf(rest, ",%lf,%lf,%lf,%lf", &s.t, &s.rtt, &s.qnorm,
+                        &s.cwnd) != 4)
+          bad();
+        t.samples.push_back(s);
+        break;
+      }
+      case 'L': {
+        double v;
+        if (std::sscanf(rest, ",%lf", &v) != 1) bad();
+        t.flow_losses.push_back(v);
+        break;
+      }
+      case 'Q': {
+        double v;
+        if (std::sscanf(rest, ",%lf", &v) != 1) bad();
+        t.queue_losses.push_back(v);
+        break;
+      }
+      default:
+        bad();
+    }
+  }
+  return t;
+}
+
+FlowTrace load_trace(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open trace file: " + path);
+  return load_trace(f);
+}
+
+}  // namespace pert::predictors

@@ -1,0 +1,27 @@
+// FlowTrace serialization (CSV). The Section 2 methodology works on
+// recorded traces (the paper used tcpdump captures); these helpers let
+// traces be recorded once and re-analyzed offline with different predictors.
+//
+// Format (one record per line):
+//   # pert-trace v1
+//   P,<prop_delay>
+//   S,<t>,<rtt>,<qnorm>,<cwnd>      per-ACK sample
+//   L,<t>                           flow-level loss event
+//   Q,<t>                           queue-level loss event
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "predictors/predictor.h"
+
+namespace pert::predictors {
+
+void save_trace(const FlowTrace& trace, std::ostream& os);
+void save_trace(const FlowTrace& trace, const std::string& path);
+
+/// Throws std::runtime_error on malformed input.
+FlowTrace load_trace(std::istream& is);
+FlowTrace load_trace(const std::string& path);
+
+}  // namespace pert::predictors

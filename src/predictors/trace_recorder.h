@@ -1,0 +1,56 @@
+// Records the tagged flow's per-ACK trace plus flow- and queue-level loss
+// events — the measurement methodology of Section 2.2 (with the crucial fix:
+// losses are observed at the bottleneck queue, not only within the flow).
+#pragma once
+
+#include <utility>
+
+#include "net/queue.h"
+#include "predictors/predictor.h"
+#include "tcp/tcp_sender.h"
+
+namespace pert::predictors {
+
+class TraceRecorder {
+ public:
+  /// Instruments `sender` (its on_rtt_sample / on_loss_event hooks) and
+  /// `bottleneck` (its on_drop hook). The recorder must outlive the run.
+  TraceRecorder(tcp::TcpSender& sender, net::Queue& bottleneck)
+      : sender_(&sender), queue_(&bottleneck) {
+    sender.on_rtt_sample = [this](double rtt, sim::Time now) {
+      trace_.samples.push_back(TraceSample{
+          now, rtt,
+          static_cast<double>(queue_->len_pkts()) /
+              static_cast<double>(queue_->capacity_pkts()),
+          sender_->cwnd()});
+    };
+    sender.on_loss_event = [this](sim::Time now) {
+      trace_.flow_losses.push_back(now);
+    };
+    bottleneck.on_drop = [this](const net::Packet&, sim::Time now) {
+      trace_.queue_losses.push_back(now);
+    };
+  }
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  ~TraceRecorder() {
+    sender_->on_rtt_sample = nullptr;
+    sender_->on_loss_event = nullptr;
+    queue_->on_drop = nullptr;
+  }
+
+  const FlowTrace& trace() const noexcept { return trace_; }
+  FlowTrace take() {
+    trace_.prop_delay = sender_->min_rtt();
+    return std::move(trace_);
+  }
+
+ private:
+  tcp::TcpSender* sender_;
+  net::Queue* queue_;
+  FlowTrace trace_;
+};
+
+}  // namespace pert::predictors

@@ -1,0 +1,97 @@
+// Seeded random source for simulations.
+//
+// All distributions are implemented by inversion on top of mt19937_64 so a
+// given seed produces the identical sample stream on every platform and
+// standard-library version (std::*_distribution gives no such guarantee).
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <random>
+
+namespace pert::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 1) : gen_(seed) {}
+
+  /// Uniform in [0, 1).
+  double uniform() {
+    // 53 random mantissa bits -> uniform double in [0,1).
+    return static_cast<double>(gen_() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) {
+    assert(lo <= hi);
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::uint64_t uniform_int(std::uint64_t lo, std::uint64_t hi) {
+    assert(lo <= hi);
+    const std::uint64_t span = hi - lo + 1;
+    if (span == 0) return gen_();  // full 64-bit range
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+    std::uint64_t v;
+    do {
+      v = gen_();
+    } while (v >= limit);
+    return lo + v % span;
+  }
+
+  /// True with probability p.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Exponential with the given mean (not rate).
+  double exponential(double mean) {
+    assert(mean > 0);
+    double u;
+    do {
+      u = uniform();
+    } while (u == 0.0);
+    return -mean * std::log(u);
+  }
+
+  /// Pareto with shape alpha and minimum value (scale) xm.
+  /// Mean = alpha*xm/(alpha-1) for alpha > 1.
+  double pareto(double alpha, double xm) {
+    assert(alpha > 0 && xm > 0);
+    double u;
+    do {
+      u = uniform();
+    } while (u == 0.0);
+    return xm / std::pow(u, 1.0 / alpha);
+  }
+
+  /// Pareto truncated to [xm, cap] by resampling of the CDF (exact inversion
+  /// of the truncated distribution, no rejection loop).
+  double bounded_pareto(double alpha, double xm, double cap) {
+    assert(cap > xm);
+    const double ha = std::pow(xm / cap, alpha);  // P(X > cap) complement term
+    const double u = uniform() * (1.0 - ha) + ha; // u in (ha, 1]
+    return xm / std::pow(u, 1.0 / alpha);
+  }
+
+  /// Standard normal via Box–Muller (deterministic across platforms).
+  double normal(double mean, double stddev) {
+    double u1;
+    do {
+      u1 = uniform();
+    } while (u1 == 0.0);
+    const double u2 = uniform();
+    const double z = std::sqrt(-2.0 * std::log(u1)) *
+                     std::cos(2.0 * 3.14159265358979323846 * u2);
+    return mean + stddev * z;
+  }
+
+  /// Derives an independent child stream (for per-flow RNGs).
+  Rng fork() { return Rng(gen_() ^ 0x9e3779b97f4a7c15ULL); }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+}  // namespace pert::sim

@@ -1,0 +1,63 @@
+#include "sim/scheduler.h"
+
+#include <cassert>
+#include <utility>
+
+namespace pert::sim {
+
+Scheduler::EventId Scheduler::schedule_at(Time t, Callback cb) {
+  assert(cb && "scheduling an empty callback");
+  if (t < now_) t = now_;
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(Entry{t, seq, std::move(cb)});
+  live_.insert(seq);
+  return EventId{seq};
+}
+
+bool Scheduler::cancel(EventId id) {
+  if (!id.valid()) return false;
+  // Only events still in the heap can be cancelled; this keeps cancelled_
+  // from accumulating seqs that already ran.
+  if (live_.erase(id.seq_) == 0) return false;
+  cancelled_.insert(id.seq_);
+  return true;
+}
+
+void Scheduler::skim() {
+  while (!heap_.empty() && cancelled_.contains(heap_.top().seq)) {
+    cancelled_.erase(heap_.top().seq);
+    heap_.pop();
+  }
+}
+
+bool Scheduler::run_next() {
+  skim();
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; moving the callback out would be
+  // const_cast trickery — copy instead (callbacks hold small capture lists).
+  Entry e = heap_.top();
+  heap_.pop();
+  live_.erase(e.seq);
+  assert(e.t >= now_);
+  now_ = e.t;
+  ++dispatched_;
+  e.cb();
+  return true;
+}
+
+void Scheduler::run_until(Time t) {
+  for (;;) {
+    skim();
+    if (heap_.empty() || heap_.top().t > t) break;
+    run_next();
+  }
+  if (now_ < t) now_ = t;
+}
+
+std::size_t Scheduler::run(std::size_t max_events) {
+  std::size_t n = 0;
+  while (n < max_events && run_next()) ++n;
+  return n;
+}
+
+}  // namespace pert::sim

@@ -1,0 +1,23 @@
+// Simulation time: double-precision seconds since simulation start.
+//
+// A plain double keeps the arithmetic in experiment code readable (the whole
+// fluid-model layer works in seconds too); event ordering determinism is
+// guaranteed by the scheduler's insertion-sequence tie-break, not by time
+// resolution.
+#pragma once
+
+namespace pert::sim {
+
+/// Absolute simulation time or a duration, in seconds.
+using Time = double;
+
+/// Convenience literal-style helpers so scenario code can say `ms(60)`.
+constexpr Time ms(double v) noexcept { return v * 1e-3; }
+constexpr Time us(double v) noexcept { return v * 1e-6; }
+constexpr Time ns(double v) noexcept { return v * 1e-9; }
+constexpr Time seconds(double v) noexcept { return v; }
+
+/// Sentinel for "never" / unset timestamps.
+constexpr Time kNever = -1.0;
+
+}  // namespace pert::sim

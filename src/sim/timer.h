@@ -1,0 +1,59 @@
+// One-shot rescheduleable timer on top of Scheduler.
+//
+// Owns its pending event: rescheduling cancels the previous one, destruction
+// cancels any pending fire, so a Timer member can never call back into a dead
+// object (provided the Timer is a member of that object).
+#pragma once
+
+#include <cassert>
+#include <functional>
+#include <utility>
+
+#include "sim/scheduler.h"
+#include "sim/time.h"
+
+namespace pert::sim {
+
+class Timer {
+ public:
+  using Callback = std::function<void()>;
+
+  Timer(Scheduler& sched, Callback cb)
+      : sched_(&sched), cb_(std::move(cb)) {
+    assert(cb_ && "timer needs a callback");
+  }
+
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  ~Timer() { cancel(); }
+
+  /// (Re)schedules the timer to fire `delay` seconds from now.
+  void schedule_in(Time delay) { schedule_at(sched_->now() + delay); }
+
+  /// (Re)schedules the timer to fire at absolute time `t`.
+  void schedule_at(Time t) {
+    cancel();
+    id_ = sched_->schedule_at(t, [this] {
+      id_ = Scheduler::EventId{};  // mark idle *before* running the callback
+      cb_();
+    });
+  }
+
+  /// Cancels a pending fire; no-op when idle.
+  void cancel() {
+    if (id_.valid()) {
+      sched_->cancel(id_);
+      id_ = Scheduler::EventId{};
+    }
+  }
+
+  bool pending() const noexcept { return id_.valid(); }
+
+ private:
+  Scheduler* sched_;
+  Callback cb_;
+  Scheduler::EventId id_;
+};
+
+}  // namespace pert::sim

@@ -1,0 +1,27 @@
+#include "stats/stats.h"
+
+#include <algorithm>
+
+namespace pert::stats {
+
+double jain_index(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0, sum2 = 0.0;
+  for (double x : xs) {
+    sum += x;
+    sum2 += x * x;
+  }
+  if (sum2 <= 0.0) return 0.0;
+  return sum * sum / (static_cast<double>(xs.size()) * sum2);
+}
+
+void Histogram::add(double x) {
+  const double w = width();
+  auto i = static_cast<std::ptrdiff_t>((x - lo_) / w);
+  i = std::clamp<std::ptrdiff_t>(i, 0,
+                                 static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(i)];
+  ++total_;
+}
+
+}  // namespace pert::stats

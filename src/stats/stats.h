@@ -1,0 +1,151 @@
+// Measurement primitives: Jain fairness, running summaries, histograms,
+// EWMA, moving averages, and time-weighted values.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace pert::stats {
+
+/// Jain fairness index (sum x)^2 / (n * sum x^2); 1 = perfectly fair.
+/// Empty input or all-zero throughputs yield 0.
+double jain_index(std::span<const double> xs);
+
+/// Streaming min/max/mean/variance (Welford).
+class Summary {
+ public:
+  void add(double x) {
+    ++n_;
+    if (x < min_ || n_ == 1) min_ = x;
+    if (x > max_ || n_ == 1) max_ = x;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+  }
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const noexcept { return std::sqrt(variance()); }
+
+ private:
+  std::size_t n_ = 0;
+  double min_ = 0, max_ = 0, mean_ = 0, m2_ = 0;
+};
+
+/// Fixed-range histogram on [lo, hi); out-of-range samples clamp to the
+/// first/last bin. Supports normalization to a PDF.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins)
+      : lo_(lo), hi_(hi), counts_(bins, 0) {
+    assert(hi > lo && bins > 0);
+  }
+  void add(double x);
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const noexcept { return counts_.size(); }
+  std::size_t total() const noexcept { return total_; }
+  double bin_center(std::size_t i) const {
+    return lo_ + (static_cast<double>(i) + 0.5) * width();
+  }
+  double width() const noexcept {
+    return (hi_ - lo_) / static_cast<double>(counts_.size());
+  }
+  /// Fraction of samples in bin i (0 when empty).
+  double pdf(std::size_t i) const {
+    return total_ == 0 ? 0.0
+                       : static_cast<double>(counts_.at(i)) /
+                             static_cast<double>(total_);
+  }
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Exponentially weighted moving average with history weight `alpha`:
+/// v <- alpha * v + (1 - alpha) * sample. First sample initializes.
+class Ewma {
+ public:
+  explicit Ewma(double alpha) : alpha_(alpha) {
+    assert(alpha >= 0.0 && alpha < 1.0);
+  }
+  void add(double x) {
+    value_ = seeded_ ? alpha_ * value_ + (1.0 - alpha_) * x : x;
+    seeded_ = true;
+  }
+  bool seeded() const noexcept { return seeded_; }
+  double value() const noexcept { return value_; }
+  double alpha() const noexcept { return alpha_; }
+  void reset() noexcept { seeded_ = false; value_ = 0; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool seeded_ = false;
+};
+
+/// Moving average over the last `window` samples.
+class MovingAverage {
+ public:
+  explicit MovingAverage(std::size_t window) : window_(window) {
+    assert(window > 0);
+  }
+  void add(double x) {
+    buf_.push_back(x);
+    sum_ += x;
+    if (buf_.size() > window_) {
+      sum_ -= buf_.front();
+      buf_.pop_front();
+    }
+  }
+  bool full() const noexcept { return buf_.size() == window_; }
+  std::size_t count() const noexcept { return buf_.size(); }
+  double value() const noexcept {
+    return buf_.empty() ? 0.0 : sum_ / static_cast<double>(buf_.size());
+  }
+
+ private:
+  std::size_t window_;
+  std::deque<double> buf_;
+  double sum_ = 0.0;
+};
+
+/// A value whose time-weighted mean is tracked (e.g., instantaneous rate).
+class TimeWeighted {
+ public:
+  void set(double v, sim::Time now) {
+    integral_ += value_ * (now - last_);
+    value_ = v;
+    last_ = now;
+  }
+  /// Time-average over [t0, now], where integral was reset at t0.
+  double average(sim::Time now) const {
+    const double span = now - start_;
+    if (span <= 0) return value_;
+    return (integral_ + value_ * (now - last_)) / span;
+  }
+  void reset(sim::Time now) {
+    start_ = last_ = now;
+    integral_ = 0;
+  }
+  double current() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+  double integral_ = 0.0;
+  sim::Time start_ = 0.0;
+  sim::Time last_ = 0.0;
+};
+
+}  // namespace pert::stats

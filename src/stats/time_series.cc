@@ -1,0 +1,16 @@
+#include "stats/time_series.h"
+
+#include <cstdio>
+#include <ostream>
+
+namespace pert::stats {
+
+void TimeSeries::write_csv(std::ostream& os) const {
+  char buf[96];
+  for (const auto& [t, v] : samples_) {
+    std::snprintf(buf, sizeof buf, "%.10g,%.10g\n", t, v);
+    os << buf;
+  }
+}
+
+}  // namespace pert::stats

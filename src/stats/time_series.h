@@ -1,0 +1,61 @@
+// Fixed-interval sampler: probes a value (queue length, cwnd, rate, ...)
+// on a timer and stores the (t, value) series for later analysis/export.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <utility>
+#include <vector>
+
+#include "sim/timer.h"
+#include "stats/stats.h"
+
+namespace pert::stats {
+
+class TimeSeries {
+ public:
+  using Probe = std::function<double()>;
+
+  TimeSeries(sim::Scheduler& sched, double interval, Probe probe)
+      : sched_(&sched),
+        interval_(interval),
+        probe_(std::move(probe)),
+        timer_(sched, [this] { tick(); }) {}
+
+  /// Begins sampling at `at` (default: one interval from now).
+  void start(sim::Time at = sim::kNever) {
+    timer_.schedule_at(at == sim::kNever ? sched_->now() + interval_ : at);
+  }
+  void stop() { timer_.cancel(); }
+
+  const std::vector<std::pair<double, double>>& samples() const noexcept {
+    return samples_;
+  }
+
+  /// Summary over all samples taken so far.
+  Summary summary() const {
+    Summary s;
+    for (const auto& [t, v] : samples_) {
+      (void)t;
+      s.add(v);
+    }
+    return s;
+  }
+
+  /// Writes "t,value" CSV lines.
+  void write_csv(std::ostream& os) const;
+
+ private:
+  void tick() {
+    samples_.emplace_back(sched_->now(), probe_());
+    timer_.schedule_in(interval_);
+  }
+
+  sim::Scheduler* sched_;
+  double interval_;
+  Probe probe_;
+  sim::Timer timer_;
+  std::vector<std::pair<double, double>> samples_;
+};
+
+}  // namespace pert::stats

@@ -1,0 +1,345 @@
+#include "tcp/tcp_sender.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <utility>
+
+namespace pert::tcp {
+
+TcpSender::TcpSender(net::Network& net, TcpConfig cfg, net::FlowId flow)
+    : cwnd_(cfg.initial_cwnd),
+      ssthresh_(cfg.initial_ssthresh),
+      net_(&net),
+      cfg_(cfg),
+      flow_(flow),
+      rto_timer_(net.sched(), [this] { on_rto(); }) {}
+
+void TcpSender::connect(net::NodeId dst, std::int32_t dst_port) {
+  dst_ = dst;
+  dst_port_ = dst_port;
+}
+
+void TcpSender::start(sim::Time at) {
+  assert(dst_ != net::kNoNode && "connect() before start()");
+  net_->sched().schedule_at(at, [this] { try_send(); });
+}
+
+void TcpSender::start_transfer(std::int64_t pkts, bool fresh_slow_start) {
+  assert(pkts > 0);
+  if (infinite_) {
+    infinite_ = false;
+    app_limit_ = next_seq_;
+  }
+  app_limit_ += pkts;
+  complete_fired_ = false;
+  if (fresh_slow_start) {
+    cwnd_ = cfg_.initial_cwnd;
+    ssthresh_ = cfg_.initial_ssthresh;
+  }
+  try_send();
+}
+
+void TcpSender::receive(net::PacketPtr p) {
+  if (!p->is_ack || p->flow != flow_) return;
+  ++st_.acks_rx;
+
+  if (p->ts_echo != sim::kNever) {
+    const double sample = now() - p->ts_echo;
+    if (sample >= 0) {
+      update_rtt(sample);
+      if (on_rtt_sample) on_rtt_sample(sample, now());
+      cc_on_rtt_sample(sample);
+    }
+    if (p->ts_rx != sim::kNever && p->ts_rx >= p->ts_echo)
+      cc_on_owd_sample(p->ts_rx - p->ts_echo);
+  }
+
+  if (cfg_.ecn && p->ece) handle_ece();
+  if (cfg_.sack && p->n_sack > 0) process_sack(*p);
+
+  if (p->ack > snd_una_) {
+    handle_new_ack(p->ack);
+  } else if (p->ack == snd_una_ && has_data_outstanding()) {
+    handle_dupack();
+  }
+
+  try_send();
+  check_complete();
+}
+
+void TcpSender::update_rtt(double sample) {
+  min_rtt_ = std::min(min_rtt_, sample);
+  if (srtt_ < 0) {
+    srtt_ = sample;
+    rttvar_ = sample / 2.0;
+  } else {
+    const double err = sample - srtt_;
+    srtt_ += err / 8.0;
+    rttvar_ += (std::abs(err) - rttvar_) / 4.0;
+  }
+  rto_ = std::clamp(srtt_ + 4.0 * rttvar_, cfg_.min_rto, cfg_.max_rto);
+  backoff_ = 1;
+}
+
+void TcpSender::handle_ece() {
+  // One reduction per window of data (RFC 3168); recovery already reduced.
+  if (in_recovery_ || next_seq_ <= ece_reduce_point_) return;
+  multiplicative_decrease(cfg_.loss_beta);
+  ece_reduce_point_ = next_seq_;
+  pending_cwr_ = true;
+  ++st_.ecn_responses;
+}
+
+void TcpSender::multiplicative_decrease(double beta) {
+  assert(beta > 0 && beta < 1);
+  cwnd_ = std::max(1.0, cwnd_ * (1.0 - beta));
+  ssthresh_ = std::max(2.0, cwnd_);
+}
+
+void TcpSender::process_sack(const net::Packet& ack) {
+  for (std::int32_t i = 0; i < ack.n_sack; ++i) {
+    const net::SackBlock& b = ack.sack[i];
+    const std::int64_t lo = std::max(b.start, snd_una_);
+    const std::int64_t hi = std::min(b.end, next_seq_);
+    for (std::int64_t s = lo; s < hi; ++s) {
+      std::uint8_t& f = flag(s);
+      if (!(f & kSacked)) {
+        // A sacked packet's original copy left the network.
+        if (in_recovery_ && !(f & kLost)) --pipe_;
+        f |= kSacked;
+      }
+    }
+    highest_sacked_end_ = std::max(highest_sacked_end_, hi);
+  }
+  if (in_recovery_) advance_lost_marking();
+}
+
+void TcpSender::advance_lost_marking() {
+  lost_hwm_ = std::max(lost_hwm_, snd_una_);
+  for (; lost_hwm_ < highest_sacked_end_; ++lost_hwm_) {
+    std::uint8_t& f = flag(lost_hwm_);
+    if ((f & (kSacked | kLost)) == 0) {
+      f |= kLost;
+      --pipe_;
+    }
+  }
+  if (pipe_ < 0) pipe_ = 0;
+}
+
+void TcpSender::rebuild_pipe() {
+  // Mark losses below the highest SACK, then count what is still in flight.
+  for (std::int64_t s = std::max(snd_una_, lost_hwm_);
+       s < highest_sacked_end_; ++s) {
+    std::uint8_t& f = flag(s);
+    if ((f & (kSacked | kLost)) == 0) f |= kLost;
+  }
+  lost_hwm_ = std::max(lost_hwm_, highest_sacked_end_);
+  pipe_ = 0;
+  for (std::int64_t s = snd_una_; s < next_seq_; ++s) pipe_ += counted(flag(s));
+}
+
+void TcpSender::handle_new_ack(std::int64_t ack) {
+  assert(ack <= next_seq_);
+  const std::int64_t newly = ack - snd_una_;
+  if (in_recovery_ && (cfg_.sack || rto_recovery_)) {
+    // Everything below the cumulative ack has left the network.
+    for (std::int64_t s = snd_una_; s < ack; ++s) pipe_ -= counted(flag(s));
+    if (pipe_ < 0) pipe_ = 0;
+  }
+  sb_.erase(sb_.begin(), sb_.begin() + static_cast<std::ptrdiff_t>(newly));
+  snd_una_ = ack;
+  if (scan_ < snd_una_) scan_ = snd_una_;
+  if (lost_hwm_ < snd_una_) lost_hwm_ = snd_una_;
+  if (highest_sacked_end_ < snd_una_) highest_sacked_end_ = snd_una_;
+  dupacks_ = 0;
+  restart_rto_timer();
+
+  if (in_recovery_) {
+    if (ack >= recovery_point_) {
+      exit_recovery();
+      return;
+    }
+    if (rto_recovery_) {
+      // Post-timeout resend proceeds under normal slow start.
+      cc_on_new_ack(newly);
+    } else if (!cfg_.sack) {
+      // NewReno partial ack: retransmit the next hole, deflate by the
+      // amount acked, re-inflate by one for the retransmission.
+      cwnd_ = std::max(1.0, newreno_base_cwnd_ - static_cast<double>(newly) + 1.0);
+      newreno_base_cwnd_ = cwnd_;
+      send_segment(snd_una_, /*rexmit=*/true);
+    }
+    return;
+  }
+  cc_on_new_ack(newly);
+}
+
+void TcpSender::cc_on_new_ack(std::int64_t newly) {
+  for (std::int64_t i = 0; i < newly; ++i) {
+    if (cwnd_ < ssthresh_)
+      cwnd_ += 1.0;  // slow start
+    else
+      cwnd_ += 1.0 / cwnd_;  // congestion avoidance
+  }
+  cwnd_ = std::min(cwnd_, cfg_.max_cwnd);
+}
+
+void TcpSender::handle_dupack() {
+  ++dupacks_;
+  if (in_recovery_) {
+    if (!cfg_.sack && !rto_recovery_) cwnd_ += 1.0;  // NewReno inflation
+    return;  // SACK pipe is maintained by process_sack()
+  }
+  if (dupacks_ >= cfg_.dupthresh) enter_recovery();
+}
+
+void TcpSender::enter_recovery() {
+  ++st_.loss_events;
+  if (on_loss_event) on_loss_event(now());
+  cc_on_loss();
+
+  in_recovery_ = true;
+  rto_recovery_ = false;
+  recovery_point_ = next_seq_;
+  ssthresh_ = std::max(2.0, cwnd_ * (1.0 - cfg_.loss_beta));
+  cwnd_ = ssthresh_;
+  scan_ = snd_una_;
+
+  if (cfg_.sack) {
+    rebuild_pipe();
+    // try_send() (caller) retransmits holes as pipe allows; guarantee the
+    // first hole goes out immediately even if pipe >= cwnd.
+    if (pipe_ >= static_cast<std::int64_t>(cwnd_)) {
+      const std::int64_t hole = next_hole();
+      if (hole >= 0) {
+        send_segment(hole, /*rexmit=*/true);
+        ++pipe_;
+      }
+    }
+  } else {
+    newreno_base_cwnd_ = cwnd_;
+    send_segment(snd_una_, /*rexmit=*/true);
+    cwnd_ += static_cast<double>(dupacks_);  // inflate by dupacks seen
+  }
+}
+
+void TcpSender::exit_recovery() {
+  in_recovery_ = false;
+  rto_recovery_ = false;
+  cwnd_ = ssthresh_;
+  pipe_ = 0;
+  dupacks_ = 0;
+}
+
+void TcpSender::on_rto() {
+  if (!has_data_outstanding()) return;
+  ++st_.timeouts;
+  if (on_loss_event) on_loss_event(now());
+  cc_on_loss();
+
+  ssthresh_ = std::max(2.0, static_cast<double>(next_seq_ - snd_una_) / 2.0);
+  cwnd_ = 1.0;
+  dupacks_ = 0;
+
+  // Go-back-N: clear SACK state (RFC 6675 §5.1), deem everything
+  // outstanding lost, and resend from snd_una under slow start, driven by
+  // the recovery hole-scan.
+  std::fill(sb_.begin(), sb_.end(), std::uint8_t{kLost});
+  highest_sacked_end_ = snd_una_;
+  lost_hwm_ = next_seq_;
+  in_recovery_ = true;
+  rto_recovery_ = true;
+  recovery_point_ = next_seq_;
+  pipe_ = 0;
+  scan_ = snd_una_;
+
+  backoff_ = std::min(backoff_ * 2, 64);
+  rto_timer_.schedule_in(std::min(rto_ * backoff_, cfg_.max_rto));
+  try_send();
+}
+
+std::int64_t TcpSender::next_hole() {
+  const std::int64_t bound =
+      rto_recovery_ ? recovery_point_ : highest_sacked_end_;
+  while (scan_ < bound && scan_ < next_seq_) {
+    if ((flag(scan_) & (kSacked | kRexmit)) == 0) return scan_;
+    ++scan_;
+  }
+  return -1;
+}
+
+void TcpSender::try_send() {
+  const auto wnd = std::min(static_cast<std::int64_t>(cwnd_),
+                            static_cast<std::int64_t>(cfg_.rwnd));
+  std::int64_t burst_budget =
+      cfg_.max_burst > 0 ? cfg_.max_burst
+                         : std::numeric_limits<std::int64_t>::max();
+  if (in_recovery_ && (cfg_.sack || rto_recovery_)) {
+    while (pipe_ < wnd && burst_budget-- > 0) {
+      const std::int64_t hole = next_hole();
+      if (hole >= 0) {
+        send_segment(hole, /*rexmit=*/true);
+        ++pipe_;
+        continue;
+      }
+      if (next_seq_ < app_limit_) {
+        send_segment(next_seq_, /*rexmit=*/false);
+        ++next_seq_;
+        sb_.push_back(0);
+        ++pipe_;
+        continue;
+      }
+      break;
+    }
+  } else {
+    // RFC 3042 limited transmit: the first two dupacks each permit one new
+    // segment beyond cwnd to keep the ACK clock alive.
+    std::int64_t wnd_eff = wnd;
+    if (cfg_.limited_transmit && !in_recovery_)
+      wnd_eff += std::min<std::int64_t>(dupacks_, 2);
+    while (next_seq_ - snd_una_ < wnd_eff && next_seq_ < app_limit_ &&
+           burst_budget-- > 0) {
+      send_segment(next_seq_, /*rexmit=*/false);
+      ++next_seq_;
+      sb_.push_back(0);
+    }
+  }
+  if (has_data_outstanding() && !rto_timer_.pending()) restart_rto_timer();
+}
+
+void TcpSender::send_segment(std::int64_t seq, bool rexmit) {
+  auto p = net_->make_packet();
+  p->flow = flow_;
+  p->dst = dst_;
+  p->dst_port = dst_port_;
+  p->src_port = port();
+  p->size_bytes = cfg_.seg_bytes();
+  p->seq = seq;
+  p->is_ack = false;
+  p->ecn = cfg_.ecn ? net::Ecn::Ect0 : net::Ecn::NotEct;
+  p->ts_echo = now();
+  if (pending_cwr_) {
+    p->cwr = true;
+    pending_cwr_ = false;
+  }
+  if (rexmit && seq >= snd_una_ && seq < next_seq_) flag(seq) |= kRexmit;
+
+  ++st_.data_pkts_sent;
+  if (rexmit) ++st_.rexmits;
+  node()->send(std::move(p));
+}
+
+void TcpSender::restart_rto_timer() {
+  rto_timer_.cancel();
+  if (has_data_outstanding())
+    rto_timer_.schedule_in(std::min(rto_ * backoff_, cfg_.max_rto));
+}
+
+void TcpSender::check_complete() {
+  if (infinite_ || complete_fired_ || snd_una_ < app_limit_) return;
+  complete_fired_ = true;
+  if (on_transfer_complete) on_transfer_complete();
+}
+
+}  // namespace pert::tcp

@@ -1,0 +1,183 @@
+// TCP sender at packet granularity (one sequence number per segment, cwnd in
+// packets — the ns-2 model). Implements:
+//   - slow start / congestion avoidance (Reno increase),
+//   - fast retransmit + SACK-based loss recovery with ns-2 "sack1"-style
+//     pipe accounting (default), or NewReno window inflation (cfg.sack=false),
+//   - retransmission timeout with exponential backoff and go-back-N resend,
+//   - ECN response (RFC 3168: one window reduction per RTT, CWR signalling),
+//   - exact per-ACK RTT via the receiver's timestamp echo.
+//
+// Congestion-control variants (Vegas, PERT, PERT/PI) subclass the cc_* hooks.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+
+#include "net/network.h"
+#include "net/node.h"
+#include "net/packet.h"
+#include "sim/timer.h"
+#include "tcp/tcp_config.h"
+
+namespace pert::tcp {
+
+class TcpSender : public net::Agent {
+ public:
+  struct FlowStats {
+    std::int64_t data_pkts_sent = 0;  ///< includes retransmissions
+    std::int64_t rexmits = 0;
+    std::int64_t acks_rx = 0;
+    std::int64_t loss_events = 0;     ///< fast-retransmit episodes
+    std::int64_t timeouts = 0;
+    std::int64_t ecn_responses = 0;
+    std::int64_t early_responses = 0; ///< PERT proactive reductions
+  };
+
+  TcpSender(net::Network& net, TcpConfig cfg, net::FlowId flow);
+  ~TcpSender() override = default;
+
+  /// Sets the destination endpoint. Must be called before start().
+  void connect(net::NodeId dst, std::int32_t dst_port);
+
+  /// Begins transmission at absolute time `at` (default: immediately).
+  void start(sim::Time at = 0.0);
+
+  /// Switches from the default infinite source to a finite transfer of
+  /// `pkts` more segments; on_transfer_complete fires when fully acked.
+  void start_transfer(std::int64_t pkts, bool fresh_slow_start = false);
+
+  /// Stops offering new data (outstanding data still drains/retransmits).
+  void stop() {
+    infinite_ = false;
+    app_limit_ = next_seq_;
+  }
+
+  void receive(net::PacketPtr p) override;
+
+  // --- observers ---
+  double cwnd() const noexcept { return cwnd_; }
+  double ssthresh() const noexcept { return ssthresh_; }
+  std::int64_t snd_una() const noexcept { return snd_una_; }
+  std::int64_t next_seq() const noexcept { return next_seq_; }
+  bool in_recovery() const noexcept { return in_recovery_; }
+  double srtt() const noexcept { return srtt_; }
+  double rto() const noexcept { return rto_; }
+  double min_rtt() const noexcept { return min_rtt_; }
+  const FlowStats& flow_stats() const noexcept { return st_; }
+  const TcpConfig& config() const noexcept { return cfg_; }
+  net::FlowId flow() const noexcept { return flow_; }
+  /// Acked payload bytes — the goodput numerator for fairness metrics.
+  std::int64_t acked_bytes() const noexcept {
+    return snd_una_ * cfg_.seg_payload;
+  }
+
+  // --- instrumentation hooks (experiments attach these) ---
+  std::function<void(double rtt, sim::Time now)> on_rtt_sample;
+  std::function<void(sim::Time now)> on_loss_event;  ///< flow-level loss
+  std::function<void()> on_transfer_complete;
+
+ protected:
+  // --- congestion-control variant hooks ---
+  /// Called for every valid RTT sample, before any window action.
+  virtual void cc_on_rtt_sample(double /*rtt*/) {}
+  /// Called for every valid one-way forward-delay sample (receiver arrival
+  /// clock minus sender clock; exact under the simulator's global clock).
+  virtual void cc_on_owd_sample(double /*owd*/) {}
+  /// Window growth for `newly` cumulatively acked packets outside recovery.
+  /// Default: Reno (slow start +1/ack, congestion avoidance +1/cwnd per ack).
+  virtual void cc_on_new_ack(std::int64_t newly);
+  /// Called when a loss is detected (fast retransmit entry or timeout).
+  virtual void cc_on_loss() {}
+
+  /// Reduces cwnd by `beta` (cwnd *= 1-beta) and leaves slow start.
+  /// Used by ECN response and PERT's early response.
+  void multiplicative_decrease(double beta);
+
+  sim::Time now() const noexcept { return net_->now(); }
+  net::Network& network() noexcept { return *net_; }
+  void bump_early_responses() noexcept { ++st_.early_responses; }
+  bool has_data_outstanding() const noexcept { return next_seq_ > snd_una_; }
+
+  double cwnd_;
+  double ssthresh_;
+
+ private:
+  enum Flag : std::uint8_t { kSacked = 1, kRexmit = 2, kLost = 4 };
+
+  /// How many in-flight copies of a packet the given scoreboard flags imply
+  /// (RFC 3517 SetPipe, per packet): the original unless sacked or deemed
+  /// lost, plus a retransmission if one was sent.
+  static std::int64_t counted(std::uint8_t f) noexcept {
+    return ((f & (kSacked | kLost)) == 0 ? 1 : 0) + ((f & kRexmit) ? 1 : 0);
+  }
+
+  /// Marks unsacked packets below the highest SACK as lost (exact FACK
+  /// inference: this simulator never reorders) and updates pipe.
+  void advance_lost_marking();
+  /// Recomputes pipe from the scoreboard (recovery entry).
+  void rebuild_pipe();
+
+  void handle_new_ack(std::int64_t ack);
+  void handle_dupack();
+  void process_sack(const net::Packet& ack);
+  void handle_ece();
+  void enter_recovery();
+  void exit_recovery();
+  void on_rto();
+  void try_send();
+  void send_segment(std::int64_t seq, bool rexmit);
+  void update_rtt(double sample);
+  void restart_rto_timer();
+  void check_complete();
+
+  /// Next retransmission candidate in recovery, or -1.
+  std::int64_t next_hole();
+
+  std::uint8_t& flag(std::int64_t seq) {
+    return sb_[static_cast<std::size_t>(seq - snd_una_)];
+  }
+  std::uint8_t flag(std::int64_t seq) const {
+    return sb_[static_cast<std::size_t>(seq - snd_una_)];
+  }
+
+  net::Network* net_;
+  TcpConfig cfg_;
+  net::FlowId flow_;
+  net::NodeId dst_ = net::kNoNode;
+  std::int32_t dst_port_ = 0;
+
+  std::int64_t snd_una_ = 0;
+  std::int64_t next_seq_ = 0;
+  std::int64_t app_limit_ = std::numeric_limits<std::int64_t>::max();
+  bool infinite_ = true;
+  bool complete_fired_ = false;
+
+  std::int32_t dupacks_ = 0;
+  bool in_recovery_ = false;
+  bool rto_recovery_ = false;
+  std::int64_t recovery_point_ = 0;
+  std::int64_t pipe_ = 0;
+  std::int64_t scan_ = 0;               ///< hole-scan cursor
+  std::int64_t lost_hwm_ = 0;           ///< lost-marking applied below this
+  std::deque<std::uint8_t> sb_;         ///< scoreboard flags [snd_una, next_seq)
+  std::int64_t highest_sacked_end_ = 0; ///< exclusive end of highest SACK
+
+  // NewReno (cfg_.sack == false) recovery bookkeeping.
+  double newreno_base_cwnd_ = 0;        ///< cwnd before inflation
+
+  double srtt_ = -1.0;
+  double rttvar_ = 0.0;
+  double rto_ = 3.0;
+  std::int32_t backoff_ = 1;
+  double min_rtt_ = std::numeric_limits<double>::infinity();
+
+  bool pending_cwr_ = false;
+  std::int64_t ece_reduce_point_ = 0;   ///< next_seq at last ECN reduction
+
+  sim::Timer rto_timer_;
+  FlowStats st_;
+};
+
+}  // namespace pert::tcp

@@ -1,0 +1,43 @@
+#include "tcp/vegas.h"
+
+#include <algorithm>
+
+namespace pert::tcp {
+
+void VegasSender::cc_on_rtt_sample(double rtt) {
+  base_rtt_ = std::min(base_rtt_, rtt);
+  epoch_rtt_sum_ += rtt;
+  ++epoch_rtt_cnt_;
+}
+
+void VegasSender::cc_on_new_ack(std::int64_t /*newly*/) {
+  // Vegas acts once per RTT epoch, not per ACK.
+  if (snd_una() < epoch_end_seq_ || epoch_rtt_cnt_ == 0) return;
+
+  const double rtt = epoch_rtt_sum_ / static_cast<double>(epoch_rtt_cnt_);
+  const double diff = cwnd_ * (rtt - base_rtt_) / rtt;  // queued packets
+  last_diff_ = diff;
+
+  if (cwnd_ < ssthresh_) {
+    // Vegas slow start: double every other epoch until the backlog appears.
+    if (diff > vp_.gamma) {
+      ssthresh_ = std::max(2.0, cwnd_);
+      cwnd_ = std::max(2.0, cwnd_ - (diff - vp_.gamma));
+    } else if (grow_toggle_) {
+      cwnd_ *= 2.0;
+    }
+    grow_toggle_ = !grow_toggle_;
+  } else {
+    if (diff < vp_.alpha)
+      cwnd_ += 1.0;
+    else if (diff > vp_.beta)
+      cwnd_ = std::max(2.0, cwnd_ - 1.0);
+  }
+  cwnd_ = std::min(cwnd_, config().max_cwnd);
+
+  epoch_end_seq_ = next_seq();
+  epoch_rtt_sum_ = 0.0;
+  epoch_rtt_cnt_ = 0;
+}
+
+}  // namespace pert::tcp

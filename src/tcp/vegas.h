@@ -1,0 +1,45 @@
+// TCP Vegas (Brakmo & Peterson 1994) congestion avoidance.
+//
+// Once per RTT epoch the sender estimates how many packets it keeps queued at
+// the bottleneck, diff = cwnd * (rtt - baseRTT) / rtt, and nudges cwnd by +-1
+// to hold diff inside [alpha, beta]. Slow start doubles every other epoch and
+// ends when diff exceeds gamma. Loss response is inherited (Reno/SACK).
+#pragma once
+
+#include <limits>
+
+#include "tcp/tcp_sender.h"
+
+namespace pert::tcp {
+
+struct VegasParams {
+  double alpha = 1.0;  ///< lower bound of queued packets
+  double beta = 3.0;   ///< upper bound of queued packets
+  double gamma = 1.0;  ///< slow-start exit threshold
+};
+
+class VegasSender : public TcpSender {
+ public:
+  VegasSender(net::Network& net, TcpConfig cfg, net::FlowId flow,
+              VegasParams vp = {})
+      : TcpSender(net, cfg, flow), vp_(vp) {}
+
+  double base_rtt() const noexcept { return base_rtt_; }
+  /// Estimated backlog at the bottleneck in packets (last epoch).
+  double last_diff() const noexcept { return last_diff_; }
+
+ protected:
+  void cc_on_rtt_sample(double rtt) override;
+  void cc_on_new_ack(std::int64_t newly) override;
+
+ private:
+  VegasParams vp_;
+  double base_rtt_ = std::numeric_limits<double>::infinity();
+  double epoch_rtt_sum_ = 0.0;
+  std::int64_t epoch_rtt_cnt_ = 0;
+  std::int64_t epoch_end_seq_ = 0;
+  bool grow_toggle_ = false;
+  double last_diff_ = 0.0;
+};
+
+}  // namespace pert::tcp

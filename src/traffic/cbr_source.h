@@ -1,0 +1,71 @@
+// Constant-bit-rate (non-responsive) source and a null sink to terminate it.
+// Used for the "dynamic changes caused by non-responsive traffic" scenarios.
+#pragma once
+
+#include <cstdint>
+
+#include "net/network.h"
+#include "net/node.h"
+#include "sim/timer.h"
+
+namespace pert::traffic {
+
+class NullSink final : public net::Agent {
+ public:
+  void receive(net::PacketPtr p) override {
+    ++pkts_;
+    bytes_ += p->size_bytes;
+  }
+  std::int64_t pkts() const noexcept { return pkts_; }
+  std::int64_t bytes() const noexcept { return bytes_; }
+
+ private:
+  std::int64_t pkts_ = 0;
+  std::int64_t bytes_ = 0;
+};
+
+/// Sends `pkt_bytes`-sized packets at `rate_bps` between start and stop.
+class CbrSource final : public net::Agent {
+ public:
+  CbrSource(net::Network& net, net::FlowId flow, double rate_bps,
+            std::int32_t pkt_bytes = 1040)
+      : net_(&net),
+        flow_(flow),
+        rate_bps_(rate_bps),
+        pkt_bytes_(pkt_bytes),
+        timer_(net.sched(), [this] { tick(); }) {}
+
+  void connect(net::NodeId dst, std::int32_t dst_port) {
+    dst_ = dst;
+    dst_port_ = dst_port;
+  }
+  void start(sim::Time at) { timer_.schedule_at(at); }
+  void stop() { timer_.cancel(); }
+  void receive(net::PacketPtr) override {}  // CBR ignores input
+
+  std::int64_t sent() const noexcept { return sent_; }
+
+ private:
+  void tick() {
+    auto p = net_->make_packet();
+    p->flow = flow_;
+    p->dst = dst_;
+    p->dst_port = dst_port_;
+    p->src_port = port();
+    p->size_bytes = pkt_bytes_;
+    node()->send(std::move(p));
+    ++sent_;
+    timer_.schedule_in(static_cast<double>(pkt_bytes_) * 8.0 / rate_bps_);
+  }
+
+  net::Network* net_;
+  net::FlowId flow_;
+  double rate_bps_;
+  std::int32_t pkt_bytes_;
+  net::NodeId dst_ = net::kNoNode;
+  std::int32_t dst_port_ = 0;
+  std::int64_t sent_ = 0;
+  sim::Timer timer_;
+};
+
+}  // namespace pert::traffic

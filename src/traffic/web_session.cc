@@ -1,0 +1,40 @@
+#include "traffic/web_session.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pert::traffic {
+
+WebSession::WebSession(sim::Scheduler& sched, tcp::TcpSender& sender,
+                       WebParams params, sim::Rng rng, sim::Time start_at)
+    : sender_(&sender),
+      params_(params),
+      rng_(rng),
+      think_timer_(sched, [this] { begin_page(); }) {
+  sender_->on_transfer_complete = [this] { next_object(); };
+  think_timer_.schedule_at(start_at);
+}
+
+void WebSession::begin_page() {
+  objects_left_ = static_cast<std::int64_t>(std::ceil(rng_.bounded_pareto(
+      params_.objects_shape, params_.objects_min, params_.objects_cap)));
+  next_object();
+}
+
+void WebSession::next_object() {
+  if (objects_left_ == 0) {
+    ++pages_;
+    think_timer_.schedule_in(rng_.exponential(params_.think_mean));
+    return;
+  }
+  --objects_left_;
+  ++objects_;
+  const double bytes = rng_.bounded_pareto(params_.size_shape,
+                                           params_.size_min, params_.size_cap);
+  const auto pkts = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(
+             std::ceil(bytes / sender_->config().seg_payload)));
+  sender_->start_transfer(pkts, /*fresh_slow_start=*/true);
+}
+
+}  // namespace pert::traffic

@@ -1,0 +1,51 @@
+// Web-session traffic generator following the SIGCOMM'99 guidelines of
+// Feldmann et al. [11]: a session is an on/off loop of "pages"; each page is
+// a Pareto-distributed number of objects with heavy-tailed (bounded Pareto)
+// sizes transferred back-to-back on the session's connection, separated by
+// exponential think times. Every transfer restarts in slow start, which is
+// what makes this traffic bursty at the bottleneck.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/random.h"
+#include "sim/timer.h"
+#include "tcp/tcp_sender.h"
+
+namespace pert::traffic {
+
+struct WebParams {
+  double think_mean = 1.0;       ///< s, exponential inter-page think time
+  double objects_shape = 1.5;    ///< Pareto shape of objects per page
+  double objects_min = 1.0;      ///< >= 1 object per page
+  double objects_cap = 30.0;     ///< bound the tail
+  double size_shape = 1.2;       ///< Pareto shape of object size (bytes)
+  double size_min = 2000.0;      ///< ~12 KB mean with shape 1.2
+  double size_cap = 5e6;         ///< bound the tail
+};
+
+/// Drives one TcpSender as a web session. The sender must be connected and
+/// not started; the session owns its lifecycle from `start_at` on.
+class WebSession {
+ public:
+  WebSession(sim::Scheduler& sched, tcp::TcpSender& sender, WebParams params,
+             sim::Rng rng, sim::Time start_at);
+
+  std::int64_t pages_completed() const noexcept { return pages_; }
+  std::int64_t objects_completed() const noexcept { return objects_; }
+
+ private:
+  void begin_page();
+  void next_object();
+
+  tcp::TcpSender* sender_;
+  WebParams params_;
+  sim::Rng rng_;
+  sim::Timer think_timer_;
+  std::int64_t objects_left_ = 0;
+  std::int64_t pages_ = 0;
+  std::int64_t objects_ = 0;
+};
+
+}  // namespace pert::traffic

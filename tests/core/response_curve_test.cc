@@ -1,0 +1,81 @@
+#include "core/response_curve.h"
+
+#include <gtest/gtest.h>
+
+#include "core/pert_params.h"
+
+namespace pert::core {
+namespace {
+
+PertParams defaults() { return PertParams{}; }
+
+TEST(ResponseCurve, ZeroBelowTmin) {
+  ResponseCurve c(defaults());
+  EXPECT_DOUBLE_EQ(c.probability(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(c.probability(0.004), 0.0);
+  EXPECT_DOUBLE_EQ(c.probability(0.005 - 1e-12), 0.0);
+}
+
+TEST(ResponseCurve, LinearRampToPmax) {
+  ResponseCurve c(defaults());
+  // Midpoint between T_min=5ms and T_max=10ms -> pmax/2.
+  EXPECT_NEAR(c.probability(0.0075), 0.025, 1e-12);
+  EXPECT_NEAR(c.probability(0.010 - 1e-9), 0.05, 1e-6);
+}
+
+TEST(ResponseCurve, GentleRegionRampsToOne) {
+  ResponseCurve c(defaults());
+  // Midpoint of [T_max, 2 T_max] = 15 ms -> pmax + (1-pmax)/2.
+  EXPECT_NEAR(c.probability(0.015), 0.05 + 0.95 / 2, 1e-12);
+  EXPECT_NEAR(c.probability(0.020), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(c.probability(0.5), 1.0);
+}
+
+TEST(ResponseCurve, PaperFigure5Anchors) {
+  ResponseCurve c(defaults());
+  EXPECT_DOUBLE_EQ(c.probability(0.005), 0.0);        // T_min
+  EXPECT_NEAR(c.probability(0.010), 0.05, 1e-9);      // T_max -> pmax
+  EXPECT_DOUBLE_EQ(c.probability(0.020), 1.0);        // 2*T_max -> 1
+}
+
+TEST(ResponseCurve, NonGentleJumpsToOneAtTmax) {
+  PertParams p;
+  p.gentle = false;
+  ResponseCurve c(p);
+  EXPECT_LT(c.probability(0.00999), 0.05 + 1e-9);
+  EXPECT_DOUBLE_EQ(c.probability(0.0101), 1.0);
+}
+
+TEST(ResponseCurve, CustomThresholds) {
+  PertParams p;
+  p.tmin_offset = 0.050;
+  p.tmax_offset = 0.100;
+  p.pmax = 0.1;
+  ResponseCurve c(p);
+  EXPECT_DOUBLE_EQ(c.probability(0.049), 0.0);
+  EXPECT_NEAR(c.probability(0.075), 0.05, 1e-12);
+  EXPECT_NEAR(c.probability(0.100), 0.1, 1e-9);
+  EXPECT_NEAR(c.probability(0.150), 0.1 + 0.9 * 0.5, 1e-12);
+}
+
+class CurveMonotonicity : public ::testing::TestWithParam<bool> {};
+
+TEST_P(CurveMonotonicity, NonDecreasingAndBounded) {
+  PertParams p;
+  p.gentle = GetParam();
+  ResponseCurve c(p);
+  double prev = -1.0;
+  for (int i = 0; i <= 3000; ++i) {
+    const double tq = i * 1e-5;  // 0 .. 30 ms
+    const double prob = c.probability(tq);
+    EXPECT_GE(prob, 0.0);
+    EXPECT_LE(prob, 1.0);
+    EXPECT_GE(prob + 1e-12, prev) << "curve decreased at tq=" << tq;
+    prev = prob;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GentleAndNot, CurveMonotonicity, ::testing::Bool());
+
+}  // namespace
+}  // namespace pert::core

@@ -1,0 +1,72 @@
+// Numerical-quality tests for the DDE integrator: RK4 order verification
+// and step-size robustness of the PERT model trajectories.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fluid/dde.h"
+#include "fluid/pert_model.h"
+
+namespace pert::fluid {
+namespace {
+
+double decay_error(double h) {
+  DdeIntegrator integ(
+      [](double, const State& x, const State&) { return State{-x[0]}; },
+      State{1.0}, 0.0, h);
+  integ.run_until(1.0);
+  return std::abs(integ.state()[0] - std::exp(-integ.time()));
+}
+
+TEST(Rk4, FourthOrderConvergence) {
+  // Halving the step should shrink the global error by ~2^4 = 16.
+  const double e1 = decay_error(4e-3);
+  const double e2 = decay_error(2e-3);
+  ASSERT_GT(e1, 0.0);
+  ASSERT_GT(e2, 0.0);
+  const double order = std::log2(e1 / e2);
+  EXPECT_NEAR(order, 4.0, 0.7);
+}
+
+TEST(Rk4, TinyStepNearExact) {
+  EXPECT_LT(decay_error(1e-4), 1e-12);
+}
+
+TEST(PertModelNumerics, TrajectoryInsensitiveToStep) {
+  PertModelParams p;
+  p.rtt = 0.16;
+  p.capacity = 100;
+  p.n_flows = 5;
+  p.p_max = 0.1;
+  p.t_max = 0.1;
+  p.t_min = 0.05;
+  p.alpha = 0.99;
+  p.delta = 1e-4;
+  const auto coarse = simulate(p, 100.0, {1, 1, 1}, 1e-3, 100.0);
+  const auto fine = simulate(p, 100.0, {1, 1, 1}, 2.5e-4, 100.0);
+  ASSERT_FALSE(coarse.empty());
+  ASSERT_FALSE(fine.empty());
+  EXPECT_NEAR(coarse.back().window, fine.back().window,
+              0.02 * fine.back().window + 1e-6);
+}
+
+TEST(PertModelNumerics, StabilityVerdictInsensitiveToStep) {
+  PertModelParams p;
+  p.rtt = 0.171;  // the boundary case
+  p.capacity = 100;
+  p.n_flows = 5;
+  p.p_max = 0.1;
+  p.t_max = 0.1;
+  p.t_min = 0.05;
+  p.alpha = 0.99;
+  p.delta = 1e-4;
+  const auto coarse = simulate(p, 300.0, {1, 1, 1}, 1e-3);
+  const auto fine = simulate(p, 300.0, {1, 1, 1}, 2.5e-4);
+  const bool osc_coarse = tail_window_error(coarse, p) > 0.10;
+  const bool osc_fine = tail_window_error(fine, p) > 0.10;
+  EXPECT_EQ(osc_coarse, osc_fine);
+  EXPECT_TRUE(osc_fine);
+}
+
+}  // namespace
+}  // namespace pert::fluid

@@ -1,0 +1,136 @@
+#include "fluid/pert_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pert::fluid {
+namespace {
+
+/// The Section 5.3 simulation setup: C=100 pkt/s, N=5, delta=0.1 ms,
+/// p_max=0.1, T_max=100 ms, T_min=50 ms, alpha=0.99.
+PertModelParams paper_setup(double rtt) {
+  PertModelParams p;
+  p.rtt = rtt;
+  p.capacity = 100;
+  p.n_flows = 5;
+  p.p_max = 0.1;
+  p.t_max = 0.100;
+  p.t_min = 0.050;
+  p.alpha = 0.99;
+  p.delta = 1e-4;
+  return p;
+}
+
+TEST(PertModel, EquilibriumFormulas) {
+  const PertModelParams p = paper_setup(0.1);
+  const Equilibrium e = equilibrium(p);
+  EXPECT_DOUBLE_EQ(e.window, 0.1 * 100 / 5);          // RC/N = 2
+  EXPECT_DOUBLE_EQ(e.prob, 2.0 * 25 / (0.1 * 0.1 * 1e4));  // 2N^2/(RC)^2
+  EXPECT_GT(e.t_queue, p.t_min);
+}
+
+TEST(PertModel, LPertDefinition) {
+  const PertModelParams p = paper_setup(0.1);
+  EXPECT_DOUBLE_EQ(p.l_pert(), 0.1 / 0.05);
+  EXPECT_LT(p.k(), 0.0);  // ln(0.99)/delta < 0
+}
+
+TEST(PertModel, Theorem1StableAtSmallRtt) {
+  EXPECT_TRUE(thm1_stable(paper_setup(0.100)));
+  EXPECT_TRUE(thm1_stable(paper_setup(0.160)));
+}
+
+TEST(PertModel, Theorem1ViolatedAtLargeRtt) {
+  EXPECT_FALSE(thm1_stable(paper_setup(0.300)));
+}
+
+TEST(PertModel, StabilityBoundaryNear171ms) {
+  // Section 5.3: the boundary for this setup sits at R ~ 0.171 s.
+  double lo = 0.05, hi = 0.5;
+  for (int i = 0; i < 40; ++i) {
+    const double mid = (lo + hi) / 2;
+    if (thm1_stable(paper_setup(mid)))
+      lo = mid;
+    else
+      hi = mid;
+  }
+  EXPECT_NEAR(lo, 0.171, 0.015);
+}
+
+TEST(PertModel, MinDeltaDecreasesWithFlows) {
+  // Figure 13(a): minimum delta falls monotonically as N grows.
+  PertModelParams p;
+  p.rtt = 0.2;
+  p.capacity = 1000;  // 10 Mbps at 1250-byte packets
+  p.p_max = 0.1;
+  p.t_max = 0.1;
+  p.t_min = 0.05;
+  p.alpha = 0.99;
+  double prev = 1e18;
+  for (double n = 1; n <= 50; n += 1) {
+    p.n_flows = n;
+    const double d = min_delta(p);
+    EXPECT_LE(d, prev + 1e-15);
+    prev = d;
+  }
+}
+
+TEST(PertModel, MinDeltaConsistentWithTheorem1) {
+  // Setting delta = min_delta makes the condition hold with near equality.
+  PertModelParams p;
+  p.rtt = 0.2;
+  p.capacity = 1000;
+  p.n_flows = 10;
+  p.p_max = 0.1;
+  p.t_max = 0.1;
+  p.t_min = 0.05;
+  p.alpha = 0.99;
+  const double d = min_delta(p);
+  ASSERT_GT(d, 0.0);
+  p.delta = d * 1.001;
+  EXPECT_TRUE(thm1_stable(p));
+  p.delta = d * 0.5;
+  EXPECT_FALSE(thm1_stable(p));
+}
+
+TEST(PertModel, TrajectoryStableAt100ms) {
+  const PertModelParams p = paper_setup(0.100);
+  const auto traj = simulate(p, 200.0, {1, 1, 1}, 5e-4);
+  EXPECT_LT(tail_window_error(traj, p), 0.05);
+}
+
+TEST(PertModel, TrajectoryStableAt160msAfterDecayingOscillations) {
+  const PertModelParams p = paper_setup(0.160);
+  const auto traj = simulate(p, 400.0, {1, 1, 1}, 5e-4);
+  EXPECT_LT(tail_window_error(traj, p), 0.10);
+}
+
+TEST(PertModel, TrajectoryOscillatesAt171ms) {
+  const PertModelParams p = paper_setup(0.171);
+  const auto traj = simulate(p, 400.0, {1, 1, 1}, 5e-4);
+  // Persistent oscillations: the window keeps swinging around W* = 3.42.
+  EXPECT_GT(tail_window_error(traj, p), 0.10);
+}
+
+TEST(PertModel, OscillationAmplitudeGrowsWithRtt) {
+  const auto t1 = simulate(paper_setup(0.171), 300.0, {1, 1, 1}, 5e-4);
+  const auto t2 = simulate(paper_setup(0.200), 300.0, {1, 1, 1}, 5e-4);
+  EXPECT_GT(tail_window_error(t2, paper_setup(0.200)),
+            tail_window_error(t1, paper_setup(0.171)));
+}
+
+TEST(PertModel, QueueDelayNeverNegative) {
+  const auto traj = simulate(paper_setup(0.171), 100.0, {1, 0, 0}, 5e-4);
+  for (const auto& pt : traj) EXPECT_GE(pt.tq_inst, -1e-9);
+}
+
+TEST(PertModel, WindowConvergesToEquilibriumValue) {
+  const PertModelParams p = paper_setup(0.100);
+  const Equilibrium e = equilibrium(p);
+  const auto traj = simulate(p, 300.0, {1, 1, 1}, 5e-4);
+  EXPECT_NEAR(traj.back().window, e.window, 0.15 * e.window);
+}
+
+}  // namespace
+}  // namespace pert::fluid

@@ -1,0 +1,84 @@
+#include "net/fault_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/scheduler.h"
+
+namespace pert::net {
+namespace {
+
+PacketPtr mk(std::uint64_t uid, std::int64_t seq = 0) {
+  auto p = std::make_unique<Packet>();
+  p->uid = uid;
+  p->seq = seq;
+  p->size_bytes = 500;
+  return p;
+}
+
+TEST(FaultQueue, DropsMatchingPackets) {
+  sim::Scheduler s;
+  FaultInjectionQueue q(
+      s, std::make_unique<DropTailQueue>(s, 10),
+      [](const Packet& p) { return p.seq == 2; });
+  for (std::int64_t i = 0; i < 5; ++i) q.enqueue(mk(i, i));
+  EXPECT_EQ(q.len_pkts(), 4);
+  EXPECT_EQ(q.snapshot().drops, 1u);
+  EXPECT_EQ(q.snapshot().arrivals, 5u);
+  // Survivors come out in order, skipping seq 2.
+  EXPECT_EQ(q.dequeue()->seq, 0);
+  EXPECT_EQ(q.dequeue()->seq, 1);
+  EXPECT_EQ(q.dequeue()->seq, 3);
+}
+
+TEST(FaultQueue, NullPredicatePassesEverything) {
+  sim::Scheduler s;
+  FaultInjectionQueue q(s, std::make_unique<DropTailQueue>(s, 10), nullptr);
+  for (std::uint64_t i = 0; i < 3; ++i) q.enqueue(mk(i));
+  EXPECT_EQ(q.len_pkts(), 3);
+  EXPECT_EQ(q.snapshot().drops, 0u);
+}
+
+TEST(FaultQueue, SetDropFnSwapsPredicate) {
+  sim::Scheduler s;
+  FaultInjectionQueue q(
+      s, std::make_unique<DropTailQueue>(s, 10),
+      [](const Packet&) { return true; });  // drop all
+  q.enqueue(mk(1));
+  EXPECT_EQ(q.len_pkts(), 0);
+  q.set_drop_fn(nullptr);
+  q.enqueue(mk(2));
+  EXPECT_EQ(q.len_pkts(), 1);
+}
+
+TEST(FaultQueue, DelegatesLengthAndBytes) {
+  sim::Scheduler s;
+  FaultInjectionQueue q(s, std::make_unique<DropTailQueue>(s, 10), nullptr);
+  q.enqueue(mk(1));
+  q.enqueue(mk(2));
+  EXPECT_EQ(q.len_pkts(), 2);
+  EXPECT_EQ(q.len_bytes(), 1000);
+}
+
+TEST(FaultQueue, InnerDisciplineStillEnforcesCapacity) {
+  sim::Scheduler s;
+  FaultInjectionQueue q(s, std::make_unique<DropTailQueue>(s, 2), nullptr);
+  for (std::uint64_t i = 0; i < 5; ++i) q.enqueue(mk(i));
+  EXPECT_EQ(q.len_pkts(), 2);
+  EXPECT_EQ(q.inner().snapshot().drops, 3u);
+}
+
+TEST(FaultQueue, OnDropHookFiresForInjectedDrops) {
+  sim::Scheduler s;
+  FaultInjectionQueue q(
+      s, std::make_unique<DropTailQueue>(s, 10),
+      [](const Packet& p) { return p.uid == 7; });
+  std::uint64_t dropped = 0;
+  q.on_drop = [&](const Packet& p, sim::Time) { dropped = p.uid; };
+  q.enqueue(mk(7));
+  EXPECT_EQ(dropped, 7u);
+}
+
+}  // namespace
+}  // namespace pert::net

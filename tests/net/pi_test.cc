@@ -1,0 +1,104 @@
+#include "net/pi_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/scheduler.h"
+
+namespace pert::net {
+namespace {
+
+PacketPtr mk(Ecn ecn = Ecn::Ect0) {
+  auto p = std::make_unique<Packet>();
+  p->size_bytes = 1000;
+  p->ecn = ecn;
+  return p;
+}
+
+TEST(PiDesign, CoefficientsOrdered) {
+  const PiDesign d = PiDesign::for_link(12000, 50, 0.2, 100);
+  EXPECT_GT(d.a, 0.0);
+  EXPECT_GT(d.b, 0.0);
+  EXPECT_GT(d.a, d.b);  // integral action requires a > b
+}
+
+TEST(PiDesign, GainShrinksWithCapacity) {
+  const PiDesign small = PiDesign::for_link(1000, 50, 0.2, 100);
+  const PiDesign big = PiDesign::for_link(100000, 50, 0.2, 100);
+  EXPECT_GT(small.a, big.a);  // loop gain ~ C^3 -> coefficient ~ 1/C^2-ish
+}
+
+TEST(PiQueue, ProbabilityRisesAboveReference) {
+  sim::Scheduler s;
+  PiDesign d;
+  d.a = 0.01;
+  d.b = 0.009;
+  d.q_ref = 5;
+  d.sample_hz = 100;
+  PiQueue q(s, 1000, d, /*ecn=*/true);
+  for (int i = 0; i < 50; ++i) q.enqueue(mk());  // q = 50 >> q_ref
+  s.run_until(1.0);                              // 100 controller samples
+  EXPECT_GT(q.mark_prob(), 0.0);
+}
+
+TEST(PiQueue, ProbabilityFallsBackWhenEmpty) {
+  sim::Scheduler s;
+  PiDesign d;
+  d.a = 0.01;
+  d.b = 0.009;
+  d.q_ref = 5;
+  d.sample_hz = 100;
+  PiQueue q(s, 1000, d, true);
+  for (int i = 0; i < 50; ++i) q.enqueue(mk());
+  s.run_until(1.0);
+  while (q.dequeue()) {
+  }
+  s.run_until(60.0);  // long idle: integral unwinds (error is negative)
+  EXPECT_DOUBLE_EQ(q.mark_prob(), 0.0);
+}
+
+TEST(PiQueue, MarksEctDropsNotEct) {
+  sim::Scheduler s;
+  PiDesign d;
+  d.a = 0.05;
+  d.b = 0.045;
+  d.q_ref = 2;
+  d.sample_hz = 1000;
+  PiQueue q(s, 10000, d, true);
+  for (int i = 0; i < 100; ++i) q.enqueue(mk());
+  s.run_until(1.0);
+  ASSERT_GT(q.mark_prob(), 0.05);
+  const auto before = q.snapshot();
+  for (int i = 0; i < 500; ++i) q.enqueue(mk(Ecn::Ect0));
+  const auto mid = q.snapshot();
+  EXPECT_GT(mid.ecn_marks, before.ecn_marks);
+  for (int i = 0; i < 500; ++i) q.enqueue(mk(Ecn::NotEct));
+  const auto after = q.snapshot();
+  EXPECT_GT(after.early_drops, mid.early_drops);
+}
+
+TEST(PiQueue, FullBufferForcedDrop) {
+  sim::Scheduler s;
+  PiDesign d;
+  PiQueue q(s, 4, d, true);
+  for (int i = 0; i < 10; ++i) q.enqueue(mk());
+  EXPECT_EQ(q.snapshot().forced_drops, 6u);
+}
+
+TEST(PiQueue, ProbabilityStaysInUnitInterval) {
+  sim::Scheduler s;
+  PiDesign d;
+  d.a = 10.0;  // absurd gain to force clamping
+  d.b = 0.1;
+  d.q_ref = 1;
+  d.sample_hz = 1000;
+  PiQueue q(s, 10000, d, true);
+  for (int i = 0; i < 1000; ++i) q.enqueue(mk());
+  s.run_until(2.0);
+  EXPECT_LE(q.mark_prob(), 1.0);
+  EXPECT_GE(q.mark_prob(), 0.0);
+}
+
+}  // namespace
+}  // namespace pert::net

@@ -1,0 +1,100 @@
+#include "net/queue.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sim/scheduler.h"
+
+namespace pert::net {
+namespace {
+
+PacketPtr mk(std::uint64_t uid, std::int32_t bytes = 1000) {
+  auto p = std::make_unique<Packet>();
+  p->uid = uid;
+  p->size_bytes = bytes;
+  return p;
+}
+
+TEST(DropTail, FifoOrder) {
+  sim::Scheduler s;
+  DropTailQueue q(s, 10);
+  for (std::uint64_t i = 0; i < 5; ++i) q.enqueue(mk(i));
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    auto p = q.dequeue();
+    ASSERT_TRUE(p);
+    EXPECT_EQ(p->uid, i);
+  }
+  EXPECT_EQ(q.dequeue(), nullptr);
+}
+
+TEST(DropTail, OverflowDropsTail) {
+  sim::Scheduler s;
+  DropTailQueue q(s, 3);
+  for (std::uint64_t i = 0; i < 5; ++i) q.enqueue(mk(i));
+  EXPECT_EQ(q.len_pkts(), 3);
+  auto st = q.snapshot();
+  EXPECT_EQ(st.arrivals, 5u);
+  EXPECT_EQ(st.drops, 2u);
+  EXPECT_EQ(st.forced_drops, 2u);
+  EXPECT_EQ(st.early_drops, 0u);
+  // Survivors are the first three.
+  EXPECT_EQ(q.dequeue()->uid, 0u);
+}
+
+TEST(DropTail, ByteAccounting) {
+  sim::Scheduler s;
+  DropTailQueue q(s, 10);
+  q.enqueue(mk(1, 100));
+  q.enqueue(mk(2, 250));
+  EXPECT_EQ(q.len_bytes(), 350);
+  q.dequeue();
+  EXPECT_EQ(q.len_bytes(), 250);
+  q.dequeue();
+  EXPECT_EQ(q.len_bytes(), 0);
+}
+
+TEST(DropTail, OnDropHookFires) {
+  sim::Scheduler s;
+  DropTailQueue q(s, 1);
+  std::vector<std::uint64_t> dropped;
+  q.on_drop = [&](const Packet& p, sim::Time) { dropped.push_back(p.uid); };
+  q.enqueue(mk(1));
+  q.enqueue(mk(2));
+  q.enqueue(mk(3));
+  EXPECT_EQ(dropped, (std::vector<std::uint64_t>{2, 3}));
+}
+
+TEST(Queue, TimeWeightedLengthIntegral) {
+  sim::Scheduler s;
+  DropTailQueue q(s, 10);
+  // len=0 for [0,1), len=2 for [1,3), len=1 for [3,4).
+  s.run_until(1.0);
+  q.enqueue(mk(1));
+  q.enqueue(mk(2));
+  s.run_until(3.0);
+  q.dequeue();
+  s.run_until(4.0);
+  const auto st = q.snapshot();
+  EXPECT_DOUBLE_EQ(st.len_integral, 0 * 1 + 2 * 2 + 1 * 1);
+}
+
+TEST(Queue, SnapshotDoesNotMutate) {
+  sim::Scheduler s;
+  DropTailQueue q(s, 10);
+  q.enqueue(mk(1));
+  s.run_until(2.0);
+  const auto a = q.snapshot();
+  const auto b = q.snapshot();
+  EXPECT_DOUBLE_EQ(a.len_integral, b.len_integral);
+}
+
+TEST(Queue, CapacityReported) {
+  sim::Scheduler s;
+  DropTailQueue q(s, 7);
+  EXPECT_EQ(q.capacity_pkts(), 7);
+}
+
+}  // namespace
+}  // namespace pert::net

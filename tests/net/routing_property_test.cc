@@ -1,0 +1,109 @@
+// Property test: on random connected graphs, the installed routes deliver
+// every packet along a shortest path (hop count verified against an
+// independent BFS).
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "net/network.h"
+#include "sim/random.h"
+
+namespace pert::net {
+namespace {
+
+class Capture final : public Agent {
+ public:
+  void receive(PacketPtr p) override {
+    ++count;
+    last_ttl = p->ttl;
+  }
+  int count = 0;
+  std::int32_t last_ttl = -1;
+};
+
+struct RandomGraph {
+  Network net;
+  std::vector<Node*> nodes;
+  std::vector<std::vector<int>> adj;
+
+  RandomGraph(std::uint64_t seed, int n, double extra_edge_prob)
+      : net(seed) {
+    sim::Rng rng(seed * 1234567 + 1);
+    adj.assign(n, {});
+    for (int i = 0; i < n; ++i) nodes.push_back(net.add_node());
+    // Random spanning tree first (guarantees connectivity)...
+    for (int i = 1; i < n; ++i) {
+      const int j = static_cast<int>(rng.uniform_int(0, i - 1));
+      link(i, j);
+    }
+    // ...plus random extra edges.
+    for (int i = 0; i < n; ++i)
+      for (int j = i + 1; j < n; ++j)
+        if (!connected(i, j) && rng.bernoulli(extra_edge_prob)) link(i, j);
+    net.compute_routes();
+  }
+
+  void link(int i, int j) {
+    net.add_duplex_droptail(nodes[i], nodes[j], 1e9, 1e-4, 100);
+    adj[i].push_back(j);
+    adj[j].push_back(i);
+  }
+
+  bool connected(int i, int j) const {
+    for (int k : adj[i])
+      if (k == j) return true;
+    return false;
+  }
+
+  int bfs_dist(int from, int to) const {
+    std::vector<int> dist(adj.size(), std::numeric_limits<int>::max());
+    std::queue<int> q;
+    dist[from] = 0;
+    q.push(from);
+    while (!q.empty()) {
+      const int u = q.front();
+      q.pop();
+      for (int v : adj[u])
+        if (dist[v] == std::numeric_limits<int>::max()) {
+          dist[v] = dist[u] + 1;
+          q.push(v);
+        }
+    }
+    return dist[to];
+  }
+};
+
+class RoutingProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RoutingProperty, DeliversAlongShortestPaths) {
+  RandomGraph g(GetParam(), 12, 0.15);
+  sim::Rng rng(GetParam() + 99);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int src = static_cast<int>(rng.uniform_int(0, 11));
+    int dst = static_cast<int>(rng.uniform_int(0, 11));
+    if (dst == src) dst = (dst + 1) % 12;
+
+    auto* cap = g.net.add_agent<Capture>(g.nodes[dst], 1000 + trial);
+    auto p = g.net.make_packet();
+    p->dst = g.nodes[dst]->id();
+    p->dst_port = 1000 + trial;
+    p->ttl = 64;
+    g.nodes[src]->send(std::move(p));
+    g.net.run_until(g.net.now() + 1.0);
+
+    ASSERT_EQ(cap->count, 1) << "src=" << src << " dst=" << dst;
+    // Intermediate forwards = path length - 1; each decrements the TTL.
+    const int hops_taken = 64 - cap->last_ttl;
+    EXPECT_EQ(hops_taken, g.bfs_dist(src, dst) - 1)
+        << "src=" << src << " dst=" << dst;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoutingProperty,
+                         ::testing::Values(1, 7, 23, 77, 1001));
+
+}  // namespace
+}  // namespace pert::net

@@ -1,0 +1,84 @@
+#include "predictors/extra.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/random.h"
+
+namespace pert::predictors {
+namespace {
+
+TEST(Bfa, QuietOnStableRtt) {
+  BfaPredictor p;
+  p.reset();
+  bool fired = false;
+  for (int i = 0; i < 500; ++i) fired |= p.on_sample({i * 0.01, 0.06, 0, 10});
+  EXPECT_FALSE(fired);
+}
+
+TEST(Bfa, FiresWhenVarianceJumps) {
+  BfaPredictor p;
+  p.reset();
+  // Quiet phase with small jitter establishes the baseline variance...
+  for (int i = 0; i < 500; ++i)
+    p.on_sample({i * 0.01, 0.06 + (i % 2) * 0.0005, 0, 10});
+  // ...then the buffer fills: samples climb steeply -> variance explodes.
+  bool fired = false;
+  for (int i = 0; i < 64; ++i)
+    fired |= p.on_sample({5.0 + i * 0.01, 0.06 + i * 0.002, 0, 10});
+  EXPECT_TRUE(fired);
+}
+
+TEST(Bfa, RecoversAfterSpike) {
+  BfaPredictor p;
+  p.reset();
+  for (int i = 0; i < 500; ++i)
+    p.on_sample({i * 0.01, 0.06 + (i % 2) * 0.0005, 0, 10});
+  for (int i = 0; i < 64; ++i)
+    p.on_sample({5.0 + i * 0.01, 0.06 + i * 0.002, 0, 10});
+  bool still = false;
+  for (int i = 0; i < 500; ++i)
+    still = p.on_sample({10.0 + i * 0.01, 0.188 + (i % 2) * 0.0005, 0, 10});
+  EXPECT_FALSE(still);  // flat again (even if at a higher level)
+}
+
+TEST(Trend, QuietOnFlatSignal) {
+  TrendPredictor p;
+  p.reset();
+  bool fired = false;
+  for (int i = 0; i < 300; ++i) fired |= p.on_sample({i * 0.01, 0.06, 0, 10});
+  EXPECT_FALSE(fired);
+}
+
+TEST(Trend, FiresOnMonotoneRise) {
+  TrendPredictor p;
+  p.reset();
+  bool fired = false;
+  for (int i = 0; i < 300; ++i)
+    fired |= p.on_sample({i * 0.01, 0.06 + i * 0.0005, 0, 10});
+  EXPECT_TRUE(fired);
+}
+
+TEST(Trend, ClearsOnDescent) {
+  TrendPredictor p;
+  p.reset();
+  for (int i = 0; i < 300; ++i) p.on_sample({i * 0.01, 0.06 + i * 0.0005, 0, 10});
+  bool last = true;
+  for (int i = 0; i < 300; ++i)
+    last = p.on_sample({3.0 + i * 0.01, 0.21 - i * 0.0005, 0, 10});
+  EXPECT_FALSE(last);
+}
+
+TEST(Trend, NoisyButRisingStillDetected) {
+  TrendPredictor p;
+  p.reset();
+  sim::Rng rng(3);
+  bool fired = false;
+  for (int i = 0; i < 600; ++i) {
+    const double noise = rng.uniform(-0.002, 0.002);
+    fired |= p.on_sample({i * 0.01, 0.06 + i * 0.0004 + noise, 0, 10});
+  }
+  EXPECT_TRUE(fired);  // smoothing rides over the noise
+}
+
+}  // namespace
+}  // namespace pert::predictors

@@ -1,0 +1,269 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "predictors/classic.h"
+#include "predictors/predictor.h"
+
+namespace pert::predictors {
+namespace {
+
+/// Builds a trace of per-ACK samples at 1 kHz with the given RTT function.
+template <class F>
+FlowTrace make_trace(double duration, F rtt_at, double cwnd = 20.0) {
+  FlowTrace t;
+  for (double x = 0.0; x < duration; x += 0.001)
+    t.samples.push_back(TraceSample{x, rtt_at(x), 0.0, cwnd});
+  t.prop_delay = 0.06;
+  return t;
+}
+
+TEST(ThresholdPredictor, FiresAboveThreshold) {
+  ThresholdPredictor p(0.065);
+  EXPECT_FALSE(p.on_sample({0, 0.060, 0, 10}));
+  EXPECT_TRUE(p.on_sample({0, 0.070, 0, 10}));
+}
+
+TEST(Classifier, CorrectPredictionCountsN2) {
+  // RTT ramps high, then a queue loss while high.
+  FlowTrace t = make_trace(2.0, [](double x) { return x < 1.0 ? 0.06 : 0.08; });
+  t.queue_losses = {1.5};
+  ThresholdPredictor p(0.065);
+  ClassifyOptions opt;
+  const auto c = classify(t, p, opt);
+  EXPECT_EQ(c.n2, 1);
+  EXPECT_EQ(c.n4, 0);
+  // After the loss the state resets to A, then re-enters B (still high) and
+  // never exits: no false positive recorded at trace end.
+  EXPECT_EQ(c.n5, 0);
+  EXPECT_DOUBLE_EQ(c.efficiency(), 1.0);
+}
+
+TEST(Classifier, UnpredictedLossCountsN4) {
+  FlowTrace t = make_trace(2.0, [](double) { return 0.06; });  // always low
+  t.queue_losses = {1.0};
+  ThresholdPredictor p(0.065);
+  const auto c = classify(t, p, ClassifyOptions{});
+  EXPECT_EQ(c.n2, 0);
+  EXPECT_EQ(c.n4, 1);
+  EXPECT_DOUBLE_EQ(c.false_negative_rate(), 1.0);
+}
+
+TEST(Classifier, RetractedAlarmCountsN5) {
+  // RTT spikes then returns to low without any loss: false positive.
+  FlowTrace t = make_trace(
+      3.0, [](double x) { return (x > 1.0 && x < 1.5) ? 0.08 : 0.06; });
+  ThresholdPredictor p(0.065);
+  const auto c = classify(t, p, ClassifyOptions{});
+  EXPECT_EQ(c.n2, 0);
+  EXPECT_EQ(c.n5, 1);
+  EXPECT_DOUBLE_EQ(c.false_positive_rate(), 1.0);
+}
+
+TEST(Classifier, LossBurstCoalesces) {
+  FlowTrace t = make_trace(2.0, [](double x) { return x < 0.5 ? 0.06 : 0.08; });
+  // Five drops within 50 ms = one congestion episode.
+  t.queue_losses = {1.0, 1.01, 1.02, 1.03, 1.04};
+  ThresholdPredictor p(0.065);
+  ClassifyOptions opt;
+  opt.loss_coalesce = 0.1;
+  const auto c = classify(t, p, opt);
+  EXPECT_EQ(c.n2 + c.n4, 1);
+}
+
+TEST(Classifier, SeparatedLossesCountIndividually) {
+  FlowTrace t = make_trace(3.0, [](double x) { return x < 0.5 ? 0.06 : 0.08; });
+  t.queue_losses = {1.0, 2.0};
+  ThresholdPredictor p(0.065);
+  const auto c = classify(t, p, ClassifyOptions{});
+  EXPECT_EQ(c.n2, 2);  // re-entered B between losses (RTT stays high)
+}
+
+TEST(Classifier, FlowVsQueueLevelLossSelection) {
+  FlowTrace t = make_trace(2.0, [](double) { return 0.08; });
+  t.queue_losses = {1.0};
+  t.flow_losses = {};  // the tagged flow itself saw nothing
+  ThresholdPredictor p(0.065);
+  ClassifyOptions queue_opt;
+  queue_opt.queue_level_losses = true;
+  ClassifyOptions flow_opt;
+  flow_opt.queue_level_losses = false;
+  EXPECT_EQ(classify(t, p, queue_opt).n2, 1);
+  EXPECT_EQ(classify(t, p, flow_opt).n2, 0);
+}
+
+TEST(Classifier, CapturesQnormAtFalsePositives) {
+  FlowTrace t;
+  for (double x = 0.0; x < 3.0; x += 0.001) {
+    const bool high = x > 1.0 && x < 1.5;
+    t.samples.push_back(TraceSample{x, high ? 0.08 : 0.06, high ? 0.3 : 0.1, 20});
+  }
+  ThresholdPredictor p(0.065);
+  std::vector<double> fp_q;
+  ClassifyOptions opt;
+  opt.fp_qnorm = &fp_q;
+  classify(t, p, opt);
+  ASSERT_EQ(fp_q.size(), 1u);
+  // The alarm retracts right after the last high sample: qnorm ~ 0.3.
+  EXPECT_NEAR(fp_q[0], 0.3, 0.05);
+}
+
+TEST(EwmaPredictorCmp, HeavySmootherIgnoresShortSpike) {
+  // A 3-sample spike: inst-RTT predictor alarms, srtt_0.99 barely moves
+  // (0.99^3 of the 140 ms excursion is filtered, staying under the 5 ms
+  // threshold headroom).
+  auto rtt = [](double x) { return (x > 1.0 && x < 1.003) ? 0.2 : 0.06; };
+  FlowTrace t = make_trace(2.0, rtt);
+  ThresholdPredictor inst(0.065);
+  EwmaPredictor heavy(0.99, 0.065);
+  const auto ci = classify(t, inst, ClassifyOptions{});
+  const auto ch = classify(t, heavy, ClassifyOptions{});
+  EXPECT_EQ(ci.n5, 1);  // false positive for the noisy signal
+  EXPECT_EQ(ch.n5, 0);  // smoothed signal rides through
+}
+
+TEST(EwmaPredictorCmp, HeavySmootherStillSeesSustainedCongestion) {
+  auto rtt = [](double x) { return x > 1.0 ? 0.2 : 0.06; };
+  FlowTrace t = make_trace(4.0, rtt);
+  t.queue_losses = {3.5};
+  EwmaPredictor heavy(0.99, 0.065);
+  const auto c = classify(t, heavy, ClassifyOptions{});
+  EXPECT_EQ(c.n2, 1);
+  EXPECT_EQ(c.n4, 0);
+}
+
+TEST(MovingAvgPredictor, WindowedSmoothing) {
+  MovingAvgPredictor p(750, 0.065);
+  TraceSample low{0, 0.06, 0, 10};
+  TraceSample high{0, 0.2, 0, 10};
+  for (int i = 0; i < 750; ++i) EXPECT_FALSE(p.on_sample(low));
+  // A handful of spikes cannot lift a 750-sample average above 65 ms.
+  bool fired = false;
+  for (int i = 0; i < 20; ++i) fired |= p.on_sample(high);
+  EXPECT_FALSE(fired);
+  for (int i = 0; i < 750; ++i) p.on_sample(high);
+  EXPECT_TRUE(p.on_sample(high));
+}
+
+TEST(VegasPredictor, DetectsBacklogGrowth) {
+  VegasPredictor p;
+  p.reset();
+  // Base RTT 60 ms established, then RTT rises: diff = cwnd*(1-base/rtt).
+  bool fired = false;
+  double t = 0;
+  for (int i = 0; i < 300; ++i) {
+    p.on_sample({t, 0.06, 0, 20});
+    t += 0.01;
+  }
+  for (int i = 0; i < 300; ++i) {
+    // diff = 20*(0.08-0.06)/0.08 = 5 > beta=3.
+    fired |= p.on_sample({t, 0.08, 0, 20});
+    t += 0.01;
+  }
+  EXPECT_TRUE(fired);
+}
+
+TEST(VegasPredictor, QuietWhenBacklogSmall) {
+  VegasPredictor p;
+  p.reset();
+  double t = 0;
+  bool fired = false;
+  for (int i = 0; i < 600; ++i) {
+    // diff = 10*(0.062-0.06)/0.062 ~ 0.3 < 3.
+    fired |= p.on_sample({t, i < 300 ? 0.06 : 0.062, 0, 10});
+    t += 0.01;
+  }
+  EXPECT_FALSE(fired);
+}
+
+TEST(CardPredictor, FiresOnRisingDelayGradient) {
+  CardPredictor p;
+  p.reset();
+  double t = 0;
+  bool fired = false;
+  for (int i = 0; i < 600; ++i) {
+    const double rtt = 0.06 + i * 0.0002;  // steadily rising
+    fired |= p.on_sample({t, rtt, 0, 10});
+    t += rtt;
+  }
+  EXPECT_TRUE(fired);
+}
+
+TEST(CardPredictor, QuietOnFlatDelay) {
+  CardPredictor p;
+  p.reset();
+  double t = 0;
+  bool fired = false;
+  for (int i = 0; i < 600; ++i) {
+    fired |= p.on_sample({t, 0.06, 0, 10});
+    t += 0.01;
+  }
+  EXPECT_FALSE(fired);
+}
+
+TEST(DualPredictor, FiresAboveMidpoint) {
+  DualPredictor p;
+  p.reset();
+  double t = 0;
+  // Establish min=60ms, max=100ms; then samples at 90ms > 80ms midpoint.
+  for (int i = 0; i < 200; ++i) {
+    p.on_sample({t, 0.06, 0, 10});
+    t += 0.01;
+  }
+  for (int i = 0; i < 200; ++i) {
+    p.on_sample({t, 0.10, 0, 10});
+    t += 0.01;
+  }
+  bool fired = false;
+  for (int i = 0; i < 200; ++i) {
+    fired |= p.on_sample({t, 0.09, 0, 10});
+    t += 0.01;
+  }
+  EXPECT_TRUE(fired);
+}
+
+TEST(CimPredictor, ShortAverageCrossesLongAverage) {
+  CimPredictor p;
+  p.reset();
+  bool fired = false;
+  for (int i = 0; i < 64; ++i) fired |= p.on_sample({0, 0.06, 0, 10});
+  EXPECT_FALSE(fired);
+  for (int i = 0; i < 8; ++i) fired |= p.on_sample({0, 0.10, 0, 10});
+  EXPECT_TRUE(fired);
+}
+
+TEST(TrisPredictor, FiresWhenWindowGrowsButThroughputStalls) {
+  TrisPredictor p;
+  p.reset();
+  double t = 0;
+  // Phase 1: window 10, 100 acks per epoch. Phase 2: window doubles but the
+  // ack rate (throughput) stays the same -> saturation.
+  bool fired = false;
+  for (int i = 0; i < 3000; ++i) {
+    const double w = i < 1500 ? 10.0 : 10.0 + (i - 1500) * 0.01;
+    fired |= p.on_sample({t, 0.06, 0, w});
+    t += 0.001;  // constant ack rate
+  }
+  EXPECT_TRUE(fired);
+}
+
+TEST(TransitionCounts, DerivedRates) {
+  TransitionCounts c;
+  c.n2 = 8;
+  c.n5 = 2;
+  c.n4 = 2;
+  EXPECT_DOUBLE_EQ(c.efficiency(), 0.8);
+  EXPECT_DOUBLE_EQ(c.false_positive_rate(), 0.2);
+  EXPECT_DOUBLE_EQ(c.false_negative_rate(), 0.2);
+}
+
+TEST(TransitionCounts, EmptyIsZero) {
+  TransitionCounts c;
+  EXPECT_DOUBLE_EQ(c.efficiency(), 0.0);
+  EXPECT_DOUBLE_EQ(c.false_positive_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(c.false_negative_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace pert::predictors

@@ -1,0 +1,81 @@
+#include "predictors/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace pert::predictors {
+namespace {
+
+FlowTrace sample_trace() {
+  FlowTrace t;
+  t.prop_delay = 0.060;
+  t.samples.push_back({0.1, 0.061, 0.05, 3.0});
+  t.samples.push_back({0.2, 0.072, 0.35, 4.5});
+  t.flow_losses = {1.5};
+  t.queue_losses = {1.4, 2.8};
+  return t;
+}
+
+TEST(TraceIo, RoundTripsExactly) {
+  const FlowTrace in = sample_trace();
+  std::stringstream ss;
+  save_trace(in, ss);
+  const FlowTrace out = load_trace(ss);
+
+  EXPECT_DOUBLE_EQ(out.prop_delay, in.prop_delay);
+  ASSERT_EQ(out.samples.size(), in.samples.size());
+  for (std::size_t i = 0; i < in.samples.size(); ++i) {
+    EXPECT_DOUBLE_EQ(out.samples[i].t, in.samples[i].t);
+    EXPECT_DOUBLE_EQ(out.samples[i].rtt, in.samples[i].rtt);
+    EXPECT_DOUBLE_EQ(out.samples[i].qnorm, in.samples[i].qnorm);
+    EXPECT_DOUBLE_EQ(out.samples[i].cwnd, in.samples[i].cwnd);
+  }
+  EXPECT_EQ(out.flow_losses, in.flow_losses);
+  EXPECT_EQ(out.queue_losses, in.queue_losses);
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips) {
+  std::stringstream ss;
+  save_trace(FlowTrace{}, ss);
+  const FlowTrace out = load_trace(ss);
+  EXPECT_TRUE(out.samples.empty());
+  EXPECT_TRUE(out.flow_losses.empty());
+}
+
+TEST(TraceIo, RejectsWrongMagic) {
+  std::stringstream ss("not a trace\nS,1,2,3,4\n");
+  EXPECT_THROW(load_trace(ss), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsMalformedSample) {
+  std::stringstream ss("# pert-trace v1\nS,1,2\n");
+  EXPECT_THROW(load_trace(ss), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsUnknownTag) {
+  std::stringstream ss("# pert-trace v1\nX,1\n");
+  EXPECT_THROW(load_trace(ss), std::runtime_error);
+}
+
+TEST(TraceIo, SkipsCommentsAndBlankLines) {
+  std::stringstream ss("# pert-trace v1\n# a comment\n\nP,0.05\n");
+  const FlowTrace out = load_trace(ss);
+  EXPECT_DOUBLE_EQ(out.prop_delay, 0.05);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const std::string path = "/tmp/pert_trace_io_test.csv";
+  save_trace(sample_trace(), path);
+  const FlowTrace out = load_trace(path);
+  EXPECT_EQ(out.samples.size(), 2u);
+  EXPECT_EQ(out.queue_losses.size(), 2u);
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW(load_trace(std::string("/nonexistent/file.csv")),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pert::predictors

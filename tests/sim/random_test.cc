@@ -1,0 +1,160 @@
+#include "sim/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace pert::sim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.uniform() == b.uniform();
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng r(4);
+  double lo = 1e9, hi = -1e9;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform(5.0, 9.0);
+    lo = std::min(lo, u);
+    hi = std::max(hi, u);
+    ASSERT_GE(u, 5.0);
+    ASSERT_LT(u, 9.0);
+  }
+  EXPECT_LT(lo, 5.1);  // covers the range
+  EXPECT_GT(hi, 8.9);
+}
+
+TEST(Rng, UniformIntBoundsInclusive) {
+  Rng r(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniform_int(3, 7);
+    ASSERT_GE(v, 3u);
+    ASSERT_LE(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values appear
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng r(6);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += r.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliDegenerate) {
+  Rng r(6);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, ExponentialMeanAndPositivity) {
+  Rng r(8);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.exponential(2.5);
+    ASSERT_GT(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 2.5, 0.05);
+}
+
+TEST(Rng, ParetoMinimumAndMean) {
+  Rng r(9);
+  double sum = 0;
+  const int n = 500000;
+  const double alpha = 2.5, xm = 1.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.pareto(alpha, xm);
+    ASSERT_GE(x, xm);
+    sum += x;
+  }
+  // mean = alpha*xm/(alpha-1) = 5/3.
+  EXPECT_NEAR(sum / n, alpha * xm / (alpha - 1.0), 0.02);
+}
+
+TEST(Rng, BoundedParetoStaysInBounds) {
+  Rng r(10);
+  for (int i = 0; i < 100000; ++i) {
+    const double x = r.bounded_pareto(1.2, 2.0, 100.0);
+    ASSERT_GE(x, 2.0);
+    ASSERT_LE(x, 100.0 + 1e-9);
+  }
+}
+
+TEST(Rng, BoundedParetoHasHeavyTail) {
+  Rng r(11);
+  int above10 = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) above10 += r.bounded_pareto(1.2, 2.0, 1e6) > 10.0;
+  // P(X > 10) for Pareto(1.2, 2) ~ (2/10)^1.2 ~ 0.145.
+  EXPECT_NEAR(static_cast<double>(above10) / n, 0.145, 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(12);
+  double sum = 0, sum2 = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal(10.0, 3.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(13);
+  Rng child = a.fork();
+  // The fork must not replay the parent's stream.
+  Rng fresh(13);
+  fresh.fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += child.uniform() == fresh.uniform();
+  EXPECT_LT(same, 100);  // child stream differs from continuing parent stream
+}
+
+class ExponentialMeanSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ExponentialMeanSweep, MeanTracksParameter) {
+  Rng r(static_cast<std::uint64_t>(GetParam() * 1000) + 1);
+  const double mean = GetParam();
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(mean);
+  EXPECT_NEAR(sum / n / mean, 1.0, 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(Means, ExponentialMeanSweep,
+                         ::testing::Values(0.01, 0.1, 1.0, 10.0, 100.0));
+
+}  // namespace
+}  // namespace pert::sim

@@ -1,0 +1,218 @@
+#include "sim/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/random.h"
+#include "sim/timer.h"
+
+namespace pert::sim {
+namespace {
+
+TEST(Scheduler, StartsAtZero) {
+  Scheduler s;
+  EXPECT_EQ(s.now(), 0.0);
+  EXPECT_EQ(s.pending(), 0u);
+  EXPECT_FALSE(s.run_next());
+}
+
+TEST(Scheduler, DispatchesInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(3.0, [&] { order.push_back(3); });
+  s.schedule_at(1.0, [&] { order.push_back(1); });
+  s.schedule_at(2.0, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 3.0);
+}
+
+TEST(Scheduler, TiesBreakByInsertionOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    s.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Scheduler, ScheduleInUsesCurrentTime) {
+  Scheduler s;
+  double fired_at = -1;
+  s.schedule_at(5.0, [&] {
+    s.schedule_in(2.5, [&] { fired_at = s.now(); });
+  });
+  s.run();
+  EXPECT_DOUBLE_EQ(fired_at, 7.5);
+}
+
+TEST(Scheduler, PastTimesClampToNow) {
+  Scheduler s;
+  s.schedule_at(10.0, [] {});
+  s.run();
+  double fired_at = -1;
+  s.schedule_at(1.0, [&] { fired_at = s.now(); });  // in the past
+  s.run();
+  EXPECT_DOUBLE_EQ(fired_at, 10.0);
+}
+
+TEST(Scheduler, CancelPreventsDispatch) {
+  Scheduler s;
+  bool ran = false;
+  auto id = s.schedule_at(1.0, [&] { ran = true; });
+  EXPECT_TRUE(s.cancel(id));
+  EXPECT_FALSE(s.cancel(id));  // second cancel is a no-op
+  s.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Scheduler, CancelAfterRunReturnsFalse) {
+  Scheduler s;
+  auto id = s.schedule_at(1.0, [] {});
+  s.run();
+  EXPECT_FALSE(s.cancel(id));
+}
+
+TEST(Scheduler, NullEventIdNeverCancels) {
+  Scheduler s;
+  EXPECT_FALSE(s.cancel(Scheduler::EventId{}));
+}
+
+TEST(Scheduler, RunUntilAdvancesClockWithoutEvents) {
+  Scheduler s;
+  s.run_until(42.0);
+  EXPECT_DOUBLE_EQ(s.now(), 42.0);
+}
+
+TEST(Scheduler, RunUntilDispatchesOnlyUpToBoundary) {
+  Scheduler s;
+  std::vector<double> fired;
+  for (double t : {1.0, 2.0, 3.0, 4.0})
+    s.schedule_at(t, [&fired, &s] { fired.push_back(s.now()); });
+  s.run_until(2.5);
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+  EXPECT_DOUBLE_EQ(s.now(), 2.5);
+  EXPECT_EQ(s.pending(), 2u);
+  s.run_until(10.0);
+  EXPECT_EQ(fired.size(), 4u);
+}
+
+TEST(Scheduler, BoundaryEventIncludedInRunUntil) {
+  Scheduler s;
+  bool ran = false;
+  s.schedule_at(2.0, [&] { ran = true; });
+  s.run_until(2.0);
+  EXPECT_TRUE(ran);
+}
+
+TEST(Scheduler, RunMaxEventsBounds) {
+  Scheduler s;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) s.schedule_at(i, [&] { ++count; });
+  EXPECT_EQ(s.run(3), 3u);
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(s.pending(), 7u);
+}
+
+TEST(Scheduler, DispatchedCounterCounts) {
+  Scheduler s;
+  for (int i = 0; i < 5; ++i) s.schedule_at(i, [] {});
+  s.run();
+  EXPECT_EQ(s.dispatched(), 5u);
+}
+
+TEST(Scheduler, EventsScheduledDuringDispatchRun) {
+  Scheduler s;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) s.schedule_in(0.001, recurse);
+  };
+  s.schedule_at(0.0, recurse);
+  s.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_NEAR(s.now(), 0.099, 1e-9);
+}
+
+class SchedulerPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SchedulerPropertyTest, RandomEventsDispatchSorted) {
+  Rng rng(GetParam());
+  Scheduler s;
+  std::vector<double> fired;
+  std::vector<Scheduler::EventId> ids;
+  for (int i = 0; i < 500; ++i)
+    ids.push_back(
+        s.schedule_at(rng.uniform(0, 100), [&] { fired.push_back(s.now()); }));
+  // Cancel a random third of them.
+  std::size_t cancelled = 0;
+  for (std::size_t i = 0; i < ids.size(); ++i)
+    if (rng.bernoulli(1.0 / 3)) cancelled += s.cancel(ids[i]);
+  s.run();
+  EXPECT_EQ(fired.size(), 500u - cancelled);
+  EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerPropertyTest,
+                         ::testing::Values(1, 2, 3, 17, 99, 12345));
+
+TEST(Timer, FiresOnce) {
+  Scheduler s;
+  int fires = 0;
+  Timer t(s, [&] { ++fires; });
+  t.schedule_in(1.0);
+  EXPECT_TRUE(t.pending());
+  s.run();
+  EXPECT_EQ(fires, 1);
+  EXPECT_FALSE(t.pending());
+}
+
+TEST(Timer, RescheduleReplacesPendingFire) {
+  Scheduler s;
+  std::vector<double> at;
+  Timer t(s, [&] { at.push_back(s.now()); });
+  t.schedule_in(1.0);
+  t.schedule_in(2.0);  // replaces the 1.0 fire
+  s.run();
+  EXPECT_EQ(at, std::vector<double>{2.0});
+}
+
+TEST(Timer, CancelStopsFire) {
+  Scheduler s;
+  int fires = 0;
+  Timer t(s, [&] { ++fires; });
+  t.schedule_in(1.0);
+  t.cancel();
+  s.run();
+  EXPECT_EQ(fires, 0);
+}
+
+TEST(Timer, CanRescheduleItselfFromCallback) {
+  Scheduler s;
+  int fires = 0;
+  Timer* tp = nullptr;
+  Timer t(s, [&] {
+    if (++fires < 5) tp->schedule_in(1.0);
+  });
+  tp = &t;
+  t.schedule_in(1.0);
+  s.run();
+  EXPECT_EQ(fires, 5);
+  EXPECT_DOUBLE_EQ(s.now(), 5.0);
+}
+
+TEST(Timer, DestructionCancelsPendingFire) {
+  Scheduler s;
+  int fires = 0;
+  {
+    Timer t(s, [&] { ++fires; });
+    t.schedule_in(1.0);
+  }
+  s.run();
+  EXPECT_EQ(fires, 0);
+}
+
+}  // namespace
+}  // namespace pert::sim

@@ -1,0 +1,69 @@
+#include "stats/time_series.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/scheduler.h"
+
+namespace pert::stats {
+namespace {
+
+TEST(TimeSeries, SamplesAtFixedInterval) {
+  sim::Scheduler s;
+  double value = 0.0;
+  TimeSeries ts(s, 0.5, [&] { return value; });
+  ts.start();
+  value = 1.0;
+  s.run_until(2.4);
+  ASSERT_EQ(ts.samples().size(), 4u);  // t = 0.5, 1.0, 1.5, 2.0
+  EXPECT_DOUBLE_EQ(ts.samples()[0].first, 0.5);
+  EXPECT_DOUBLE_EQ(ts.samples()[3].first, 2.0);
+  EXPECT_DOUBLE_EQ(ts.samples()[0].second, 1.0);
+}
+
+TEST(TimeSeries, StopHaltsSampling) {
+  sim::Scheduler s;
+  TimeSeries ts(s, 0.1, [] { return 42.0; });
+  ts.start();
+  s.run_until(0.55);
+  ts.stop();
+  const auto n = ts.samples().size();
+  s.run_until(5.0);
+  EXPECT_EQ(ts.samples().size(), n);
+}
+
+TEST(TimeSeries, StartAtAbsoluteTime) {
+  sim::Scheduler s;
+  TimeSeries ts(s, 1.0, [] { return 1.0; });
+  ts.start(10.0);
+  s.run_until(9.9);
+  EXPECT_TRUE(ts.samples().empty());
+  s.run_until(10.1);
+  EXPECT_EQ(ts.samples().size(), 1u);
+}
+
+TEST(TimeSeries, SummaryAggregates) {
+  sim::Scheduler s;
+  int i = 0;
+  TimeSeries ts(s, 1.0, [&] { return static_cast<double>(++i); });
+  ts.start();
+  s.run_until(5.5);  // samples 1..5
+  const Summary sum = ts.summary();
+  EXPECT_EQ(sum.count(), 5u);
+  EXPECT_DOUBLE_EQ(sum.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(sum.max(), 5.0);
+}
+
+TEST(TimeSeries, CsvOutput) {
+  sim::Scheduler s;
+  TimeSeries ts(s, 1.0, [] { return 2.5; });
+  ts.start();
+  s.run_until(2.5);
+  std::stringstream ss;
+  ts.write_csv(ss);
+  EXPECT_EQ(ss.str(), "1,2.5\n2,2.5\n");
+}
+
+}  // namespace
+}  // namespace pert::stats

@@ -1,0 +1,71 @@
+// RTO timer behavior: exponential backoff under persistent loss, reset on
+// fresh samples, and bounds.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "tcp/tcp_sender.h"
+#include "tcp_test_util.h"
+
+namespace pert::tcp {
+namespace {
+
+using testutil::Path;
+
+TEST(RtoBackoff, TimeoutsSpreadExponentially) {
+  Path p(1e6, 0.01, 100);
+  auto* s = p.make_sender();
+  std::vector<sim::Time> timeout_times;
+  s->on_loss_event = [&](sim::Time t) {
+    // loss events after blackhole are all timeouts
+    timeout_times.push_back(t);
+  };
+  s->start(0.0);
+  p.net.run_until(0.5);
+  timeout_times.clear();
+  p.a->set_route(p.b->id(), nullptr);  // black-hole
+  p.net.run_until(15.0);
+  ASSERT_GE(timeout_times.size(), 3u);
+  // Consecutive gaps roughly double (exponential backoff).
+  const double g1 = timeout_times[1] - timeout_times[0];
+  const double g2 = timeout_times[2] - timeout_times[1];
+  EXPECT_GT(g2, 1.5 * g1);
+}
+
+TEST(RtoBackoff, BackoffResetsAfterRecovery) {
+  Path p(1e6, 0.01, 100);
+  auto* s = p.make_sender();
+  s->start(0.0);
+  p.net.run_until(0.5);
+  net::Link* saved = p.a->route(p.b->id());
+  p.a->set_route(p.b->id(), nullptr);
+  p.net.run_until(8.0);  // several backoffs
+  p.a->set_route(p.b->id(), saved);
+  p.net.run_until(20.0);
+  // Fresh RTT samples restored the RTO to its normal small value.
+  EXPECT_LT(s->rto(), 1.0);
+  EXPECT_GE(s->rto(), s->config().min_rto);
+}
+
+TEST(RtoBackoff, RtoNeverBelowFloor) {
+  Path p(1e9, 0.0001, 10000);  // sub-millisecond RTT
+  auto* s = p.make_sender();
+  s->start(0.0);
+  p.net.run_until(1.0);
+  EXPECT_GE(s->rto(), s->config().min_rto);
+}
+
+TEST(RtoBackoff, NoTimerWhenIdle) {
+  Path p(10e6, 0.01, 1000);
+  auto* s = p.make_sender();
+  s->start_transfer(10);
+  p.net.run_until(5.0);
+  ASSERT_EQ(s->snd_una(), 10);
+  // Nothing outstanding: advancing far must not produce spurious timeouts.
+  p.net.run_until(120.0);
+  EXPECT_EQ(s->flow_stats().timeouts, 0);
+}
+
+}  // namespace
+}  // namespace pert::tcp

@@ -1,0 +1,54 @@
+// Vegas slow-start specifics: every-other-epoch doubling and the gamma
+// exit into congestion avoidance.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "tcp/vegas.h"
+#include "tcp_test_util.h"
+
+namespace pert::tcp {
+namespace {
+
+using testutil::Path;
+
+TEST(VegasSlowStart, GrowsSlowerThanReno) {
+  // Same path, same time budget: Vegas' every-other-epoch doubling lags
+  // Reno's per-ack doubling.
+  Path pv(100e6, 0.05, 100000);
+  auto* v = pv.make_sender<VegasSender>();
+  v->start(0.0);
+  pv.net.run_until(0.62);  // ~6 RTTs
+  const double vegas_cwnd = v->cwnd();
+
+  Path pr(100e6, 0.05, 100000);
+  auto* r = pr.make_sender();
+  r->start(0.0);
+  pr.net.run_until(0.62);
+  EXPECT_LT(vegas_cwnd, r->cwnd());
+  EXPECT_GT(vegas_cwnd, 4.0);  // but it does grow
+}
+
+TEST(VegasSlowStart, ExitsWhenBacklogAppears) {
+  // On a slow link the backlog builds during slow start; Vegas must leave
+  // slow start (ssthresh drops to ~cwnd) well before filling the queue.
+  Path p(2e6, 0.02, 5000);
+  auto* v = p.make_sender<VegasSender>();
+  v->start(0.0);
+  p.net.run_until(20.0);
+  EXPECT_LT(v->ssthresh(), 1e6);            // left the initial "infinity"
+  EXPECT_LT(p.fwd->queue().len_pkts(), 50); // queue kept small
+  EXPECT_EQ(p.fwd->queue().snapshot().drops, 0u);
+}
+
+TEST(VegasSlowStart, StationaryWindowNearBdpPlusTarget) {
+  Path p(5e6, 0.02, 5000);
+  auto* v = p.make_sender<VegasSender>();
+  v->start(0.0);
+  p.net.run_until(30.0);
+  const double bdp = 5e6 * 0.040 / (8 * 1040);  // ~24 pkts
+  EXPECT_NEAR(v->cwnd(), bdp, 8.0);  // bdp + alpha..beta backlog
+}
+
+}  // namespace
+}  // namespace pert::tcp
