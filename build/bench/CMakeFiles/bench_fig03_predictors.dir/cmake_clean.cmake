@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_predictors.dir/bench_fig03_predictors.cc.o"
+  "CMakeFiles/bench_fig03_predictors.dir/bench_fig03_predictors.cc.o.d"
+  "bench_fig03_predictors"
+  "bench_fig03_predictors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_predictors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_multibottleneck.dir/bench_fig11_multibottleneck.cc.o"
+  "CMakeFiles/bench_fig11_multibottleneck.dir/bench_fig11_multibottleneck.cc.o.d"
+  "bench_fig11_multibottleneck"
+  "bench_fig11_multibottleneck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_multibottleneck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_pert_pi.dir/bench_fig14_pert_pi.cc.o"
+  "CMakeFiles/bench_fig14_pert_pi.dir/bench_fig14_pert_pi.cc.o.d"
+  "bench_fig14_pert_pi"
+  "bench_fig14_pert_pi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_pert_pi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

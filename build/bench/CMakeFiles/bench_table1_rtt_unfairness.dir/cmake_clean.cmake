@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_rtt_unfairness.dir/bench_table1_rtt_unfairness.cc.o"
+  "CMakeFiles/bench_table1_rtt_unfairness.dir/bench_table1_rtt_unfairness.cc.o.d"
+  "bench_table1_rtt_unfairness"
+  "bench_table1_rtt_unfairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_rtt_unfairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

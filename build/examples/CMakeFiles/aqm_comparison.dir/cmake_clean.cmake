@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqm_comparison.dir/aqm_comparison.cpp.o"
+  "CMakeFiles/aqm_comparison.dir/aqm_comparison.cpp.o.d"
+  "aqm_comparison"
+  "aqm_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqm_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fluid_stability.dir/fluid_stability.cpp.o"
+  "CMakeFiles/fluid_stability.dir/fluid_stability.cpp.o.d"
+  "fluid_stability"
+  "fluid_stability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fluid_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/pert_sender.cc" "src/core/CMakeFiles/pert_core.dir/pert_sender.cc.o" "gcc" "src/core/CMakeFiles/pert_core.dir/pert_sender.cc.o.d"
+  "/root/repo/src/core/pi_emulation.cc" "src/core/CMakeFiles/pert_core.dir/pi_emulation.cc.o" "gcc" "src/core/CMakeFiles/pert_core.dir/pi_emulation.cc.o.d"
+  "/root/repo/src/core/response_curve.cc" "src/core/CMakeFiles/pert_core.dir/response_curve.cc.o" "gcc" "src/core/CMakeFiles/pert_core.dir/response_curve.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tcp/CMakeFiles/pert_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/pert_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pert_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pert_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pert_core.dir/pert_sender.cc.o"
+  "CMakeFiles/pert_core.dir/pert_sender.cc.o.d"
+  "CMakeFiles/pert_core.dir/pi_emulation.cc.o"
+  "CMakeFiles/pert_core.dir/pi_emulation.cc.o.d"
+  "CMakeFiles/pert_core.dir/response_curve.cc.o"
+  "CMakeFiles/pert_core.dir/response_curve.cc.o.d"
+  "libpert_core.a"
+  "libpert_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pert_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

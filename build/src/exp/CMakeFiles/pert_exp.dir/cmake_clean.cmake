@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pert_exp.dir/cli.cc.o"
+  "CMakeFiles/pert_exp.dir/cli.cc.o.d"
+  "CMakeFiles/pert_exp.dir/dumbbell.cc.o"
+  "CMakeFiles/pert_exp.dir/dumbbell.cc.o.d"
+  "CMakeFiles/pert_exp.dir/multi_bottleneck.cc.o"
+  "CMakeFiles/pert_exp.dir/multi_bottleneck.cc.o.d"
+  "libpert_exp.a"
+  "libpert_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pert_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pert_fluid.dir/dde.cc.o"
+  "CMakeFiles/pert_fluid.dir/dde.cc.o.d"
+  "CMakeFiles/pert_fluid.dir/pert_model.cc.o"
+  "CMakeFiles/pert_fluid.dir/pert_model.cc.o.d"
+  "libpert_fluid.a"
+  "libpert_fluid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pert_fluid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

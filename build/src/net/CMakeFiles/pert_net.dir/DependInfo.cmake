@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/avq_queue.cc" "src/net/CMakeFiles/pert_net.dir/avq_queue.cc.o" "gcc" "src/net/CMakeFiles/pert_net.dir/avq_queue.cc.o.d"
+  "/root/repo/src/net/link.cc" "src/net/CMakeFiles/pert_net.dir/link.cc.o" "gcc" "src/net/CMakeFiles/pert_net.dir/link.cc.o.d"
+  "/root/repo/src/net/network.cc" "src/net/CMakeFiles/pert_net.dir/network.cc.o" "gcc" "src/net/CMakeFiles/pert_net.dir/network.cc.o.d"
+  "/root/repo/src/net/node.cc" "src/net/CMakeFiles/pert_net.dir/node.cc.o" "gcc" "src/net/CMakeFiles/pert_net.dir/node.cc.o.d"
+  "/root/repo/src/net/pi_queue.cc" "src/net/CMakeFiles/pert_net.dir/pi_queue.cc.o" "gcc" "src/net/CMakeFiles/pert_net.dir/pi_queue.cc.o.d"
+  "/root/repo/src/net/queue.cc" "src/net/CMakeFiles/pert_net.dir/queue.cc.o" "gcc" "src/net/CMakeFiles/pert_net.dir/queue.cc.o.d"
+  "/root/repo/src/net/red_queue.cc" "src/net/CMakeFiles/pert_net.dir/red_queue.cc.o" "gcc" "src/net/CMakeFiles/pert_net.dir/red_queue.cc.o.d"
+  "/root/repo/src/net/rem_queue.cc" "src/net/CMakeFiles/pert_net.dir/rem_queue.cc.o" "gcc" "src/net/CMakeFiles/pert_net.dir/rem_queue.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pert_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pert_net.dir/avq_queue.cc.o"
+  "CMakeFiles/pert_net.dir/avq_queue.cc.o.d"
+  "CMakeFiles/pert_net.dir/link.cc.o"
+  "CMakeFiles/pert_net.dir/link.cc.o.d"
+  "CMakeFiles/pert_net.dir/network.cc.o"
+  "CMakeFiles/pert_net.dir/network.cc.o.d"
+  "CMakeFiles/pert_net.dir/node.cc.o"
+  "CMakeFiles/pert_net.dir/node.cc.o.d"
+  "CMakeFiles/pert_net.dir/pi_queue.cc.o"
+  "CMakeFiles/pert_net.dir/pi_queue.cc.o.d"
+  "CMakeFiles/pert_net.dir/queue.cc.o"
+  "CMakeFiles/pert_net.dir/queue.cc.o.d"
+  "CMakeFiles/pert_net.dir/red_queue.cc.o"
+  "CMakeFiles/pert_net.dir/red_queue.cc.o.d"
+  "CMakeFiles/pert_net.dir/rem_queue.cc.o"
+  "CMakeFiles/pert_net.dir/rem_queue.cc.o.d"
+  "libpert_net.a"
+  "libpert_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pert_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pert_predictors.dir/classifier.cc.o"
+  "CMakeFiles/pert_predictors.dir/classifier.cc.o.d"
+  "CMakeFiles/pert_predictors.dir/trace_io.cc.o"
+  "CMakeFiles/pert_predictors.dir/trace_io.cc.o.d"
+  "libpert_predictors.a"
+  "libpert_predictors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pert_predictors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

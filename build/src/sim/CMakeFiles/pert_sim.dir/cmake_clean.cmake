@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pert_sim.dir/scheduler.cc.o"
+  "CMakeFiles/pert_sim.dir/scheduler.cc.o.d"
+  "libpert_sim.a"
+  "libpert_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pert_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

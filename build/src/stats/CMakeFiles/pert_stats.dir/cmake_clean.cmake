@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pert_stats.dir/stats.cc.o"
+  "CMakeFiles/pert_stats.dir/stats.cc.o.d"
+  "CMakeFiles/pert_stats.dir/time_series.cc.o"
+  "CMakeFiles/pert_stats.dir/time_series.cc.o.d"
+  "libpert_stats.a"
+  "libpert_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pert_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

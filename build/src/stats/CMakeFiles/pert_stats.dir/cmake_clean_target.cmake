@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpert_stats.a"
+)

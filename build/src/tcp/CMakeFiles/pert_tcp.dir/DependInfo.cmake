@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tcp/tcp_sender.cc" "src/tcp/CMakeFiles/pert_tcp.dir/tcp_sender.cc.o" "gcc" "src/tcp/CMakeFiles/pert_tcp.dir/tcp_sender.cc.o.d"
+  "/root/repo/src/tcp/tcp_sink.cc" "src/tcp/CMakeFiles/pert_tcp.dir/tcp_sink.cc.o" "gcc" "src/tcp/CMakeFiles/pert_tcp.dir/tcp_sink.cc.o.d"
+  "/root/repo/src/tcp/vegas.cc" "src/tcp/CMakeFiles/pert_tcp.dir/vegas.cc.o" "gcc" "src/tcp/CMakeFiles/pert_tcp.dir/vegas.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/pert_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pert_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

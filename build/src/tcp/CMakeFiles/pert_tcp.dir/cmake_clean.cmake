@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pert_tcp.dir/tcp_sender.cc.o"
+  "CMakeFiles/pert_tcp.dir/tcp_sender.cc.o.d"
+  "CMakeFiles/pert_tcp.dir/tcp_sink.cc.o"
+  "CMakeFiles/pert_tcp.dir/tcp_sink.cc.o.d"
+  "CMakeFiles/pert_tcp.dir/vegas.cc.o"
+  "CMakeFiles/pert_tcp.dir/vegas.cc.o.d"
+  "libpert_tcp.a"
+  "libpert_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pert_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

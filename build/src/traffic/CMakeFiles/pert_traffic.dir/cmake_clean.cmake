@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pert_traffic.dir/web_session.cc.o"
+  "CMakeFiles/pert_traffic.dir/web_session.cc.o.d"
+  "libpert_traffic.a"
+  "libpert_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pert_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

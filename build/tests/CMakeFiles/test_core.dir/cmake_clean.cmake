@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/pert_ext_test.cc.o"
+  "CMakeFiles/test_core.dir/core/pert_ext_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/pert_sender_test.cc.o"
+  "CMakeFiles/test_core.dir/core/pert_sender_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/pi_emulation_test.cc.o"
+  "CMakeFiles/test_core.dir/core/pi_emulation_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/response_curve_test.cc.o"
+  "CMakeFiles/test_core.dir/core/response_curve_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/srtt_test.cc.o"
+  "CMakeFiles/test_core.dir/core/srtt_test.cc.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/exp/cli_test.cc" "tests/CMakeFiles/test_exp.dir/exp/cli_test.cc.o" "gcc" "tests/CMakeFiles/test_exp.dir/exp/cli_test.cc.o.d"
+  "/root/repo/tests/exp/dumbbell_test.cc" "tests/CMakeFiles/test_exp.dir/exp/dumbbell_test.cc.o" "gcc" "tests/CMakeFiles/test_exp.dir/exp/dumbbell_test.cc.o.d"
+  "/root/repo/tests/exp/metrics_test.cc" "tests/CMakeFiles/test_exp.dir/exp/metrics_test.cc.o" "gcc" "tests/CMakeFiles/test_exp.dir/exp/metrics_test.cc.o.d"
+  "/root/repo/tests/exp/multi_bottleneck_test.cc" "tests/CMakeFiles/test_exp.dir/exp/multi_bottleneck_test.cc.o" "gcc" "tests/CMakeFiles/test_exp.dir/exp/multi_bottleneck_test.cc.o.d"
+  "/root/repo/tests/exp/paper_shapes_test.cc" "tests/CMakeFiles/test_exp.dir/exp/paper_shapes_test.cc.o" "gcc" "tests/CMakeFiles/test_exp.dir/exp/paper_shapes_test.cc.o.d"
+  "/root/repo/tests/exp/table_test.cc" "tests/CMakeFiles/test_exp.dir/exp/table_test.cc.o" "gcc" "tests/CMakeFiles/test_exp.dir/exp/table_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/predictors/CMakeFiles/pert_predictors.dir/DependInfo.cmake"
+  "/root/repo/build/src/fluid/CMakeFiles/pert_fluid.dir/DependInfo.cmake"
+  "/root/repo/build/src/exp/CMakeFiles/pert_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pert_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/pert_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/pert_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/pert_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pert_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pert_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

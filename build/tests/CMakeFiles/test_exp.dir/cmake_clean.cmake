@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exp.dir/exp/cli_test.cc.o"
+  "CMakeFiles/test_exp.dir/exp/cli_test.cc.o.d"
+  "CMakeFiles/test_exp.dir/exp/dumbbell_test.cc.o"
+  "CMakeFiles/test_exp.dir/exp/dumbbell_test.cc.o.d"
+  "CMakeFiles/test_exp.dir/exp/metrics_test.cc.o"
+  "CMakeFiles/test_exp.dir/exp/metrics_test.cc.o.d"
+  "CMakeFiles/test_exp.dir/exp/multi_bottleneck_test.cc.o"
+  "CMakeFiles/test_exp.dir/exp/multi_bottleneck_test.cc.o.d"
+  "CMakeFiles/test_exp.dir/exp/paper_shapes_test.cc.o"
+  "CMakeFiles/test_exp.dir/exp/paper_shapes_test.cc.o.d"
+  "CMakeFiles/test_exp.dir/exp/table_test.cc.o"
+  "CMakeFiles/test_exp.dir/exp/table_test.cc.o.d"
+  "test_exp"
+  "test_exp.pdb"
+  "test_exp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

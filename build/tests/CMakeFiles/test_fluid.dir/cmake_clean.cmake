@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fluid.dir/fluid/convergence_test.cc.o"
+  "CMakeFiles/test_fluid.dir/fluid/convergence_test.cc.o.d"
+  "CMakeFiles/test_fluid.dir/fluid/dde_test.cc.o"
+  "CMakeFiles/test_fluid.dir/fluid/dde_test.cc.o.d"
+  "CMakeFiles/test_fluid.dir/fluid/pert_model_test.cc.o"
+  "CMakeFiles/test_fluid.dir/fluid/pert_model_test.cc.o.d"
+  "test_fluid"
+  "test_fluid.pdb"
+  "test_fluid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fluid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

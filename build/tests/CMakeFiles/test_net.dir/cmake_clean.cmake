@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net.dir/net/avq_rem_test.cc.o"
+  "CMakeFiles/test_net.dir/net/avq_rem_test.cc.o.d"
+  "CMakeFiles/test_net.dir/net/fault_queue_test.cc.o"
+  "CMakeFiles/test_net.dir/net/fault_queue_test.cc.o.d"
+  "CMakeFiles/test_net.dir/net/link_node_test.cc.o"
+  "CMakeFiles/test_net.dir/net/link_node_test.cc.o.d"
+  "CMakeFiles/test_net.dir/net/pi_test.cc.o"
+  "CMakeFiles/test_net.dir/net/pi_test.cc.o.d"
+  "CMakeFiles/test_net.dir/net/queue_test.cc.o"
+  "CMakeFiles/test_net.dir/net/queue_test.cc.o.d"
+  "CMakeFiles/test_net.dir/net/red_test.cc.o"
+  "CMakeFiles/test_net.dir/net/red_test.cc.o.d"
+  "CMakeFiles/test_net.dir/net/routing_property_test.cc.o"
+  "CMakeFiles/test_net.dir/net/routing_property_test.cc.o.d"
+  "test_net"
+  "test_net.pdb"
+  "test_net[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

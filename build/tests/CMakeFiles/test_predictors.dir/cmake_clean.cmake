@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_predictors.dir/predictors/end_to_end_test.cc.o"
+  "CMakeFiles/test_predictors.dir/predictors/end_to_end_test.cc.o.d"
+  "CMakeFiles/test_predictors.dir/predictors/extra_test.cc.o"
+  "CMakeFiles/test_predictors.dir/predictors/extra_test.cc.o.d"
+  "CMakeFiles/test_predictors.dir/predictors/predictor_test.cc.o"
+  "CMakeFiles/test_predictors.dir/predictors/predictor_test.cc.o.d"
+  "CMakeFiles/test_predictors.dir/predictors/trace_io_test.cc.o"
+  "CMakeFiles/test_predictors.dir/predictors/trace_io_test.cc.o.d"
+  "test_predictors"
+  "test_predictors.pdb"
+  "test_predictors[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_predictors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tcp/ecn_test.cc" "tests/CMakeFiles/test_tcp.dir/tcp/ecn_test.cc.o" "gcc" "tests/CMakeFiles/test_tcp.dir/tcp/ecn_test.cc.o.d"
+  "/root/repo/tests/tcp/recovery_whitebox_test.cc" "tests/CMakeFiles/test_tcp.dir/tcp/recovery_whitebox_test.cc.o" "gcc" "tests/CMakeFiles/test_tcp.dir/tcp/recovery_whitebox_test.cc.o.d"
+  "/root/repo/tests/tcp/rto_backoff_test.cc" "tests/CMakeFiles/test_tcp.dir/tcp/rto_backoff_test.cc.o" "gcc" "tests/CMakeFiles/test_tcp.dir/tcp/rto_backoff_test.cc.o.d"
+  "/root/repo/tests/tcp/sink_test.cc" "tests/CMakeFiles/test_tcp.dir/tcp/sink_test.cc.o" "gcc" "tests/CMakeFiles/test_tcp.dir/tcp/sink_test.cc.o.d"
+  "/root/repo/tests/tcp/tcp_basic_test.cc" "tests/CMakeFiles/test_tcp.dir/tcp/tcp_basic_test.cc.o" "gcc" "tests/CMakeFiles/test_tcp.dir/tcp/tcp_basic_test.cc.o.d"
+  "/root/repo/tests/tcp/tcp_features_test.cc" "tests/CMakeFiles/test_tcp.dir/tcp/tcp_features_test.cc.o" "gcc" "tests/CMakeFiles/test_tcp.dir/tcp/tcp_features_test.cc.o.d"
+  "/root/repo/tests/tcp/tcp_loss_test.cc" "tests/CMakeFiles/test_tcp.dir/tcp/tcp_loss_test.cc.o" "gcc" "tests/CMakeFiles/test_tcp.dir/tcp/tcp_loss_test.cc.o.d"
+  "/root/repo/tests/tcp/vegas_slowstart_test.cc" "tests/CMakeFiles/test_tcp.dir/tcp/vegas_slowstart_test.cc.o" "gcc" "tests/CMakeFiles/test_tcp.dir/tcp/vegas_slowstart_test.cc.o.d"
+  "/root/repo/tests/tcp/vegas_test.cc" "tests/CMakeFiles/test_tcp.dir/tcp/vegas_test.cc.o" "gcc" "tests/CMakeFiles/test_tcp.dir/tcp/vegas_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/predictors/CMakeFiles/pert_predictors.dir/DependInfo.cmake"
+  "/root/repo/build/src/fluid/CMakeFiles/pert_fluid.dir/DependInfo.cmake"
+  "/root/repo/build/src/exp/CMakeFiles/pert_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pert_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/pert_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/pert_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/pert_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pert_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pert_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

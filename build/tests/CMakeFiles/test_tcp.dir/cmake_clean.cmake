@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tcp.dir/tcp/ecn_test.cc.o"
+  "CMakeFiles/test_tcp.dir/tcp/ecn_test.cc.o.d"
+  "CMakeFiles/test_tcp.dir/tcp/recovery_whitebox_test.cc.o"
+  "CMakeFiles/test_tcp.dir/tcp/recovery_whitebox_test.cc.o.d"
+  "CMakeFiles/test_tcp.dir/tcp/rto_backoff_test.cc.o"
+  "CMakeFiles/test_tcp.dir/tcp/rto_backoff_test.cc.o.d"
+  "CMakeFiles/test_tcp.dir/tcp/sink_test.cc.o"
+  "CMakeFiles/test_tcp.dir/tcp/sink_test.cc.o.d"
+  "CMakeFiles/test_tcp.dir/tcp/tcp_basic_test.cc.o"
+  "CMakeFiles/test_tcp.dir/tcp/tcp_basic_test.cc.o.d"
+  "CMakeFiles/test_tcp.dir/tcp/tcp_features_test.cc.o"
+  "CMakeFiles/test_tcp.dir/tcp/tcp_features_test.cc.o.d"
+  "CMakeFiles/test_tcp.dir/tcp/tcp_loss_test.cc.o"
+  "CMakeFiles/test_tcp.dir/tcp/tcp_loss_test.cc.o.d"
+  "CMakeFiles/test_tcp.dir/tcp/vegas_slowstart_test.cc.o"
+  "CMakeFiles/test_tcp.dir/tcp/vegas_slowstart_test.cc.o.d"
+  "CMakeFiles/test_tcp.dir/tcp/vegas_test.cc.o"
+  "CMakeFiles/test_tcp.dir/tcp/vegas_test.cc.o.d"
+  "test_tcp"
+  "test_tcp.pdb"
+  "test_tcp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

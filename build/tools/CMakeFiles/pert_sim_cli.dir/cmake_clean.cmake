@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pert_sim_cli.dir/pert_sim.cc.o"
+  "CMakeFiles/pert_sim_cli.dir/pert_sim.cc.o.d"
+  "pert_sim"
+  "pert_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pert_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
