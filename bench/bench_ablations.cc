@@ -5,11 +5,19 @@
 //   - srtt history weight (0.875 / 0.99 / 0.995),
 //   - co-existence with non-proactive (plain SACK) flows,
 //   - sensitivity to reverse-path traffic.
+//
+// Every ablation cell is independent, so all sections flatten into one job
+// batch for the experiment runner (--jobs N runs cells concurrently); the
+// section tables print from the collected results in the original order.
+#include <cstddef>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common.h"
 #include "exp/dumbbell.h"
 #include "exp/table.h"
+#include "runner/seed.h"
 
 namespace {
 
@@ -26,16 +34,12 @@ exp::DumbbellConfig base(bool full) {
   return cfg;
 }
 
-exp::WindowMetrics run(const exp::DumbbellConfig& cfg, bool full) {
-  exp::Dumbbell d(cfg);
-  return full ? d.run(50.0, 100.0) : d.run(20.0, 40.0);
-}
-
-void emit(exp::Table& t, const std::string& label, const exp::WindowMetrics& m) {
-  t.row({label, exp::fmt(m.avg_queue_pkts, "%.1f"),
-         exp::fmt(m.drop_rate, "%.2e"), exp::fmt(100 * m.utilization, "%.1f"),
-         exp::fmt(m.jain, "%.3f"), std::to_string(m.early_responses)});
-}
+struct Section {
+  std::string title;
+  std::string label_header;
+  std::vector<std::string> labels;
+  std::vector<std::size_t> cells;  ///< indices into the flat job vector
+};
 
 }  // namespace
 
@@ -46,102 +50,111 @@ int main(int argc, char** argv) {
              "unlimited response collapses utilization; heavier srtt weight "
              "lowers FP-driven responses");
 
-  {
-    std::printf("-- early-response decrease factor (paper uses 0.35) --\n");
-    exp::Table t({"beta", "avg queue (pkts)", "drop rate", "util (%)", "jain",
-                  "early responses"});
-    for (double beta : {0.20, 0.35, 0.50}) {
-      exp::DumbbellConfig cfg = base(opt.full);
-      cfg.pert.early_beta = beta;
-      emit(t, exp::fmt(beta, "%.2f"), run(cfg, opt.full));
-    }
-    t.print();
-    std::printf("\n");
+  const double warmup = opt.full ? 50.0 : 20.0;
+  const double measure = opt.full ? 100.0 : 40.0;
+
+  std::vector<runner::Job> jobs;
+  std::vector<Section> sections;
+  // Queues one ablation cell: derives its seed from the base seed and the
+  // section/label key, and records it under the current section.
+  auto add_cell = [&](const std::string& label, exp::DumbbellConfig cfg) {
+    Section& sec = sections.back();
+    runner::Job job;
+    job.key = "ablations/" + sec.title + "/" + label;
+    job.seed = runner::derive_seed(cfg.seed, job.key);
+    job.tags = {{"x", label}, {"scheme", sec.title}};
+    cfg.seed = job.seed;
+    job.run = [cfg, warmup, measure](const runner::Job&) {
+      exp::Dumbbell d(cfg);
+      runner::JobOutput out;
+      out.metrics = d.run(warmup, measure);
+      out.events = d.network().sched().dispatched();
+      return out;
+    };
+    sec.labels.push_back(label);
+    sec.cells.push_back(jobs.size());
+    jobs.push_back(std::move(job));
+  };
+
+  sections.push_back({"early-response decrease factor (paper uses 0.35)",
+                      "beta", {}, {}});
+  for (double beta : {0.20, 0.35, 0.50}) {
+    exp::DumbbellConfig cfg = base(opt.full);
+    cfg.pert.early_beta = beta;
+    add_cell(exp::fmt(beta, "%.2f"), cfg);
   }
 
-  {
-    std::printf("-- gentle vs non-gentle emulated RED curve --\n");
-    exp::Table t({"curve", "avg queue (pkts)", "drop rate", "util (%)",
+  sections.push_back({"gentle vs non-gentle emulated RED curve",
+                      "curve", {}, {}});
+  for (bool gentle : {true, false}) {
+    exp::DumbbellConfig cfg = base(opt.full);
+    cfg.pert.gentle = gentle;
+    add_cell(gentle ? "gentle" : "non-gentle", cfg);
+  }
+
+  sections.push_back({"once-per-RTT early-response limiting", "limit", {}, {}});
+  for (bool limit : {true, false}) {
+    exp::DumbbellConfig cfg = base(opt.full);
+    cfg.pert.limit_once_per_rtt = limit;
+    add_cell(limit ? "once-per-rtt" : "unlimited", cfg);
+  }
+
+  sections.push_back({"srtt history weight", "alpha", {}, {}});
+  for (double a : {0.875, 0.99, 0.995}) {
+    exp::DumbbellConfig cfg = base(opt.full);
+    cfg.pert.srtt_alpha = a;
+    add_cell(exp::fmt(a, "%.3f"), cfg);
+  }
+
+  sections.push_back(
+      {"co-existence with non-proactive SACK flows (Section 7)",
+       "sack fraction", {}, {}});
+  for (double f : {0.0, 0.25, 0.5}) {
+    exp::DumbbellConfig cfg = base(opt.full);
+    cfg.nonproactive_fraction = f;
+    add_cell(exp::fmt(f, "%.2f"), cfg);
+  }
+
+  sections.push_back({"reverse-path traffic sensitivity (Section 7)",
+                      "signal / reverse flows", {}, {}});
+  for (std::int32_t rev : {0, 10, 20}) {
+    for (bool owd : {false, true}) {
+      exp::DumbbellConfig cfg = base(opt.full);
+      cfg.num_rev_flows = rev;
+      cfg.pert.use_one_way_delay = owd;
+      add_cell(std::string(owd ? "one-way delay / " : "rtt / ") +
+                   std::to_string(rev),
+               cfg);
+    }
+  }
+
+  sections.push_back(
+      {"adaptive pmax (Section 7 self-configuring extension)",
+       "pmax mode", {}, {}});
+  for (bool adaptive : {false, true}) {
+    exp::DumbbellConfig cfg = base(opt.full);
+    cfg.pert.adaptive_pmax = adaptive;
+    add_cell(adaptive ? "adaptive" : "fixed 0.05", cfg);
+  }
+
+  runner::RunnerOptions ropts = opt.runner();
+  ropts.name = "ablations";
+  const runner::RunReport report = runner::ExperimentRunner(ropts).run(jobs);
+
+  for (const Section& sec : sections) {
+    std::printf("-- %s --\n", sec.title.c_str());
+    exp::Table t({sec.label_header, "avg queue (pkts)", "drop rate", "util (%)",
                   "jain", "early responses"});
-    for (bool gentle : {true, false}) {
-      exp::DumbbellConfig cfg = base(opt.full);
-      cfg.pert.gentle = gentle;
-      emit(t, gentle ? "gentle" : "non-gentle", run(cfg, opt.full));
+    for (std::size_t i = 0; i < sec.cells.size(); ++i) {
+      const exp::WindowMetrics& m = report.results[sec.cells[i]].metrics;
+      t.row({sec.labels[i], exp::fmt(m.avg_queue_pkts, "%.1f"),
+             exp::fmt(m.drop_rate, "%.2e"),
+             exp::fmt(100 * m.utilization, "%.1f"), exp::fmt(m.jain, "%.3f"),
+             std::to_string(m.early_responses)});
     }
     t.print();
     std::printf("\n");
   }
-
-  {
-    std::printf("-- once-per-RTT early-response limiting --\n");
-    exp::Table t({"limit", "avg queue (pkts)", "drop rate", "util (%)",
-                  "jain", "early responses"});
-    for (bool limit : {true, false}) {
-      exp::DumbbellConfig cfg = base(opt.full);
-      cfg.pert.limit_once_per_rtt = limit;
-      emit(t, limit ? "once-per-rtt" : "unlimited", run(cfg, opt.full));
-    }
-    t.print();
-    std::printf("\n");
-  }
-
-  {
-    std::printf("-- srtt history weight --\n");
-    exp::Table t({"alpha", "avg queue (pkts)", "drop rate", "util (%)",
-                  "jain", "early responses"});
-    for (double a : {0.875, 0.99, 0.995}) {
-      exp::DumbbellConfig cfg = base(opt.full);
-      cfg.pert.srtt_alpha = a;
-      emit(t, exp::fmt(a, "%.3f"), run(cfg, opt.full));
-    }
-    t.print();
-    std::printf("\n");
-  }
-
-  {
-    std::printf(
-        "-- co-existence with non-proactive SACK flows (Section 7) --\n");
-    exp::Table t({"sack fraction", "avg queue (pkts)", "drop rate",
-                  "util (%)", "jain", "early responses"});
-    for (double f : {0.0, 0.25, 0.5}) {
-      exp::DumbbellConfig cfg = base(opt.full);
-      cfg.nonproactive_fraction = f;
-      emit(t, exp::fmt(f, "%.2f"), run(cfg, opt.full));
-    }
-    t.print();
-    std::printf("\n");
-  }
-
-  {
-    std::printf("-- reverse-path traffic sensitivity (Section 7) --\n");
-    exp::Table t({"signal / reverse flows", "avg queue (pkts)", "drop rate",
-                  "util (%)", "jain", "early responses"});
-    for (std::int32_t rev : {0, 10, 20}) {
-      for (bool owd : {false, true}) {
-        exp::DumbbellConfig cfg = base(opt.full);
-        cfg.num_rev_flows = rev;
-        cfg.pert.use_one_way_delay = owd;
-        emit(t,
-             std::string(owd ? "one-way delay / " : "rtt / ") +
-                 std::to_string(rev),
-             run(cfg, opt.full));
-      }
-    }
-    t.print();
-    std::printf("\n");
-  }
-
-  {
-    std::printf("-- adaptive pmax (Section 7 self-configuring extension) --\n");
-    exp::Table t({"pmax mode", "avg queue (pkts)", "drop rate", "util (%)",
-                  "jain", "early responses"});
-    for (bool adaptive : {false, true}) {
-      exp::DumbbellConfig cfg = base(opt.full);
-      cfg.pert.adaptive_pmax = adaptive;
-      emit(t, adaptive ? "adaptive" : "fixed 0.05", run(cfg, opt.full));
-    }
-    t.print();
-    std::printf("\n");
-  }
+  opt.export_report(report);
   return 0;
 }

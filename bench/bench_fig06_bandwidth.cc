@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
              "PERT jain ~1, Vegas jain low");
 
   bench::SweepSpec spec;
+  spec.name = "fig06_bandwidth";
   spec.x_name = "bandwidth";
   if (opt.full)
     spec.xs = {1e6, 10e6, 100e6, 500e6, 1000e6};
@@ -39,6 +40,6 @@ int main(int argc, char** argv) {
   spec.window = [&](double) {
     return opt.full ? std::pair{100.0, 200.0} : std::pair{25.0, 50.0};
   };
-  bench::run_dumbbell_sweep(spec);
+  opt.export_report(bench::run_dumbbell_sweep(spec, opt.runner()));
   return 0;
 }

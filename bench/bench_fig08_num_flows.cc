@@ -15,26 +15,32 @@ int main(int argc, char** argv) {
              "PERT jain high even at large N");
 
   bench::SweepSpec spec;
+  spec.name = "fig08_num_flows";
   spec.x_name = "flows";
-  spec.xs = opt.full ? std::vector<double>{1, 10, 50, 100, 400, 1000}
-                     : std::vector<double>{1, 10, 50, 100, 400};
+  spec.xs = opt.smoke ? std::vector<double>{2, 4, 8}
+            : opt.full ? std::vector<double>{1, 10, 50, 100, 400, 1000}
+                       : std::vector<double>{1, 10, 50, 100, 400};
   for (double n : spec.xs) spec.x_labels.push_back(exp::fmt(n, "%g"));
-  spec.schemes = {exp::Scheme::kPert, exp::Scheme::kSackDroptail,
-                  exp::Scheme::kSackRedEcn, exp::Scheme::kVegas};
-  const double bw = opt.full ? 500e6 : 250e6;
+  spec.schemes =
+      opt.smoke ? std::vector{exp::Scheme::kPert, exp::Scheme::kSackDroptail}
+                : std::vector{exp::Scheme::kPert, exp::Scheme::kSackDroptail,
+                              exp::Scheme::kSackRedEcn, exp::Scheme::kVegas};
+  const double bw = opt.smoke ? 20e6 : opt.full ? 500e6 : 250e6;
   spec.config = [&](double n, exp::Scheme s) {
     exp::DumbbellConfig cfg;
     cfg.scheme = s;
     cfg.bottleneck_bps = bw;
     cfg.rtt = 0.060;
     cfg.num_fwd_flows = static_cast<std::int32_t>(n);
-    cfg.start_window = opt.full ? 50.0 : 10.0;
+    cfg.start_window = opt.smoke ? 2.0 : opt.full ? 50.0 : 10.0;
     cfg.seed = 8;
     return cfg;
   };
   spec.window = [&](double) {
-    return opt.full ? std::pair{100.0, 200.0} : std::pair{20.0, 40.0};
+    return opt.smoke ? std::pair{5.0, 10.0}
+           : opt.full ? std::pair{100.0, 200.0}
+                      : std::pair{20.0, 40.0};
   };
-  bench::run_dumbbell_sweep(spec);
+  opt.export_report(bench::run_dumbbell_sweep(spec, opt.runner()));
   return 0;
 }

@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
              "increasing web load; long-term jain high");
 
   bench::SweepSpec spec;
+  spec.name = "fig09_web_traffic";
   spec.x_name = "web sessions";
   spec.xs = opt.full ? std::vector<double>{10, 50, 100, 400, 1000}
                      : std::vector<double>{10, 50, 100, 250};
@@ -36,6 +37,6 @@ int main(int argc, char** argv) {
   spec.window = [&](double) {
     return opt.full ? std::pair{100.0, 200.0} : std::pair{20.0, 40.0};
   };
-  bench::run_dumbbell_sweep(spec);
+  opt.export_report(bench::run_dumbbell_sweep(spec, opt.runner()));
   return 0;
 }

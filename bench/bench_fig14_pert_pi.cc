@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
              "PERT-PI ~ router PI/ECN on queue/util; both ~zero drops");
 
   bench::SweepSpec spec;
+  spec.name = "fig14_pert_pi";
   spec.x_name = "rtt";
   spec.xs = opt.full
                 ? std::vector<double>{0.010, 0.030, 0.060, 0.100, 0.300, 1.0}
@@ -39,6 +40,6 @@ int main(int argc, char** argv) {
     const double meas = std::max(opt.full ? 200.0 : 40.0, 60.0 * rtt);
     return std::pair{warm, meas};
   };
-  bench::run_dumbbell_sweep(spec);
+  opt.export_report(bench::run_dumbbell_sweep(spec, opt.runner()));
   return 0;
 }

@@ -1,30 +1,84 @@
-// Shared bench-harness helpers: --full flag handling and run-length scaling.
+// Shared bench-harness helpers: flag handling and run-length scaling.
 //
 // Every reproduction bench runs a reduced (shape-preserving) grid by default
 // so the whole suite finishes in minutes; pass --full for paper-scale
-// parameters (Section "Scale substitution" in DESIGN.md).
+// parameters (Section "Scale substitution" in DESIGN.md). The sweep benches
+// additionally accept
+//   --jobs N     run N simulation cells in parallel (0 = all hardware cores;
+//                results are bit-identical for any N — see docs/runner.md)
+//   --json PATH  export the per-cell RunReport (metrics, seeds, event counts,
+//                wall times) as JSON
+//   --smoke      tiny grid for CI determinism checks (seconds, not minutes)
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
+
+#include "runner/report.h"
+#include "runner/runner.h"
 
 namespace pert::bench {
 
 struct Opts {
   bool full = false;
+  bool smoke = false;
+  unsigned jobs = 1;  ///< worker threads; 0 = hardware concurrency
+  std::string json;   ///< when non-empty, write the RunReport here
+
+  static unsigned parse_jobs(const char* s) {
+    char* end = nullptr;
+    unsigned long v = std::strtoul(s, &end, 10);
+    if (end == s || *end != '\0') {
+      std::fprintf(stderr, "error: --jobs expects a number, got: %s\n", s);
+      std::exit(2);
+    }
+    return static_cast<unsigned>(v);
+  }
 
   static Opts parse(int argc, char** argv) {
     Opts o;
-    for (int i = 1; i < argc; ++i)
-      if (std::strcmp(argv[i], "--full") == 0) o.full = true;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--full") == 0) {
+        o.full = true;
+      } else if (std::strcmp(argv[i], "--smoke") == 0) {
+        o.smoke = true;
+      } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+        o.jobs = parse_jobs(argv[++i]);
+      } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+        o.jobs = parse_jobs(argv[i] + 7);
+      } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+        o.json = argv[++i];
+      } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+        o.json = argv[i] + 7;
+      }
+    }
     return o;
   }
 
   void banner(const char* what, const char* paper_expectation) const {
     std::printf("=== %s ===\n", what);
-    std::printf("mode: %s\n", full ? "FULL (paper-scale)" : "default (reduced grid; --full for paper scale)");
+    std::printf("mode: %s\n",
+                smoke ? "SMOKE (tiny CI grid; --full for paper scale)"
+                : full ? "FULL (paper-scale)"
+                       : "default (reduced grid; --full for paper scale)");
     std::printf("paper shape: %s\n\n", paper_expectation);
+  }
+
+  /// Runner options carrying --jobs for this bench's batch.
+  runner::RunnerOptions runner() const {
+    runner::RunnerOptions r;
+    r.threads = jobs;
+    return r;
+  }
+
+  /// Writes the report when --json was given. Call once per bench.
+  void export_report(const runner::RunReport& report) const {
+    if (json.empty()) return;
+    runner::write_report(report, json);
+    std::fprintf(stderr, "  report written to %s (%zu jobs, %.2fx speedup)\n",
+                 json.c_str(), report.results.size(), report.speedup());
   }
 };
 

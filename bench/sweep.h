@@ -1,19 +1,29 @@
 // Dumbbell parameter-sweep runner shared by the Figure 6-9 and 14 benches:
-// runs every (x, scheme) cell and prints one table per metric, matching the
-// four panels the paper plots (avg queue, drop rate, utilization, Jain).
+// every (x, scheme) cell is one self-contained runner::Job; the grid executes
+// on the experiment runner (serial with --jobs 1, parallel otherwise) and the
+// collected results print one table per metric, matching the four panels the
+// paper plots (avg queue, drop rate, utilization, Jain).
+//
+// Each cell's RNG seed is derived from the bench's base seed and the cell key
+// (runner::derive_seed), so the grid is bit-identical for any --jobs value.
 #pragma once
 
 #include <cstdio>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "exp/dumbbell.h"
 #include "exp/table.h"
+#include "runner/runner.h"
+#include "runner/seed.h"
 
 namespace pert::bench {
 
 struct SweepSpec {
+  /// Bench id: prefixes job keys and names the RunReport (JSON export).
+  std::string name = "dumbbell_sweep";
   std::string x_name;
   std::vector<double> xs;
   std::vector<std::string> x_labels;  ///< same length as xs
@@ -24,21 +34,48 @@ struct SweepSpec {
   std::function<std::pair<double, double>(double x)> window;
 };
 
-inline void run_dumbbell_sweep(const SweepSpec& spec) {
+/// Executes the sweep grid on the experiment runner and prints the metric
+/// tables. Returns the full report (per-cell metrics, seeds, event counts,
+/// wall times) for JSON export.
+inline runner::RunReport run_dumbbell_sweep(
+    const SweepSpec& spec, runner::RunnerOptions ropts = {}) {
   const std::size_t nx = spec.xs.size(), ns = spec.schemes.size();
-  std::vector<std::vector<exp::WindowMetrics>> grid(
-      nx, std::vector<exp::WindowMetrics>(ns));
 
+  // Materialize every cell's config and window up front, on this thread:
+  // job bodies must not share the spec's callbacks.
+  std::vector<runner::Job> jobs;
+  jobs.reserve(nx * ns);
   for (std::size_t i = 0; i < nx; ++i) {
     for (std::size_t j = 0; j < ns; ++j) {
       const auto [warmup, measure] = spec.window(spec.xs[i]);
-      std::fprintf(stderr, "  running %s=%s scheme=%s ...\n",
-                   spec.x_name.c_str(), spec.x_labels[i].c_str(),
-                   std::string(exp::to_string(spec.schemes[j])).c_str());
-      exp::Dumbbell d(spec.config(spec.xs[i], spec.schemes[j]));
-      grid[i][j] = d.run(warmup, measure);
+      exp::DumbbellConfig cfg = spec.config(spec.xs[i], spec.schemes[j]);
+      runner::Job job;
+      job.key = spec.name + "/" + spec.x_name + "=" + spec.x_labels[i] + "/" +
+                std::string(exp::to_string(spec.schemes[j]));
+      job.seed = runner::derive_seed(cfg.seed, job.key);
+      job.tags = {{"x", spec.x_labels[i]},
+                  {"scheme", std::string(exp::to_string(spec.schemes[j]))}};
+      cfg.seed = job.seed;
+      job.run = [cfg, warmup = warmup,
+                 measure = measure](const runner::Job&) {
+        exp::Dumbbell d(cfg);
+        runner::JobOutput out;
+        out.metrics = d.run(warmup, measure);
+        out.events = d.network().sched().dispatched();
+        return out;
+      };
+      jobs.push_back(std::move(job));
     }
   }
+
+  ropts.name = spec.name;
+  runner::ExperimentRunner exec(ropts);
+  runner::RunReport report = exec.run(jobs);
+
+  for (const runner::JobResult& r : report.results)
+    if (!r.ok)
+      std::fprintf(stderr, "  WARNING: job %s failed: %s\n", r.key.c_str(),
+                   r.error.c_str());
 
   struct MetricDef {
     const char* name;
@@ -64,12 +101,14 @@ inline void run_dumbbell_sweep(const SweepSpec& spec) {
     for (std::size_t i = 0; i < nx; ++i) {
       std::vector<std::string> row{spec.x_labels[i]};
       for (std::size_t j = 0; j < ns; ++j)
-        row.push_back(exp::fmt(md.get(grid[i][j]), md.fmt));
+        row.push_back(
+            exp::fmt(md.get(report.results[i * ns + j].metrics), md.fmt));
       t.row(std::move(row));
     }
     t.print();
     std::printf("\n");
   }
+  return report;
 }
 
 }  // namespace pert::bench

@@ -80,7 +80,18 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
     const std::string_view val = std::string_view(tok).substr(eq + 1);
 
     if (key == "scheme") {
-      o.cfg.scheme = parse_scheme(val);
+      o.schemes.clear();
+      std::size_t pos = 0;
+      while (pos <= val.size()) {
+        const std::size_t comma = val.find(',', pos);
+        const std::string_view one =
+            val.substr(pos, comma == std::string_view::npos ? val.size() - pos
+                                                            : comma - pos);
+        o.schemes.push_back(parse_scheme(one));
+        if (comma == std::string_view::npos) break;
+        pos = comma + 1;
+      }
+      o.cfg.scheme = o.schemes.front();
     } else if (key == "bw") {
       o.cfg.bottleneck_bps = parse_rate(val);
     } else if (key == "rtt") {
@@ -133,9 +144,11 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
 }
 
 std::string cli_usage() {
-  return "usage: pert_sim key=value ...\n"
+  return "usage: pert_sim [--jobs N] [--json PATH] key=value ...\n"
          "  scheme=pert|pert-pi|pert-rem|vegas|sack|sack-red|sack-pi|"
          "sack-rem|sack-avq\n"
+         "         (comma list runs one scenario per scheme, in parallel "
+         "with --jobs)\n"
          "  bw=150M rtt=60 [rtts=12,24,36] flows=50 [rev_flows=0] [web=0]\n"
          "  [buffer=<pkts>] [seed=1] [warmup=20] [measure=40] "
          "[start_window=10]\n"

@@ -2,6 +2,7 @@
 //
 // Grammar (one token per argument, order-insensitive):
 //   scheme=pert|pert-pi|pert-rem|vegas|sack|sack-red|sack-pi|sack-rem|sack-avq
+//          (or a comma list, e.g. scheme=pert,sack-red — one run per scheme)
 //   bw=<rate>        link rate: plain bits/s or with k/M/G suffix (150M)
 //   rtt=<ms>         end-to-end RTT in milliseconds
 //   rtts=<ms,ms,..>  per-flow RTT list (overrides rtt for long-term flows)
@@ -28,6 +29,10 @@ namespace pert::exp {
 
 struct CliOptions {
   DumbbellConfig cfg;
+  /// Every scheme named by the scheme= token, in order (cfg.scheme is the
+  /// first). Drivers run one scenario per entry; size > 1 only when the user
+  /// passed a comma list.
+  std::vector<Scheme> schemes{Scheme::kPert};
   double warmup = 20.0;
   double measure = 40.0;
   std::string trace_out;

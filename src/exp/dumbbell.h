@@ -70,6 +70,10 @@ struct WindowMetrics {
   std::uint64_t early_responses = 0;
   std::uint64_t timeouts = 0;
   std::uint64_t loss_events = 0;  ///< flow-level fast-retransmit episodes
+
+  /// Exact field-wise equality: used by the runner determinism tests to
+  /// assert that thread count / completion order never change results.
+  friend bool operator==(const WindowMetrics&, const WindowMetrics&) = default;
 };
 
 class Dumbbell {

@@ -1,0 +1,63 @@
+// Job / result / report value types for the experiment runner.
+//
+// A Job is one self-contained simulation cell: it owns (via its closure)
+// everything it needs — config, scheduler, topology, RNG stream — and shares
+// no mutable state with other jobs, so any number of them can run on any
+// worker threads in any order without changing the results. The runner
+// collects one JobResult per job, in submission order, into a RunReport.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "exp/dumbbell.h"
+
+namespace pert::runner {
+
+/// What a job's body hands back to the runner.
+struct JobOutput {
+  exp::WindowMetrics metrics;
+  std::uint64_t events = 0;  ///< scheduler events dispatched by the job's sim
+};
+
+struct Job {
+  /// Stable unique id, e.g. "fig08_num_flows/flows=10/PERT". Keys feed the
+  /// seed-derivation rule and name the job in progress/JSON output.
+  std::string key;
+  /// RNG seed the job body should use (normally derive_seed(base, key)).
+  std::uint64_t seed = 0;
+  /// Free-form labels exported flat into the JSON result object
+  /// (conventionally "x" and "scheme" for sweep cells).
+  std::map<std::string, std::string> tags;
+  /// The job body. Runs on an arbitrary worker thread; must be
+  /// self-contained (build the sim inside, touch nothing shared).
+  std::function<JobOutput(const Job&)> run;
+};
+
+struct JobResult {
+  std::string key;
+  std::uint64_t seed = 0;
+  std::map<std::string, std::string> tags;
+  exp::WindowMetrics metrics;
+  std::uint64_t events = 0;
+  double wall_ms = 0;  ///< wall-clock time of this job's body
+  bool ok = false;
+  std::string error;  ///< exception message when !ok
+};
+
+struct RunReport {
+  std::string name;        ///< batch label, e.g. the bench name
+  unsigned threads = 1;    ///< worker threads actually used
+  double wall_ms = 0;      ///< wall-clock time of the whole batch
+  double cpu_ms = 0;       ///< sum of per-job wall times
+  std::vector<JobResult> results;  ///< submission order, independent of
+                                   ///< completion order
+
+  /// Parallel speedup actually realised: serial-equivalent time / wall time.
+  double speedup() const { return wall_ms > 0 ? cpu_ms / wall_ms : 0.0; }
+};
+
+}  // namespace pert::runner

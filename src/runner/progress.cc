@@ -1,0 +1,51 @@
+#include "runner/progress.h"
+
+namespace pert::runner {
+
+ProgressReporter::ProgressReporter(std::string label, std::size_t total,
+                                   bool enabled, std::FILE* out)
+    : label_(std::move(label)),
+      total_(total),
+      enabled_(enabled),
+      out_(out),
+      start_(std::chrono::steady_clock::now()) {}
+
+void ProgressReporter::batch_started(unsigned threads) {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fprintf(out_, "  %s: %zu job%s on %u thread%s\n", label_.c_str(),
+               total_, total_ == 1 ? "" : "s", threads,
+               threads == 1 ? "" : "s");
+}
+
+void ProgressReporter::job_done(const std::string& key, double wall_ms,
+                                bool ok) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++done_;
+  if (!enabled_) return;
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  const double eta_s =
+      done_ > 0 ? elapsed_s / static_cast<double>(done_) *
+                      static_cast<double>(total_ - done_)
+                : 0.0;
+  // One fprintf per line: concurrent workers never interleave mid-line.
+  std::fprintf(out_, "  [%zu/%zu] %s%s  %.0f ms  eta %.1f s\n", done_, total_,
+               key.c_str(), ok ? "" : " FAILED", wall_ms, eta_s);
+}
+
+void ProgressReporter::batch_finished(double wall_ms, double cpu_ms) {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fprintf(out_, "  %s: done in %.2f s (serial-equivalent %.2f s, %.2fx)\n",
+               label_.c_str(), wall_ms * 1e-3, cpu_ms * 1e-3,
+               wall_ms > 0 ? cpu_ms / wall_ms : 0.0);
+}
+
+std::size_t ProgressReporter::done() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return done_;
+}
+
+}  // namespace pert::runner

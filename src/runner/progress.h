@@ -1,0 +1,44 @@
+// Thread-safe live progress reporting for parallel experiment batches.
+//
+// Each completed job produces exactly one line on stderr, emitted under a
+// mutex with a single fprintf call, so lines from concurrent workers never
+// interleave mid-line. The line carries done/total, the job key, the job's
+// wall time, and an ETA extrapolated from throughput so far.
+#pragma once
+
+#include <cstddef>
+#include <cstdio>
+#include <chrono>
+#include <mutex>
+#include <string>
+
+namespace pert::runner {
+
+class ProgressReporter {
+ public:
+  /// `enabled=false` makes every call a no-op (quiet mode / tests).
+  ProgressReporter(std::string label, std::size_t total, bool enabled = true,
+                   std::FILE* out = stderr);
+
+  /// Announces the batch (label, job count, thread count). One line.
+  void batch_started(unsigned threads);
+
+  /// Records one finished job and prints its progress line.
+  void job_done(const std::string& key, double wall_ms, bool ok);
+
+  /// Prints the closing summary line (total wall time, speedup).
+  void batch_finished(double wall_ms, double cpu_ms);
+
+  std::size_t done() const;
+
+ private:
+  std::string label_;
+  std::size_t total_;
+  bool enabled_;
+  std::FILE* out_;
+  mutable std::mutex mu_;
+  std::size_t done_ = 0;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace pert::runner

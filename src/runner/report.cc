@@ -1,0 +1,138 @@
+#include "runner/report.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+// GCC 12 -Wmaybe-uninitialized fires spuriously on std::variant move
+// construction when an alternative is a vector (gcc PR 105593 family); every
+// site below moves a freshly constructed scalar-armed JsonValue.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+namespace pert::runner {
+
+namespace {
+
+double num_or(const JsonValue& obj, std::string_view key, double fallback) {
+  const JsonValue* v = obj.find(key);
+  return v && v->is_number() ? v->as_double() : fallback;
+}
+
+std::uint64_t uint_or(const JsonValue& obj, std::string_view key,
+                      std::uint64_t fallback) {
+  const JsonValue* v = obj.find(key);
+  return v && v->is_uint() ? v->as_uint() : fallback;
+}
+
+}  // namespace
+
+JsonValue to_json(const exp::WindowMetrics& m) {
+  JsonValue::Object o;
+  o.reserve(12);
+  o.emplace_back("duration", JsonValue(m.duration));
+  o.emplace_back("avg_queue_pkts", JsonValue(m.avg_queue_pkts));
+  o.emplace_back("norm_queue", JsonValue(m.norm_queue));
+  o.emplace_back("drop_rate", JsonValue(m.drop_rate));
+  o.emplace_back("utilization", JsonValue(m.utilization));
+  o.emplace_back("jain", JsonValue(m.jain));
+  o.emplace_back("agg_goodput_bps", JsonValue(m.agg_goodput_bps));
+  o.emplace_back("drops", JsonValue(m.drops));
+  o.emplace_back("ecn_marks", JsonValue(m.ecn_marks));
+  o.emplace_back("early_responses", JsonValue(m.early_responses));
+  o.emplace_back("timeouts", JsonValue(m.timeouts));
+  o.emplace_back("loss_events", JsonValue(m.loss_events));
+  return JsonValue(std::move(o));
+}
+
+exp::WindowMetrics metrics_from_json(const JsonValue& v) {
+  exp::WindowMetrics m;
+  m.duration = num_or(v, "duration", 0);
+  m.avg_queue_pkts = num_or(v, "avg_queue_pkts", 0);
+  m.norm_queue = num_or(v, "norm_queue", 0);
+  m.drop_rate = num_or(v, "drop_rate", 0);
+  m.utilization = num_or(v, "utilization", 0);
+  m.jain = num_or(v, "jain", 0);
+  m.agg_goodput_bps = num_or(v, "agg_goodput_bps", 0);
+  m.drops = uint_or(v, "drops", 0);
+  m.ecn_marks = uint_or(v, "ecn_marks", 0);
+  m.early_responses = uint_or(v, "early_responses", 0);
+  m.timeouts = uint_or(v, "timeouts", 0);
+  m.loss_events = uint_or(v, "loss_events", 0);
+  return m;
+}
+
+JsonValue to_json(const JobResult& r) {
+  JsonValue::Object o;
+  o.reserve(7 + r.tags.size());
+  o.emplace_back("key", JsonValue(r.key));
+  for (const auto& [k, val] : r.tags) o.emplace_back(k, JsonValue(val));
+  o.emplace_back("seed", JsonValue(r.seed));
+  o.emplace_back("events", JsonValue(r.events));
+  o.emplace_back("wall_ms", JsonValue(r.wall_ms));
+  o.emplace_back("ok", JsonValue(r.ok));
+  if (!r.ok) o.emplace_back("error", JsonValue(r.error));
+  o.emplace_back("metrics", to_json(r.metrics));
+  return JsonValue(std::move(o));
+}
+
+JobResult result_from_json(const JsonValue& v) {
+  JobResult r;
+  for (const auto& [k, val] : v.as_object()) {
+    if (k == "key") r.key = val.as_string();
+    else if (k == "seed") r.seed = val.as_uint();
+    else if (k == "events") r.events = val.as_uint();
+    else if (k == "wall_ms") r.wall_ms = val.as_double();
+    else if (k == "ok") r.ok = val.as_bool();
+    else if (k == "error") r.error = val.as_string();
+    else if (k == "metrics") r.metrics = metrics_from_json(val);
+    else if (val.is_string()) r.tags[k] = val.as_string();  // flattened tag
+  }
+  return r;
+}
+
+JsonValue to_json(const RunReport& r) {
+  JsonValue::Object o;
+  o.reserve(7);
+  o.emplace_back("name", JsonValue(r.name));
+  o.emplace_back("threads", JsonValue(static_cast<std::uint64_t>(r.threads)));
+  o.emplace_back("jobs", JsonValue(static_cast<std::uint64_t>(r.results.size())));
+  o.emplace_back("wall_ms", JsonValue(r.wall_ms));
+  o.emplace_back("cpu_ms", JsonValue(r.cpu_ms));
+  o.emplace_back("speedup", JsonValue(r.speedup()));
+  JsonValue::Array results;
+  results.reserve(r.results.size());
+  for (const JobResult& jr : r.results) results.push_back(to_json(jr));
+  o.emplace_back("results", JsonValue(std::move(results)));
+  return JsonValue(std::move(o));
+}
+
+RunReport report_from_json(const JsonValue& v) {
+  RunReport r;
+  if (const JsonValue* name = v.find("name")) r.name = name->as_string();
+  r.threads = static_cast<unsigned>(uint_or(v, "threads", 1));
+  r.wall_ms = num_or(v, "wall_ms", 0);
+  r.cpu_ms = num_or(v, "cpu_ms", 0);
+  if (const JsonValue* results = v.find("results"))
+    for (const JsonValue& jr : results->as_array())
+      r.results.push_back(result_from_json(jr));
+  return r;
+}
+
+void write_report(const RunReport& report, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot open for writing: " + path);
+  f << to_json(report).dump(2) << '\n';
+  if (!f) throw std::runtime_error("write failed: " + path);
+}
+
+RunReport read_report(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open for reading: " + path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return report_from_json(JsonValue::parse(ss.str()));
+}
+
+}  // namespace pert::runner

@@ -1,0 +1,50 @@
+// JSON (de)serialization of run reports, for BENCH_*.json trajectory
+// tracking and cross-run determinism diffs.
+//
+// Schema (stable key order; see docs/runner.md):
+//   {
+//     "name": "fig08_num_flows",
+//     "threads": 4,
+//     "jobs": 20,
+//     "wall_ms": 5123.4,          // volatile: wall-clock, varies per run
+//     "cpu_ms": 19876.5,          // volatile
+//     "speedup": 3.88,            // volatile
+//     "results": [
+//       { "key": "fig08_num_flows/flows=10/PERT",
+//         "x": "10", "scheme": "PERT",   // job tags, flattened
+//         "seed": 1234567890123456789,
+//         "events": 987654,
+//         "wall_ms": 812.3,              // volatile
+//         "ok": true,
+//         "metrics": { "duration": ..., "avg_queue_pkts": ..., ... } }, ... ]
+//   }
+// Everything except the three wall-clock fields (and speedup) is a pure
+// function of the job vector, so stripping those yields a determinism-
+// comparable document.
+#pragma once
+
+#include <string>
+
+#include "exp/dumbbell.h"
+#include "runner/job.h"
+#include "runner/json.h"
+
+namespace pert::runner {
+
+JsonValue to_json(const exp::WindowMetrics& m);
+exp::WindowMetrics metrics_from_json(const JsonValue& v);
+
+JsonValue to_json(const JobResult& r);
+JobResult result_from_json(const JsonValue& v);
+
+JsonValue to_json(const RunReport& r);
+RunReport report_from_json(const JsonValue& v);
+
+/// Writes `report` as indented JSON to `path`; throws std::runtime_error on
+/// I/O failure.
+void write_report(const RunReport& report, const std::string& path);
+
+/// Reads a report back (inverse of write_report).
+RunReport read_report(const std::string& path);
+
+}  // namespace pert::runner

@@ -1,0 +1,99 @@
+#include "runner/runner.h"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <thread>
+
+#include "runner/progress.h"
+
+namespace pert::runner {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+/// Runs one job body, capturing exceptions into the result.
+JobResult execute(const Job& job) {
+  JobResult r;
+  r.key = job.key;
+  r.seed = job.seed;
+  r.tags = job.tags;
+  const auto t0 = Clock::now();
+  try {
+    const JobOutput out = job.run(job);
+    r.metrics = out.metrics;
+    r.events = out.events;
+    r.ok = true;
+  } catch (const std::exception& e) {
+    r.error = e.what();
+  } catch (...) {
+    r.error = "unknown exception";
+  }
+  r.wall_ms = ms_since(t0);
+  return r;
+}
+
+}  // namespace
+
+unsigned resolve_threads(unsigned requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw != 0 ? hw : 1;
+}
+
+ExperimentRunner::ExperimentRunner(RunnerOptions opts)
+    : opts_(std::move(opts)) {
+  opts_.threads = resolve_threads(opts_.threads);
+}
+
+RunReport ExperimentRunner::run(const std::vector<Job>& jobs) {
+  RunReport report;
+  report.name = opts_.name;
+  report.results.resize(jobs.size());
+
+  const unsigned n_workers = static_cast<unsigned>(
+      std::min<std::size_t>(opts_.threads, jobs.empty() ? 1 : jobs.size()));
+  report.threads = n_workers;
+
+  ProgressReporter progress(opts_.name, jobs.size(), opts_.progress);
+  progress.batch_started(n_workers);
+  const auto t0 = Clock::now();
+
+  if (n_workers <= 1) {
+    // Serial path: calling thread, submission order, nothing spawned.
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      report.results[i] = execute(jobs[i]);
+      progress.job_done(report.results[i].key, report.results[i].wall_ms,
+                        report.results[i].ok);
+    }
+  } else {
+    // Each worker claims the next unstarted index; results are written to
+    // disjoint slots, so the only shared mutable state is the counter.
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= jobs.size()) return;
+        report.results[i] = execute(jobs[i]);
+        progress.job_done(report.results[i].key, report.results[i].wall_ms,
+                          report.results[i].ok);
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(n_workers);
+    for (unsigned w = 0; w < n_workers; ++w) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  report.wall_ms = ms_since(t0);
+  for (const JobResult& r : report.results) report.cpu_ms += r.wall_ms;
+  progress.batch_finished(report.wall_ms, report.cpu_ms);
+  return report;
+}
+
+}  // namespace pert::runner

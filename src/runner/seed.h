@@ -1,0 +1,45 @@
+// Deterministic per-job seed derivation.
+//
+// A job's RNG seed is a pure function of (base seed, job key string), so a
+// sweep produces bit-identical results regardless of worker-thread count,
+// completion order, or which subset of cells is re-run. The rule is
+//
+//   seed(base, key) = splitmix64(splitmix64(base) ^ fnv1a64(key))
+//
+// splitmix64 is the finalizer from Steele et al.'s SplitMix generator (the
+// same mixer java.util.SplittableRandom uses); fnv1a64 folds the key string
+// into 64 bits. Both are fixed-width integer arithmetic with no
+// platform-dependent behavior, so derived seeds are stable across compilers
+// and architectures (pinned by tests/runner/seed_test.cc).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace pert::runner {
+
+/// SplitMix64 output mixer: bijective, avalanching.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// FNV-1a 64-bit hash of a byte string.
+constexpr std::uint64_t fnv1a64(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// The seed-derivation rule (see file comment). Distinct keys give
+/// independent mt19937_64 streams even for adjacent base seeds.
+constexpr std::uint64_t derive_seed(std::uint64_t base, std::string_view key) {
+  return splitmix64(splitmix64(base) ^ fnv1a64(key));
+}
+
+}  // namespace pert::runner

@@ -7,7 +7,17 @@
 //   pert_sim scheme=pert bw=100M rtt=60 flows=10 measure=60
 //   pert_sim scheme=sack-red bw=150M rtt=60 flows=50 web=100
 //            series_out=queue.csv trace_out=flow0.csv   (one line)
+//
+// A comma list of schemes runs one scenario per scheme — in parallel with
+// --jobs N (0 = all cores) — and --json PATH exports the collected
+// RunReport (metrics, seeds, event counts, wall times):
+//
+//   pert_sim --jobs 0 --json out.json scheme=pert,sack,sack-red,vegas
+//            bw=100M rtt=60 flows=10                        (one line)
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <exception>
 #include <fstream>
 #include <memory>
@@ -18,25 +28,43 @@
 #include "exp/table.h"
 #include "predictors/trace_io.h"
 #include "predictors/trace_recorder.h"
+#include "runner/report.h"
+#include "runner/runner.h"
 #include "stats/time_series.h"
 
-int main(int argc, char** argv) {
-  using namespace pert;
+namespace {
 
-  std::vector<std::string> args(argv + 1, argv + argc);
-  if (!args.empty() && (args[0] == "-h" || args[0] == "--help")) {
-    std::fputs(exp::cli_usage().c_str(), stdout);
-    return 0;
-  }
+using namespace pert;
 
-  exp::CliOptions opt;
-  try {
-    opt = exp::parse_cli(args);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n%s", e.what(), exp::cli_usage().c_str());
-    return 2;
-  }
+void print_banner(const exp::CliOptions& opt, exp::Scheme scheme,
+                  std::int32_t buffer_pkts) {
+  std::printf("scheme=%s bw=%.0f rtt=%.0fms flows=%d web=%d buffer=%d "
+              "window=[%.0f,%.0f]s\n\n",
+              std::string(exp::to_string(scheme)).c_str(),
+              opt.cfg.bottleneck_bps, opt.cfg.rtt * 1e3,
+              opt.cfg.num_fwd_flows, opt.cfg.num_web_sessions, buffer_pkts,
+              opt.warmup, opt.warmup + opt.measure);
+}
 
+void print_metrics(const exp::WindowMetrics& m) {
+  exp::Table t({"metric", "value"});
+  t.row({"avg queue (pkts)", exp::fmt(m.avg_queue_pkts, "%.2f")});
+  t.row({"avg queue (normalized)", exp::fmt(m.norm_queue, "%.4f")});
+  t.row({"drop rate", exp::fmt(m.drop_rate, "%.3e")});
+  t.row({"utilization", exp::fmt(m.utilization, "%.4f")});
+  t.row({"jain fairness", exp::fmt(m.jain, "%.4f")});
+  t.row({"aggregate goodput (Mbps)", exp::fmt(m.agg_goodput_bps / 1e6, "%.2f")});
+  t.row({"drops", std::to_string(m.drops)});
+  t.row({"ecn marks", std::to_string(m.ecn_marks)});
+  t.row({"early responses", std::to_string(m.early_responses)});
+  t.row({"loss events", std::to_string(m.loss_events)});
+  t.row({"timeouts", std::to_string(m.timeouts)});
+  t.print();
+}
+
+/// Single-scenario path: trace/series recording, byte-identical output to the
+/// pre-runner CLI. Returns the result for optional JSON export.
+int run_single(const exp::CliOptions& opt, const std::string& json_out) {
   exp::Dumbbell d(opt.cfg);
 
   std::unique_ptr<predictors::TraceRecorder> recorder;
@@ -51,28 +79,15 @@ int main(int argc, char** argv) {
     series->start();
   }
 
+  const auto t0 = std::chrono::steady_clock::now();
   const exp::WindowMetrics m = d.run(opt.warmup, opt.measure);
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
 
-  std::printf("scheme=%s bw=%.0f rtt=%.0fms flows=%d web=%d buffer=%d "
-              "window=[%.0f,%.0f]s\n\n",
-              std::string(exp::to_string(opt.cfg.scheme)).c_str(),
-              opt.cfg.bottleneck_bps, opt.cfg.rtt * 1e3,
-              opt.cfg.num_fwd_flows, opt.cfg.num_web_sessions,
-              d.buffer_pkts(), opt.warmup, opt.warmup + opt.measure);
-
-  exp::Table t({"metric", "value"});
-  t.row({"avg queue (pkts)", exp::fmt(m.avg_queue_pkts, "%.2f")});
-  t.row({"avg queue (normalized)", exp::fmt(m.norm_queue, "%.4f")});
-  t.row({"drop rate", exp::fmt(m.drop_rate, "%.3e")});
-  t.row({"utilization", exp::fmt(m.utilization, "%.4f")});
-  t.row({"jain fairness", exp::fmt(m.jain, "%.4f")});
-  t.row({"aggregate goodput (Mbps)", exp::fmt(m.agg_goodput_bps / 1e6, "%.2f")});
-  t.row({"drops", std::to_string(m.drops)});
-  t.row({"ecn marks", std::to_string(m.ecn_marks)});
-  t.row({"early responses", std::to_string(m.early_responses)});
-  t.row({"loss events", std::to_string(m.loss_events)});
-  t.row({"timeouts", std::to_string(m.timeouts)});
-  t.print();
+  print_banner(opt, opt.cfg.scheme, d.buffer_pkts());
+  print_metrics(m);
 
   try {
     if (recorder) {
@@ -84,9 +99,134 @@ int main(int argc, char** argv) {
       series->write_csv(f);
       std::printf("queue time series written to %s\n", opt.series_out.c_str());
     }
+    if (!json_out.empty()) {
+      runner::RunReport report;
+      report.name = "pert_sim";
+      report.threads = 1;
+      report.wall_ms = report.cpu_ms = wall_ms;
+      runner::JobResult r;
+      r.key = std::string("pert_sim/scheme=") +
+              std::string(exp::to_string(opt.cfg.scheme));
+      r.seed = opt.cfg.seed;
+      r.tags = {{"scheme", std::string(exp::to_string(opt.cfg.scheme))}};
+      r.metrics = m;
+      r.events = d.network().sched().dispatched();
+      r.wall_ms = wall_ms;
+      r.ok = true;
+      report.results.push_back(std::move(r));
+      runner::write_report(report, json_out);
+      std::printf("report written to %s\n", json_out.c_str());
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error writing outputs: %s\n", e.what());
     return 1;
   }
   return 0;
+}
+
+/// Multi-scheme path: one job per scheme through the experiment runner.
+int run_multi(const exp::CliOptions& opt, unsigned jobs,
+              const std::string& json_out) {
+  if (!opt.trace_out.empty() || !opt.series_out.empty()) {
+    std::fprintf(stderr,
+                 "error: trace_out/series_out need a single scheme\n");
+    return 2;
+  }
+
+  std::vector<runner::Job> batch;
+  std::vector<std::int32_t> buffer_pkts(opt.schemes.size(), 0);
+  for (std::size_t i = 0; i < opt.schemes.size(); ++i) {
+    exp::DumbbellConfig cfg = opt.cfg;
+    cfg.scheme = opt.schemes[i];
+    runner::Job job;
+    job.key = std::string("pert_sim/scheme=") +
+              std::string(exp::to_string(cfg.scheme));
+    job.seed = cfg.seed;  // same base seed per scheme, as if run one at a time
+    job.tags = {{"scheme", std::string(exp::to_string(cfg.scheme))}};
+    job.run = [cfg, warmup = opt.warmup, measure = opt.measure,
+               &buf = buffer_pkts[i]](const runner::Job&) {
+      exp::Dumbbell d(cfg);
+      runner::JobOutput out;
+      out.metrics = d.run(warmup, measure);
+      out.events = d.network().sched().dispatched();
+      buf = d.buffer_pkts();
+      return out;
+    };
+    batch.push_back(std::move(job));
+  }
+
+  runner::RunnerOptions ropts;
+  ropts.threads = jobs;
+  ropts.name = "pert_sim";
+  const runner::RunReport report = runner::ExperimentRunner(ropts).run(batch);
+
+  int rc = 0;
+  for (std::size_t i = 0; i < report.results.size(); ++i) {
+    const runner::JobResult& r = report.results[i];
+    if (!r.ok) {
+      std::fprintf(stderr, "error: %s failed: %s\n", r.key.c_str(),
+                   r.error.c_str());
+      rc = 1;
+      continue;
+    }
+    print_banner(opt, opt.schemes[i], buffer_pkts[i]);
+    print_metrics(r.metrics);
+    std::printf("\n");
+  }
+  if (!json_out.empty()) {
+    try {
+      runner::write_report(report, json_out);
+      std::printf("report written to %s\n", json_out.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error writing outputs: %s\n", e.what());
+      return 1;
+    }
+  }
+  return rc;
+}
+
+unsigned parse_jobs(const char* s) {
+  char* end = nullptr;
+  unsigned long v = std::strtoul(s, &end, 10);
+  if (end == s || *end != '\0') {
+    std::fprintf(stderr, "error: --jobs expects a number, got: %s\n", s);
+    std::exit(2);
+  }
+  return static_cast<unsigned>(v);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pert;
+  unsigned jobs = 1;
+  std::string json_out;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-h") == 0 || std::strcmp(argv[i], "--help") == 0) {
+      std::fputs(exp::cli_usage().c_str(), stdout);
+      return 0;
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = parse_jobs(argv[++i]);
+    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      jobs = parse_jobs(argv[i] + 7);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_out = argv[++i];
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_out = argv[i] + 7;
+    } else {
+      args.emplace_back(argv[i]);
+    }
+  }
+
+  exp::CliOptions opt;
+  try {
+    opt = exp::parse_cli(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n%s", e.what(), exp::cli_usage().c_str());
+    return 2;
+  }
+
+  if (opt.schemes.size() <= 1) return run_single(opt, json_out);
+  return run_multi(opt, jobs, json_out);
 }
