@@ -57,7 +57,10 @@ inline runner::RunReport run_dumbbell_sweep(
                   {"scheme", std::string(exp::to_string(spec.schemes[j]))}};
       cfg.seed = job.seed;
       job.run = [cfg, warmup = warmup,
-                 measure = measure](const runner::Job&) {
+                 measure = measure](const runner::Job& j) mutable {
+        // Cooperative timeout: the scenario watchdog polls the runner's
+        // cancel flag (no effect on results; the flag consumes no RNG).
+        cfg.watchdog.cancel = j.cancel.flag();
         exp::Dumbbell d(cfg);
         runner::JobOutput out;
         out.metrics = d.run(warmup, measure);

@@ -3,6 +3,7 @@
 #include <charconv>
 #include <cstdlib>
 #include <stdexcept>
+#include <utility>
 
 namespace pert::exp {
 
@@ -40,7 +41,135 @@ std::vector<double> parse_ms_list(std::string_view s) {
   return out;
 }
 
+double parse_prob(std::string_view s, std::string_view what) {
+  const double v = parse_num(s, what);
+  if (v < 0.0 || v > 1.0)
+    throw std::invalid_argument(std::string(what) + " must be in [0,1], got " +
+                                std::string(s));
+  return v;
+}
+
+double parse_nonneg(std::string_view s, std::string_view what) {
+  const double v = parse_num(s, what);
+  if (v < 0.0)
+    throw std::invalid_argument(std::string(what) + " must be >= 0, got " +
+                                std::string(s));
+  return v;
+}
+
+/// Splits "k=v,k=v,..." into pairs; every element must contain '='.
+std::vector<std::pair<std::string_view, std::string_view>> split_kv(
+    std::string_view s, std::string_view what) {
+  std::vector<std::pair<std::string_view, std::string_view>> out;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    const std::size_t comma = s.find(',', pos);
+    const std::string_view tok =
+        s.substr(pos, comma == std::string_view::npos ? s.size() - pos
+                                                      : comma - pos);
+    const std::size_t eq = tok.find('=');
+    if (eq == std::string_view::npos || eq == 0)
+      throw std::invalid_argument("expected key=value in " + std::string(what) +
+                                  " parameters, got: " + std::string(tok));
+    out.emplace_back(tok.substr(0, eq), tok.substr(eq + 1));
+    if (comma == std::string_view::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
 }  // namespace
+
+void parse_impairment(std::string_view spec, net::ImpairmentConfig& out) {
+  const std::size_t colon = spec.find(':');
+  const std::string_view model =
+      colon == std::string_view::npos ? spec : spec.substr(0, colon);
+  const std::string_view params =
+      colon == std::string_view::npos ? std::string_view{}
+                                      : spec.substr(colon + 1);
+  if (model.empty() || params.empty())
+    throw std::invalid_argument(
+        "impair needs <model>:<key=value,...>, got: " + std::string(spec));
+  const auto kvs = split_kv(params, "impair " + std::string(model));
+
+  if (model == "loss") {
+    for (const auto& [k, v] : kvs) {
+      if (k == "p") out.loss.p = parse_prob(v, "loss p");
+      else
+        throw std::invalid_argument("unknown impair loss key: " +
+                                    std::string(k));
+    }
+  } else if (model == "gilbert") {
+    for (const auto& [k, v] : kvs) {
+      if (k == "enter")
+        out.gilbert.p_enter_bad = parse_prob(v, "gilbert enter");
+      else if (k == "exit")
+        out.gilbert.p_exit_bad = parse_prob(v, "gilbert exit");
+      else if (k == "loss_bad")
+        out.gilbert.loss_bad = parse_prob(v, "gilbert loss_bad");
+      else if (k == "loss_good")
+        out.gilbert.loss_good = parse_prob(v, "gilbert loss_good");
+      else
+        throw std::invalid_argument("unknown impair gilbert key: " +
+                                    std::string(k));
+    }
+    if (out.gilbert.p_enter_bad > 0 && out.gilbert.p_exit_bad <= 0)
+      throw std::invalid_argument(
+          "impair gilbert: exit must be > 0 when enter > 0");
+  } else if (model == "reorder") {
+    for (const auto& [k, v] : kvs) {
+      if (k == "p") out.reorder.p = parse_prob(v, "reorder p");
+      else if (k == "min_ms")
+        out.reorder.min_delay = parse_nonneg(v, "reorder min_ms") * 1e-3;
+      else if (k == "max_ms")
+        out.reorder.max_delay = parse_nonneg(v, "reorder max_ms") * 1e-3;
+      else
+        throw std::invalid_argument("unknown impair reorder key: " +
+                                    std::string(k));
+    }
+    if (out.reorder.p > 0 && out.reorder.max_delay <= 0)
+      throw std::invalid_argument("impair reorder: max_ms must be > 0");
+    if (out.reorder.min_delay > out.reorder.max_delay)
+      throw std::invalid_argument("impair reorder: min_ms > max_ms");
+  } else if (model == "jitter") {
+    for (const auto& [k, v] : kvs) {
+      if (k == "max_ms")
+        out.jitter.max_delay = parse_nonneg(v, "jitter max_ms") * 1e-3;
+      else
+        throw std::invalid_argument("unknown impair jitter key: " +
+                                    std::string(k));
+    }
+  } else if (model == "biterror") {
+    for (const auto& [k, v] : kvs) {
+      if (k == "ber") out.bit_error.ber = parse_prob(v, "biterror ber");
+      else
+        throw std::invalid_argument("unknown impair biterror key: " +
+                                    std::string(k));
+    }
+  } else if (model == "flap") {
+    for (const auto& [k, v] : kvs) {
+      if (k == "first") out.flap.first_down = parse_nonneg(v, "flap first");
+      else if (k == "down")
+        out.flap.down_for = parse_nonneg(v, "flap down");
+      else if (k == "period")
+        out.flap.period = parse_nonneg(v, "flap period");
+      else if (k == "count")
+        out.flap.count = static_cast<std::int32_t>(parse_nonneg(v, "flap count"));
+      else
+        throw std::invalid_argument("unknown impair flap key: " +
+                                    std::string(k));
+    }
+    if (out.flap.down_for <= 0)
+      throw std::invalid_argument("impair flap: down must be > 0");
+    if (out.flap.count > 1 && out.flap.period <= 0)
+      throw std::invalid_argument(
+          "impair flap: period must be > 0 when count > 1");
+  } else {
+    throw std::invalid_argument(
+        "unknown impair model: " + std::string(model) +
+        " (expected loss|gilbert|reorder|jitter|biterror|flap)");
+  }
+}
 
 double parse_rate(std::string_view s) {
   if (s.empty()) throw std::invalid_argument("empty rate");
@@ -132,6 +261,8 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
       o.series_out = val;
     } else if (key == "series_interval") {
       o.series_interval = parse_num(val, key) * 1e-3;
+    } else if (key == "impair") {
+      parse_impairment(val, o.cfg.impair);
     } else {
       throw std::invalid_argument("unknown key: " + std::string(key));
     }
@@ -155,7 +286,11 @@ std::string cli_usage() {
          "  [sack_fraction=0] [beta=0.35] [pmax=0.05] [gentle=1] [owd=0] "
          "[adaptive=0]\n"
          "  [trace_out=trace.csv] [series_out=queue.csv] "
-         "[series_interval=100]\n";
+         "[series_interval=100]\n"
+         "  [impair=loss:p=0.01] [impair=gilbert:enter=,exit=,loss_bad=,"
+         "loss_good=]\n"
+         "  [impair=reorder:p=,min_ms=,max_ms=] [impair=jitter:max_ms=]\n"
+         "  [impair=biterror:ber=] [impair=flap:first=,down=,period=,count=]\n";
 }
 
 }  // namespace pert::exp

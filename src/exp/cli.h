@@ -13,6 +13,13 @@
 //   trace_out=<path>       record the tagged flow's trace (pert-trace v1)
 //   series_out=<path>      queue-length time series CSV
 //   series_interval=<ms>
+//   impair=<model>:<k=v>,<k=v>...   composable; repeat for several models:
+//     impair=loss:p=0.01
+//     impair=gilbert:enter=0.005,exit=0.3[,loss_bad=1][,loss_good=0]
+//     impair=reorder:p=0.05,min_ms=2,max_ms=10
+//     impair=jitter:max_ms=5
+//     impair=biterror:ber=1e-7
+//     impair=flap:first=30,down=2[,period=10][,count=3]
 //
 // Unknown keys and malformed values throw std::invalid_argument with a
 // message naming the offending token.
@@ -45,6 +52,11 @@ double parse_rate(std::string_view s);
 
 /// Parses a scheme name (see grammar above).
 Scheme parse_scheme(std::string_view s);
+
+/// Parses one impair= specification ("model:key=value,...") into `out`,
+/// merging with whatever is already set (so repeated impair= tokens compose).
+/// Throws std::invalid_argument naming the bad model, key, or value.
+void parse_impairment(std::string_view spec, net::ImpairmentConfig& out);
 
 /// Parses the whole argument list (each element one "key=value" token).
 CliOptions parse_cli(const std::vector<std::string>& args);

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "exp/invariants.h"
 #include "stats/stats.h"
 
 namespace pert::exp {
@@ -36,11 +37,20 @@ Dumbbell::Dumbbell(DumbbellConfig cfg) : cfg_(cfg), net_(cfg.seed) {
 
   r1_ = net_.add_node();
   r2_ = net_.add_node();
+  std::unique_ptr<net::Queue> fwd_q = make_bottleneck_queue();
+  if (cfg_.impair.any_queue_impairment()) {
+    // Fork the impairment stream only when enabled, so a clean run draws the
+    // same RNG sequence as builds without impairment support.
+    fwd_q = std::make_unique<net::ImpairmentQueue>(
+        net_.sched(), std::move(fwd_q), cfg_.impair, net_.rng().fork());
+  }
   fwd_link_ = net_.add_link(r1_, r2_, cfg_.bottleneck_bps, bottleneck_delay_,
-                            make_bottleneck_queue());
+                            std::move(fwd_q));
   net_.add_link(r2_, r1_, cfg_.bottleneck_bps, bottleneck_delay_,
                 make_bottleneck_queue());
   fwd_queue_ = &fwd_link_->queue();
+  if (cfg_.impair.flaps_link())
+    net::schedule_link_flaps(net_.sched(), *fwd_link_, cfg_.impair.flap);
 
   // Long-term forward flows.
   for (std::int32_t i = 0; i < cfg_.num_fwd_flows; ++i) {
@@ -74,6 +84,19 @@ Dumbbell::Dumbbell(DumbbellConfig cfg) : cfg_(cfg), net_(cfg.seed) {
   }
 
   net_.compute_routes();
+
+  checker_ = install_standard_invariants(
+      net_,
+      [this] {
+        std::vector<const tcp::TcpSender*> all;
+        all.reserve(fwd_senders_.size() + rev_senders_.size() +
+                    web_senders_.size());
+        for (auto* s : fwd_senders_) all.push_back(s);
+        for (auto* s : rev_senders_) all.push_back(s);
+        for (auto* s : web_senders_) all.push_back(s);
+        return all;
+      },
+      cfg_.watchdog);
 }
 
 std::unique_ptr<net::Queue> Dumbbell::make_bottleneck_queue() {
@@ -194,6 +217,9 @@ WindowMetrics Dumbbell::run(sim::Time warmup, sim::Time measure) {
   m.norm_queue = m.avg_queue_pkts / buffer_pkts_;
   const auto arrivals = q1.arrivals - q0.arrivals;
   m.drops = q1.drops - q0.drops;
+  m.congestion_drops = q1.early_drops - q0.early_drops;
+  m.overflow_drops = q1.forced_drops - q0.forced_drops;
+  m.injected_drops = q1.injected_drops - q0.injected_drops;
   m.drop_rate =
       arrivals == 0 ? 0.0
                     : static_cast<double>(m.drops) / static_cast<double>(arrivals);

@@ -14,10 +14,12 @@
 #include "core/rem_emulation.h"
 #include "exp/scheme.h"
 #include "net/avq_queue.h"
+#include "net/impairment.h"
 #include "net/network.h"
 #include "net/pi_queue.h"
 #include "net/red_queue.h"
 #include "net/rem_queue.h"
+#include "sim/watchdog.h"
 #include "tcp/tcp_sender.h"
 #include "tcp/tcp_sink.h"
 #include "tcp/vegas.h"
@@ -55,6 +57,16 @@ struct DumbbellConfig {
   /// Mix: fraction of forward long-term flows using plain SACK instead of
   /// the scheme under test (co-existence ablation). 0 = none.
   double nonproactive_fraction = 0.0;
+  /// Non-congestion impairments applied to the forward bottleneck (loss,
+  /// reordering, jitter, bit errors) and link flaps on the forward link.
+  /// Default: none. Impairment randomness comes from a stream forked off the
+  /// scenario RNG only when enabled, so clean runs are byte-identical to
+  /// pre-impairment builds.
+  net::ImpairmentConfig impair;
+  /// Simulation watchdog (invariants + stall detector); enabled by default
+  /// in every scenario. `watchdog.cancel` may point at a runner cancellation
+  /// flag for cooperative wall-clock timeouts.
+  sim::WatchdogOptions watchdog;
 };
 
 struct WindowMetrics {
@@ -65,7 +77,10 @@ struct WindowMetrics {
   double utilization = 0;         ///< fwd bottleneck bytes tx / capacity
   double jain = 0;                ///< fairness over fwd long-term goodputs
   double agg_goodput_bps = 0;     ///< sum of fwd long-term goodputs
-  std::uint64_t drops = 0;
+  std::uint64_t drops = 0;        ///< all causes; split below
+  std::uint64_t congestion_drops = 0;  ///< AQM probabilistic (early) drops
+  std::uint64_t overflow_drops = 0;    ///< buffer-full (forced) drops
+  std::uint64_t injected_drops = 0;    ///< fault-injection / impairment drops
   std::uint64_t ecn_marks = 0;
   std::uint64_t early_responses = 0;
   std::uint64_t timeouts = 0;
@@ -92,6 +107,9 @@ class Dumbbell {
   }
   const DumbbellConfig& config() const noexcept { return cfg_; }
   std::int32_t buffer_pkts() const noexcept { return buffer_pkts_; }
+
+  /// The installed watchdog, or nullptr when cfg.watchdog.enabled is false.
+  sim::InvariantChecker* watchdog() noexcept { return checker_.get(); }
 
   /// Goodput (acked payload bits/s) of forward flow i over the last run()
   /// window. Valid after run().
@@ -135,6 +153,7 @@ class Dumbbell {
   std::vector<std::unique_ptr<traffic::WebSession>> web_sessions_;
   std::vector<double> goodputs_;
   net::FlowId next_flow_ = 0;
+  std::unique_ptr<sim::InvariantChecker> checker_;
 };
 
 }  // namespace pert::exp

@@ -1,0 +1,77 @@
+#include "exp/invariants.h"
+
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace pert::exp {
+
+std::unique_ptr<sim::InvariantChecker> install_standard_invariants(
+    net::Network& net,
+    std::function<std::vector<const tcp::TcpSender*>()> senders,
+    const sim::WatchdogOptions& opts) {
+  if (!opts.enabled) return nullptr;
+  auto checker = std::make_unique<sim::InvariantChecker>(net.sched(), opts);
+
+  checker->add_invariant("queue-conservation", [&net] {
+    const auto links = net.links();
+    for (std::size_t i = 0; i < links.size(); ++i) {
+      std::string v = links[i]->queue().conservation_violation();
+      if (!v.empty()) return "link " + std::to_string(i) + ": " + v;
+    }
+    return std::string{};
+  });
+
+  checker->add_invariant("sender-state", [senders] {
+    for (const tcp::TcpSender* s : senders()) {
+      std::string v = s->invariant_violation();
+      if (!v.empty())
+        return "flow " + std::to_string(s->flow()) + ": " + v;
+    }
+    return std::string{};
+  });
+
+  checker->set_progress_probe([&net, senders] {
+    std::uint64_t progress = 0;
+    for (const tcp::TcpSender* s : senders())
+      progress += static_cast<std::uint64_t>(s->snd_una());
+    for (const net::Link* l : net.links())
+      progress += l->queue().snapshot().departures;
+    return progress;
+  });
+
+  checker->add_diagnostic("flows", [senders] {
+    std::ostringstream out;
+    const auto list = senders();
+    // Cap the snapshot: a 500-flow scenario does not need 500 lines to
+    // diagnose a stall.
+    const std::size_t cap = 32;
+    for (std::size_t i = 0; i < list.size() && i < cap; ++i)
+      out << "  " << list[i]->state_line() << '\n';
+    if (list.size() > cap)
+      out << "  ... " << list.size() - cap << " more flows\n";
+    return out.str();
+  });
+
+  checker->add_diagnostic("queues", [&net] {
+    std::ostringstream out;
+    const auto links = net.links();
+    for (std::size_t i = 0; i < links.size(); ++i) {
+      const net::Queue& q = links[i]->queue();
+      const net::Queue::Stats s = q.snapshot();
+      if (s.arrivals == 0) continue;  // untouched access links are noise
+      out << "  link " << i << ": len=" << q.len_pkts()
+          << " arrivals=" << s.arrivals << " departures=" << s.departures
+          << " drops=" << s.drops << " (overflow=" << s.forced_drops
+          << " congestion=" << s.early_drops
+          << " injected=" << s.injected_drops << ")"
+          << (links[i]->down() ? " DOWN" : "") << '\n';
+    }
+    return out.str();
+  });
+
+  checker->start();
+  return checker;
+}
+
+}  // namespace pert::exp

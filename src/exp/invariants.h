@@ -1,0 +1,36 @@
+// Standard watchdog wiring for the experiment drivers.
+//
+// Every scenario builder (dumbbell, multi-bottleneck) installs the same
+// invariant set on its simulation:
+//   - per-queue conservation: arrivals == departures + drops + resident, for
+//     every queue in the topology (including impairment wrappers),
+//   - per-sender sanity: cwnd/ssthresh finite, positive, bounded; sequence
+//     space consistent; rto positive,
+//   - monotone simulated time (checked by the InvariantChecker itself),
+//   - a progress probe (cumulative acked packets + queue departures) feeding
+//     the stall detector,
+//   - per-flow and per-queue diagnostics rendered into abort snapshots.
+//
+// The providers are re-evaluated on every tick, so flows added mid-run
+// (dynamic experiments) are covered from the next check onward.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/network.h"
+#include "sim/watchdog.h"
+#include "tcp/tcp_sender.h"
+
+namespace pert::exp {
+
+/// Builds, wires, and starts the standard checker. Returns nullptr when
+/// opts.enabled is false (callers hold the result; a null checker is simply
+/// an unmonitored run).
+std::unique_ptr<sim::InvariantChecker> install_standard_invariants(
+    net::Network& net,
+    std::function<std::vector<const tcp::TcpSender*>()> senders,
+    const sim::WatchdogOptions& opts);
+
+}  // namespace pert::exp

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "exp/invariants.h"
 #include "stats/stats.h"
 
 namespace pert::exp {
@@ -65,6 +66,16 @@ MultiBottleneck::MultiBottleneck(MultiBottleneckConfig cfg)
             static_cast<std::size_t>(cfg_.num_routers - 1));
 
   net_.compute_routes();
+
+  checker_ = install_standard_invariants(
+      net_,
+      [this] {
+        std::vector<const tcp::TcpSender*> all;
+        for (const auto& g : groups_)
+          for (auto* s : g) all.push_back(s);
+        return all;
+      },
+      cfg_.watchdog);
 }
 
 std::unique_ptr<net::Queue> MultiBottleneck::make_queue() {

@@ -27,6 +27,8 @@ struct MultiBottleneckConfig {
   std::uint64_t seed = 1;
   tcp::TcpConfig tcp;
   core::PertParams pert;
+  /// Simulation watchdog (invariants + stall detector); enabled by default.
+  sim::WatchdogOptions watchdog;
 };
 
 struct HopMetrics {
@@ -50,6 +52,9 @@ class MultiBottleneck {
     return static_cast<std::int32_t>(hop_links_.size());
   }
 
+  /// The installed watchdog, or nullptr when cfg.watchdog.enabled is false.
+  sim::InvariantChecker* watchdog() noexcept { return checker_.get(); }
+
  private:
   tcp::TcpSender* make_sender(net::FlowId flow);
   std::unique_ptr<net::Queue> make_queue();
@@ -62,6 +67,7 @@ class MultiBottleneck {
   /// senders grouped by source hop: index 0..4 = cloud i -> cloud i+1,
   /// index 5 = cloud 1 -> cloud 6 long-haul.
   std::vector<std::vector<tcp::TcpSender*>> groups_;
+  std::unique_ptr<sim::InvariantChecker> checker_;
 };
 
 }  // namespace pert::exp

@@ -2,52 +2,45 @@
 // match a user predicate (specific uids, sequence numbers, probabilistic
 // loss, loss bursts...). Used for failure-injection testing and for
 // reproducing exact loss patterns.
+//
+// Injected drops are accounted as DropCause::kInjected (Stats::injected_drops)
+// — never conflated with the wrapped discipline's congestion or overflow
+// drops — and snapshot() merges both layers, so arrivals count packets
+// offered here while drop-cause counters stay separable.
 #pragma once
 
 #include <functional>
 #include <memory>
 #include <utility>
 
+#include "net/impairment.h"
 #include "net/queue.h"
 
 namespace pert::net {
 
-class FaultInjectionQueue final : public Queue {
+class FaultInjectionQueue final : public WrapperQueue {
  public:
   /// Returns true if the packet must be dropped before reaching `inner`.
   using DropFn = std::function<bool(const Packet&)>;
 
   FaultInjectionQueue(sim::Scheduler& sched, std::unique_ptr<Queue> inner,
                       DropFn should_drop)
-      : Queue(sched, inner->capacity_pkts()),
-        inner_(std::move(inner)),
+      : WrapperQueue(sched, std::move(inner)),
         should_drop_(std::move(should_drop)) {}
 
   void enqueue(PacketPtr p) override {
     count_arrival();
     if (should_drop_ && should_drop_(*p)) {
-      drop(std::move(p), /*forced=*/false);
+      drop(std::move(p), DropCause::kInjected);
       return;
     }
-    inner_->enqueue(std::move(p));
+    pass_through(std::move(p));
   }
-
-  PacketPtr dequeue() override { return inner_->dequeue(); }
-
-  double avg_estimate() const override { return inner_->avg_estimate(); }
-  std::int32_t len_pkts() const noexcept override { return inner_->len_pkts(); }
-  std::int64_t len_bytes() const noexcept override {
-    return inner_->len_bytes();
-  }
-
-  /// The wrapped discipline (its stats count what was actually offered).
-  Queue& inner() noexcept { return *inner_; }
 
   /// Replaces the drop predicate (e.g., stop injecting after a phase).
   void set_drop_fn(DropFn fn) { should_drop_ = std::move(fn); }
 
  private:
-  std::unique_ptr<Queue> inner_;
   DropFn should_drop_;
 };
 

@@ -15,6 +15,11 @@ Link::Link(sim::Scheduler& sched, Node& to, double rate_bps,
       prop_delay_(prop_delay),
       queue_(std::move(queue)) {
   assert(rate_bps_ > 0 && prop_delay_ >= 0 && queue_);
+  // Impairment wrappers admit held packets asynchronously; wake the
+  // transmitter when one lands in the buffer.
+  queue_->on_ready = [this] {
+    if (!busy_) try_transmit();
+  };
 }
 
 void Link::send(PacketPtr p) {
@@ -22,8 +27,24 @@ void Link::send(PacketPtr p) {
   if (!busy_) try_transmit();
 }
 
+void Link::set_down(bool down) {
+  if (down) {
+    if (down_depth_++ == 0) {
+      ++stats_.outages;
+      down_since_ = sched_->now();
+    }
+    return;
+  }
+  assert(down_depth_ > 0 && "set_down(false) without a matching set_down(true)");
+  if (--down_depth_ == 0) {
+    stats_.down_integral += sched_->now() - down_since_;
+    if (!busy_) try_transmit();
+  }
+}
+
 void Link::try_transmit() {
   assert(!busy_);
+  if (down()) return;
   PacketPtr p = queue_->dequeue();
   if (!p) return;
   busy_ = true;

@@ -21,6 +21,8 @@ class Link {
     std::uint64_t bytes_tx = 0;
     /// Integral of "transmitter busy" time; diff snapshots / elapsed = util.
     double busy_integral = 0.0;
+    std::uint64_t outages = 0;   ///< down-edge count (link flaps)
+    double down_integral = 0.0;  ///< total time spent down
   };
 
   Link(sim::Scheduler& sched, Node& to, double rate_bps,
@@ -31,6 +33,15 @@ class Link {
 
   /// Entry point for traffic: enqueue and start transmitting if idle.
   void send(PacketPtr p);
+
+  /// Takes the transmitter down / brings it back up (scheduled outages,
+  /// impairment flaps). Calls nest: the link is up only when every set_down
+  /// (true) has been matched by a set_down(false). While down, arriving
+  /// packets queue up (and overflow per the discipline); a transmission
+  /// already on the wire completes. On the up-edge the transmitter resumes
+  /// draining the queue.
+  void set_down(bool down);
+  bool down() const noexcept { return down_depth_ > 0; }
 
   Queue& queue() noexcept { return *queue_; }
   const Queue& queue() const noexcept { return *queue_; }
@@ -45,6 +56,7 @@ class Link {
   Stats snapshot() const {
     Stats s = stats_;
     if (busy_) s.busy_integral += sched_->now() - busy_since_;
+    if (down()) s.down_integral += sched_->now() - down_since_;
     return s;
   }
 
@@ -58,6 +70,8 @@ class Link {
   std::unique_ptr<Queue> queue_;
   bool busy_ = false;
   sim::Time busy_since_ = 0.0;
+  std::int32_t down_depth_ = 0;
+  sim::Time down_since_ = 0.0;
   Stats stats_;
 };
 

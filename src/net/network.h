@@ -37,6 +37,15 @@ class Network {
   Node* node(NodeId id) const { return nodes_.at(static_cast<std::size_t>(id)).get(); }
   std::size_t num_nodes() const noexcept { return nodes_.size(); }
 
+  /// Every link in creation order (monitors and invariant checkers walk all
+  /// queues through this).
+  std::vector<Link*> links() const {
+    std::vector<Link*> out;
+    out.reserve(links_.size());
+    for (const auto& l : links_) out.push_back(l.get());
+    return out;
+  }
+
   /// Adds a unidirectional link a -> b with the given queue discipline.
   Link* add_link(Node* a, Node* b, double rate_bps, sim::Time delay,
                  std::unique_ptr<Queue> q);

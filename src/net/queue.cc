@@ -1,5 +1,7 @@
 #include "net/queue.h"
 
+#include <string>
+
 namespace pert::net {
 
 PacketPtr Queue::dequeue() {
@@ -8,13 +10,34 @@ PacketPtr Queue::dequeue() {
   PacketPtr p = std::move(fifo_.front());
   fifo_.pop_front();
   bytes_ -= p->size_bytes;
+  count_departure();
   return p;
+}
+
+std::string Queue::conservation_violation() const {
+  const Stats s = snapshot();
+  const std::int64_t len = len_pkts();
+  if (len < 0) return "negative queue length: " + std::to_string(len);
+  // Wrappers holding packets in flight (impairments) exempt themselves from
+  // the capacity bound; resident-in-buffer packets never exceed capacity.
+  if (capacity_check_ && len > capacity_)
+    return "queue length " + std::to_string(len) + " exceeds capacity " +
+           std::to_string(capacity_);
+  const std::uint64_t accounted =
+      s.departures + s.drops + static_cast<std::uint64_t>(len);
+  if (s.arrivals != accounted)
+    return "arrivals " + std::to_string(s.arrivals) + " != departures " +
+           std::to_string(s.departures) + " + drops " +
+           std::to_string(s.drops) + " + resident " + std::to_string(len);
+  if (s.drops != s.forced_drops + s.early_drops + s.injected_drops)
+    return "drop-cause counters do not sum to total drops";
+  return {};
 }
 
 void DropTailQueue::enqueue(PacketPtr p) {
   count_arrival();
   if (full()) {
-    drop(std::move(p), /*forced=*/true);
+    drop(std::move(p), DropCause::kOverflow);
     return;
   }
   push(std::move(p));

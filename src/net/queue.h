@@ -10,19 +10,28 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <string>
 
 #include "net/packet.h"
 #include "sim/scheduler.h"
 
 namespace pert::net {
 
+/// Why a packet was dropped. Congestion (AQM probabilistic) and overflow
+/// (buffer full) drops are the discipline's own doing; injected drops come
+/// from a fault-injection/impairment wrapper emulating non-congestion loss
+/// and must never be conflated with AQM behavior in reported stats.
+enum class DropCause : std::uint8_t { kCongestion, kOverflow, kInjected };
+
 class Queue {
  public:
   struct Stats {
     std::uint64_t arrivals = 0;       ///< packets offered to enqueue()
+    std::uint64_t departures = 0;     ///< packets handed out by dequeue()
     std::uint64_t drops = 0;          ///< packets dropped (any reason)
     std::uint64_t forced_drops = 0;   ///< overflow drops (buffer full)
     std::uint64_t early_drops = 0;    ///< AQM probabilistic drops
+    std::uint64_t injected_drops = 0; ///< fault-injection/impairment drops
     std::uint64_t ecn_marks = 0;      ///< CE marks applied
     std::uint64_t bytes_in = 0;       ///< bytes accepted into the queue
     /// Integral of queue length (packets) over time; diff two snapshots and
@@ -53,14 +62,21 @@ class Queue {
   virtual std::int64_t len_bytes() const noexcept { return bytes_; }
   std::int32_t capacity_pkts() const noexcept { return capacity_; }
 
-  /// Cumulative stats with the length integral advanced to now().
-  Stats snapshot() const {
+  /// Cumulative stats with the length integral advanced to now(). Virtual so
+  /// wrapper disciplines (fault injection, impairments) can merge their own
+  /// counters with the wrapped discipline's.
+  virtual Stats snapshot() const {
     Stats s = stats_;
     const sim::Time now = sched_->now();
     s.len_integral += static_cast<double>(fifo_.size()) * (now - last_change_);
     s.avg_integral += avg_estimate() * (now - last_change_);
     return s;
   }
+
+  /// Conservation self-check: every packet ever offered is accounted for as
+  /// departed, dropped, or still resident. Returns "" while consistent, else
+  /// a message describing the imbalance (watchdog invariant).
+  std::string conservation_violation() const;
 
   /// The discipline's smoothed congestion estimate (RED avg; raw length for
   /// disciplines without smoothing). Exposed for monitors and tests.
@@ -69,6 +85,12 @@ class Queue {
   /// Fired for every dropped packet (after counting). Used by the predictor
   /// study to observe queue-level loss events.
   std::function<void(const Packet&, sim::Time)> on_drop;
+
+  /// Fired when a packet becomes dequeueable *asynchronously* — i.e. not
+  /// during an enqueue() call on this queue. Only impairment wrappers that
+  /// hold packets and release them via scheduler timers need this; the Link
+  /// registers a kick so its transmitter wakes up for released packets.
+  std::function<void()> on_ready;
 
  protected:
   sim::Scheduler& sched() noexcept { return *sched_; }
@@ -85,16 +107,23 @@ class Queue {
   }
 
   /// Counts and disposes a dropped packet.
-  void drop(PacketPtr p, bool forced) {
+  void drop(PacketPtr p, DropCause cause) {
     ++stats_.drops;
-    if (forced)
-      ++stats_.forced_drops;
-    else
-      ++stats_.early_drops;
+    switch (cause) {
+      case DropCause::kOverflow: ++stats_.forced_drops; break;
+      case DropCause::kCongestion: ++stats_.early_drops; break;
+      case DropCause::kInjected: ++stats_.injected_drops; break;
+    }
     if (on_drop) on_drop(*p, now());
   }
 
+  /// Legacy spelling used by the AQM disciplines: forced == buffer overflow.
+  void drop(PacketPtr p, bool forced) {
+    drop(std::move(p), forced ? DropCause::kOverflow : DropCause::kCongestion);
+  }
+
   void count_arrival() noexcept { ++stats_.arrivals; }
+  void count_departure() noexcept { ++stats_.departures; }
   void count_mark() noexcept { ++stats_.ecn_marks; }
 
   /// Accrues the length/avg integrals up to now; call before length changes.
@@ -106,6 +135,9 @@ class Queue {
   }
 
   std::deque<PacketPtr> fifo_;
+  /// Wrappers whose len_pkts() includes held-in-flight packets set this false
+  /// so the conservation check skips the capacity bound.
+  bool capacity_check_ = true;
 
  private:
   sim::Scheduler* sched_;

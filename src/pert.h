@@ -30,6 +30,7 @@
 #include "fluid/pert_model.h"
 #include "net/avq_queue.h"
 #include "net/fault_queue.h"
+#include "net/impairment.h"
 #include "net/link.h"
 #include "net/network.h"
 #include "net/node.h"
@@ -43,10 +44,12 @@
 #include "predictors/predictor.h"
 #include "predictors/trace_io.h"
 #include "predictors/trace_recorder.h"
+#include "sim/errors.h"
 #include "sim/random.h"
 #include "sim/scheduler.h"
 #include "sim/time.h"
 #include "sim/timer.h"
+#include "sim/watchdog.h"
 #include "stats/stats.h"
 #include "stats/time_series.h"
 #include "tcp/tcp_config.h"

@@ -1,0 +1,38 @@
+// Cooperative cancellation for experiment jobs.
+//
+// The runner's timeout monitor requests cancellation; the job's simulation
+// watchdog polls the flag (WatchdogOptions::cancel) on its fixed check ticks
+// and aborts by throwing sim::CancelledError. Nothing is killed from outside:
+// a job only stops at a point where its state is coherent enough to render a
+// diagnostic snapshot, and a job that ignores the flag simply runs on.
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+namespace pert::runner {
+
+/// Copyable handle to a shared cancellation flag. Copies (the Job held by the
+/// runner, the closure inside the job body, the monitor's registry entry) all
+/// observe the same flag.
+class CancelToken {
+ public:
+  CancelToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void request() const noexcept {
+    flag_->store(true, std::memory_order_relaxed);
+  }
+  bool requested() const noexcept {
+    return flag_->load(std::memory_order_relaxed);
+  }
+  /// Re-arms the token for a fresh attempt (retry path).
+  void reset() const noexcept { flag_->store(false, std::memory_order_relaxed); }
+
+  /// The raw flag, in the shape sim::WatchdogOptions::cancel wants.
+  const std::atomic<bool>* flag() const noexcept { return flag_.get(); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+}  // namespace pert::runner

@@ -10,10 +10,13 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "exp/dumbbell.h"
+#include "runner/cancel.h"
 
 namespace pert::runner {
 
@@ -22,6 +25,27 @@ struct JobOutput {
   exp::WindowMetrics metrics;
   std::uint64_t events = 0;  ///< scheduler events dispatched by the job's sim
 };
+
+/// Thrown by a job body to flag a failure as transient: the runner retries
+/// the job (same seed, fresh attempt) up to RunnerOptions::max_retries times
+/// before reporting it failed.
+class TransientError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// How a job ended. Everything except kOk carries an error message; timeout
+/// and invariant failures also carry a diagnostics snapshot.
+enum class JobStatus : std::uint8_t {
+  kOk,
+  kFailed,              ///< exception / stall / non-retryable error
+  kTimeout,             ///< wall-clock timeout (cooperative cancel fired)
+  kInvariantViolation,  ///< simulation watchdog caught broken state
+};
+
+std::string_view to_string(JobStatus s);
+/// Inverse of to_string; unknown strings map to kFailed.
+JobStatus job_status_from_string(std::string_view s);
 
 struct Job {
   /// Stable unique id, e.g. "fig08_num_flows/flows=10/PERT". Keys feed the
@@ -35,6 +59,10 @@ struct Job {
   /// The job body. Runs on an arbitrary worker thread; must be
   /// self-contained (build the sim inside, touch nothing shared).
   std::function<JobOutput(const Job&)> run;
+  /// Cancellation flag for the runner's wall-clock timeout. Job bodies that
+  /// want to be timeout-able point their scenario at it:
+  ///   cfg.watchdog.cancel = job.cancel.flag();
+  CancelToken cancel;
 };
 
 struct JobResult {
@@ -43,9 +71,12 @@ struct JobResult {
   std::map<std::string, std::string> tags;
   exp::WindowMetrics metrics;
   std::uint64_t events = 0;
-  double wall_ms = 0;  ///< wall-clock time of this job's body
-  bool ok = false;
-  std::string error;  ///< exception message when !ok
+  double wall_ms = 0;  ///< wall-clock time of this job's body (all attempts)
+  bool ok = false;     ///< convenience mirror of status == kOk
+  JobStatus status = JobStatus::kFailed;
+  std::string error;        ///< exception message when !ok
+  std::string diagnostics;  ///< watchdog snapshot (timeout/invariant/stall)
+  unsigned attempts = 1;    ///< 1 + transient retries consumed
 };
 
 struct RunReport {
@@ -53,6 +84,8 @@ struct RunReport {
   unsigned threads = 1;    ///< worker threads actually used
   double wall_ms = 0;      ///< wall-clock time of the whole batch
   double cpu_ms = 0;       ///< sum of per-job wall times
+  /// "ok" (all jobs ok), "partial" (some failed), or "failed" (all failed).
+  std::string status = "ok";
   std::vector<JobResult> results;  ///< submission order, independent of
                                    ///< completion order
 

@@ -30,7 +30,7 @@ std::uint64_t uint_or(const JsonValue& obj, std::string_view key,
 
 JsonValue to_json(const exp::WindowMetrics& m) {
   JsonValue::Object o;
-  o.reserve(12);
+  o.reserve(15);
   o.emplace_back("duration", JsonValue(m.duration));
   o.emplace_back("avg_queue_pkts", JsonValue(m.avg_queue_pkts));
   o.emplace_back("norm_queue", JsonValue(m.norm_queue));
@@ -39,6 +39,9 @@ JsonValue to_json(const exp::WindowMetrics& m) {
   o.emplace_back("jain", JsonValue(m.jain));
   o.emplace_back("agg_goodput_bps", JsonValue(m.agg_goodput_bps));
   o.emplace_back("drops", JsonValue(m.drops));
+  o.emplace_back("congestion_drops", JsonValue(m.congestion_drops));
+  o.emplace_back("overflow_drops", JsonValue(m.overflow_drops));
+  o.emplace_back("injected_drops", JsonValue(m.injected_drops));
   o.emplace_back("ecn_marks", JsonValue(m.ecn_marks));
   o.emplace_back("early_responses", JsonValue(m.early_responses));
   o.emplace_back("timeouts", JsonValue(m.timeouts));
@@ -56,6 +59,9 @@ exp::WindowMetrics metrics_from_json(const JsonValue& v) {
   m.jain = num_or(v, "jain", 0);
   m.agg_goodput_bps = num_or(v, "agg_goodput_bps", 0);
   m.drops = uint_or(v, "drops", 0);
+  m.congestion_drops = uint_or(v, "congestion_drops", 0);
+  m.overflow_drops = uint_or(v, "overflow_drops", 0);
+  m.injected_drops = uint_or(v, "injected_drops", 0);
   m.ecn_marks = uint_or(v, "ecn_marks", 0);
   m.early_responses = uint_or(v, "early_responses", 0);
   m.timeouts = uint_or(v, "timeouts", 0);
@@ -65,14 +71,20 @@ exp::WindowMetrics metrics_from_json(const JsonValue& v) {
 
 JsonValue to_json(const JobResult& r) {
   JsonValue::Object o;
-  o.reserve(7 + r.tags.size());
+  o.reserve(10 + r.tags.size());
   o.emplace_back("key", JsonValue(r.key));
   for (const auto& [k, val] : r.tags) o.emplace_back(k, JsonValue(val));
   o.emplace_back("seed", JsonValue(r.seed));
   o.emplace_back("events", JsonValue(r.events));
   o.emplace_back("wall_ms", JsonValue(r.wall_ms));
   o.emplace_back("ok", JsonValue(r.ok));
+  o.emplace_back("status", JsonValue(std::string(to_string(r.status))));
+  if (r.attempts > 1)
+    o.emplace_back("attempts",
+                   JsonValue(static_cast<std::uint64_t>(r.attempts)));
   if (!r.ok) o.emplace_back("error", JsonValue(r.error));
+  if (!r.diagnostics.empty())
+    o.emplace_back("diagnostics", JsonValue(r.diagnostics));
   o.emplace_back("metrics", to_json(r.metrics));
   return JsonValue(std::move(o));
 }
@@ -85,17 +97,23 @@ JobResult result_from_json(const JsonValue& v) {
     else if (k == "events") r.events = val.as_uint();
     else if (k == "wall_ms") r.wall_ms = val.as_double();
     else if (k == "ok") r.ok = val.as_bool();
+    else if (k == "status") r.status = job_status_from_string(val.as_string());
+    else if (k == "attempts")
+      r.attempts = static_cast<unsigned>(val.as_uint());
     else if (k == "error") r.error = val.as_string();
+    else if (k == "diagnostics") r.diagnostics = val.as_string();
     else if (k == "metrics") r.metrics = metrics_from_json(val);
     else if (val.is_string()) r.tags[k] = val.as_string();  // flattened tag
   }
+  if (r.ok) r.status = JobStatus::kOk;  // pre-status reports only carry "ok"
   return r;
 }
 
 JsonValue to_json(const RunReport& r) {
   JsonValue::Object o;
-  o.reserve(7);
+  o.reserve(8);
   o.emplace_back("name", JsonValue(r.name));
+  o.emplace_back("status", JsonValue(r.status));
   o.emplace_back("threads", JsonValue(static_cast<std::uint64_t>(r.threads)));
   o.emplace_back("jobs", JsonValue(static_cast<std::uint64_t>(r.results.size())));
   o.emplace_back("wall_ms", JsonValue(r.wall_ms));
@@ -111,6 +129,8 @@ JsonValue to_json(const RunReport& r) {
 RunReport report_from_json(const JsonValue& v) {
   RunReport r;
   if (const JsonValue* name = v.find("name")) r.name = name->as_string();
+  if (const JsonValue* status = v.find("status"))
+    r.status = status->as_string();
   r.threads = static_cast<unsigned>(uint_or(v, "threads", 1));
   r.wall_ms = num_or(v, "wall_ms", 0);
   r.cpu_ms = num_or(v, "cpu_ms", 0);

@@ -1,9 +1,10 @@
 // JSON (de)serialization of run reports, for BENCH_*.json trajectory
 // tracking and cross-run determinism diffs.
 //
-// Schema (stable key order; see docs/runner.md):
+// Schema (stable key order; see docs/runner.md and docs/robustness.md):
 //   {
 //     "name": "fig08_num_flows",
+//     "status": "ok",             // "ok" | "partial" | "failed"
 //     "threads": 4,
 //     "jobs": 20,
 //     "wall_ms": 5123.4,          // volatile: wall-clock, varies per run
@@ -16,6 +17,11 @@
 //         "events": 987654,
 //         "wall_ms": 812.3,              // volatile
 //         "ok": true,
+//         "status": "ok",         // "ok" | "failed" | "timeout" |
+//                                 // "invariant_violation"
+//         "attempts": 2,          // only when transient retries were used
+//         "error": "...",         // only when !ok
+//         "diagnostics": "...",   // only for watchdog aborts (snapshot)
 //         "metrics": { "duration": ..., "avg_queue_pkts": ..., ... } }, ... ]
 //   }
 // Everything except the three wall-clock fields (and speedup) is a pure

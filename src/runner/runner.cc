@@ -1,11 +1,17 @@
 #include "runner/runner.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <exception>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <thread>
 
 #include "runner/progress.h"
+#include "sim/errors.h"
 
 namespace pert::runner {
 
@@ -17,28 +23,157 @@ double ms_since(Clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
 }
 
-/// Runs one job body, capturing exceptions into the result.
-JobResult execute(const Job& job) {
+/// Watches the set of in-flight jobs and requests cooperative cancellation on
+/// the ones that blow their wall-clock budget. One monitor per batch; workers
+/// arm/disarm around each attempt. The monitor never touches job state other
+/// than the cancel flag, so there is no race with the worker reading results.
+class TimeoutMonitor {
+ public:
+  explicit TimeoutMonitor(double timeout_ms)
+      : timeout_(std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double, std::milli>(timeout_ms))),
+        poll_(std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double, std::milli>(
+                std::min(50.0, std::max(1.0, timeout_ms / 4.0))))),
+        thread_([this] { loop(); }) {}
+
+  ~TimeoutMonitor() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_one();
+    thread_.join();
+  }
+
+  void arm(const Job& job) {
+    std::lock_guard<std::mutex> lock(mu_);
+    active_[&job] = Clock::now() + timeout_;
+  }
+
+  void disarm(const Job& job) {
+    std::lock_guard<std::mutex> lock(mu_);
+    active_.erase(&job);
+  }
+
+ private:
+  void loop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stop_) {
+      cv_.wait_for(lock, poll_);
+      const auto now = Clock::now();
+      for (auto it = active_.begin(); it != active_.end();) {
+        if (now >= it->second) {
+          it->first->cancel.request();
+          it = active_.erase(it);  // request once; the job aborts itself
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+
+  const Clock::duration timeout_;
+  const Clock::duration poll_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::map<const Job*, Clock::time_point> active_;
+  std::thread thread_;
+};
+
+/// RAII arm/disarm of one job attempt on the (optional) monitor.
+class TimeoutGuard {
+ public:
+  TimeoutGuard(TimeoutMonitor* monitor, const Job& job)
+      : monitor_(monitor), job_(job) {
+    if (monitor_) monitor_->arm(job_);
+  }
+  ~TimeoutGuard() {
+    if (monitor_) monitor_->disarm(job_);
+  }
+  TimeoutGuard(const TimeoutGuard&) = delete;
+  TimeoutGuard& operator=(const TimeoutGuard&) = delete;
+
+ private:
+  TimeoutMonitor* monitor_;
+  const Job& job_;
+};
+
+/// Runs one job body (with retries for transient failures), classifying the
+/// outcome into JobResult::status and capturing watchdog diagnostics.
+JobResult execute(const Job& job, unsigned max_retries,
+                  TimeoutMonitor* monitor) {
   JobResult r;
   r.key = job.key;
   r.seed = job.seed;
   r.tags = job.tags;
   const auto t0 = Clock::now();
-  try {
-    const JobOutput out = job.run(job);
-    r.metrics = out.metrics;
-    r.events = out.events;
-    r.ok = true;
-  } catch (const std::exception& e) {
-    r.error = e.what();
-  } catch (...) {
-    r.error = "unknown exception";
+  for (unsigned attempt = 1;; ++attempt) {
+    r.attempts = attempt;
+    job.cancel.reset();
+    try {
+      TimeoutGuard guard(monitor, job);
+      const JobOutput out = job.run(job);
+      r.metrics = out.metrics;
+      r.events = out.events;
+      r.status = JobStatus::kOk;
+      r.error.clear();
+    } catch (const TransientError& e) {
+      if (attempt <= max_retries) continue;  // same seed, fresh attempt
+      r.status = JobStatus::kFailed;
+      r.error = e.what();
+    } catch (const sim::CancelledError& e) {
+      r.status = JobStatus::kTimeout;
+      r.error = e.what();
+      r.diagnostics = e.diagnostics();
+    } catch (const sim::InvariantViolation& e) {
+      r.status = JobStatus::kInvariantViolation;
+      r.error = e.what();
+      r.diagnostics = e.diagnostics();
+    } catch (const sim::DiagnosticError& e) {  // StallError and friends
+      r.status = JobStatus::kFailed;
+      r.error = e.what();
+      r.diagnostics = e.diagnostics();
+    } catch (const std::exception& e) {
+      r.status = JobStatus::kFailed;
+      r.error = e.what();
+    } catch (...) {
+      r.status = JobStatus::kFailed;
+      r.error = "unknown exception";
+    }
+    break;
   }
+  r.ok = r.status == JobStatus::kOk;
   r.wall_ms = ms_since(t0);
   return r;
 }
 
+std::string batch_status(const std::vector<JobResult>& results) {
+  std::size_t ok = 0;
+  for (const JobResult& r : results) ok += r.ok ? 1 : 0;
+  if (ok == results.size()) return "ok";
+  return ok == 0 ? "failed" : "partial";
+}
+
 }  // namespace
+
+std::string_view to_string(JobStatus s) {
+  switch (s) {
+    case JobStatus::kOk: return "ok";
+    case JobStatus::kTimeout: return "timeout";
+    case JobStatus::kInvariantViolation: return "invariant_violation";
+    case JobStatus::kFailed: break;
+  }
+  return "failed";
+}
+
+JobStatus job_status_from_string(std::string_view s) {
+  if (s == "ok") return JobStatus::kOk;
+  if (s == "timeout") return JobStatus::kTimeout;
+  if (s == "invariant_violation") return JobStatus::kInvariantViolation;
+  return JobStatus::kFailed;
+}
 
 unsigned resolve_threads(unsigned requested) {
   if (requested != 0) return requested;
@@ -60,14 +195,18 @@ RunReport ExperimentRunner::run(const std::vector<Job>& jobs) {
       std::min<std::size_t>(opts_.threads, jobs.empty() ? 1 : jobs.size()));
   report.threads = n_workers;
 
+  std::unique_ptr<TimeoutMonitor> monitor;
+  if (opts_.job_timeout_ms > 0 && !jobs.empty())
+    monitor = std::make_unique<TimeoutMonitor>(opts_.job_timeout_ms);
+
   ProgressReporter progress(opts_.name, jobs.size(), opts_.progress);
   progress.batch_started(n_workers);
   const auto t0 = Clock::now();
 
   if (n_workers <= 1) {
-    // Serial path: calling thread, submission order, nothing spawned.
+    // Serial path: calling thread, submission order, no worker spawned.
     for (std::size_t i = 0; i < jobs.size(); ++i) {
-      report.results[i] = execute(jobs[i]);
+      report.results[i] = execute(jobs[i], opts_.max_retries, monitor.get());
       progress.job_done(report.results[i].key, report.results[i].wall_ms,
                         report.results[i].ok);
     }
@@ -79,7 +218,7 @@ RunReport ExperimentRunner::run(const std::vector<Job>& jobs) {
       for (;;) {
         const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= jobs.size()) return;
-        report.results[i] = execute(jobs[i]);
+        report.results[i] = execute(jobs[i], opts_.max_retries, monitor.get());
         progress.job_done(report.results[i].key, report.results[i].wall_ms,
                           report.results[i].ok);
       }
@@ -92,6 +231,7 @@ RunReport ExperimentRunner::run(const std::vector<Job>& jobs) {
 
   report.wall_ms = ms_since(t0);
   for (const JobResult& r : report.results) report.cpu_ms += r.wall_ms;
+  report.status = batch_status(report.results);
   progress.batch_finished(report.wall_ms, report.cpu_ms);
   return report;
 }

@@ -1,0 +1,51 @@
+// Structured simulation errors.
+//
+// Every abnormal termination of a simulation — invariant violation, stall,
+// cooperative cancellation, runaway event loop — throws one of these. They
+// all derive from DiagnosticError, which carries a human-readable diagnostics
+// snapshot (event-queue depth, per-flow state, whatever the thrower attached)
+// alongside the what() message, so the experiment runner can convert an abort
+// into a structured JobResult instead of losing the whole batch.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace pert::sim {
+
+/// Base for all simulation aborts: what() is the one-line cause,
+/// diagnostics() is the multi-line state snapshot captured at throw time.
+class DiagnosticError : public std::runtime_error {
+ public:
+  DiagnosticError(const std::string& what, std::string diagnostics)
+      : std::runtime_error(what), diagnostics_(std::move(diagnostics)) {}
+
+  const std::string& diagnostics() const noexcept { return diagnostics_; }
+
+ private:
+  std::string diagnostics_;
+};
+
+/// A registered invariant (conservation, bounds, monotonicity) failed.
+class InvariantViolation : public DiagnosticError {
+ public:
+  using DiagnosticError::DiagnosticError;
+};
+
+/// The watchdog saw no progress for its stall window, or the scheduler
+/// dispatched an unreasonable number of events without advancing time
+/// (zero-delay event loop).
+class StallError : public DiagnosticError {
+ public:
+  using DiagnosticError::DiagnosticError;
+};
+
+/// A cooperative cancellation flag was observed set (wall-clock timeout or
+/// user abort requested by the experiment runner).
+class CancelledError : public DiagnosticError {
+ public:
+  using DiagnosticError::DiagnosticError;
+};
+
+}  // namespace pert::sim

@@ -1,7 +1,10 @@
 #include "sim/scheduler.h"
 
 #include <cassert>
+#include <string>
 #include <utility>
+
+#include "sim/errors.h"
 
 namespace pert::sim {
 
@@ -39,6 +42,18 @@ bool Scheduler::run_next() {
   heap_.pop();
   live_.erase(e.seq);
   assert(e.t >= now_);
+  if (e.t > now_) {
+    instant_streak_ = 0;
+  } else if (instant_event_limit_ != 0 &&
+             ++instant_streak_ > instant_event_limit_) {
+    throw StallError(
+        "scheduler: " + std::to_string(instant_streak_) +
+            " consecutive events at t=" + std::to_string(now_) +
+            " without time advancing (zero-delay event loop?)",
+        "pending events: " + std::to_string(pending()) +
+            "\ndispatched: " + std::to_string(dispatched_) +
+            "\nsim time: " + std::to_string(now_));
+  }
   now_ = e.t;
   ++dispatched_;
   e.cb();

@@ -64,6 +64,17 @@ class Scheduler {
   /// Total events dispatched so far (for micro-benchmarks and sanity checks).
   std::uint64_t dispatched() const noexcept { return dispatched_; }
 
+  /// Runaway guard: dispatching more than this many consecutive events
+  /// without simulated time advancing throws sim::StallError (a zero-delay
+  /// event loop would otherwise hang the process without ever reaching a
+  /// time-based watchdog). 0 disables the guard.
+  void set_instant_event_limit(std::uint64_t limit) noexcept {
+    instant_event_limit_ = limit;
+  }
+  std::uint64_t instant_event_limit() const noexcept {
+    return instant_event_limit_;
+  }
+
  private:
   struct Entry {
     Time t;
@@ -86,6 +97,9 @@ class Scheduler {
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t dispatched_ = 0;
+  /// Consecutive dispatches with now_ unchanged (runaway detection).
+  std::uint64_t instant_streak_ = 0;
+  std::uint64_t instant_event_limit_ = 20'000'000;
 };
 
 }  // namespace pert::sim

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <limits>
+#include <sstream>
 #include <utility>
 
 namespace pert::tcp {
@@ -340,6 +342,37 @@ void TcpSender::check_complete() {
   if (infinite_ || complete_fired_ || snd_una_ < app_limit_) return;
   complete_fired_ = true;
   if (on_transfer_complete) on_transfer_complete();
+}
+
+std::string TcpSender::invariant_violation() const {
+  // Generous ceiling: no scenario in this repo reaches a million-packet
+  // window; anything near it means runaway window growth.
+  constexpr double kCwndCeiling = 1e6;
+  if (!std::isfinite(cwnd_) || cwnd_ < 1.0 - 1e-9)
+    return "cwnd out of range: " + std::to_string(cwnd_);
+  if (cwnd_ > kCwndCeiling)
+    return "cwnd exceeds ceiling: " + std::to_string(cwnd_);
+  if (!std::isfinite(ssthresh_) || ssthresh_ < 1.0 - 1e-9)
+    return "ssthresh out of range: " + std::to_string(ssthresh_);
+  if (snd_una_ < 0 || next_seq_ < snd_una_)
+    return "sequence space inconsistent: snd_una=" + std::to_string(snd_una_) +
+           " next_seq=" + std::to_string(next_seq_);
+  if (srtt_ >= 0 && (!std::isfinite(srtt_) || srtt_ < 0))
+    return "srtt corrupt: " + std::to_string(srtt_);
+  if (!std::isfinite(rto_) || rto_ <= 0)
+    return "rto out of range: " + std::to_string(rto_);
+  if (pipe_ < 0) return "negative pipe: " + std::to_string(pipe_);
+  return {};
+}
+
+std::string TcpSender::state_line() const {
+  std::ostringstream out;
+  out << "flow " << flow_ << ": cwnd=" << cwnd_ << " ssthresh=" << ssthresh_
+      << " una=" << snd_una_ << " next=" << next_seq_
+      << (in_recovery_ ? " RECOVERY" : "") << " srtt=" << srtt_
+      << " rto=" << rto_ << " timeouts=" << st_.timeouts
+      << " loss_events=" << st_.loss_events;
+  return out.str();
 }
 
 }  // namespace pert::tcp

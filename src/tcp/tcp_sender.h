@@ -14,6 +14,7 @@
 #include <deque>
 #include <functional>
 #include <limits>
+#include <string>
 
 #include "net/network.h"
 #include "net/node.h"
@@ -72,6 +73,15 @@ class TcpSender : public net::Agent {
   std::int64_t acked_bytes() const noexcept {
     return snd_una_ * cfg_.seg_payload;
   }
+
+  /// Self-check for the simulation watchdog: cwnd/ssthresh finite, positive,
+  /// and bounded; sequence space consistent; RTT state sane. Returns "" while
+  /// healthy, else a message describing the broken invariant.
+  std::string invariant_violation() const;
+
+  /// One diagnostic line (cwnd, ssthresh, una/next, recovery, rto) for abort
+  /// snapshots.
+  std::string state_line() const;
 
   // --- instrumentation hooks (experiments attach these) ---
   std::function<void(double rtt, sim::Time now)> on_rtt_sample;

@@ -1,0 +1,204 @@
+// Runner crash/timeout isolation: a hung or throwing job becomes a structured
+// JobResult (status, error, diagnostics) while its siblings complete with
+// byte-identical metrics; transient failures retry with the same seed; the
+// batch status reflects partial failure; the JSON round-trip preserves all of
+// it.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runner/report.h"
+#include "runner/runner.h"
+#include "runner/seed.h"
+#include "sim/errors.h"
+
+namespace pert::runner {
+namespace {
+
+Job quick_job(int i) {
+  Job job;
+  job.key = "cell/" + std::to_string(i);
+  job.seed = derive_seed(99, job.key);
+  job.run = [](const Job& self) {
+    JobOutput out;
+    out.metrics.avg_queue_pkts = static_cast<double>(self.seed % 1000);
+    out.metrics.drops = self.seed % 7;
+    out.events = self.seed ^ 0x5a5a;
+    return out;
+  };
+  return job;
+}
+
+RunReport run(const std::vector<Job>& jobs, RunnerOptions opts) {
+  opts.progress = false;
+  opts.name = "resilience";
+  return ExperimentRunner(opts).run(jobs);
+}
+
+TEST(Resilience, CooperativelyHungJobTimesOutSiblingsComplete) {
+  std::vector<Job> jobs;
+  for (int i = 0; i < 5; ++i) jobs.push_back(quick_job(i));
+  // Job 2 "hangs": it spins until the runner's timeout monitor requests
+  // cancellation (what the simulation watchdog does on its check ticks).
+  jobs[2].run = [](const Job& self) -> JobOutput {
+    while (!self.cancel.requested())
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    throw sim::CancelledError("cancellation requested (wall-clock timeout?)",
+                              "event-queue depth: 3\n  flow 0: cwnd=2\n");
+  };
+
+  RunnerOptions opts;
+  opts.threads = 4;
+  opts.job_timeout_ms = 60;
+  const RunReport rep = run(jobs, opts);
+
+  EXPECT_EQ(rep.status, "partial");
+  EXPECT_FALSE(rep.results[2].ok);
+  EXPECT_EQ(rep.results[2].status, JobStatus::kTimeout);
+  EXPECT_NE(rep.results[2].error.find("cancellation"), std::string::npos);
+  EXPECT_NE(rep.results[2].diagnostics.find("cwnd=2"), std::string::npos);
+
+  // Siblings byte-identical to a clean run of the same cells.
+  std::vector<Job> clean;
+  for (int i = 0; i < 5; ++i) clean.push_back(quick_job(i));
+  const RunReport ref = run(clean, RunnerOptions{.threads = 1});
+  for (int i : {0, 1, 3, 4}) {
+    EXPECT_TRUE(rep.results[i].ok);
+    EXPECT_EQ(rep.results[i].status, JobStatus::kOk);
+    EXPECT_EQ(rep.results[i].metrics, ref.results[i].metrics) << i;
+    EXPECT_EQ(rep.results[i].events, ref.results[i].events) << i;
+  }
+}
+
+TEST(Resilience, TransientErrorRetriesSameSeed) {
+  std::vector<Job> jobs;
+  jobs.push_back(quick_job(0));
+  auto tries = std::make_shared<std::atomic<int>>(0);
+  auto seeds = std::make_shared<std::vector<std::uint64_t>>();
+  jobs[0].run = [tries, seeds](const Job& self) -> JobOutput {
+    seeds->push_back(self.seed);
+    if (tries->fetch_add(1) < 2)
+      throw TransientError("spurious infrastructure failure");
+    JobOutput out;
+    out.events = 1;
+    return out;
+  };
+  RunnerOptions opts;
+  opts.max_retries = 3;
+  const RunReport rep = run(jobs, opts);
+  EXPECT_TRUE(rep.results[0].ok);
+  EXPECT_EQ(rep.results[0].attempts, 3u);  // 2 transient failures + success
+  ASSERT_EQ(seeds->size(), 3u);
+  EXPECT_EQ((*seeds)[0], (*seeds)[1]);  // retries reuse the seed exactly
+  EXPECT_EQ((*seeds)[0], (*seeds)[2]);
+  EXPECT_EQ(rep.status, "ok");
+}
+
+TEST(Resilience, TransientErrorExhaustsRetriesThenFails) {
+  std::vector<Job> jobs;
+  jobs.push_back(quick_job(0));
+  jobs[0].run = [](const Job&) -> JobOutput {
+    throw TransientError("always flaky");
+  };
+  RunnerOptions opts;
+  opts.max_retries = 2;
+  const RunReport rep = run(jobs, opts);
+  EXPECT_FALSE(rep.results[0].ok);
+  EXPECT_EQ(rep.results[0].status, JobStatus::kFailed);
+  EXPECT_EQ(rep.results[0].attempts, 3u);
+  EXPECT_EQ(rep.results[0].error, "always flaky");
+  EXPECT_EQ(rep.status, "failed");
+}
+
+TEST(Resilience, InvariantViolationCarriesDiagnostics) {
+  std::vector<Job> jobs;
+  jobs.push_back(quick_job(0));
+  jobs.push_back(quick_job(1));
+  jobs[0].run = [](const Job&) -> JobOutput {
+    throw sim::InvariantViolation(
+        "invariant 'queue-conservation' violated: link 0: 2 packets missing",
+        "sim time: 12.5\n  link 0: len=-1\n");
+  };
+  const RunReport rep = run(jobs, RunnerOptions{.threads = 2});
+  EXPECT_EQ(rep.status, "partial");
+  EXPECT_EQ(rep.results[0].status, JobStatus::kInvariantViolation);
+  EXPECT_NE(rep.results[0].error.find("queue-conservation"),
+            std::string::npos);
+  EXPECT_NE(rep.results[0].diagnostics.find("len=-1"), std::string::npos);
+  EXPECT_TRUE(rep.results[1].ok);
+}
+
+TEST(Resilience, StallErrorReportsFailedWithDiagnostics) {
+  std::vector<Job> jobs;
+  jobs.push_back(quick_job(0));
+  jobs[0].run = [](const Job&) -> JobOutput {
+    throw sim::StallError("no progress for 120 simulated seconds",
+                          "event-queue depth: 7\n");
+  };
+  const RunReport rep = run(jobs, RunnerOptions{});
+  EXPECT_EQ(rep.results[0].status, JobStatus::kFailed);
+  EXPECT_NE(rep.results[0].diagnostics.find("event-queue depth"),
+            std::string::npos);
+}
+
+TEST(Resilience, StatusJsonRoundTrip) {
+  std::vector<Job> jobs;
+  for (int i = 0; i < 3; ++i) jobs.push_back(quick_job(i));
+  jobs[1].run = [](const Job& self) -> JobOutput {
+    while (!self.cancel.requested())
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    throw sim::CancelledError("cancelled", "snapshot here\n");
+  };
+  RunnerOptions opts;
+  opts.threads = 3;
+  opts.job_timeout_ms = 50;
+  const RunReport rep = run(jobs, opts);
+  ASSERT_EQ(rep.status, "partial");
+
+  const std::string path = ::testing::TempDir() + "resilience_report.json";
+  write_report(rep, path);
+  const RunReport back = read_report(path);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(back.status, "partial");
+  ASSERT_EQ(back.results.size(), 3u);
+  EXPECT_EQ(back.results[1].status, JobStatus::kTimeout);
+  EXPECT_FALSE(back.results[1].ok);
+  EXPECT_EQ(back.results[1].error, "cancelled");
+  EXPECT_NE(back.results[1].diagnostics.find("snapshot"), std::string::npos);
+  EXPECT_EQ(back.results[0].status, JobStatus::kOk);
+  EXPECT_EQ(back.results[0].metrics, rep.results[0].metrics);
+}
+
+TEST(Resilience, JobStatusStringsRoundTrip) {
+  for (JobStatus s :
+       {JobStatus::kOk, JobStatus::kFailed, JobStatus::kTimeout,
+        JobStatus::kInvariantViolation})
+    EXPECT_EQ(job_status_from_string(to_string(s)), s);
+  EXPECT_EQ(job_status_from_string("garbage"), JobStatus::kFailed);
+}
+
+TEST(Resilience, NoTimeoutMeansNoMonitorInterference) {
+  // Without job_timeout_ms the cancel flag never fires, even for slow jobs.
+  std::vector<Job> jobs;
+  jobs.push_back(quick_job(0));
+  jobs[0].run = [](const Job& self) -> JobOutput {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    JobOutput out;
+    out.events = self.cancel.requested() ? 0 : 1;
+    return out;
+  };
+  const RunReport rep = run(jobs, RunnerOptions{});
+  EXPECT_TRUE(rep.results[0].ok);
+  EXPECT_EQ(rep.results[0].events, 1u);
+  EXPECT_EQ(rep.status, "ok");
+}
+
+}  // namespace
+}  // namespace pert::runner

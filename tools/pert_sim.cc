@@ -144,7 +144,8 @@ int run_multi(const exp::CliOptions& opt, unsigned jobs,
     job.seed = cfg.seed;  // same base seed per scheme, as if run one at a time
     job.tags = {{"scheme", std::string(exp::to_string(cfg.scheme))}};
     job.run = [cfg, warmup = opt.warmup, measure = opt.measure,
-               &buf = buffer_pkts[i]](const runner::Job&) {
+               &buf = buffer_pkts[i]](const runner::Job& j) mutable {
+      cfg.watchdog.cancel = j.cancel.flag();
       exp::Dumbbell d(cfg);
       runner::JobOutput out;
       out.metrics = d.run(warmup, measure);
@@ -206,14 +207,37 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "-h") == 0 || std::strcmp(argv[i], "--help") == 0) {
       std::fputs(exp::cli_usage().c_str(), stdout);
       return 0;
-    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+    } else if (std::strcmp(argv[i], "--jobs") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --jobs needs a value\n%s",
+                     exp::cli_usage().c_str());
+        return 2;
+      }
       jobs = parse_jobs(argv[++i]);
     } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
       jobs = parse_jobs(argv[i] + 7);
-    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --json needs a path\n%s",
+                     exp::cli_usage().c_str());
+        return 2;
+      }
       json_out = argv[++i];
     } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
       json_out = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--impair=", 9) == 0) {
+      args.emplace_back(std::string("impair=") + (argv[i] + 9));
+    } else if (std::strcmp(argv[i], "--impair") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --impair needs a specification\n%s",
+                     exp::cli_usage().c_str());
+        return 2;
+      }
+      args.emplace_back(std::string("impair=") + argv[++i]);
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "error: unknown flag: %s\n%s", argv[i],
+                   exp::cli_usage().c_str());
+      return 2;
     } else {
       args.emplace_back(argv[i]);
     }
