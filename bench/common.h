@@ -9,6 +9,10 @@
 //   --json PATH  export the per-cell RunReport (metrics, seeds, event counts,
 //                wall times) as JSON
 //   --smoke      tiny grid for CI determinism checks (seconds, not minutes)
+//   --journal PATH  journal every completed cell to PATH (crash-safe; see
+//                docs/runner.md "Crash safety & resume")
+//   --resume     recover completed cells from the --journal file and run
+//                only what is missing
 #pragma once
 
 #include <cstdio>
@@ -24,8 +28,10 @@ namespace pert::bench {
 struct Opts {
   bool full = false;
   bool smoke = false;
-  unsigned jobs = 1;  ///< worker threads; 0 = hardware concurrency
-  std::string json;   ///< when non-empty, write the RunReport here
+  unsigned jobs = 1;    ///< worker threads; 0 = hardware concurrency
+  std::string json;     ///< when non-empty, write the RunReport here
+  std::string journal;  ///< when non-empty, journal every completed cell
+  bool resume = false;  ///< recover completed cells from the journal
 
   static unsigned parse_jobs(const char* s) {
     char* end = nullptr;
@@ -52,7 +58,17 @@ struct Opts {
         o.json = argv[++i];
       } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
         o.json = argv[i] + 7;
+      } else if (std::strcmp(argv[i], "--journal") == 0 && i + 1 < argc) {
+        o.journal = argv[++i];
+      } else if (std::strncmp(argv[i], "--journal=", 10) == 0) {
+        o.journal = argv[i] + 10;
+      } else if (std::strcmp(argv[i], "--resume") == 0) {
+        o.resume = true;
       }
+    }
+    if (o.resume && o.journal.empty()) {
+      std::fprintf(stderr, "error: --resume requires --journal PATH\n");
+      std::exit(2);
     }
     return o;
   }
@@ -66,10 +82,13 @@ struct Opts {
     std::printf("paper shape: %s\n\n", paper_expectation);
   }
 
-  /// Runner options carrying --jobs for this bench's batch.
+  /// Runner options carrying --jobs / --journal / --resume for this
+  /// bench's batch.
   runner::RunnerOptions runner() const {
     runner::RunnerOptions r;
     r.threads = jobs;
+    r.journal_path = journal;
+    r.resume = resume;
     return r;
   }
 

@@ -275,7 +275,10 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
 }
 
 std::string cli_usage() {
-  return "usage: pert_sim [--jobs N] [--json PATH] key=value ...\n"
+  return "usage: pert_sim [--jobs N] [--json PATH] [--journal PATH "
+         "[--resume]] key=value ...\n"
+         "       pert_sim repro=<bundle.json>   (replay a fuzzer repro "
+         "bundle)\n"
          "  scheme=pert|pert-pi|pert-rem|vegas|sack|sack-red|sack-pi|"
          "sack-rem|sack-avq\n"
          "         (comma list runs one scenario per scheme, in parallel "

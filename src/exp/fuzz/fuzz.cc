@@ -1,0 +1,193 @@
+#include "exp/fuzz/fuzz.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "runner/journal.h"
+#include "runner/seed.h"
+#include "sim/errors.h"
+
+namespace pert::exp::fuzz {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+std::pair<std::string, std::string> classify_scenario(const Scenario& s) {
+  WindowMetrics metrics;
+  try {
+    metrics = run_scenario(s).metrics;
+  } catch (const sim::InvariantViolation& e) {
+    return {"invariant", e.what()};
+  } catch (const sim::StallError& e) {
+    return {"stall", e.what()};
+  } catch (const std::exception& e) {
+    return {"crash", e.what()};
+  }
+  const OracleVerdict v = check_against_fluid(s, metrics);
+  if (v.applicable && !v.ok) return {"oracle", v.failure};
+  return {"", ""};
+}
+
+Scenario shrink_scenario(const Scenario& s, const std::string& kind) {
+  Scenario best = s;
+  // Each candidate transformation keeps the seed (the violation must stay
+  // reproducible from the bundle alone) and is accepted only if the same
+  // violation kind survives. Greedy passes repeat until a fixpoint; the
+  // candidate list is small, so this stays a handful of re-runs.
+  bool improved = true;
+  auto try_candidate = [&](Scenario candidate) {
+    if (candidate == best) return;
+    if (classify_scenario(candidate).first == kind) {
+      best = std::move(candidate);
+      improved = true;
+    }
+  };
+  while (improved) {
+    improved = false;
+    if (best.num_fwd_flows >= 8) {
+      Scenario c = best;
+      c.num_fwd_flows /= 2;
+      try_candidate(std::move(c));
+    }
+    if (best.measure > 4.0) {
+      Scenario c = best;
+      c.measure /= 2;
+      try_candidate(std::move(c));
+    }
+    if (best.warmup > 6.0) {
+      Scenario c = best;
+      c.warmup /= 2;
+      try_candidate(std::move(c));
+    }
+    if (best.num_rev_flows > 0) {
+      Scenario c = best;
+      c.num_rev_flows = 0;
+      try_candidate(std::move(c));
+    }
+    if (best.num_web_sessions > 0) {
+      Scenario c = best;
+      c.num_web_sessions = 0;
+      try_candidate(std::move(c));
+    }
+    if (best.nonproactive_fraction > 0) {
+      Scenario c = best;
+      c.nonproactive_fraction = 0;
+      try_candidate(std::move(c));
+    }
+    // Impairments drop one class at a time, never all at once: when only
+    // one of them matters, the others disappear from the repro.
+    if (best.loss_p > 0) {
+      Scenario c = best;
+      c.loss_p = 0;
+      try_candidate(std::move(c));
+    }
+    if (best.jitter_max_delay > 0) {
+      Scenario c = best;
+      c.jitter_max_delay = 0;
+      try_candidate(std::move(c));
+    }
+    if (best.reorder_p > 0) {
+      Scenario c = best;
+      c.reorder_p = 0;
+      c.reorder_max_delay = 0;
+      try_candidate(std::move(c));
+    }
+  }
+  return best;
+}
+
+std::string write_repro_bundle(const Violation& v, const std::string& dir) {
+  runner::JsonValue::Object o;
+  o.emplace_back("pert_fuzz_repro", runner::JsonValue(std::uint64_t{1}));
+  o.emplace_back("kind", runner::JsonValue(v.kind));
+  o.emplace_back("detail", runner::JsonValue(v.detail));
+  o.emplace_back("iteration", runner::JsonValue(v.iteration));
+  o.emplace_back("scenario", to_json(v.scenario));
+  o.emplace_back("original_scenario", to_json(v.original));
+  const std::string path = dir + "/fuzz_repro_seed" +
+                           std::to_string(v.scenario.seed) + ".json";
+  runner::atomic_write_file(path,
+                            runner::JsonValue(std::move(o)).dump(2) + "\n");
+  return path;
+}
+
+FuzzSummary run_fuzz(const FuzzOptions& opts) {
+  FuzzSummary summary;
+  const auto t0 = Clock::now();
+  for (std::uint64_t i = 0; i < opts.iterations; ++i) {
+    if (opts.time_budget_s > 0 && seconds_since(t0) > opts.time_budget_s)
+      break;
+    const std::uint64_t seed =
+        runner::derive_seed(opts.seed, "fuzz/" + std::to_string(i));
+    Scenario s = generate_scenario(seed, opts.bounds);
+    if (opts.mutate) opts.mutate(s);
+
+    // Count oracle-eligible scenarios via a dry applicability check (the
+    // gates don't need metrics to say no).
+    if (check_against_fluid(s, WindowMetrics{}).applicable)
+      ++summary.oracle_checked;
+
+    const auto [kind, detail] = classify_scenario(s);
+    ++summary.iterations_run;
+    if (opts.verbose)
+      std::fprintf(stderr, "  fuzz[%llu] seed=%llu %s%s\n",
+                   static_cast<unsigned long long>(i),
+                   static_cast<unsigned long long>(seed),
+                   kind.empty() ? "ok" : kind.c_str(),
+                   detail.empty() ? "" : (": " + detail).c_str());
+    if (kind.empty()) continue;
+
+    Violation v;
+    v.original = s;
+    v.scenario = opts.shrink ? shrink_scenario(s, kind) : s;
+    v.kind = kind;
+    // Re-derive the detail from the shrunk scenario (band values change
+    // as dimensions shrink).
+    v.detail = opts.shrink ? classify_scenario(v.scenario).second : detail;
+    if (v.detail.empty()) v.detail = detail;
+    v.iteration = i;
+    if (!opts.repro_dir.empty())
+      v.bundle_path = write_repro_bundle(v, opts.repro_dir);
+    summary.violations.push_back(std::move(v));
+  }
+  return summary;
+}
+
+bool replay_repro_bundle(const std::string& path, bool verbose) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open repro bundle: " + path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  const runner::JsonValue doc = runner::JsonValue::parse(ss.str());
+  if (!doc.find("pert_fuzz_repro"))
+    throw std::runtime_error(path + " is not a pert fuzz repro bundle");
+  const std::string expected_kind = doc.at("kind").as_string();
+  const Scenario s = scenario_from_json(doc.at("scenario"));
+
+  const auto [kind, detail] = classify_scenario(s);
+  const bool reproduced = kind == expected_kind;
+  if (verbose) {
+    std::fprintf(stderr, "repro bundle: %s\n", path.c_str());
+    std::fprintf(stderr, "  recorded violation: %s (%s)\n",
+                 expected_kind.c_str(), doc.at("detail").as_string().c_str());
+    std::fprintf(stderr, "  replay:             %s%s%s\n",
+                 kind.empty() ? "clean" : kind.c_str(),
+                 detail.empty() ? "" : ": ", detail.c_str());
+    std::fprintf(stderr, "  %s\n",
+                 reproduced ? "REPRODUCED" : "DID NOT REPRODUCE");
+  }
+  return reproduced;
+}
+
+}  // namespace pert::exp::fuzz

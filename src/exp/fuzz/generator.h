@@ -1,0 +1,44 @@
+// Seeded scenario generator: samples randomized but paper-plausible
+// scenarios. Deterministic — one seed, one scenario — so any generated
+// scenario is reconstructible from its seed alone, and a repro bundle that
+// records the seed re-derives the identical inputs.
+#pragma once
+
+#include <cstdint>
+
+#include "exp/fuzz/scenario.h"
+
+namespace pert::exp::fuzz {
+
+/// Sampling bounds. Defaults keep each scenario a few seconds of wall time
+/// (small bandwidth x short window) while staying inside the regimes the
+/// paper studies (Section 2.2 dimensioning, Section 4 impairment ablations).
+struct GeneratorBounds {
+  double min_bps = 8e6;
+  double max_bps = 40e6;
+  double min_rtt = 0.030;
+  double max_rtt = 0.160;
+  std::int32_t min_flows = 4;
+  std::int32_t max_flows = 20;
+  /// Probability the scenario is a multi-bottleneck chain (vs dumbbell).
+  double p_chain = 0.15;
+  /// Probability of each impairment class being switched on.
+  double p_loss = 0.25;
+  double p_jitter = 0.2;
+  double p_reorder = 0.15;
+  /// Probability of reverse traffic / web background / a SACK mix.
+  double p_rev_flows = 0.2;
+  double p_web = 0.2;
+  double p_sack_mix = 0.25;
+  /// Probability of a non-default scheme (PERT-PI or pure SACK) instead of
+  /// plain PERT.
+  double p_alt_scheme = 0.3;
+  double warmup = 12.0;
+  double measure = 8.0;
+};
+
+/// Samples one scenario from `seed`. Identical (seed, bounds) always yields
+/// an identical Scenario, independent of platform and call history.
+Scenario generate_scenario(std::uint64_t seed, const GeneratorBounds& b = {});
+
+}  // namespace pert::exp::fuzz

@@ -1,0 +1,48 @@
+// Differential oracle: cross-checks a packet-level scenario run against the
+// Section 5 fluid model.
+//
+// For impairment-free, PERT-only dumbbell scenarios the DDE model's
+// equilibrium (eq. (9)) predicts the steady-state queueing delay
+// T_q* = T_min + p*/L_PERT and near-full utilization. The packet simulator
+// must land inside a tolerance band around those predictions — a sender
+// whose congestion response is broken (wrong decrease factor, dead response
+// curve) diverges from the fluid prediction long before it trips a hard
+// invariant, which is exactly the bug class this oracle exists to catch.
+//
+// The oracle refuses to judge scenarios outside the model's assumptions
+// (applicable=false): non-PERT schemes, impairments, background/reverse
+// traffic, tiny flow counts, or parameter corners where the fluid model
+// itself does not converge (checked by integrating the DDE and requiring a
+// small tail window error).
+#pragma once
+
+#include <string>
+
+#include "exp/fuzz/scenario.h"
+
+namespace pert::exp::fuzz {
+
+struct OracleVerdict {
+  /// False when the scenario violates a model assumption; `ok` is then
+  /// meaningless and `why_inapplicable` says which gate failed.
+  bool applicable = false;
+  std::string why_inapplicable;
+
+  bool ok = true;          ///< simulation within the tolerance bands
+  std::string failure;     ///< human-readable band violation when !ok
+
+  double predicted_delay_s = 0;  ///< fluid T_q* - T_min-relative queueing
+  double observed_delay_s = 0;   ///< avg_queue_pkts / capacity_pps
+  double delay_tolerance_s = 0;
+  double predicted_utilization = 1.0;
+  double observed_utilization = 0;
+  double utilization_floor = 0;
+  double model_tail_error = 0;   ///< DDE convergence metric (gate)
+};
+
+/// Cross-checks `metrics` (from run_scenario) against the fluid model's
+/// steady-state prediction for `s`.
+OracleVerdict check_against_fluid(const Scenario& s,
+                                  const WindowMetrics& metrics);
+
+}  // namespace pert::exp::fuzz

@@ -7,6 +7,7 @@
 // collects one JobResult per job, in submission order, into a RunReport.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -86,6 +87,10 @@ struct RunReport {
   double cpu_ms = 0;       ///< sum of per-job wall times
   /// "ok" (all jobs ok), "partial" (some failed), or "failed" (all failed).
   std::string status = "ok";
+  /// Cells recovered from a journal instead of executed (resume runs only).
+  /// Deliberately not serialized: a resumed report must stay byte-identical
+  /// to an uninterrupted one.
+  std::size_t resumed = 0;
   std::vector<JobResult> results;  ///< submission order, independent of
                                    ///< completion order
 

@@ -50,8 +50,8 @@ struct Parser {
   std::size_t pos = 0;
 
   [[noreturn]] void fail(const std::string& what) const {
-    throw std::invalid_argument("json parse error at offset " +
-                                std::to_string(pos) + ": " + what);
+    throw JsonParseError("json parse error at offset " + std::to_string(pos) +
+                         ": " + what);
   }
 
   void skip_ws() {
@@ -128,7 +128,22 @@ struct Parser {
     }
   }
 
+  /// Detects non-finite spellings (NaN, Infinity, nan, inf, any case and
+  /// sign) at the current position. JSON has no representation for them;
+  /// reject with a typed error instead of the generic "unexpected character".
+  bool at_nonfinite_literal() const {
+    std::string_view rest = s.substr(pos);
+    if (!rest.empty() && (rest.front() == '-' || rest.front() == '+'))
+      rest.remove_prefix(1);
+    for (std::string_view lit : {"NaN", "nan", "Infinity", "infinity", "inf",
+                                 "Inf"})
+      if (rest.substr(0, lit.size()) == lit) return true;
+    return false;
+  }
+
   JsonValue parse_number() {
+    if (at_nonfinite_literal())
+      fail("non-finite numbers (NaN/Infinity) are not valid JSON");
     const std::size_t start = pos;
     if (peek() == '-') ++pos;
     while (pos < s.size() && (std::isdigit(static_cast<unsigned char>(s[pos])) ||
@@ -145,7 +160,10 @@ struct Parser {
     }
     double d = 0;
     const auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), d);
+    if (ec == std::errc::result_out_of_range)
+      fail("number overflows double (non-finite)");
     if (ec != std::errc() || p != tok.data() + tok.size()) fail("bad number");
+    if (!std::isfinite(d)) fail("non-finite numbers are not valid JSON");
     return JsonValue(d);
   }
 
@@ -188,6 +206,8 @@ struct Parser {
     if (consume_literal("null")) return JsonValue(nullptr);
     if (c == '-' || std::isdigit(static_cast<unsigned char>(c)))
       return parse_number();
+    if (at_nonfinite_literal())
+      fail("non-finite numbers (NaN/Infinity) are not valid JSON");
     fail("unexpected character");
   }
 };

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -19,6 +20,19 @@
 #include <vector>
 
 namespace pert::runner {
+
+/// Thrown by JsonValue::parse on malformed input, with the byte offset of
+/// the error in what(). Derives from std::invalid_argument so pre-existing
+/// catch sites keep working; the distinct type lets callers tell "this file
+/// is not valid JSON" from other argument errors. Non-finite numbers
+/// (NaN / Infinity in any spelling, and literals that overflow a double)
+/// are rejected with this error too: the writer never emits them (it dumps
+/// non-finite doubles as null), so accepting them on input would only let
+/// corrupt reports round-trip silently.
+class JsonParseError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
 
 class JsonValue {
  public:

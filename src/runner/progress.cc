@@ -18,6 +18,22 @@ void ProgressReporter::batch_started(unsigned threads) {
                threads == 1 ? "" : "s");
 }
 
+void ProgressReporter::note(const std::string& line) {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fprintf(out_, "  %s\n", line.c_str());
+}
+
+std::string ProgressReporter::format_eta(std::size_t done, std::size_t total,
+                                         double elapsed_s) {
+  if (done == 0 || total == 0 || done > total) return "--:--";
+  const double eta_s = elapsed_s / static_cast<double>(done) *
+                       static_cast<double>(total - done);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f s", eta_s);
+  return buf;
+}
+
 void ProgressReporter::job_done(const std::string& key, double wall_ms,
                                 bool ok) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -26,13 +42,10 @@ void ProgressReporter::job_done(const std::string& key, double wall_ms,
   const double elapsed_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
           .count();
-  const double eta_s =
-      done_ > 0 ? elapsed_s / static_cast<double>(done_) *
-                      static_cast<double>(total_ - done_)
-                : 0.0;
   // One fprintf per line: concurrent workers never interleave mid-line.
-  std::fprintf(out_, "  [%zu/%zu] %s%s  %.0f ms  eta %.1f s\n", done_, total_,
-               key.c_str(), ok ? "" : " FAILED", wall_ms, eta_s);
+  std::fprintf(out_, "  [%zu/%zu] %s%s  %.0f ms  eta %s\n", done_, total_,
+               key.c_str(), ok ? "" : " FAILED", wall_ms,
+               format_eta(done_, total_, elapsed_s).c_str());
 }
 
 void ProgressReporter::batch_finished(double wall_ms, double cpu_ms) {

@@ -23,6 +23,9 @@ class ProgressReporter {
   /// Announces the batch (label, job count, thread count). One line.
   void batch_started(unsigned threads);
 
+  /// Prints one free-form line (e.g. "resumed 12/20 cells from x.journal").
+  void note(const std::string& line);
+
   /// Records one finished job and prints its progress line.
   void job_done(const std::string& key, double wall_ms, bool ok);
 
@@ -30,6 +33,14 @@ class ProgressReporter {
   void batch_finished(double wall_ms, double cpu_ms);
 
   std::size_t done() const;
+
+  /// ETA string for a batch `elapsed_s` in with `done` of `total` jobs
+  /// finished: "--:--" when there is no basis for an estimate (nothing
+  /// completed yet, an empty batch, or done > total — a resumed batch whose
+  /// journal over-delivered), otherwise the extrapolated seconds remaining
+  /// as "12.3 s". Never divides by zero, never underflows total - done.
+  static std::string format_eta(std::size_t done, std::size_t total,
+                                double elapsed_s);
 
  private:
   std::string label_;

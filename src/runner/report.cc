@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "runner/journal.h"
+
 // GCC 12 -Wmaybe-uninitialized fires spuriously on std::variant move
 // construction when an alternative is a vector (gcc PR 105593 family); every
 // site below moves a freshly constructed scalar-armed JsonValue.
@@ -141,10 +143,9 @@ RunReport report_from_json(const JsonValue& v) {
 }
 
 void write_report(const RunReport& report, const std::string& path) {
-  std::ofstream f(path);
-  if (!f) throw std::runtime_error("cannot open for writing: " + path);
-  f << to_json(report).dump(2) << '\n';
-  if (!f) throw std::runtime_error("write failed: " + path);
+  // Atomic replace: a crash mid-export can never leave a torn JSON document
+  // under the report name (readers see the old complete file or the new one).
+  atomic_write_file(path, to_json(report).dump(2) + "\n");
 }
 
 RunReport read_report(const std::string& path) {

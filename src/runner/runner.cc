@@ -8,8 +8,12 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
+#include <string_view>
 #include <thread>
+#include <unordered_map>
 
+#include "runner/journal.h"
 #include "runner/progress.h"
 #include "sim/errors.h"
 
@@ -113,12 +117,26 @@ JobResult execute(const Job& job, unsigned max_retries,
     r.attempts = attempt;
     job.cancel.reset();
     try {
-      TimeoutGuard guard(monitor, job);
-      const JobOutput out = job.run(job);
-      r.metrics = out.metrics;
-      r.events = out.events;
-      r.status = JobStatus::kOk;
-      r.error.clear();
+      {
+        TimeoutGuard guard(monitor, job);
+        const JobOutput out = job.run(job);
+        r.metrics = out.metrics;
+        r.events = out.events;
+      }
+      if (job.cancel.requested()) {
+        // The body outlived its wall-clock budget but never honored the
+        // cancellation request (no watchdog, or too coarse a check tick).
+        // It still blew the budget: report timeout, not ok, so a sweep can
+        // never silently absorb a cell that ran unboundedly long. The
+        // metrics are kept for forensics.
+        r.status = JobStatus::kTimeout;
+        r.error =
+            "wall-clock timeout exceeded (job ignored the cancellation "
+            "request and ran to completion)";
+      } else {
+        r.status = JobStatus::kOk;
+        r.error.clear();
+      }
     } catch (const TransientError& e) {
       if (attempt <= max_retries) continue;  // same seed, fresh attempt
       r.status = JobStatus::kFailed;
@@ -191,36 +209,84 @@ RunReport ExperimentRunner::run(const std::vector<Job>& jobs) {
   report.name = opts_.name;
   report.results.resize(jobs.size());
 
+  // Crash-safe journal + resume: recover completed cells before running,
+  // then journal every newly completed cell. Recovered results are placed
+  // at their submission index, so the final report is bit-identical to an
+  // uninterrupted run (every cell is a pure function of its seed).
+  std::vector<char> done(jobs.size(), 0);
+  std::unique_ptr<Journal> journal;
+  if (!opts_.journal_path.empty()) {
+    const JournalHeader header = journal_header(opts_.name, jobs);
+    bool fresh = true;
+    if (opts_.resume) {
+      JournalRecovery rec = recover_journal(opts_.journal_path);
+      if (rec.usable) {
+        if (rec.header != header)
+          throw std::runtime_error(
+              "journal " + opts_.journal_path +
+              " was written by a different sweep (name, job count, or "
+              "key/seed grid differs); delete it or drop --resume");
+        std::unordered_map<std::string_view, std::size_t> index;
+        index.reserve(jobs.size());
+        for (std::size_t i = 0; i < jobs.size(); ++i)
+          index.emplace(jobs[i].key, i);
+        for (JobResult& r : rec.records) {
+          const auto it = index.find(r.key);
+          // Only ok cells with the job's exact derived seed short-circuit;
+          // failed/timeout cells (and stale seeds) re-run on resume.
+          if (it == index.end() || r.seed != jobs[it->second].seed ||
+              r.status != JobStatus::kOk)
+            continue;
+          report.results[it->second] = std::move(r);
+          done[it->second] = 1;
+          ++report.resumed;
+        }
+        fresh = false;
+      }
+    }
+    journal = std::make_unique<Journal>(
+        fresh ? Journal::start_fresh(opts_.journal_path, header)
+              : Journal::append_to(opts_.journal_path));
+  }
+
+  const std::size_t remaining = jobs.size() - report.resumed;
   const unsigned n_workers = static_cast<unsigned>(
-      std::min<std::size_t>(opts_.threads, jobs.empty() ? 1 : jobs.size()));
+      std::min<std::size_t>(opts_.threads, remaining == 0 ? 1 : remaining));
   report.threads = n_workers;
 
   std::unique_ptr<TimeoutMonitor> monitor;
-  if (opts_.job_timeout_ms > 0 && !jobs.empty())
+  if (opts_.job_timeout_ms > 0 && remaining > 0)
     monitor = std::make_unique<TimeoutMonitor>(opts_.job_timeout_ms);
 
-  ProgressReporter progress(opts_.name, jobs.size(), opts_.progress);
+  ProgressReporter progress(opts_.name, remaining, opts_.progress);
+  if (report.resumed > 0)
+    progress.note("resumed " + std::to_string(report.resumed) + "/" +
+                  std::to_string(jobs.size()) + " cells from " +
+                  opts_.journal_path);
   progress.batch_started(n_workers);
   const auto t0 = Clock::now();
 
+  auto run_one = [&](std::size_t i) {
+    report.results[i] = execute(jobs[i], opts_.max_retries, monitor.get());
+    if (journal) journal->append(report.results[i]);
+    progress.job_done(report.results[i].key, report.results[i].wall_ms,
+                      report.results[i].ok);
+  };
+
   if (n_workers <= 1) {
     // Serial path: calling thread, submission order, no worker spawned.
-    for (std::size_t i = 0; i < jobs.size(); ++i) {
-      report.results[i] = execute(jobs[i], opts_.max_retries, monitor.get());
-      progress.job_done(report.results[i].key, report.results[i].wall_ms,
-                        report.results[i].ok);
-    }
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+      if (!done[i]) run_one(i);
   } else {
     // Each worker claims the next unstarted index; results are written to
-    // disjoint slots, so the only shared mutable state is the counter.
+    // disjoint slots, so the only shared mutable state is the counter (and
+    // the journal, which serializes its appends internally).
     std::atomic<std::size_t> next{0};
     auto worker = [&] {
       for (;;) {
         const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= jobs.size()) return;
-        report.results[i] = execute(jobs[i], opts_.max_retries, monitor.get());
-        progress.job_done(report.results[i].key, report.results[i].wall_ms,
-                          report.results[i].ok);
+        if (!done[i]) run_one(i);
       }
     };
     std::vector<std::thread> pool;

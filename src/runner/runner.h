@@ -31,6 +31,17 @@ struct RunnerOptions {
   /// Retries (same seed) for jobs that throw runner::TransientError. The
   /// final attempt's failure is reported if they all fail.
   unsigned max_retries = 0;
+  /// When non-empty, every completed JobResult is appended to this crash-safe
+  /// journal (one checksummed JSONL record, fsync'd) as it finishes — see
+  /// runner/journal.h and docs/runner.md "Crash safety & resume".
+  std::string journal_path;
+  /// Replay an existing journal before running: recovered ok cells are
+  /// placed directly into the report (bit-identical to re-running them,
+  /// because every cell is a pure function of its seed) and only missing or
+  /// non-ok cells execute. Requires journal_path. A journal written for a
+  /// different sweep (name, job count, or any key/seed differs) is rejected
+  /// with std::runtime_error rather than silently mixed in.
+  bool resume = false;
 };
 
 class ExperimentRunner {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace pert::runner {
@@ -69,6 +71,47 @@ TEST(Json, ParseRejectsMalformed) {
         "{\"a\" 1}", "[1] trailing", "nan"}) {
     EXPECT_THROW(JsonValue::parse(bad), std::invalid_argument) << bad;
   }
+}
+
+TEST(Json, ParseRejectsNonFiniteWithTypedError) {
+  // A report hand-edited (or corrupted) to contain NaN/Infinity must fail
+  // loudly with the JSON-specific error type, not parse into a poisoned
+  // double that spreads through downstream aggregation.
+  for (const char* bad :
+       {"NaN", "nan", "-NaN", "Infinity", "-Infinity", "inf", "-inf", "Inf",
+        "infinity", "{\"x\":NaN}", "[1,Infinity]", "1e999", "-1e999"}) {
+    EXPECT_THROW(JsonValue::parse(bad), JsonParseError) << bad;
+  }
+}
+
+TEST(Json, JsonParseErrorIsInvalidArgument) {
+  // Pre-existing catch sites use std::invalid_argument; the typed error
+  // must keep satisfying them.
+  try {
+    JsonValue::parse("{\"x\":NaN}");
+    FAIL() << "expected JsonParseError";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("non-finite"), std::string::npos);
+  }
+}
+
+TEST(Json, WriterEmitsNullForNonFiniteDoubles) {
+  EXPECT_EQ(JsonValue(std::nan("")).dump(), "null");
+  EXPECT_EQ(JsonValue(std::numeric_limits<double>::infinity()).dump(), "null");
+  EXPECT_EQ(JsonValue(-std::numeric_limits<double>::infinity()).dump(),
+            "null");
+}
+
+TEST(Json, NonFiniteRoundTripsAsNull) {
+  // writer(null) -> parser(null): a metric that went non-finite comes back
+  // as an explicit null, which readers treat as "absent", never as a number.
+  JsonValue obj{JsonValue::Object{}};
+  obj.set("good", JsonValue(1.5));
+  obj.set("bad", JsonValue(std::nan("")));
+  const JsonValue back = JsonValue::parse(obj.dump());
+  EXPECT_EQ(back.at("good").as_double(), 1.5);
+  EXPECT_TRUE(back.at("bad").is_null());
+  EXPECT_FALSE(back.at("bad").is_number());
 }
 
 TEST(Json, WhitespaceTolerated) {

@@ -1,0 +1,48 @@
+// ETA edge cases: with 0 completed jobs (or an empty batch) there is no
+// throughput to extrapolate from, and the old formula underflowed
+// `total - done` / divided by zero. The placeholder "--:--" must come back
+// instead of garbage.
+#include "runner/progress.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace pert::runner {
+namespace {
+
+TEST(ProgressEta, ZeroDoneIsPlaceholder) {
+  EXPECT_EQ(ProgressReporter::format_eta(0, 10, 5.0), "--:--");
+  EXPECT_EQ(ProgressReporter::format_eta(0, 10, 0.0), "--:--");
+}
+
+TEST(ProgressEta, EmptyBatchIsPlaceholder) {
+  EXPECT_EQ(ProgressReporter::format_eta(0, 0, 0.0), "--:--");
+  EXPECT_EQ(ProgressReporter::format_eta(0, 0, 3.5), "--:--");
+}
+
+TEST(ProgressEta, DoneBeyondTotalIsPlaceholder) {
+  // A resumed batch whose journal over-delivered must not underflow the
+  // unsigned subtraction total - done.
+  EXPECT_EQ(ProgressReporter::format_eta(11, 10, 5.0), "--:--");
+}
+
+TEST(ProgressEta, ExtrapolatesRemainingTime) {
+  // 2 of 10 done in 4 s => 2 s/job => 16 s remaining.
+  EXPECT_EQ(ProgressReporter::format_eta(2, 10, 4.0), "16.0 s");
+  // Last job done: nothing remains.
+  EXPECT_EQ(ProgressReporter::format_eta(10, 10, 20.0), "0.0 s");
+}
+
+TEST(ProgressEta, NeverProducesNanOrInf) {
+  for (std::size_t done : {std::size_t{0}, std::size_t{1}, std::size_t{5}}) {
+    for (std::size_t total : {std::size_t{0}, std::size_t{1}, std::size_t{5}}) {
+      const std::string s = ProgressReporter::format_eta(done, total, 0.0);
+      EXPECT_EQ(s.find("nan"), std::string::npos) << done << "/" << total;
+      EXPECT_EQ(s.find("inf"), std::string::npos) << done << "/" << total;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pert::runner

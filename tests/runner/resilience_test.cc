@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "runner/journal.h"
 #include "runner/report.h"
 #include "runner/runner.h"
 #include "runner/seed.h"
@@ -74,6 +75,55 @@ TEST(Resilience, CooperativelyHungJobTimesOutSiblingsComplete) {
     EXPECT_EQ(rep.results[i].metrics, ref.results[i].metrics) << i;
     EXPECT_EQ(rep.results[i].events, ref.results[i].events) << i;
   }
+}
+
+TEST(Resilience, JobIgnoringCancellationStillReportedTimeout) {
+  // A job body with no watchdog (or too coarse a check tick) never observes
+  // the cancellation request and runs to completion anyway. It still blew
+  // its wall-clock budget: the runner must classify it timeout, never ok,
+  // so a sweep cannot silently absorb an unboundedly slow cell.
+  std::vector<Job> jobs;
+  for (int i = 0; i < 4; ++i) jobs.push_back(quick_job(i));
+  jobs[1].run = [](const Job&) -> JobOutput {
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    JobOutput out;  // completes "successfully", cancel flag never checked
+    out.metrics.utilization = 0.42;
+    out.events = 7;
+    return out;
+  };
+
+  RunnerOptions opts;
+  opts.threads = 4;
+  opts.job_timeout_ms = 40;
+  const std::string journal_path =
+      ::testing::TempDir() + "timeout_ignore.journal";
+  std::remove(journal_path.c_str());
+  opts.journal_path = journal_path;
+  const RunReport rep = run(jobs, opts);
+
+  EXPECT_EQ(rep.status, "partial");
+  EXPECT_FALSE(rep.results[1].ok);
+  EXPECT_EQ(rep.results[1].status, JobStatus::kTimeout);
+  EXPECT_NE(rep.results[1].error.find("ignored the cancellation"),
+            std::string::npos);
+  // Metrics are kept for forensics even though the cell is not ok.
+  EXPECT_EQ(rep.results[1].metrics.utilization, 0.42);
+
+  // The stuck cell never blocked its siblings' journal records: all four
+  // cells (including the timed-out one) are on disk and decodable.
+  const JournalRecovery rec = recover_journal(journal_path);
+  ASSERT_TRUE(rec.usable);
+  EXPECT_EQ(rec.records.size(), 4u);
+  EXPECT_EQ(rec.quarantined, 0u);
+  std::size_t ok_cells = 0, timeout_cells = 0;
+  for (const JobResult& r : rec.records) {
+    if (r.status == JobStatus::kOk) ++ok_cells;
+    if (r.status == JobStatus::kTimeout) ++timeout_cells;
+  }
+  EXPECT_EQ(ok_cells, 3u);
+  EXPECT_EQ(timeout_cells, 1u);
+  std::remove(journal_path.c_str());
+  std::remove((journal_path + ".quarantine").c_str());
 }
 
 TEST(Resilience, TransientErrorRetriesSameSeed) {

@@ -1,0 +1,56 @@
+// Pins the CRC32 implementation to the IEEE/zlib polynomial so journal
+// frames written by one build are always verifiable by another.
+#include "sim/checksum.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace pert::sim {
+namespace {
+
+TEST(Crc32, MatchesKnownVectors) {
+  // The canonical check value for CRC-32/ISO-HDLC (zlib, PNG, gzip).
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc32(""), 0x00000000u);
+  EXPECT_EQ(crc32("a"), 0xE8B7BE43u);
+  EXPECT_EQ(crc32("abc"), 0x352441C2u);
+  EXPECT_EQ(crc32("The quick brown fox jumps over the lazy dog"),
+            0x414FA339u);
+}
+
+TEST(Crc32, IsConstexpr) {
+  static_assert(crc32("123456789") == 0xCBF43926u);
+  static_assert(crc32("") == 0u);
+}
+
+TEST(Crc32, ChunkedContinuationEqualsOneShot) {
+  const std::string msg =
+      "PERTJ1 R deadbeef {\"key\":\"cell/3\",\"seed\":42}";
+  const std::uint32_t whole = crc32(msg);
+  for (std::size_t split = 0; split <= msg.size(); ++split) {
+    const std::uint32_t part = crc32(msg.substr(split), crc32(msg.substr(0, split)));
+    EXPECT_EQ(part, whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32, DetectsSingleBitFlip) {
+  std::string msg = "{\"utilization\":0.97,\"drops\":12}";
+  const std::uint32_t good = crc32(msg);
+  for (std::size_t i = 0; i < msg.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string bad = msg;
+      bad[i] = static_cast<char>(bad[i] ^ (1 << bit));
+      EXPECT_NE(crc32(bad), good) << "byte " << i << " bit " << bit;
+    }
+  }
+}
+
+TEST(Crc32, EmbeddedNulBytesParticipate) {
+  const std::string with_nul("ab\0cd", 5);
+  const std::string without_nul("abcd", 4);
+  EXPECT_NE(crc32(with_nul), crc32(without_nul));
+}
+
+}  // namespace
+}  // namespace pert::sim

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "exp/cli.h"
+#include "exp/fuzz/fuzz.h"
 #include "exp/table.h"
 #include "predictors/trace_io.h"
 #include "predictors/trace_recorder.h"
@@ -126,7 +127,8 @@ int run_single(const exp::CliOptions& opt, const std::string& json_out) {
 
 /// Multi-scheme path: one job per scheme through the experiment runner.
 int run_multi(const exp::CliOptions& opt, unsigned jobs,
-              const std::string& json_out) {
+              const std::string& json_out, const std::string& journal_path,
+              bool resume) {
   if (!opt.trace_out.empty() || !opt.series_out.empty()) {
     std::fprintf(stderr,
                  "error: trace_out/series_out need a single scheme\n");
@@ -159,6 +161,8 @@ int run_multi(const exp::CliOptions& opt, unsigned jobs,
   runner::RunnerOptions ropts;
   ropts.threads = jobs;
   ropts.name = "pert_sim";
+  ropts.journal_path = journal_path;
+  ropts.resume = resume;
   const runner::RunReport report = runner::ExperimentRunner(ropts).run(batch);
 
   int rc = 0;
@@ -202,11 +206,22 @@ int main(int argc, char** argv) {
   using namespace pert;
   unsigned jobs = 1;
   std::string json_out;
+  std::string journal_path;
+  bool resume = false;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "-h") == 0 || std::strcmp(argv[i], "--help") == 0) {
       std::fputs(exp::cli_usage().c_str(), stdout);
       return 0;
+    } else if (std::strncmp(argv[i], "repro=", 6) == 0) {
+      // Fuzzer repro bundle replay: self-contained, bypasses the normal
+      // key=value scenario grammar entirely.
+      try {
+        return exp::fuzz::replay_repro_bundle(argv[i] + 6) ? 0 : 1;
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--jobs") == 0) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "error: --jobs needs a value\n%s",
@@ -225,6 +240,17 @@ int main(int argc, char** argv) {
       json_out = argv[++i];
     } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
       json_out = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--journal") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --journal needs a path\n%s",
+                     exp::cli_usage().c_str());
+        return 2;
+      }
+      journal_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--journal=", 10) == 0) {
+      journal_path = argv[i] + 10;
+    } else if (std::strcmp(argv[i], "--resume") == 0) {
+      resume = true;
     } else if (std::strncmp(argv[i], "--impair=", 9) == 0) {
       args.emplace_back(std::string("impair=") + (argv[i] + 9));
     } else if (std::strcmp(argv[i], "--impair") == 0) {
@@ -251,6 +277,11 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  if (opt.schemes.size() <= 1) return run_single(opt, json_out);
-  return run_multi(opt, jobs, json_out);
+  if (resume && journal_path.empty()) {
+    std::fprintf(stderr, "error: --resume requires --journal PATH\n");
+    return 2;
+  }
+  if (opt.schemes.size() <= 1 && journal_path.empty())
+    return run_single(opt, json_out);
+  return run_multi(opt, jobs, json_out, journal_path, resume);
 }
