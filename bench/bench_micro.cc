@@ -43,7 +43,7 @@ void BM_DropTailEnqueueDequeue(benchmark::State& state) {
   sim::Scheduler s;
   net::DropTailQueue q(s, 1024);
   for (auto _ : state) {
-    auto p = std::make_unique<net::Packet>();
+    auto p = net::make_packet();
     p->size_bytes = 1040;
     q.enqueue(std::move(p));
     benchmark::DoNotOptimize(q.dequeue());
@@ -60,7 +60,7 @@ void BM_RedEnqueueDequeue(benchmark::State& state) {
   rp.adaptive = false;
   net::RedQueue q(s, 1024, rp);
   for (auto _ : state) {
-    auto p = std::make_unique<net::Packet>();
+    auto p = net::make_packet();
     p->size_bytes = 1040;
     q.enqueue(std::move(p));
     benchmark::DoNotOptimize(q.dequeue());
@@ -73,7 +73,7 @@ void BM_PiEnqueueDequeue(benchmark::State& state) {
   sim::Scheduler s;
   net::PiQueue q(s, 1024, net::PiDesign{});
   for (auto _ : state) {
-    auto p = std::make_unique<net::Packet>();
+    auto p = net::make_packet();
     p->size_bytes = 1040;
     p->ecn = net::Ecn::Ect0;
     q.enqueue(std::move(p));
@@ -110,6 +110,71 @@ void BM_ResponseCurve(benchmark::State& state) {
   benchmark::DoNotOptimize(acc);
 }
 BENCHMARK(BM_ResponseCurve);
+
+/// Forwarding micro: batch of packets through node -> link -> node delivery.
+/// Exercises the full per-hop path (route lookup, queue, serialization event,
+/// propagation event, receive) without TCP on top.
+void BM_LinkForward(benchmark::State& state) {
+  net::Network net(1);
+  auto* a = net.add_node();
+  auto* b = net.add_node();
+  net.add_link(a, b, 1e9, 1e-4,
+               std::make_unique<net::DropTailQueue>(net.sched(), 1024));
+  net.compute_routes();
+  struct CountSink final : net::Agent {
+    std::uint64_t n = 0;
+    void receive(net::PacketPtr) override { ++n; }
+  };
+  auto* sink = net.add_agent<CountSink>(b, 1);
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      auto p = net.make_packet();
+      p->dst = b->id();
+      p->dst_port = 1;
+      a->send(std::move(p));
+    }
+    net.sched().run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(sink->n));
+  state.counters["pkts/s"] = benchmark::Counter(
+      static_cast<double>(sink->n), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_LinkForward);
+
+/// End-to-end: a loaded 10 Mbps dumbbell (8 TCP flows over a shared
+/// bottleneck) advanced one simulated second per iteration. Reports both
+/// packets/sec (bottleneck departures per wall second) and events/sec.
+void BM_EndToEndDumbbell(benchmark::State& state) {
+  net::Network net(1);
+  auto* lhs = net.add_node();
+  auto* r1 = net.add_node();
+  auto* r2 = net.add_node();
+  auto* rhs = net.add_node();
+  net.add_duplex_droptail(lhs, r1, 100e6, 0.002, 1000);
+  auto [fwd, rev] = net.add_duplex_droptail(r1, r2, 10e6, 0.02, 100);
+  net.add_duplex_droptail(r2, rhs, 100e6, 0.002, 1000);
+  net.compute_routes();
+  tcp::TcpConfig cfg;
+  for (int i = 0; i < 8; ++i) {
+    net.add_agent<tcp::TcpSink>(rhs, 10 + i, net, cfg);
+    auto* s = net.add_agent<tcp::TcpSender>(lhs, 10 + i, net, cfg, i);
+    s->connect(rhs->id(), 10 + i);
+    s->start(0.0);
+  }
+  double t = 1.0;
+  for (auto _ : state) {
+    net.run_until(t);
+    t += 1.0;
+  }
+  const auto stats = fwd->snapshot();
+  state.SetItemsProcessed(static_cast<std::int64_t>(stats.pkts_tx));
+  state.counters["pkts/s"] = benchmark::Counter(
+      static_cast<double>(stats.pkts_tx), benchmark::Counter::kIsRate);
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(net.sched().dispatched()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EndToEndDumbbell);
 
 /// End-to-end: one second of simulated time on a loaded 10 Mbps dumbbell.
 void BM_EndToEndSimSecond(benchmark::State& state) {

@@ -50,17 +50,16 @@ void Link::try_transmit() {
   busy_ = true;
   busy_since_ = sched_->now();
   const sim::Time tx = tx_time(p->size_bytes);
-  // Scheduler callbacks must be copyable (std::function), so the in-flight
-  // packet is held by shared_ptr across the end-of-tx and delivery events.
-  std::shared_ptr<Packet> sp{p.release()};
-  sched_->schedule_in(tx, [this, sp] {
+  // The in-flight packet moves through the end-of-tx and propagation events
+  // (move-only callbacks), so a hop neither copies the packet nor allocates.
+  sched_->schedule_in(tx, [this, p = std::move(p)]() mutable {
     stats_.pkts_tx += 1;
-    stats_.bytes_tx += static_cast<std::uint64_t>(sp->size_bytes);
+    stats_.bytes_tx += static_cast<std::uint64_t>(p->size_bytes);
     stats_.busy_integral += sched_->now() - busy_since_;
     busy_ = false;
     // Propagation: deliver after the wire delay.
-    sched_->schedule_in(prop_delay_, [this, sp] {
-      to_->receive(std::make_unique<Packet>(*sp));
+    sched_->schedule_in(prop_delay_, [this, p = std::move(p)]() mutable {
+      to_->receive(std::move(p));
     });
     try_transmit();
   });

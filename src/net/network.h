@@ -15,6 +15,7 @@
 #include "net/link.h"
 #include "net/node.h"
 #include "net/packet.h"
+#include "net/pool.h"
 #include "net/queue.h"
 #include "sim/random.h"
 #include "sim/scheduler.h"
@@ -76,12 +77,18 @@ class Network {
     return raw;
   }
 
-  /// Allocates a packet with a unique uid.
+  /// Hands out a packet with a unique uid, recycled from the pool when
+  /// possible (steady-state simulation allocates no packets).
   PacketPtr make_packet() {
-    auto p = std::make_unique<Packet>();
+    auto p = pool_.acquire();
     p->uid = next_uid_++;
     return p;
   }
+
+  /// The packet recycling pool (stats inspection; tests assert steady-state
+  /// allocation-freedom through this).
+  PacketPool& packet_pool() noexcept { return pool_; }
+  const PacketPool& packet_pool() const noexcept { return pool_; }
 
   void run_until(sim::Time t) { sched_.run_until(t); }
 
@@ -91,6 +98,10 @@ class Network {
     Link* link;
   };
 
+  /// Declared first so it is destroyed last: packets still held by queues,
+  /// links, agents, or pending scheduler events release into a live pool
+  /// during teardown.
+  PacketPool pool_;
   sim::Scheduler sched_;
   sim::Rng rng_;
   std::vector<std::unique_ptr<Node>> nodes_;

@@ -15,6 +15,26 @@
 
 namespace pert::net {
 
+class PacketPool;
+
+/// Intrusive back-pointer from a pooled packet to its owning PacketPool.
+/// Deliberately NOT propagated by copy or move: a Packet copy is a plain
+/// heap packet (deleted normally) until a pool adopts it, so copying a pooled
+/// packet can never double-release the original's pool slot.
+class PoolRef {
+ public:
+  PoolRef() noexcept = default;
+  PoolRef(const PoolRef&) noexcept {}
+  PoolRef(PoolRef&&) noexcept {}
+  PoolRef& operator=(const PoolRef&) noexcept { return *this; }
+  PoolRef& operator=(PoolRef&&) noexcept { return *this; }
+
+ private:
+  friend class PacketPool;
+  friend struct PacketDeleter;
+  PacketPool* pool = nullptr;
+};
+
 using NodeId = std::int32_t;
 using FlowId = std::int32_t;
 
@@ -62,8 +82,24 @@ struct Packet {
 
   std::array<SackBlock, 3> sack{};
   std::int32_t n_sack = 0;
+
+  /// Owning pool when this packet is pooled; reset on copy (see PoolRef).
+  PoolRef pool_ref;
 };
 
-using PacketPtr = std::unique_ptr<Packet>;
+/// Routes a dying packet back to its pool, or deletes it when it has none.
+/// Defined inline in net/pool.h (included below) so the hot path never pays
+/// an out-of-line call to free a packet.
+struct PacketDeleter {
+  void operator()(Packet* p) const noexcept;
+};
+
+using PacketPtr = std::unique_ptr<Packet, PacketDeleter>;
+
+/// Allocates an unpooled packet (tests, micro-benchmarks, standalone queue
+/// use). Simulations should prefer Network::make_packet, which recycles.
+inline PacketPtr make_packet() { return PacketPtr{new Packet}; }
 
 }  // namespace pert::net
+
+#include "net/pool.h"  // completes PacketDeleter (mutual include, see above)

@@ -9,10 +9,10 @@
 #include <cassert>
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <string>
 
 #include "net/packet.h"
+#include "sim/function.h"
 #include "sim/scheduler.h"
 
 namespace pert::net {
@@ -84,13 +84,13 @@ class Queue {
 
   /// Fired for every dropped packet (after counting). Used by the predictor
   /// study to observe queue-level loss events.
-  std::function<void(const Packet&, sim::Time)> on_drop;
+  sim::UniqueFunction<void(const Packet&, sim::Time)> on_drop;
 
   /// Fired when a packet becomes dequeueable *asynchronously* — i.e. not
   /// during an enqueue() call on this queue. Only impairment wrappers that
   /// hold packets and release them via scheduler timers need this; the Link
   /// registers a kick so its transmitter wakes up for released packets.
-  std::function<void()> on_ready;
+  sim::UniqueFunction<void()> on_ready;
 
  protected:
   sim::Scheduler& sched() noexcept { return *sched_; }

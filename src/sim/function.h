@@ -1,0 +1,161 @@
+// Move-only callable wrapper with small-buffer optimization.
+//
+// The simulator schedules millions of callbacks per run; std::function is the
+// wrong tool for that hot path twice over: it requires copyable targets (which
+// forces shared_ptr workarounds for move-only captures like an in-flight
+// PacketPtr) and it heap-allocates for captures beyond a couple of pointers.
+// UniqueFunction is the replacement used by Scheduler, Timer, and the Queue
+// hooks: targets only need to be movable, and anything up to kInlineSize bytes
+// (48 — comfortably a `this` pointer plus several words of capture) lives in
+// the wrapper itself, so scheduling an event performs zero allocations.
+// Larger targets spill to the heap transparently.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace pert::sim {
+
+template <class Signature>
+class UniqueFunction;  // primary template; only the R(Args...) form exists
+
+template <class R, class... Args>
+class UniqueFunction<R(Args...)> {
+ public:
+  /// Largest target stored inline (no heap). Chosen so every callback in the
+  /// packet forwarding path (this + PacketPtr + a few scalars) fits.
+  static constexpr std::size_t kInlineSize = 48;
+  static constexpr std::size_t kInlineAlign = alignof(std::max_align_t);
+
+  UniqueFunction() noexcept = default;
+  UniqueFunction(std::nullptr_t) noexcept {}
+
+  template <class F, class D = std::decay_t<F>,
+            class = std::enable_if_t<!std::is_same_v<D, UniqueFunction> &&
+                                     !std::is_same_v<D, std::nullptr_t> &&
+                                     std::is_invocable_r_v<R, D&, Args...>>>
+  UniqueFunction(F&& f) {
+    emplace<D>(std::forward<F>(f));
+  }
+
+  UniqueFunction(UniqueFunction&& other) noexcept { steal(other); }
+
+  UniqueFunction& operator=(UniqueFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      steal(other);
+    }
+    return *this;
+  }
+
+  UniqueFunction& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  template <class F, class D = std::decay_t<F>,
+            class = std::enable_if_t<!std::is_same_v<D, UniqueFunction> &&
+                                     !std::is_same_v<D, std::nullptr_t> &&
+                                     std::is_invocable_r_v<R, D&, Args...>>>
+  UniqueFunction& operator=(F&& f) {
+    reset();
+    emplace<D>(std::forward<F>(f));
+    return *this;
+  }
+
+  UniqueFunction(const UniqueFunction&) = delete;
+  UniqueFunction& operator=(const UniqueFunction&) = delete;
+
+  ~UniqueFunction() { reset(); }
+
+  explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+  R operator()(Args... args) {
+    return invoke_(buf_, std::forward<Args>(args)...);
+  }
+
+  /// Drops the target (destroying it) and becomes empty.
+  void reset() noexcept {
+    if (manage_) manage_(Op::kDestroy, buf_, nullptr);
+    invoke_ = nullptr;
+    manage_ = nullptr;
+  }
+
+  /// True when the target lives in the inline buffer (tests and diagnostics;
+  /// meaningless on an empty wrapper).
+  bool uses_inline_storage() const noexcept { return inline_; }
+
+ private:
+  enum class Op { kMoveTo, kDestroy };
+  using Invoke = R (*)(void*, Args&&...);
+  /// kMoveTo: move-construct the target into `dst`'s buffer and destroy the
+  /// source representation. kDestroy: destroy the target in place.
+  using Manage = void (*)(Op, void* self, void* dst);
+
+  template <class F>
+  static constexpr bool fits_inline =
+      sizeof(F) <= kInlineSize && alignof(F) <= kInlineAlign &&
+      std::is_nothrow_move_constructible_v<F>;
+
+  template <class F>
+  struct InlineHandler {
+    static R invoke(void* self, Args&&... args) {
+      return (*std::launder(static_cast<F*>(self)))(
+          std::forward<Args>(args)...);
+    }
+    static void manage(Op op, void* self, void* dst) {
+      F* f = std::launder(static_cast<F*>(self));
+      if (op == Op::kMoveTo) ::new (dst) F(std::move(*f));
+      f->~F();
+    }
+  };
+
+  template <class F>
+  struct HeapHandler {
+    static R invoke(void* self, Args&&... args) {
+      return (**std::launder(static_cast<F**>(self)))(
+          std::forward<Args>(args)...);
+    }
+    static void manage(Op op, void* self, void* dst) {
+      F** p = std::launder(static_cast<F**>(self));
+      if (op == Op::kMoveTo)
+        ::new (dst) F*(*p);  // ownership transfers by pointer copy
+      else
+        delete *p;
+    }
+  };
+
+  template <class D, class F>
+  void emplace(F&& f) {
+    if constexpr (fits_inline<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      invoke_ = &InlineHandler<D>::invoke;
+      manage_ = &InlineHandler<D>::manage;
+      inline_ = true;
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
+      invoke_ = &HeapHandler<D>::invoke;
+      manage_ = &HeapHandler<D>::manage;
+      inline_ = false;
+    }
+  }
+
+  void steal(UniqueFunction& other) noexcept {
+    if (!other.invoke_) return;
+    other.manage_(Op::kMoveTo, other.buf_, buf_);
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    inline_ = other.inline_;
+    other.invoke_ = nullptr;
+    other.manage_ = nullptr;
+  }
+
+  alignas(kInlineAlign) unsigned char buf_[kInlineSize];
+  Invoke invoke_ = nullptr;
+  Manage manage_ = nullptr;
+  bool inline_ = false;
+};
+
+}  // namespace pert::sim

@@ -1,0 +1,43 @@
+// Minimal object free-list for hot-path recycling.
+//
+// A FreeList owns the objects parked in it (deleting them on destruction) but
+// not the ones currently checked out; higher-level pools (net::PacketPool)
+// layer acquire/release semantics, stats, and state reset on top. Not
+// thread-safe by design: each simulation owns its pools, and the experiment
+// runner gives every job its own simulation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace pert::sim {
+
+template <class T>
+class FreeList {
+ public:
+  FreeList() = default;
+  FreeList(const FreeList&) = delete;
+  FreeList& operator=(const FreeList&) = delete;
+  ~FreeList() {
+    for (T* p : free_) delete p;
+  }
+
+  /// Pops a recycled object, or nullptr when the list is empty. The caller
+  /// owns the result (and is responsible for resetting its state).
+  T* take() noexcept {
+    if (free_.empty()) return nullptr;
+    T* p = free_.back();
+    free_.pop_back();
+    return p;
+  }
+
+  /// Parks an object for reuse; the list takes ownership.
+  void put(T* p) { free_.push_back(p); }
+
+  std::size_t size() const noexcept { return free_.size(); }
+
+ private:
+  std::vector<T*> free_;
+};
+
+}  // namespace pert::sim

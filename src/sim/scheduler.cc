@@ -8,41 +8,103 @@
 
 namespace pert::sim {
 
+namespace {
+// 4-ary heap: shallower than binary for the same size, so dispatch does
+// fewer cache-missing levels; the 4-way min scan is branch-cheap.
+constexpr std::size_t kArity = 4;
+}  // namespace
+
+void Scheduler::sift_up(std::size_t pos) noexcept {
+  const std::uint32_t slot = heap_[pos];
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / kArity;
+    if (!before(slot, heap_[parent])) break;
+    heap_set(pos, heap_[parent]);
+    pos = parent;
+  }
+  heap_set(pos, slot);
+}
+
+void Scheduler::sift_down(std::size_t pos) noexcept {
+  const std::uint32_t slot = heap_[pos];
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first = pos * kArity + 1;
+    if (first >= n) break;
+    const std::size_t last = first + kArity < n ? first + kArity : n;
+    std::size_t best = first;
+    for (std::size_t c = first + 1; c < last; ++c)
+      if (before(heap_[c], heap_[best])) best = c;
+    if (!before(heap_[best], slot)) break;
+    heap_set(pos, heap_[best]);
+    pos = best;
+  }
+  heap_set(pos, slot);
+}
+
+void Scheduler::heap_erase(std::size_t pos) noexcept {
+  assert(pos < heap_.size());
+  const std::size_t last = heap_.size() - 1;
+  if (pos != last) {
+    heap_set(pos, heap_[last]);
+    heap_.pop_back();
+    // The moved-in element may need to travel either direction.
+    sift_down(pos);
+    sift_up(pos);
+  } else {
+    heap_.pop_back();
+  }
+}
+
+void Scheduler::release_slot(std::uint32_t idx) {
+  Slot& s = slots_[idx];
+  s.gen += 1;  // odd -> even: any outstanding EventId for this slot is stale
+  s.heap_pos = -1;
+  s.cb = nullptr;
+  free_.push_back(idx);
+}
+
 Scheduler::EventId Scheduler::schedule_at(Time t, Callback cb) {
   assert(cb && "scheduling an empty callback");
   if (t < now_) t = now_;
-  const std::uint64_t seq = next_seq_++;
-  heap_.push(Entry{t, seq, std::move(cb)});
-  live_.insert(seq);
-  return EventId{seq};
+  std::uint32_t idx;
+  if (!free_.empty()) {
+    idx = free_.back();
+    free_.pop_back();
+  } else {
+    idx = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[idx];
+  s.t = t;
+  s.seq = next_seq_++;
+  s.gen += 1;  // even -> odd: live
+  s.cb = std::move(cb);
+  heap_.push_back(idx);
+  s.heap_pos = static_cast<std::int32_t>(heap_.size() - 1);
+  sift_up(heap_.size() - 1);
+  return EventId{idx, s.gen};
 }
 
 bool Scheduler::cancel(EventId id) {
   if (!id.valid()) return false;
-  // Only events still in the heap can be cancelled; this keeps cancelled_
-  // from accumulating seqs that already ran.
-  if (live_.erase(id.seq_) == 0) return false;
-  cancelled_.insert(id.seq_);
+  assert(id.slot_ < slots_.size());
+  Slot& s = slots_[id.slot_];
+  // Generation mismatch: the event already ran or was cancelled (and the
+  // slot possibly recycled for a newer event this handle must not touch).
+  if (s.gen != id.gen_) return false;
+  assert(s.heap_pos >= 0);
+  heap_erase(static_cast<std::size_t>(s.heap_pos));
+  release_slot(id.slot_);
   return true;
 }
 
-void Scheduler::skim() {
-  while (!heap_.empty() && cancelled_.contains(heap_.top().seq)) {
-    cancelled_.erase(heap_.top().seq);
-    heap_.pop();
-  }
-}
-
 bool Scheduler::run_next() {
-  skim();
   if (heap_.empty()) return false;
-  // priority_queue::top() is const; moving the callback out would be
-  // const_cast trickery — copy instead (callbacks hold small capture lists).
-  Entry e = heap_.top();
-  heap_.pop();
-  live_.erase(e.seq);
-  assert(e.t >= now_);
-  if (e.t > now_) {
+  const std::uint32_t idx = heap_[0];
+  Slot& s = slots_[idx];
+  assert(s.t >= now_);
+  if (s.t > now_) {
     instant_streak_ = 0;
   } else if (instant_event_limit_ != 0 &&
              ++instant_streak_ > instant_event_limit_) {
@@ -54,18 +116,19 @@ bool Scheduler::run_next() {
             "\ndispatched: " + std::to_string(dispatched_) +
             "\nsim time: " + std::to_string(now_));
   }
-  now_ = e.t;
+  now_ = s.t;
+  // Move the callback out and free the slot *before* invoking: the callback
+  // may schedule (growing slots_) or cancel, and must see itself as done.
+  Callback cb = std::move(s.cb);
+  heap_erase(0);
+  release_slot(idx);
   ++dispatched_;
-  e.cb();
+  cb();
   return true;
 }
 
 void Scheduler::run_until(Time t) {
-  for (;;) {
-    skim();
-    if (heap_.empty() || heap_.top().t > t) break;
-    run_next();
-  }
+  while (!heap_.empty() && slots_[heap_[0]].t <= t) run_next();
   if (now_ < t) now_ = t;
 }
 

@@ -1,37 +1,50 @@
 // Discrete-event scheduler.
 //
-// A binary min-heap of (time, sequence) keyed events. Ties in time are broken
-// by insertion order, which makes every run fully deterministic for a given
-// seed and call sequence. Cancellation is lazy: cancelled sequence numbers are
-// remembered and skipped when they surface at the heap top.
+// An index-addressable 4-ary min-heap of (time, sequence) keyed events over a
+// generation-tagged slot pool. Ties in time are broken by insertion order
+// (monotonic sequence numbers), which makes every run fully deterministic for
+// a given seed and call sequence.
+//
+// Design notes (the allocation-free hot path):
+//   - Events live in recycled slots; the heap orders slot indices, and each
+//     slot records its heap position, so cancel() removes the event eagerly
+//     in O(log4 n) with no hashing and pending() is a plain O(1) size read.
+//   - Handles are (slot, generation) pairs. A slot's generation bumps on
+//     every acquire and release, so a stale EventId — the event ran, was
+//     cancelled, or its slot was recycled — can never cancel a later event.
+//   - Callbacks are move-only sim::UniqueFunction with 48 bytes of inline
+//     storage: scheduling a typical event (a `this` pointer plus a few words
+//     of capture, or an in-flight PacketPtr) performs zero heap allocations
+//     once the slot pool has reached its high-water mark.
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/function.h"
 #include "sim/time.h"
 
 namespace pert::sim {
 
 class Scheduler {
  public:
-  using Callback = std::function<void()>;
+  using Callback = UniqueFunction<void()>;
 
   /// Opaque handle to a scheduled event; default-constructed handles are
   /// "null" and never match a live event.
   class EventId {
    public:
     EventId() = default;
-    bool valid() const noexcept { return seq_ != 0; }
+    bool valid() const noexcept { return gen_ != 0; }
 
    private:
     friend class Scheduler;
-    explicit EventId(std::uint64_t s) noexcept : seq_(s) {}
-    std::uint64_t seq_ = 0;
+    EventId(std::uint32_t slot, std::uint32_t gen) noexcept
+        : slot_(slot), gen_(gen) {}
+    std::uint32_t slot_ = 0;
+    std::uint32_t gen_ = 0;  // odd = was live when issued; 0 = null handle
   };
 
   /// Current simulation time. Monotonically non-decreasing.
@@ -58,8 +71,9 @@ class Scheduler {
   /// Returns the number of events dispatched.
   std::size_t run(std::size_t max_events = SIZE_MAX);
 
-  /// Number of pending (non-cancelled) events.
-  std::size_t pending() const noexcept { return heap_.size() - cancelled_.size(); }
+  /// Number of pending (non-cancelled) events. O(1): cancellation removes
+  /// events from the heap eagerly, so the heap size *is* the pending count.
+  std::size_t pending() const noexcept { return heap_.size(); }
 
   /// Total events dispatched so far (for micro-benchmarks and sanity checks).
   std::uint64_t dispatched() const noexcept { return dispatched_; }
@@ -76,24 +90,37 @@ class Scheduler {
   }
 
  private:
-  struct Entry {
-    Time t;
-    std::uint64_t seq;
+  struct Slot {
+    Time t = 0.0;
+    std::uint64_t seq = 0;       // global tie-break counter at schedule time
+    std::uint32_t gen = 0;       // odd while scheduled, even while free
+    std::int32_t heap_pos = -1;  // index into heap_, -1 while free
     Callback cb;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const noexcept {
-      if (a.t != b.t) return a.t > b.t;
-      return a.seq > b.seq;
-    }
-  };
 
-  /// Pops cancelled entries off the heap top.
-  void skim();
+  /// True when the event in slot `a` dispatches before the one in slot `b`.
+  bool before(std::uint32_t a, std::uint32_t b) const noexcept {
+    const Slot& sa = slots_[a];
+    const Slot& sb = slots_[b];
+    if (sa.t != sb.t) return sa.t < sb.t;
+    return sa.seq < sb.seq;
+  }
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_set<std::uint64_t> live_;       // seqs currently in the heap
-  std::unordered_set<std::uint64_t> cancelled_;  // subset awaiting lazy removal
+  void heap_set(std::size_t pos, std::uint32_t slot) noexcept {
+    heap_[pos] = slot;
+    slots_[slot].heap_pos = static_cast<std::int32_t>(pos);
+  }
+  void sift_up(std::size_t pos) noexcept;
+  void sift_down(std::size_t pos) noexcept;
+  /// Removes the heap entry at `pos`, restoring the heap property.
+  void heap_erase(std::size_t pos) noexcept;
+
+  /// Returns a slot to the free list (bumps generation, drops the callback).
+  void release_slot(std::uint32_t idx);
+
+  std::vector<Slot> slots_;         // slot pool (high-water-mark sized)
+  std::vector<std::uint32_t> free_; // recycled slot indices
+  std::vector<std::uint32_t> heap_; // 4-ary min-heap of live slot indices
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t dispatched_ = 0;

@@ -6,9 +6,9 @@
 #pragma once
 
 #include <cassert>
-#include <functional>
 #include <utility>
 
+#include "sim/function.h"
 #include "sim/scheduler.h"
 #include "sim/time.h"
 
@@ -16,7 +16,7 @@ namespace pert::sim {
 
 class Timer {
  public:
-  using Callback = std::function<void()>;
+  using Callback = UniqueFunction<void()>;
 
   Timer(Scheduler& sched, Callback cb)
       : sched_(&sched), cb_(std::move(cb)) {

@@ -10,7 +10,7 @@ namespace pert::net {
 namespace {
 
 PacketPtr mk(Ecn ecn = Ecn::Ect0, std::int32_t bytes = 1000) {
-  auto p = std::make_unique<Packet>();
+  auto p = make_packet();
   p->size_bytes = bytes;
   p->ecn = ecn;
   return p;

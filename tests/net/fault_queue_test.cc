@@ -10,7 +10,7 @@ namespace pert::net {
 namespace {
 
 PacketPtr mk(std::uint64_t uid, std::int64_t seq = 0) {
-  auto p = std::make_unique<Packet>();
+  auto p = make_packet();
   p->uid = uid;
   p->seq = seq;
   p->size_bytes = 500;

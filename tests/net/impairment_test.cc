@@ -16,7 +16,7 @@ namespace pert::net {
 namespace {
 
 PacketPtr mk(std::uint64_t uid, std::int32_t bytes = 1000) {
-  auto p = std::make_unique<Packet>();
+  auto p = make_packet();
   p->uid = uid;
   p->size_bytes = bytes;
   return p;

@@ -10,7 +10,7 @@ namespace pert::net {
 namespace {
 
 PacketPtr mk(Ecn ecn = Ecn::Ect0) {
-  auto p = std::make_unique<Packet>();
+  auto p = make_packet();
   p->size_bytes = 1000;
   p->ecn = ecn;
   return p;

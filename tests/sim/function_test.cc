@@ -1,0 +1,169 @@
+#include "sim/function.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <utility>
+
+namespace pert::sim {
+namespace {
+
+using VoidFn = UniqueFunction<void()>;
+using IntFn = UniqueFunction<int(int)>;
+
+TEST(UniqueFunction, DefaultConstructedIsEmpty) {
+  VoidFn f;
+  EXPECT_FALSE(static_cast<bool>(f));
+  VoidFn g = nullptr;
+  EXPECT_FALSE(static_cast<bool>(g));
+}
+
+TEST(UniqueFunction, InvokesTargetWithArgsAndReturn) {
+  IntFn f = [](int x) { return x * 2 + 1; };
+  ASSERT_TRUE(static_cast<bool>(f));
+  EXPECT_EQ(f(10), 21);
+}
+
+TEST(UniqueFunction, HoldsMoveOnlyCapture) {
+  auto owned = std::make_unique<int>(42);
+  UniqueFunction<int()> f = [p = std::move(owned)] { return *p; };
+  EXPECT_EQ(f(), 42);
+  // And the wrapper itself moves.
+  UniqueFunction<int()> g = std::move(f);
+  EXPECT_EQ(g(), 42);
+}
+
+TEST(UniqueFunction, SmallCapturesStayInline) {
+  int a = 1, b = 2, c = 3;
+  VoidFn f = [a, b, c] { (void)a, (void)b, (void)c; };
+  EXPECT_TRUE(f.uses_inline_storage());
+  // A `this`-plus-packet-pointer shaped capture (the Link hot path) fits.
+  void* p1 = nullptr;
+  void* p2 = nullptr;
+  VoidFn g = [p1, p2] { (void)p1, (void)p2; };
+  EXPECT_TRUE(g.uses_inline_storage());
+}
+
+TEST(UniqueFunction, OversizedCapturesSpillToHeapAndStillWork) {
+  std::array<char, VoidFn::kInlineSize + 16> big{};
+  big[0] = 7;
+  UniqueFunction<int()> f = [big] { return static_cast<int>(big[0]); };
+  EXPECT_FALSE(f.uses_inline_storage());
+  EXPECT_EQ(f(), 7);
+  // Moving a spilled target transfers the same heap object by pointer.
+  UniqueFunction<int()> g = std::move(f);
+  EXPECT_FALSE(g.uses_inline_storage());
+  EXPECT_EQ(g(), 7);
+}
+
+TEST(UniqueFunction, MoveLeavesSourceEmpty) {
+  VoidFn f = [] {};
+  VoidFn g = std::move(f);
+  EXPECT_FALSE(static_cast<bool>(f));  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(static_cast<bool>(g));
+}
+
+/// Counts live instances through every copy/move so destruction-balance and
+/// destruction-order tests can assert the wrapper never leaks or double-frees.
+struct Probe {
+  int* live;
+  int* destroyed;
+  Probe(int* l, int* d) : live(l), destroyed(d) { ++*live; }
+  Probe(const Probe& o) noexcept : live(o.live), destroyed(o.destroyed) {
+    ++*live;
+  }
+  Probe(Probe&& o) noexcept : live(o.live), destroyed(o.destroyed) { ++*live; }
+  ~Probe() {
+    --*live;
+    ++*destroyed;
+  }
+  void operator()() const {}
+};
+
+TEST(UniqueFunction, DestructionIsBalancedInline) {
+  int live = 0, destroyed = 0;
+  {
+    VoidFn f = Probe(&live, &destroyed);
+    EXPECT_TRUE(f.uses_inline_storage());
+    EXPECT_EQ(live, 1);
+    VoidFn g = std::move(f);  // move ctor: construct in g, destroy f's copy
+    EXPECT_EQ(live, 1);
+    g();
+    EXPECT_EQ(live, 1);
+  }
+  EXPECT_EQ(live, 0);
+  EXPECT_GT(destroyed, 0);
+}
+
+struct BigProbe : Probe {
+  std::array<char, 64> pad{};  // force the heap path
+  using Probe::Probe;
+};
+
+TEST(UniqueFunction, DestructionIsBalancedSpilled) {
+  int live = 0, destroyed = 0;
+  {
+    VoidFn f = BigProbe(&live, &destroyed);
+    EXPECT_FALSE(f.uses_inline_storage());
+    EXPECT_EQ(live, 1);
+    VoidFn g = std::move(f);  // pointer handoff: no construct, no destroy
+    EXPECT_EQ(live, 1);
+    g();
+  }
+  EXPECT_EQ(live, 0);
+}
+
+TEST(UniqueFunction, AssignmentDestroysOldTargetBeforeAdoptingNew) {
+  int live_a = 0, dead_a = 0, live_b = 0, dead_b = 0;
+  VoidFn f = Probe(&live_a, &dead_a);
+  EXPECT_EQ(live_a, 1);
+  f = Probe(&live_b, &dead_b);
+  EXPECT_EQ(live_a, 0) << "old target must be destroyed on reassignment";
+  EXPECT_EQ(live_b, 1);
+  f = nullptr;
+  EXPECT_EQ(live_b, 0);
+  EXPECT_FALSE(static_cast<bool>(f));
+}
+
+TEST(UniqueFunction, MoveAssignDestroysOldTarget) {
+  int live_a = 0, dead_a = 0, live_b = 0, dead_b = 0;
+  VoidFn f = Probe(&live_a, &dead_a);
+  VoidFn g = Probe(&live_b, &dead_b);
+  f = std::move(g);
+  EXPECT_EQ(live_a, 0);
+  EXPECT_EQ(live_b, 1);
+  EXPECT_FALSE(static_cast<bool>(g));  // NOLINT(bugprone-use-after-move)
+  f();
+}
+
+TEST(UniqueFunction, ResetClearsAndIsIdempotent) {
+  int live = 0, dead = 0;
+  VoidFn f = Probe(&live, &dead);
+  f.reset();
+  EXPECT_EQ(live, 0);
+  EXPECT_FALSE(static_cast<bool>(f));
+  const int dead_after_first = dead;
+  f.reset();  // idempotent: no double-destroy
+  EXPECT_EQ(dead, dead_after_first);
+}
+
+TEST(UniqueFunction, SelfMoveAssignIsSafe) {
+  int live = 0, dead = 0;
+  VoidFn f = Probe(&live, &dead);
+  VoidFn& alias = f;
+  f = std::move(alias);
+  EXPECT_TRUE(static_cast<bool>(f));
+  EXPECT_EQ(live, 1);
+  f();
+}
+
+TEST(UniqueFunction, ForwardsReferenceArguments) {
+  UniqueFunction<void(int&)> f = [](int& x) { x += 5; };
+  int v = 1;
+  f(v);
+  EXPECT_EQ(v, 6);
+}
+
+}  // namespace
+}  // namespace pert::sim

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 #include <vector>
 
 #include "sim/random.h"
@@ -157,6 +158,145 @@ TEST_P(SchedulerPropertyTest, RandomEventsDispatchSorted) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerPropertyTest,
                          ::testing::Values(1, 2, 3, 17, 99, 12345));
+
+// --- slot-pool regression tests: pending() accounting and stale handles ---
+
+TEST(Scheduler, PendingTracksScheduleCancelRescheduleInterleavings) {
+  Scheduler s;
+  auto a = s.schedule_at(1.0, [] {});
+  auto b = s.schedule_at(2.0, [] {});
+  auto c = s.schedule_at(3.0, [] {});
+  EXPECT_EQ(s.pending(), 3u);
+  EXPECT_TRUE(s.cancel(b));
+  EXPECT_EQ(s.pending(), 2u);  // eager removal: no lazy-cancel residue
+  auto d = s.schedule_at(1.5, [] {});  // may recycle b's slot
+  EXPECT_EQ(s.pending(), 3u);
+  EXPECT_FALSE(s.cancel(b));  // stale handle stays dead after slot reuse
+  EXPECT_EQ(s.pending(), 3u);
+  EXPECT_TRUE(s.cancel(a));
+  EXPECT_TRUE(s.cancel(c));
+  EXPECT_TRUE(s.cancel(d));
+  EXPECT_EQ(s.pending(), 0u);
+  EXPECT_FALSE(s.run_next());
+}
+
+TEST(Scheduler, StaleHandleNeverCancelsARecycledSlot) {
+  Scheduler s;
+  auto a = s.schedule_at(1.0, [] {});
+  ASSERT_TRUE(s.cancel(a));
+  // Keep scheduling until every free slot has been recycled at least once.
+  bool ran = false;
+  std::vector<Scheduler::EventId> ids;
+  for (int i = 0; i < 8; ++i)
+    ids.push_back(s.schedule_at(1.0, [&ran] { ran = true; }));
+  EXPECT_FALSE(s.cancel(a)) << "handle from a cancelled event must stay dead";
+  EXPECT_EQ(s.pending(), 8u) << "stale cancel must not remove a newer event";
+  s.run();
+  EXPECT_TRUE(ran);
+  // Handles of already-run events are stale too, even after their slots are
+  // reused by newer pending events.
+  bool ran2 = false;
+  auto fresh = s.schedule_at(2.0, [&ran2] { ran2 = true; });
+  for (auto id : ids) EXPECT_FALSE(s.cancel(id));
+  EXPECT_EQ(s.pending(), 1u);
+  EXPECT_TRUE(s.cancel(fresh));
+  s.run();
+  EXPECT_FALSE(ran2);
+}
+
+TEST(Scheduler, CancelFromInsideACallback) {
+  Scheduler s;
+  bool b_ran = false, c_ran = false;
+  Scheduler::EventId b, c;
+  s.schedule_at(1.0, [&] {
+    EXPECT_TRUE(s.cancel(b));  // same-time, later-seq event
+    EXPECT_TRUE(s.cancel(c));  // future event
+    EXPECT_EQ(s.pending(), 0u);
+  });
+  b = s.schedule_at(1.0, [&] { b_ran = true; });
+  c = s.schedule_at(2.0, [&] { c_ran = true; });
+  s.run();
+  EXPECT_FALSE(b_ran);
+  EXPECT_FALSE(c_ran);
+  EXPECT_EQ(s.dispatched(), 1u);
+}
+
+TEST(Scheduler, CancellingOwnEventFromItsCallbackReturnsFalse) {
+  Scheduler s;
+  Scheduler::EventId self;
+  bool checked = false;
+  self = s.schedule_at(1.0, [&] {
+    checked = true;
+    EXPECT_FALSE(s.cancel(self)) << "a running event is no longer pending";
+  });
+  s.run();
+  EXPECT_TRUE(checked);
+}
+
+TEST(Scheduler, RescheduleAfterCancelKeepsFifoTieBreak) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(1.0, [&] { order.push_back(0); });
+  auto mid = s.schedule_at(1.0, [&] { order.push_back(1); });
+  s.schedule_at(1.0, [&] { order.push_back(2); });
+  s.cancel(mid);
+  // Re-scheduled at the same time: new seq, so it fires *after* survivors.
+  s.schedule_at(1.0, [&] { order.push_back(3); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 3}));
+}
+
+TEST(Scheduler, SchedulingFromCallbackWhileSlotsRecycle) {
+  // Dispatch loops that schedule follow-ups exercise slot recycling under a
+  // growing-and-shrinking heap; the count and final clock pin correctness.
+  Scheduler s;
+  int fired = 0;
+  for (int i = 0; i < 50; ++i) {
+    s.schedule_at(1.0 + i * 0.5, [&s, &fired] {
+      ++fired;
+      s.schedule_in(0.25, [&fired] { ++fired; });
+    });
+  }
+  s.run();
+  EXPECT_EQ(fired, 100);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Scheduler, MoveOnlyCallbackCaptures) {
+  Scheduler s;
+  auto payload = std::make_unique<int>(99);
+  int seen = 0;
+  s.schedule_at(1.0, [p = std::move(payload), &seen] { seen = *p; });
+  s.run();
+  EXPECT_EQ(seen, 99);
+}
+
+TEST_P(SchedulerPropertyTest, PendingMatchesReferenceUnderRandomOps) {
+  Rng rng(GetParam());
+  Scheduler s;
+  std::vector<Scheduler::EventId> live;
+  std::size_t expected = 0;
+  int fired = 0;
+  for (int step = 0; step < 2000; ++step) {
+    const double u = rng.uniform();
+    if (u < 0.5) {
+      live.push_back(s.schedule_in(rng.uniform(0, 10), [&fired] { ++fired; }));
+      ++expected;
+    } else if (u < 0.8 && !live.empty()) {
+      const auto idx = static_cast<std::size_t>(
+          rng.uniform(0, static_cast<double>(live.size())));
+      const auto i = idx < live.size() ? idx : live.size() - 1;
+      if (s.cancel(live[i])) --expected;
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      if (s.run_next()) --expected;
+    }
+    ASSERT_EQ(s.pending(), expected);
+  }
+  while (s.run_next()) --expected;
+  EXPECT_EQ(expected, 0u);
+  EXPECT_EQ(s.pending(), 0u);
+}
 
 TEST(Timer, FiresOnce) {
   Scheduler s;

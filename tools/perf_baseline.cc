@@ -1,0 +1,177 @@
+// Perf-baseline tool: converts google-benchmark JSON output into the repo's
+// committed BENCH_micro.json format, and diffs two baselines so CI (and
+// humans) can spot hot-path regressions across PRs.
+//
+// Usage:
+//   perf_baseline convert <gbench.json> <out.json>
+//   perf_baseline compare <baseline.json> <candidate.json> [--warn-pct P]
+//
+// convert reads the file produced by
+//   bench_micro --benchmark_format=json --benchmark_out=<gbench.json>
+// and writes {"schema", "benchmarks": {name: {ns_per_op, items_per_s}}} with
+// stable key order (diffable in review).
+//
+// compare prints a per-benchmark table of ns/op deltas and exits 0 when no
+// shared benchmark slowed down by more than P percent (default 15), or 3 when
+// at least one did. The CI perf job runs it non-gating (hardware differs
+// between the machine that recorded the baseline and the CI runner), so a
+// regression surfaces as a loud warning rather than a red build; see
+// docs/performance.md for how to re-record the baseline after intentional
+// changes.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "runner/json.h"
+
+namespace {
+
+using pert::runner::JsonValue;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "perf_baseline: cannot open " << path << "\n";
+    std::exit(2);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// google-benchmark time in `unit` -> nanoseconds.
+double to_ns(double t, const std::string& unit) {
+  if (unit == "ns") return t;
+  if (unit == "us") return t * 1e3;
+  if (unit == "ms") return t * 1e6;
+  if (unit == "s") return t * 1e9;
+  std::cerr << "perf_baseline: unknown time_unit '" << unit << "'\n";
+  std::exit(2);
+}
+
+int convert(const std::string& in_path, const std::string& out_path) {
+  JsonValue doc;
+  try {
+    doc = JsonValue::parse(read_file(in_path));
+  } catch (const std::exception& e) {
+    std::cerr << "perf_baseline: " << in_path << ": " << e.what() << "\n";
+    return 2;
+  }
+  const JsonValue* benches = doc.find("benchmarks");
+  if (!benches || !benches->is_array()) {
+    std::cerr << "perf_baseline: " << in_path
+              << " has no 'benchmarks' array (pass --benchmark_format=json "
+                 "output)\n";
+    return 2;
+  }
+  JsonValue out{JsonValue::Object{}};
+  out.set("schema", "pert-bench-baseline-v1");
+  JsonValue table{JsonValue::Object{}};
+  for (const JsonValue& b : benches->as_array()) {
+    const JsonValue* name = b.find("name");
+    const JsonValue* real = b.find("real_time");
+    if (!name || !real) continue;
+    // Skip aggregate rows (mean/median/stddev) if repetitions were used;
+    // plain runs have run_type "iteration".
+    if (const JsonValue* rt = b.find("run_type"))
+      if (rt->is_string() && rt->as_string() != "iteration") continue;
+    if (table.find(name->as_string())) continue;  // first repetition wins
+    const JsonValue* unit = b.find("time_unit");
+    const std::string u = unit && unit->is_string() ? unit->as_string() : "ns";
+    JsonValue row{JsonValue::Object{}};
+    row.set("ns_per_op", to_ns(real->as_double(), u));
+    if (const JsonValue* ips = b.find("items_per_second"))
+      row.set("items_per_s", ips->as_double());
+    table.set(name->as_string(), std::move(row));
+  }
+  if (table.as_object().empty()) {
+    std::cerr << "perf_baseline: no benchmark rows found in " << in_path
+              << "\n";
+    return 2;
+  }
+  out.set("benchmarks", std::move(table));
+  std::ofstream o(out_path, std::ios::binary);
+  o << out.dump(2) << "\n";
+  if (!o) {
+    std::cerr << "perf_baseline: cannot write " << out_path << "\n";
+    return 2;
+  }
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}
+
+int compare(const std::string& base_path, const std::string& cand_path,
+            double warn_pct) {
+  JsonValue base, cand;
+  try {
+    base = JsonValue::parse(read_file(base_path));
+    cand = JsonValue::parse(read_file(cand_path));
+  } catch (const std::exception& e) {
+    std::cerr << "perf_baseline: " << e.what() << "\n";
+    return 2;
+  }
+  const JsonValue* bt = base.find("benchmarks");
+  const JsonValue* ct = cand.find("benchmarks");
+  if (!bt || !bt->is_object() || !ct || !ct->is_object()) {
+    std::cerr << "perf_baseline: inputs are not baseline files\n";
+    return 2;
+  }
+  int regressions = 0;
+  std::printf("%-34s %12s %12s %8s\n", "benchmark", "base ns/op", "cand ns/op",
+              "delta");
+  for (const auto& [name, row] : bt->as_object()) {
+    const JsonValue* crow = ct->find(name);
+    if (!crow) {
+      std::printf("%-34s %12s %12s %8s\n", name.c_str(), "-", "missing", "");
+      continue;
+    }
+    const double b = row.at("ns_per_op").as_double();
+    const double c = crow->at("ns_per_op").as_double();
+    const double pct = b > 0 ? (c / b - 1.0) * 100.0 : 0.0;
+    const bool regressed = pct > warn_pct;
+    std::printf("%-34s %12.1f %12.1f %+7.1f%%%s\n", name.c_str(), b, c, pct,
+                regressed ? "  <-- REGRESSION" : "");
+    if (regressed) ++regressions;
+  }
+  for (const auto& [name, row] : ct->as_object())
+    if (!bt->find(name))
+      std::printf("%-34s %12s %12.1f %8s\n", name.c_str(), "new",
+                  row.at("ns_per_op").as_double(), "");
+  if (regressions > 0) {
+    std::printf(
+        "\nWARNING: %d benchmark(s) slower than baseline by more than "
+        "%.0f%%.\nIf intentional, re-record with tools/perf_baseline "
+        "(docs/performance.md).\n",
+        regressions, warn_pct);
+    return 3;
+  }
+  std::printf("\nOK: no benchmark regressed by more than %.0f%%.\n", warn_pct);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  double warn_pct = 15.0;
+  std::vector<std::string> pos;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--warn-pct" && i + 1 < args.size()) {
+      warn_pct = std::atof(args[++i].c_str());
+    } else {
+      pos.push_back(args[i]);
+    }
+  }
+  if (pos.size() == 3 && pos[0] == "convert") return convert(pos[1], pos[2]);
+  if (pos.size() == 3 && pos[0] == "compare")
+    return compare(pos[1], pos[2], warn_pct);
+  std::cerr << "usage:\n"
+               "  perf_baseline convert <gbench.json> <out.json>\n"
+               "  perf_baseline compare <baseline.json> <candidate.json> "
+               "[--warn-pct P]\n";
+  return 2;
+}
