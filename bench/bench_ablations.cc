@@ -67,7 +67,7 @@ int main(int argc, char** argv) {
     job.run = [cfg, warmup, measure](const runner::Job&) {
       exp::Dumbbell d(cfg);
       runner::JobOutput out;
-      out.metrics = d.run(warmup, measure);
+      out.metrics = d.measure_window(warmup, measure);
       out.events = d.network().sched().dispatched();
       return out;
     };

@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
     cfg.start_window = opt.full ? 50.0 : 5.0;
     cfg.seed = 31;
     exp::Dumbbell d(cfg);
-    const auto m = opt.full ? d.run(100.0, 200.0) : d.run(20.0, 60.0);
+    const auto m = opt.full ? d.measure_window(100.0, 200.0) : d.measure_window(20.0, 60.0);
     t.row({std::string(exp::to_string(s)),
            exp::router_aqm(s) ? "router" : "end-host",
            exp::fmt(m.avg_queue_pkts, "%.1f"), exp::fmt(m.drop_rate, "%.2e"),

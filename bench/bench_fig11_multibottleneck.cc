@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
     cfg.seed = job.seed;
     job.run = [cfg, warmup, measure, &slot = hops[j]](const runner::Job&) {
       exp::MultiBottleneck mb(cfg);
-      slot = mb.run(warmup, measure);
+      slot = mb.measure_window(warmup, measure);
       runner::JobOutput out;
       out.events = mb.network().sched().dispatched();
       // Report hop averages as the job's scalar metrics (tables below carry

@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
     cfg.start_window = opt.full ? 50.0 : 10.0;
     cfg.seed = 1;
     exp::Dumbbell d(cfg);
-    const auto m = opt.full ? d.run(100.0, 200.0) : d.run(25.0, 60.0);
+    const auto m = opt.full ? d.measure_window(100.0, 200.0) : d.measure_window(25.0, 60.0);
     t.row({std::string(exp::to_string(s)), exp::fmt(m.norm_queue, "%.3f"),
            exp::fmt(m.drop_rate, "%.2e"),
            exp::fmt(100 * m.utilization, "%.2f"), exp::fmt(m.jain, "%.3f")});

@@ -13,13 +13,18 @@
 //                docs/runner.md "Crash safety & resume")
 //   --resume     recover completed cells from the --journal file and run
 //                only what is missing
+//   --trace-dir DIR  write one Chrome trace_event JSON per cell into DIR
+//                (see docs/observability.md)
+//
+// Flags are parsed by exp::cli::OptionSet, so --help lists them and unknown
+// flags are an error (they used to be silently ignored).
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <string>
 
+#include "exp/option_set.h"
 #include "runner/report.h"
 #include "runner/runner.h"
 
@@ -28,43 +33,29 @@ namespace pert::bench {
 struct Opts {
   bool full = false;
   bool smoke = false;
-  unsigned jobs = 1;    ///< worker threads; 0 = hardware concurrency
-  std::string json;     ///< when non-empty, write the RunReport here
-  std::string journal;  ///< when non-empty, journal every completed cell
-  bool resume = false;  ///< recover completed cells from the journal
-
-  static unsigned parse_jobs(const char* s) {
-    char* end = nullptr;
-    unsigned long v = std::strtoul(s, &end, 10);
-    if (end == s || *end != '\0') {
-      std::fprintf(stderr, "error: --jobs expects a number, got: %s\n", s);
-      std::exit(2);
-    }
-    return static_cast<unsigned>(v);
-  }
+  unsigned jobs = 1;      ///< worker threads; 0 = hardware concurrency
+  std::string json;       ///< when non-empty, write the RunReport here
+  std::string journal;    ///< when non-empty, journal every completed cell
+  bool resume = false;    ///< recover completed cells from the journal
+  std::string trace_dir;  ///< when non-empty, per-cell event traces go here
 
   static Opts parse(int argc, char** argv) {
     Opts o;
-    for (int i = 1; i < argc; ++i) {
-      if (std::strcmp(argv[i], "--full") == 0) {
-        o.full = true;
-      } else if (std::strcmp(argv[i], "--smoke") == 0) {
-        o.smoke = true;
-      } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-        o.jobs = parse_jobs(argv[++i]);
-      } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
-        o.jobs = parse_jobs(argv[i] + 7);
-      } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
-        o.json = argv[++i];
-      } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
-        o.json = argv[i] + 7;
-      } else if (std::strcmp(argv[i], "--journal") == 0 && i + 1 < argc) {
-        o.journal = argv[++i];
-      } else if (std::strncmp(argv[i], "--journal=", 10) == 0) {
-        o.journal = argv[i] + 10;
-      } else if (std::strcmp(argv[i], "--resume") == 0) {
-        o.resume = true;
-      }
+    exp::cli::OptionSet opts(argv != nullptr && argc > 0 ? argv[0] : "bench");
+    opts.flag("--full", &o.full, "paper-scale grid (default: reduced)")
+        .flag("--smoke", &o.smoke, "tiny grid for CI determinism checks")
+        .opt("--jobs", &o.jobs, "parallel simulation cells (0 = all cores)")
+        .opt("--json", &o.json, "export the per-cell RunReport as JSON",
+             "PATH")
+        .opt("--journal", &o.journal, "crash-safe journal for --resume",
+             "PATH")
+        .flag("--resume", &o.resume, "recover completed cells from --journal")
+        .opt("--trace-dir", &o.trace_dir,
+             "write one Chrome trace_event JSON per cell into DIR", "DIR");
+    switch (opts.parse(argc, argv)) {
+      case exp::cli::OptionSet::Result::kOk: break;
+      case exp::cli::OptionSet::Result::kHelp: std::exit(0);
+      case exp::cli::OptionSet::Result::kError: std::exit(2);
     }
     if (o.resume && o.journal.empty()) {
       std::fprintf(stderr, "error: --resume requires --journal PATH\n");

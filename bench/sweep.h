@@ -8,8 +8,12 @@
 // (runner::derive_seed), so the grid is bit-identical for any --jobs value.
 #pragma once
 
+#include <cctype>
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <functional>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -34,12 +38,28 @@ struct SweepSpec {
   std::function<std::pair<double, double>(double x)> window;
 };
 
+/// Maps a job key ("fig08_num_flows/flows=10/PERT") to a file name safe for
+/// any filesystem: every character outside [A-Za-z0-9._-] becomes '_'.
+inline std::string cell_trace_path(const std::string& dir,
+                                   const std::string& key) {
+  std::string name = key;
+  for (char& c : name)
+    if (!(std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '-' ||
+          c == '.' || c == '_'))
+      c = '_';
+  return dir + "/" + name + ".json";
+}
+
 /// Executes the sweep grid on the experiment runner and prints the metric
 /// tables. Returns the full report (per-cell metrics, seeds, event counts,
-/// wall times) for JSON export.
+/// wall times) for JSON export. When `trace_dir` is non-empty, event tracing
+/// is enabled for every cell and each cell writes a Chrome trace_event JSON
+/// named after its (sanitized) job key into that directory.
 inline runner::RunReport run_dumbbell_sweep(
-    const SweepSpec& spec, runner::RunnerOptions ropts = {}) {
+    const SweepSpec& spec, runner::RunnerOptions ropts = {},
+    const std::string& trace_dir = {}) {
   const std::size_t nx = spec.xs.size(), ns = spec.schemes.size();
+  if (!trace_dir.empty()) std::filesystem::create_directories(trace_dir);
 
   // Materialize every cell's config and window up front, on this thread:
   // job bodies must not share the spec's callbacks.
@@ -56,15 +76,27 @@ inline runner::RunReport run_dumbbell_sweep(
       job.tags = {{"x", spec.x_labels[i]},
                   {"scheme", std::string(exp::to_string(spec.schemes[j]))}};
       cfg.seed = job.seed;
-      job.run = [cfg, warmup = warmup,
-                 measure = measure](const runner::Job& j) mutable {
+      std::string trace_path;
+      if (!trace_dir.empty()) {
+        cfg.obs.trace.enabled = true;
+        trace_path = cell_trace_path(trace_dir, job.key);
+      }
+      job.run = [cfg, warmup = warmup, measure = measure,
+                 trace_path](const runner::Job& cell) mutable {
         // Cooperative timeout: the scenario watchdog polls the runner's
         // cancel flag (no effect on results; the flag consumes no RNG).
-        cfg.watchdog.cancel = j.cancel.flag();
+        cfg.watchdog.cancel = cell.cancel.flag();
         exp::Dumbbell d(cfg);
         runner::JobOutput out;
-        out.metrics = d.run(warmup, measure);
+        out.metrics = d.measure_window(warmup, measure);
         out.events = d.network().sched().dispatched();
+        out.registry = d.obs().registry();
+        if (!trace_path.empty()) {
+          std::ofstream f(trace_path);
+          if (!f)
+            throw std::runtime_error("cannot open trace file " + trace_path);
+          d.obs().tracer().write_chrome_trace(f);
+        }
         return out;
       };
       jobs.push_back(std::move(job));

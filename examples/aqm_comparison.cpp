@@ -35,7 +35,7 @@ int main() {
     cfg.seed = 2024;
 
     exp::Dumbbell d(cfg);
-    const exp::WindowMetrics m = d.run(20.0, 60.0);
+    const exp::WindowMetrics m = d.measure_window(20.0, 60.0);
     t.row({std::string(exp::to_string(scheme)),
            exp::router_aqm(scheme) ? "yes (AQM queue)" : "no (DropTail)",
            exp::fmt(m.avg_queue_pkts, "%.1f"), exp::fmt(m.drop_rate, "%.2e"),

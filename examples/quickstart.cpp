@@ -24,7 +24,7 @@ int main() {
     cfg.seed = 42;
 
     exp::Dumbbell d(cfg);
-    exp::WindowMetrics m = d.run(/*warmup=*/20.0, /*measure=*/40.0);
+    exp::WindowMetrics m = d.measure_window(/*warmup=*/20.0, /*measure=*/40.0);
 
     table.row({std::string(exp::to_string(scheme)),
                exp::fmt(m.avg_queue_pkts, "%.1f"),

@@ -7,8 +7,32 @@ namespace pert::core {
 void PertSender::maybe_early_response(double rtt) {
   if (!estimator_.ready()) return;
   if (params_.adaptive_pmax) maybe_adapt_pmax();
-  const double p = curve_.probability(estimator_.queueing_delay());
-  if (p <= 0.0 || !rng_.bernoulli(p)) return;
+  const double tq = estimator_.queueing_delay();
+  obs::Tracer* tr = tracer();
+  if (tr && tr->wants(obs::Category::kPert, obs::Severity::kInfo)) {
+    tr->counter(now(), obs::Category::kPert, obs::Severity::kInfo,
+                "pert.srtt99", trace_id(), estimator_.srtt());
+    tr->counter(now(), obs::Category::kPert, obs::Severity::kInfo,
+                "pert.tq", trace_id(), tq);
+    // 0 = below T_min (no response), 1 = between (probabilistic ramp),
+    // 2 = above T_max (gentle / saturated region).
+    const int region = tq < curve_.tmin() ? 0 : (tq < curve_.tmax() ? 1 : 2);
+    if (region != trace_region_) {
+      trace_region_ = region;
+      tr->instant(now(), obs::Category::kPert, obs::Severity::kInfo,
+                  "pert.region", trace_id(), "region",
+                  static_cast<double>(region), "tq", tq);
+    }
+  }
+  const double p = curve_.probability(tq);
+  // Tracing never perturbs the RNG stream: the draw below happens with the
+  // exact same call order whether or not a tracer is attached.
+  const bool respond = p > 0.0 && rng_.bernoulli(p);
+  if (p > 0.0 && tr && tr->wants(obs::Category::kPert, obs::Severity::kDebug))
+    tr->instant(now(), obs::Category::kPert, obs::Severity::kDebug,
+                "pert.draw", trace_id(), "p", p, "respond",
+                respond ? 1.0 : 0.0);
+  if (!respond) return;
   // The effect of a reduction is not visible for one RTT; never respond
   // proactively while loss recovery is already reducing the window, and
   // keep the ACK clock alive at tiny windows.
@@ -18,6 +42,9 @@ void PertSender::maybe_early_response(double rtt) {
   multiplicative_decrease(params_.early_beta);
   last_early_ = now();
   bump_early_responses();
+  if (tr && tr->wants(obs::Category::kPert, obs::Severity::kInfo))
+    tr->instant(now(), obs::Category::kPert, obs::Severity::kInfo,
+                "pert.early_response", trace_id(), "p", p, "cwnd", cwnd_);
 }
 
 void PertSender::maybe_adapt_pmax() {
@@ -34,6 +61,10 @@ void PertSender::maybe_adapt_pmax() {
   else if (tq < params_.tmin_offset)
     pmax = std::max(params_.pmax_min, pmax * 0.9);
   curve_.set_pmax(pmax);
+  if (obs::Tracer* tr = tracer();
+      tr && tr->wants(obs::Category::kPert, obs::Severity::kInfo))
+    tr->counter(now(), obs::Category::kPert, obs::Severity::kInfo,
+                "pert.pmax", trace_id(), pmax);
 }
 
 }  // namespace pert::core

@@ -52,6 +52,7 @@ class PertSender : public tcp::TcpSender {
   sim::Rng rng_;
   sim::Time last_early_ = -1e18;
   sim::Time last_adapt_ = 0.0;
+  int trace_region_ = 0;  ///< last T_min/T_max region reported to the tracer
 };
 
 }  // namespace pert::core

@@ -34,7 +34,16 @@ PertPiSender::PertPiSender(net::Network& net, tcp::TcpConfig cfg,
 }
 
 void PertPiSender::sample() {
-  if (estimator_.ready()) pi_.update(estimator_.queueing_delay());
+  if (estimator_.ready()) {
+    pi_.update(estimator_.queueing_delay());
+    if (obs::Tracer* tr = tracer();
+        tr && tr->wants(obs::Category::kPert, obs::Severity::kInfo)) {
+      tr->counter(now(), obs::Category::kPert, obs::Severity::kInfo,
+                  "pert_pi.prob", trace_id(), pi_.probability());
+      tr->counter(now(), obs::Category::kPert, obs::Severity::kInfo,
+                  "pert_pi.tq", trace_id(), estimator_.queueing_delay());
+    }
+  }
   sample_timer_.schedule_in(pi_.design().sample_interval);
 }
 

@@ -261,6 +261,16 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
       o.series_out = val;
     } else if (key == "series_interval") {
       o.series_interval = parse_num(val, key) * 1e-3;
+    } else if (key == "trace") {
+      o.trace_json = val;
+      o.cfg.obs.trace.enabled = true;
+    } else if (key == "metrics") {
+      o.metrics_json = val;
+      o.cfg.obs.metrics = true;
+    } else if (key == "obs_interval") {
+      const double ms = parse_num(val, key);
+      if (ms <= 0) throw std::invalid_argument("obs_interval must be > 0");
+      o.cfg.obs.sample_interval = ms * 1e-3;
     } else if (key == "impair") {
       parse_impairment(val, o.cfg.impair);
     } else {
@@ -290,6 +300,7 @@ std::string cli_usage() {
          "[adaptive=0]\n"
          "  [trace_out=trace.csv] [series_out=queue.csv] "
          "[series_interval=100]\n"
+         "  [trace=events.json] [metrics=metrics.json] [obs_interval=100]\n"
          "  [impair=loss:p=0.01] [impair=gilbert:enter=,exit=,loss_bad=,"
          "loss_good=]\n"
          "  [impair=reorder:p=,min_ms=,max_ms=] [impair=jitter:max_ms=]\n"

@@ -13,6 +13,9 @@
 //   trace_out=<path>       record the tagged flow's trace (pert-trace v1)
 //   series_out=<path>      queue-length time series CSV
 //   series_interval=<ms>
+//   trace=<path>           structured event trace (Chrome trace_event JSON)
+//   metrics=<path>         metric-registry snapshot JSON
+//   obs_interval=<ms>      observability sampling cadence (default 100)
 //   impair=<model>:<k=v>,<k=v>...   composable; repeat for several models:
 //     impair=loss:p=0.01
 //     impair=gilbert:enter=0.005,exit=0.3[,loss_bad=1][,loss_good=0]
@@ -45,6 +48,10 @@ struct CliOptions {
   std::string trace_out;
   std::string series_out;
   double series_interval = 0.1;  ///< seconds
+  /// Structured observability outputs (empty = off). When set, cfg.obs is
+  /// enabled accordingly so the scenario records events / metrics.
+  std::string trace_json;
+  std::string metrics_json;
 };
 
 /// Parses a rate like "150M", "2.5G", "64k", or "1000000".

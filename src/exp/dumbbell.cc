@@ -13,7 +13,11 @@ namespace {
 constexpr std::int32_t kPort = 1;
 }
 
-Dumbbell::Dumbbell(DumbbellConfig cfg) : cfg_(cfg), net_(cfg.seed) {
+Dumbbell::Dumbbell(DumbbellConfig cfg)
+    : cfg_(cfg),
+      net_(cfg.seed),
+      obs_(cfg.obs),
+      sampler_(net_.sched(), [this] { sample_tick(); }) {
   assert(cfg_.num_fwd_flows > 0);
   cfg_.tcp.ecn = sender_ecn(cfg_.scheme);
 
@@ -97,6 +101,15 @@ Dumbbell::Dumbbell(DumbbellConfig cfg) : cfg_(cfg), net_(cfg.seed) {
         return all;
       },
       cfg_.watchdog);
+
+  // Wire the tracer through every layer. This changes no simulation
+  // behavior (instrumentation points gate on wants(), which is false for a
+  // disabled probe-less tracer), so clean runs stay deterministic.
+  net_.sched().set_tracer(&obs_.tracer());
+  fwd_link_->set_tracer(&obs_.tracer(), 0);  // covers the bottleneck queue
+  for (auto* s : fwd_senders_) s->set_tracer(&obs_.tracer());
+  for (auto* s : rev_senders_) s->set_tracer(&obs_.tracer());
+  for (auto* s : web_senders_) s->set_tracer(&obs_.tracer());
 }
 
 std::unique_ptr<net::Queue> Dumbbell::make_bottleneck_queue() {
@@ -191,56 +204,60 @@ tcp::TcpSender* Dumbbell::add_flow_path(net::Node* edge_src,
   return sender;
 }
 
-WindowMetrics Dumbbell::run(sim::Time warmup, sim::Time measure) {
+void Dumbbell::maybe_start_sampler() {
+  if (sampler_started_ || !obs_.sampling_active()) return;
+  sampler_started_ = true;
+  sampler_.schedule_in(obs_.config().sample_interval);
+}
+
+void Dumbbell::sample_tick() {
+  const double t = net_.now();
+  const double qlen = static_cast<double>(fwd_queue_->len_pkts());
+  const double qdelay =
+      qlen * cfg_.tcp.seg_bytes() * 8.0 / cfg_.bottleneck_bps;
+  obs_.sample(t, "queue.len", 0, qlen);
+  obs_.sample(t, "queue.delay", 0, qdelay);
+  obs::Tracer& tr = obs_.tracer();
+  if (tr.wants(obs::Category::kQueue, obs::Severity::kInfo))
+    tr.counter(t, obs::Category::kQueue, obs::Severity::kInfo, "queue.delay",
+               0, qdelay);
+  if (!fwd_senders_.empty()) {
+    const tcp::TcpSender* s0 = fwd_senders_.front();
+    obs_.sample(t, "tcp.cwnd", 0, s0->cwnd());
+    obs_.sample(t, "tcp.srtt", 0, s0->srtt());
+    if (tr.wants(obs::Category::kTcp, obs::Severity::kInfo))
+      tr.counter(t, obs::Category::kTcp, obs::Severity::kInfo, "tcp.cwnd", 0,
+                 s0->cwnd());
+  }
+  sampler_.schedule_in(obs_.config().sample_interval);
+}
+
+WindowMetrics Dumbbell::measure_window(sim::Time warmup, sim::Time measure) {
+  maybe_start_sampler();
   net_.run_until(warmup);
-
-  const net::Queue::Stats q0 = fwd_queue_->snapshot();
-  const net::Link::Stats l0 = fwd_link_->snapshot();
-  std::vector<std::int64_t> acked0;
-  acked0.reserve(fwd_senders_.size());
-  std::uint64_t early0 = 0, to0 = 0, loss0 = 0;
-  for (auto* s : fwd_senders_) {
-    acked0.push_back(s->acked_bytes());
-    early0 += s->flow_stats().early_responses;
-    to0 += s->flow_stats().timeouts;
-    loss0 += s->flow_stats().loss_events;
-  }
-
+  recorder_.begin(*fwd_queue_, *fwd_link_, fwd_senders_, net_.now());
   net_.run_until(warmup + measure);
+  WindowMetrics m =
+      recorder_.end(buffer_pkts_, cfg_.bottleneck_bps, net_.now());
+  goodputs_ = recorder_.goodputs();
 
-  const net::Queue::Stats q1 = fwd_queue_->snapshot();
-  const net::Link::Stats l1 = fwd_link_->snapshot();
-
-  WindowMetrics m;
-  m.duration = measure;
-  m.avg_queue_pkts = (q1.len_integral - q0.len_integral) / measure;
-  m.norm_queue = m.avg_queue_pkts / buffer_pkts_;
-  const auto arrivals = q1.arrivals - q0.arrivals;
-  m.drops = q1.drops - q0.drops;
-  m.congestion_drops = q1.early_drops - q0.early_drops;
-  m.overflow_drops = q1.forced_drops - q0.forced_drops;
-  m.injected_drops = q1.injected_drops - q0.injected_drops;
-  m.drop_rate =
-      arrivals == 0 ? 0.0
-                    : static_cast<double>(m.drops) / static_cast<double>(arrivals);
-  m.utilization = static_cast<double>(l1.bytes_tx - l0.bytes_tx) * 8.0 /
-                  (cfg_.bottleneck_bps * measure);
-  m.ecn_marks = q1.ecn_marks - q0.ecn_marks;
-
-  goodputs_.clear();
-  for (std::size_t i = 0; i < fwd_senders_.size(); ++i) {
-    goodputs_.push_back(
-        static_cast<double>(fwd_senders_[i]->acked_bytes() - acked0[i]) * 8.0 /
-        measure);
-    m.early_responses += fwd_senders_[i]->flow_stats().early_responses;
-    m.timeouts += fwd_senders_[i]->flow_stats().timeouts;
-    m.loss_events += fwd_senders_[i]->flow_stats().loss_events;
+  if (obs_.config().metrics) {
+    obs::MetricRegistry& reg = obs_.registry();
+    reg.counter("window.count").add(1);
+    reg.counter("window.drops").add(m.drops);
+    reg.counter("window.drops.congestion").add(m.congestion_drops);
+    reg.counter("window.drops.overflow").add(m.overflow_drops);
+    reg.counter("window.drops.injected").add(m.injected_drops);
+    reg.counter("window.ecn_marks").add(m.ecn_marks);
+    reg.counter("window.early_responses").add(m.early_responses);
+    reg.counter("window.timeouts").add(m.timeouts);
+    reg.counter("window.loss_events").add(m.loss_events);
+    reg.gauge("window.avg_queue_pkts").set(m.avg_queue_pkts);
+    reg.gauge("window.utilization").set(m.utilization);
+    reg.gauge("window.jain").set(m.jain);
+    reg.gauge("window.agg_goodput_bps").set(m.agg_goodput_bps);
+    reg.histogram("window.norm_queue", 0.0, 1.0, 20).add(m.norm_queue);
   }
-  m.early_responses -= early0;
-  m.timeouts -= to0;
-  m.loss_events -= loss0;
-  m.jain = stats::jain_index(goodputs_);
-  for (double g : goodputs_) m.agg_goodput_bps += g;
   return m;
 }
 
@@ -251,6 +268,7 @@ std::vector<std::int32_t> Dumbbell::add_flows(std::int32_t n, sim::Time at) {
     fwd_senders_.push_back(add_flow_path(r1_, r2_, cfg_.rtt, next_flow_++, at,
                                          /*force_sack=*/false,
                                          /*reverse=*/false));
+    fwd_senders_.back()->set_tracer(&obs_.tracer());
   }
   net_.compute_routes();
   return idx;

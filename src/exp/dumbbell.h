@@ -13,12 +13,16 @@
 #include "core/pi_emulation.h"
 #include "core/rem_emulation.h"
 #include "exp/scheme.h"
+#include "exp/window_metrics.h"
+#include "exp/window_recorder.h"
 #include "net/avq_queue.h"
+#include "obs/obs.h"
 #include "net/impairment.h"
 #include "net/network.h"
 #include "net/pi_queue.h"
 #include "net/red_queue.h"
 #include "net/rem_queue.h"
+#include "sim/timer.h"
 #include "sim/watchdog.h"
 #include "tcp/tcp_sender.h"
 #include "tcp/tcp_sink.h"
@@ -67,28 +71,10 @@ struct DumbbellConfig {
   /// in every scenario. `watchdog.cancel` may point at a runner cancellation
   /// flag for cooperative wall-clock timeouts.
   sim::WatchdogOptions watchdog;
-};
-
-struct WindowMetrics {
-  double duration = 0;
-  double avg_queue_pkts = 0;      ///< time-average bottleneck queue (fwd)
-  double norm_queue = 0;          ///< avg queue / buffer capacity
-  double drop_rate = 0;           ///< drops / arrivals at fwd bottleneck queue
-  double utilization = 0;         ///< fwd bottleneck bytes tx / capacity
-  double jain = 0;                ///< fairness over fwd long-term goodputs
-  double agg_goodput_bps = 0;     ///< sum of fwd long-term goodputs
-  std::uint64_t drops = 0;        ///< all causes; split below
-  std::uint64_t congestion_drops = 0;  ///< AQM probabilistic (early) drops
-  std::uint64_t overflow_drops = 0;    ///< buffer-full (forced) drops
-  std::uint64_t injected_drops = 0;    ///< fault-injection / impairment drops
-  std::uint64_t ecn_marks = 0;
-  std::uint64_t early_responses = 0;
-  std::uint64_t timeouts = 0;
-  std::uint64_t loss_events = 0;  ///< flow-level fast-retransmit episodes
-
-  /// Exact field-wise equality: used by the runner determinism tests to
-  /// assert that thread count / completion order never change results.
-  friend bool operator==(const WindowMetrics&, const WindowMetrics&) = default;
+  /// Observability: structured tracing, metric registry, and the sampling
+  /// cadence. Off by default; un-observed runs schedule no extra events and
+  /// are byte-identical to pre-observability builds.
+  obs::ObsConfig obs;
 };
 
 class Dumbbell {
@@ -96,7 +82,14 @@ class Dumbbell {
   explicit Dumbbell(DumbbellConfig cfg);
 
   /// Advances to `warmup`, then measures until `warmup + measure`.
-  WindowMetrics run(sim::Time warmup, sim::Time measure);
+  WindowMetrics measure_window(sim::Time warmup, sim::Time measure);
+
+  /// Old spelling of measure_window(); kept one release for callers that
+  /// predate the observability layer.
+  [[deprecated("use measure_window()")]] WindowMetrics run(sim::Time warmup,
+                                                           sim::Time measure) {
+    return measure_window(warmup, measure);
+  }
 
   net::Network& network() noexcept { return net_; }
   net::Queue& fwd_queue() noexcept { return *fwd_queue_; }
@@ -111,8 +104,17 @@ class Dumbbell {
   /// The installed watchdog, or nullptr when cfg.watchdog.enabled is false.
   sim::InvariantChecker* watchdog() noexcept { return checker_.get(); }
 
-  /// Goodput (acked payload bits/s) of forward flow i over the last run()
-  /// window. Valid after run().
+  /// The scenario's observability hub (tracer, registry, probes).
+  obs::Observability& obs() noexcept { return obs_; }
+  const obs::Observability& obs() const noexcept { return obs_; }
+
+  /// Installs a probe (not owned); it receives the periodic sample stream
+  /// ("queue.len", "queue.delay", "tcp.cwnd", "tcp.srtt") and every trace
+  /// event passing the tracer's filters.
+  void add_probe(obs::Probe* p) { obs_.add_probe(p); }
+
+  /// Goodput (acked payload bits/s) of forward flow i over the last
+  /// measure_window(). Valid after measure_window().
   double flow_goodput(std::int32_t i) const { return goodputs_.at(i); }
 
   /// Creates and starts one more cohort of `n` forward flows at time `at`
@@ -131,6 +133,13 @@ class Dumbbell {
  private:
   std::unique_ptr<net::Queue> make_bottleneck_queue();
   tcp::TcpSender* make_sender(net::FlowId flow, bool force_sack);
+  /// Periodic observability sample; self-rescheduling while active.
+  void sample_tick();
+  /// Starts the sampling timer once, iff anything is listening. Called at
+  /// the head of measure_window() so probes installed after construction
+  /// still get samples; never called on un-observed runs, keeping them
+  /// event-for-event identical to pre-observability builds.
+  void maybe_start_sampler();
   /// Builds one source/sink pair with the given one-way access delays and
   /// returns the started sender.
   tcp::TcpSender* add_flow_path(net::Node* edge_src, net::Node* edge_dst,
@@ -154,6 +163,11 @@ class Dumbbell {
   std::vector<double> goodputs_;
   net::FlowId next_flow_ = 0;
   std::unique_ptr<sim::InvariantChecker> checker_;
+
+  obs::Observability obs_;
+  WindowRecorder recorder_;
+  sim::Timer sampler_;
+  bool sampler_started_ = false;
 };
 
 }  // namespace pert::exp

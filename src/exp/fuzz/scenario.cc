@@ -166,11 +166,11 @@ ScenarioOutcome run_scenario(const Scenario& s) {
   ScenarioOutcome out;
   if (s.topology == Topology::kDumbbell) {
     Dumbbell d(to_dumbbell(s));
-    out.metrics = d.run(s.warmup, s.measure);
+    out.metrics = d.measure_window(s.warmup, s.measure);
     return out;
   }
   MultiBottleneck mb(to_multi_bottleneck(s));
-  const std::vector<HopMetrics> hops = mb.run(s.warmup, s.measure);
+  const std::vector<HopMetrics> hops = mb.measure_window(s.warmup, s.measure);
   // Fold the chain into one WindowMetrics: report the most loaded hop.
   out.metrics.duration = s.measure;
   for (const HopMetrics& h : hops) {

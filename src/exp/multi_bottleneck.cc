@@ -13,7 +13,10 @@ constexpr std::int32_t kPort = 1;
 }
 
 MultiBottleneck::MultiBottleneck(MultiBottleneckConfig cfg)
-    : cfg_(cfg), net_(cfg.seed) {
+    : cfg_(cfg),
+      net_(cfg.seed),
+      obs_(cfg.obs),
+      sampler_(net_.sched(), [this] { sample_tick(); }) {
   assert(cfg_.num_routers >= 3);
   cfg_.tcp.ecn = sender_ecn(cfg_.scheme);
 
@@ -76,6 +79,16 @@ MultiBottleneck::MultiBottleneck(MultiBottleneckConfig cfg)
         return all;
       },
       cfg_.watchdog);
+
+  // Wire the tracer through every layer (behavior-neutral when disabled).
+  // Hop links and their queues report under the hop index.
+  net_.sched().set_tracer(&obs_.tracer());
+  for (std::size_t h = 0; h < hop_links_.size(); ++h)
+    hop_links_[h]->set_tracer(&obs_.tracer(),
+                              static_cast<std::uint32_t>(h));
+  for (auto& g : groups_)
+    for (auto* s : g) s->set_tracer(&obs_.tracer());
+  recorders_.resize(hop_links_.size());
 }
 
 std::unique_ptr<net::Queue> MultiBottleneck::make_queue() {
@@ -132,42 +145,61 @@ tcp::TcpSender* MultiBottleneck::make_sender(net::FlowId flow) {
   }
 }
 
-std::vector<HopMetrics> MultiBottleneck::run(sim::Time warmup,
-                                             sim::Time measure) {
-  net_.run_until(warmup);
-  std::vector<net::Queue::Stats> q0;
-  std::vector<net::Link::Stats> l0;
-  for (auto* l : hop_links_) {
-    q0.push_back(l->queue().snapshot());
-    l0.push_back(l->snapshot());
+void MultiBottleneck::maybe_start_sampler() {
+  if (sampler_started_ || !obs_.sampling_active()) return;
+  sampler_started_ = true;
+  sampler_.schedule_in(obs_.config().sample_interval);
+}
+
+void MultiBottleneck::sample_tick() {
+  const double t = net_.now();
+  obs::Tracer& tr = obs_.tracer();
+  for (std::size_t h = 0; h < hop_links_.size(); ++h) {
+    const auto id = static_cast<std::uint32_t>(h);
+    const double qlen =
+        static_cast<double>(hop_links_[h]->queue().len_pkts());
+    const double qdelay =
+        qlen * cfg_.tcp.seg_bytes() * 8.0 / cfg_.router_link_bps;
+    obs_.sample(t, "queue.len", id, qlen);
+    obs_.sample(t, "queue.delay", id, qdelay);
+    if (tr.wants(obs::Category::kQueue, obs::Severity::kInfo))
+      tr.counter(t, obs::Category::kQueue, obs::Severity::kInfo,
+                 "queue.delay", id, qdelay);
   }
-  std::vector<std::vector<std::int64_t>> acked0(groups_.size());
-  for (std::size_t g = 0; g < groups_.size(); ++g)
-    for (auto* s : groups_[g]) acked0[g].push_back(s->acked_bytes());
+  sampler_.schedule_in(obs_.config().sample_interval);
+}
+
+std::vector<HopMetrics> MultiBottleneck::measure_window(sim::Time warmup,
+                                                        sim::Time measure) {
+  maybe_start_sampler();
+  net_.run_until(warmup);
+  for (std::size_t h = 0; h < hop_links_.size(); ++h)
+    recorders_[h].begin(hop_links_[h]->queue(), *hop_links_[h], groups_[h],
+                        net_.now());
 
   net_.run_until(warmup + measure);
 
   std::vector<HopMetrics> out;
   for (std::size_t h = 0; h < hop_links_.size(); ++h) {
-    const auto q1 = hop_links_[h]->queue().snapshot();
-    const auto l1 = hop_links_[h]->snapshot();
+    const WindowMetrics w =
+        recorders_[h].end(buffer_pkts_, cfg_.router_link_bps, net_.now());
     HopMetrics m;
-    m.avg_queue_pkts = (q1.len_integral - q0[h].len_integral) / measure;
-    m.norm_queue = m.avg_queue_pkts / buffer_pkts_;
-    const auto arr = q1.arrivals - q0[h].arrivals;
-    m.drop_rate = arr == 0 ? 0.0
-                           : static_cast<double>(q1.drops - q0[h].drops) /
-                                 static_cast<double>(arr);
-    m.utilization = static_cast<double>(l1.bytes_tx - l0[h].bytes_tx) * 8.0 /
-                    (cfg_.router_link_bps * measure);
+    m.avg_queue_pkts = w.avg_queue_pkts;
+    m.norm_queue = w.norm_queue;
+    m.drop_rate = w.drop_rate;
+    m.utilization = w.utilization;
     // Fairness over the one-hop group whose path starts at this hop.
-    std::vector<double> gp;
-    for (std::size_t i = 0; i < groups_[h].size(); ++i)
-      gp.push_back(static_cast<double>(groups_[h][i]->acked_bytes() -
-                                       acked0[h][i]) *
-                   8.0 / measure);
-    m.jain = stats::jain_index(gp);
+    m.jain = w.jain;
     out.push_back(m);
+
+    if (obs_.config().metrics) {
+      const std::string hop = "hop" + std::to_string(h);
+      obs::MetricRegistry& reg = obs_.registry();
+      reg.counter("window." + hop + ".drops").add(w.drops);
+      reg.gauge("window." + hop + ".avg_queue_pkts").set(w.avg_queue_pkts);
+      reg.gauge("window." + hop + ".utilization").set(w.utilization);
+      reg.gauge("window." + hop + ".jain").set(w.jain);
+    }
   }
   return out;
 }

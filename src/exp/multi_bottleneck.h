@@ -29,6 +29,8 @@ struct MultiBottleneckConfig {
   core::PertParams pert;
   /// Simulation watchdog (invariants + stall detector); enabled by default.
   sim::WatchdogOptions watchdog;
+  /// Observability (tracing, metric registry, sampling). Off by default.
+  obs::ObsConfig obs;
 };
 
 struct HopMetrics {
@@ -45,7 +47,14 @@ class MultiBottleneck {
 
   /// Runs warmup then a measurement window; returns one entry per router
   /// pair (R1-R2, ..., R5-R6).
-  std::vector<HopMetrics> run(sim::Time warmup, sim::Time measure);
+  std::vector<HopMetrics> measure_window(sim::Time warmup, sim::Time measure);
+
+  /// Old spelling of measure_window(); kept one release for callers that
+  /// predate the observability layer.
+  [[deprecated("use measure_window()")]] std::vector<HopMetrics> run(
+      sim::Time warmup, sim::Time measure) {
+    return measure_window(warmup, measure);
+  }
 
   net::Network& network() noexcept { return net_; }
   std::int32_t num_hops() const {
@@ -55,9 +64,18 @@ class MultiBottleneck {
   /// The installed watchdog, or nullptr when cfg.watchdog.enabled is false.
   sim::InvariantChecker* watchdog() noexcept { return checker_.get(); }
 
+  /// The scenario's observability hub (tracer, registry, probes).
+  obs::Observability& obs() noexcept { return obs_; }
+  const obs::Observability& obs() const noexcept { return obs_; }
+
+  /// Installs a probe (not owned); samples carry the hop index as their id.
+  void add_probe(obs::Probe* p) { obs_.add_probe(p); }
+
  private:
   tcp::TcpSender* make_sender(net::FlowId flow);
   std::unique_ptr<net::Queue> make_queue();
+  void sample_tick();
+  void maybe_start_sampler();
 
   MultiBottleneckConfig cfg_;
   net::Network net_;
@@ -68,6 +86,13 @@ class MultiBottleneck {
   /// index 5 = cloud 1 -> cloud 6 long-haul.
   std::vector<std::vector<tcp::TcpSender*>> groups_;
   std::unique_ptr<sim::InvariantChecker> checker_;
+
+  obs::Observability obs_;
+  /// One recorder per hop, replacing the old ad-hoc q0/l0/acked0 snapshot
+  /// vectors inside run().
+  std::vector<WindowRecorder> recorders_;
+  sim::Timer sampler_;
+  bool sampler_started_ = false;
 };
 
 }  // namespace pert::exp

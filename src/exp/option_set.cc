@@ -1,0 +1,173 @@
+#include "exp/option_set.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace pert::exp::cli {
+
+OptionSet::OptionSet(std::string program, std::string about)
+    : program_(std::move(program)), about_(std::move(about)) {}
+
+OptionSet& OptionSet::flag(const std::string& name, bool* out,
+                           const std::string& help) {
+  specs_.push_back({name, Kind::kFlag, out, help, ""});
+  return *this;
+}
+
+OptionSet& OptionSet::opt(const std::string& name, std::string* out,
+                          const std::string& help, const std::string& metavar) {
+  specs_.push_back({name, Kind::kString, out, help, metavar});
+  return *this;
+}
+
+OptionSet& OptionSet::opt(const std::string& name, unsigned* out,
+                          const std::string& help, const std::string& metavar) {
+  specs_.push_back({name, Kind::kUnsigned, out, help, metavar});
+  return *this;
+}
+
+OptionSet& OptionSet::opt(const std::string& name, std::uint64_t* out,
+                          const std::string& help, const std::string& metavar) {
+  specs_.push_back({name, Kind::kUint64, out, help, metavar});
+  return *this;
+}
+
+OptionSet& OptionSet::opt(const std::string& name, double* out,
+                          const std::string& help, const std::string& metavar) {
+  specs_.push_back({name, Kind::kDouble, out, help, metavar});
+  return *this;
+}
+
+OptionSet& OptionSet::multi(const std::string& name,
+                            std::vector<std::string>* out,
+                            const std::string& help,
+                            const std::string& metavar) {
+  specs_.push_back({name, Kind::kMulti, out, help, metavar});
+  return *this;
+}
+
+OptionSet& OptionSet::positionals(std::vector<std::string>* out,
+                                  const std::string& help) {
+  positionals_ = out;
+  positionals_help_ = help;
+  return *this;
+}
+
+const OptionSet::Spec* OptionSet::find(const std::string& name) const {
+  for (const Spec& s : specs_)
+    if (s.name == name) return &s;
+  return nullptr;
+}
+
+std::string OptionSet::apply(const Spec& spec, const std::string& value) {
+  switch (spec.kind) {
+    case Kind::kFlag:
+      return spec.name + " does not take a value";
+    case Kind::kString:
+      *static_cast<std::string*>(spec.out) = value;
+      return {};
+    case Kind::kMulti:
+      static_cast<std::vector<std::string>*>(spec.out)->push_back(value);
+      return {};
+    case Kind::kUnsigned:
+    case Kind::kUint64: {
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0')
+        return spec.name + " expects a number, got: " + value;
+      if (spec.kind == Kind::kUnsigned)
+        *static_cast<unsigned*>(spec.out) = static_cast<unsigned>(v);
+      else
+        *static_cast<std::uint64_t*>(spec.out) = v;
+      return {};
+    }
+    case Kind::kDouble: {
+      char* end = nullptr;
+      const double v = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0')
+        return spec.name + " expects a number, got: " + value;
+      *static_cast<double*>(spec.out) = v;
+      return {};
+    }
+  }
+  return "internal: unknown option kind";
+}
+
+OptionSet::Result OptionSet::parse(int argc, char** argv) const {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-h" || arg == "--help") {
+      std::fputs(usage().c_str(), stdout);
+      return Result::kHelp;
+    }
+    if (arg.size() >= 2 && arg[0] == '-') {
+      std::string name = arg;
+      std::string inline_value;
+      bool has_inline = false;
+      const std::size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        name = arg.substr(0, eq);
+        inline_value = arg.substr(eq + 1);
+        has_inline = true;
+      }
+      const Spec* spec = find(name);
+      if (spec == nullptr) {
+        std::fprintf(stderr, "error: unknown flag: %s\n%s", name.c_str(),
+                     usage().c_str());
+        return Result::kError;
+      }
+      std::string err;
+      if (spec->kind == Kind::kFlag) {
+        if (has_inline) {
+          err = spec->name + " does not take a value";
+        } else {
+          *static_cast<bool*>(spec->out) = true;
+        }
+      } else if (has_inline) {
+        err = apply(*spec, inline_value);
+      } else if (i + 1 < argc) {
+        err = apply(*spec, argv[++i]);
+      } else {
+        err = spec->name + " needs a value";
+      }
+      if (!err.empty()) {
+        std::fprintf(stderr, "error: %s\n%s", err.c_str(), usage().c_str());
+        return Result::kError;
+      }
+      continue;
+    }
+    if (positionals_ != nullptr) {
+      positionals_->push_back(arg);
+      continue;
+    }
+    std::fprintf(stderr, "error: unexpected argument: %s\n%s", arg.c_str(),
+                 usage().c_str());
+    return Result::kError;
+  }
+  return Result::kOk;
+}
+
+std::string OptionSet::usage() const {
+  std::string out = "usage: " + program_ + " [options]";
+  if (positionals_ != nullptr) out += " [" + positionals_help_ + " ...]";
+  out += "\n";
+  if (!about_.empty()) out += about_ + "\n";
+  if (!specs_.empty()) out += "\noptions:\n";
+  // Align help text past the longest "--name METAVAR" column.
+  std::size_t width = 0;
+  auto left_of = [](const Spec& s) {
+    return s.kind == Kind::kFlag ? s.name : s.name + " " + s.metavar;
+  };
+  for (const Spec& s : specs_) width = std::max(width, left_of(s).size());
+  for (const Spec& s : specs_) {
+    const std::string left = left_of(s);
+    out += "  " + left + std::string(width - left.size() + 2, ' ') + s.help;
+    if (s.kind == Kind::kMulti) out += " (may repeat)";
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace pert::exp::cli

@@ -1,0 +1,79 @@
+// Typed command-line option builder shared by every driver binary.
+//
+// Replaces the three hand-rolled flag loops that used to live in
+// bench/common.h, tools/pert_sim.cc and tools/fuzz_scenarios.cc with one
+// grammar:
+//   --flag            boolean, presence sets true
+//   --opt V / --opt=V valued option (string, unsigned, uint64, double)
+//   repeated valued options append when bound to a vector
+//   bare tokens       collected as positionals when enabled (the key=value
+//                     scenario grammar), rejected otherwise
+// Unknown dash-prefixed tokens are always an error naming the token, and
+// --help/-h prints an auto-generated usage listing every registered option.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pert::exp::cli {
+
+class OptionSet {
+ public:
+  /// `program` names the binary in usage output; `about` is an optional
+  /// one-line description printed above the option list.
+  explicit OptionSet(std::string program, std::string about = "");
+
+  // Registration. `help` strings feed the generated --help text.
+  OptionSet& flag(const std::string& name, bool* out, const std::string& help);
+  OptionSet& opt(const std::string& name, std::string* out,
+                 const std::string& help, const std::string& metavar = "V");
+  OptionSet& opt(const std::string& name, unsigned* out,
+                 const std::string& help, const std::string& metavar = "N");
+  OptionSet& opt(const std::string& name, std::uint64_t* out,
+                 const std::string& help, const std::string& metavar = "N");
+  OptionSet& opt(const std::string& name, double* out, const std::string& help,
+                 const std::string& metavar = "X");
+  /// Valued option that may repeat; every occurrence is appended.
+  OptionSet& multi(const std::string& name, std::vector<std::string>* out,
+                   const std::string& help, const std::string& metavar = "V");
+  /// Accept bare (non-dash) tokens, collected into `out` in order. Without
+  /// this, bare tokens are an error.
+  OptionSet& positionals(std::vector<std::string>* out,
+                         const std::string& help);
+
+  enum class Result {
+    kOk,     ///< parsed cleanly; outputs are filled in
+    kHelp,   ///< --help/-h seen; usage printed to stdout
+    kError,  ///< bad input; message + usage printed to stderr
+  };
+
+  /// Parses argv[1..argc). On error prints "error: ..." and the usage text
+  /// to stderr. Callers exit 0 on kHelp and 2 on kError by convention.
+  Result parse(int argc, char** argv) const;
+
+  /// The auto-generated usage text (also printed by parse on help/error).
+  std::string usage() const;
+
+ private:
+  enum class Kind { kFlag, kString, kUnsigned, kUint64, kDouble, kMulti };
+  struct Spec {
+    std::string name;  ///< including leading dashes, e.g. "--jobs"
+    Kind kind;
+    void* out;
+    std::string help;
+    std::string metavar;
+  };
+
+  const Spec* find(const std::string& name) const;
+  /// Parses `value` into spec.out; returns an error message or "".
+  static std::string apply(const Spec& spec, const std::string& value);
+
+  std::string program_;
+  std::string about_;
+  std::vector<Spec> specs_;
+  std::vector<std::string>* positionals_ = nullptr;
+  std::string positionals_help_;
+};
+
+}  // namespace pert::exp::cli

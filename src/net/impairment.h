@@ -124,6 +124,13 @@ class WrapperQueue : public Queue {
   /// The wrapped discipline (its stats count what was actually offered to it).
   Queue& inner() noexcept { return *inner_; }
 
+  /// Both layers trace under the same entity id: the wrapper reports its
+  /// injected drops, the inner discipline its congestion/overflow drops.
+  void set_tracer(obs::Tracer* tracer, std::uint32_t id) noexcept override {
+    Queue::set_tracer(tracer, id);
+    inner_->set_tracer(tracer, id);
+  }
+
  protected:
   void pass_through(PacketPtr p) { inner_->enqueue(std::move(p)); }
 

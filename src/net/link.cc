@@ -32,12 +32,20 @@ void Link::set_down(bool down) {
     if (down_depth_++ == 0) {
       ++stats_.outages;
       down_since_ = sched_->now();
+      if (tracer_ &&
+          tracer_->wants(obs::Category::kLink, obs::Severity::kWarn))
+        tracer_->instant(sched_->now(), obs::Category::kLink,
+                         obs::Severity::kWarn, "link.down", trace_id_);
     }
     return;
   }
   assert(down_depth_ > 0 && "set_down(false) without a matching set_down(true)");
   if (--down_depth_ == 0) {
     stats_.down_integral += sched_->now() - down_since_;
+    if (tracer_ && tracer_->wants(obs::Category::kLink, obs::Severity::kWarn))
+      tracer_->instant(sched_->now(), obs::Category::kLink,
+                       obs::Severity::kWarn, "link.up", trace_id_, "outage_s",
+                       sched_->now() - down_since_);
     if (!busy_) try_transmit();
   }
 }
@@ -57,6 +65,11 @@ void Link::try_transmit() {
     stats_.bytes_tx += static_cast<std::uint64_t>(p->size_bytes);
     stats_.busy_integral += sched_->now() - busy_since_;
     busy_ = false;
+    if (tracer_ && tracer_->wants(obs::Category::kLink, obs::Severity::kDebug))
+      tracer_->instant(sched_->now(), obs::Category::kLink,
+                       obs::Severity::kDebug, "link.tx", trace_id_, "bytes",
+                       static_cast<double>(p->size_bytes), "flow",
+                       static_cast<double>(p->flow));
     // Propagation: deliver after the wire delay.
     sched_->schedule_in(prop_delay_, [this, p = std::move(p)]() mutable {
       to_->receive(std::move(p));

@@ -60,6 +60,15 @@ class Link {
     return s;
   }
 
+  /// Attaches a tracer (not owned; may be null) for this link and its queue.
+  /// Emits "link.tx" (kDebug, per packet) and "link.down"/"link.up" (kWarn)
+  /// instants; the queue reports under the same entity id.
+  void set_tracer(obs::Tracer* tracer, std::uint32_t id) noexcept {
+    tracer_ = tracer;
+    trace_id_ = id;
+    queue_->set_tracer(tracer, id);
+  }
+
  private:
   void try_transmit();
 
@@ -73,6 +82,8 @@ class Link {
   std::int32_t down_depth_ = 0;
   sim::Time down_since_ = 0.0;
   Stats stats_;
+  obs::Tracer* tracer_ = nullptr;
+  std::uint32_t trace_id_ = 0;
 };
 
 }  // namespace pert::net

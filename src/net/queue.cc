@@ -11,6 +11,9 @@ PacketPtr Queue::dequeue() {
   fifo_.pop_front();
   bytes_ -= p->size_bytes;
   count_departure();
+  if (tracer_ && tracer_->wants(obs::Category::kQueue, obs::Severity::kDebug))
+    tracer_->counter(now(), obs::Category::kQueue, obs::Severity::kDebug,
+                     "queue.len", trace_id_, static_cast<double>(fifo_.size()));
   return p;
 }
 

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "net/packet.h"
+#include "obs/trace.h"
 #include "sim/function.h"
 #include "sim/scheduler.h"
 
@@ -82,6 +83,16 @@ class Queue {
   /// disciplines without smoothing). Exposed for monitors and tests.
   virtual double avg_estimate() const { return static_cast<double>(fifo_.size()); }
 
+  /// Attaches a tracer (not owned; may be null) and the entity id this queue
+  /// reports under. Emits "queue.drop.{congestion,overflow,injected}" and
+  /// "queue.ecn_mark" instants (kInfo) plus a "queue.len" counter series
+  /// (kDebug) on every length change. Virtual so wrapper disciplines can
+  /// propagate the tracer to the discipline they wrap.
+  virtual void set_tracer(obs::Tracer* tracer, std::uint32_t id) noexcept {
+    tracer_ = tracer;
+    trace_id_ = id;
+  }
+
   /// Fired for every dropped packet (after counting). Used by the predictor
   /// study to observe queue-level loss events.
   sim::UniqueFunction<void(const Packet&, sim::Time)> on_drop;
@@ -104,6 +115,11 @@ class Queue {
     stats_.bytes_in += static_cast<std::uint64_t>(p->size_bytes);
     bytes_ += p->size_bytes;
     fifo_.push_back(std::move(p));
+    if (tracer_ &&
+        tracer_->wants(obs::Category::kQueue, obs::Severity::kDebug))
+      tracer_->counter(now(), obs::Category::kQueue, obs::Severity::kDebug,
+                       "queue.len", trace_id_,
+                       static_cast<double>(fifo_.size()));
   }
 
   /// Counts and disposes a dropped packet.
@@ -114,6 +130,11 @@ class Queue {
       case DropCause::kCongestion: ++stats_.early_drops; break;
       case DropCause::kInjected: ++stats_.injected_drops; break;
     }
+    if (tracer_ && tracer_->wants(obs::Category::kQueue, obs::Severity::kInfo))
+      tracer_->instant(now(), obs::Category::kQueue, obs::Severity::kInfo,
+                       drop_event_name(cause), trace_id_, "len",
+                       static_cast<double>(fifo_.size()), "flow",
+                       static_cast<double>(p->flow));
     if (on_drop) on_drop(*p, now());
   }
 
@@ -124,7 +145,25 @@ class Queue {
 
   void count_arrival() noexcept { ++stats_.arrivals; }
   void count_departure() noexcept { ++stats_.departures; }
-  void count_mark() noexcept { ++stats_.ecn_marks; }
+  void count_mark() {
+    ++stats_.ecn_marks;
+    if (tracer_ && tracer_->wants(obs::Category::kQueue, obs::Severity::kInfo))
+      tracer_->instant(now(), obs::Category::kQueue, obs::Severity::kInfo,
+                       "queue.ecn_mark", trace_id_, "len",
+                       static_cast<double>(fifo_.size()));
+  }
+
+  static constexpr const char* drop_event_name(DropCause cause) noexcept {
+    switch (cause) {
+      case DropCause::kCongestion: return "queue.drop.congestion";
+      case DropCause::kOverflow: return "queue.drop.overflow";
+      case DropCause::kInjected: return "queue.drop.injected";
+    }
+    return "queue.drop";
+  }
+
+  obs::Tracer* tracer() const noexcept { return tracer_; }
+  std::uint32_t trace_id() const noexcept { return trace_id_; }
 
   /// Accrues the length/avg integrals up to now; call before length changes.
   void advance_integrals() {
@@ -145,6 +184,8 @@ class Queue {
   std::int64_t bytes_ = 0;
   sim::Time last_change_ = 0.0;
   Stats stats_;
+  obs::Tracer* tracer_ = nullptr;
+  std::uint32_t trace_id_ = 0;
 
   friend class QueueTestPeer;  // white-box unit tests
 };

@@ -1,0 +1,77 @@
+// Structured trace events shared by the tracer and the probe API.
+//
+// An Event is a fixed-size POD: timestamps come from the simulation clock
+// (seeded-deterministic), names and argument keys are static string literals,
+// and at most two numeric arguments ride along. Recording one is a couple of
+// stores — no allocation, no formatting — so instrumentation points stay
+// cheap enough to leave compiled in everywhere.
+#pragma once
+
+#include <cstdint>
+
+namespace pert::obs {
+
+/// Which subsystem emitted the event. Doubles as the Chrome trace "cat"
+/// field and as a bit in the tracer's category filter mask.
+enum class Category : std::uint8_t {
+  kSched = 0,  ///< scheduler dispatch internals
+  kQueue,      ///< queue enqueue/drop/mark
+  kLink,       ///< link transmit/outage
+  kTcp,        ///< TCP sender state transitions
+  kPert,       ///< PERT predictor / response internals
+  kExp,        ///< experiment-level sampling (scenario monitors)
+  kCount,      // number of categories; not a real category
+};
+
+constexpr std::uint32_t category_bit(Category c) noexcept {
+  return 1u << static_cast<std::uint32_t>(c);
+}
+
+constexpr std::uint32_t kAllCategories =
+    (1u << static_cast<std::uint32_t>(Category::kCount)) - 1u;
+
+constexpr const char* to_string(Category c) noexcept {
+  switch (c) {
+    case Category::kSched: return "sched";
+    case Category::kQueue: return "queue";
+    case Category::kLink: return "link";
+    case Category::kTcp: return "tcp";
+    case Category::kPert: return "pert";
+    case Category::kExp: return "exp";
+    case Category::kCount: break;
+  }
+  return "?";
+}
+
+/// How important the event is. The tracer drops anything below its
+/// configured minimum; kDebug covers per-packet firehose series (every
+/// cwnd/srtt move, every transmit) that are too hot for default traces.
+enum class Severity : std::uint8_t { kDebug = 0, kInfo, kWarn, kError };
+
+constexpr const char* to_string(Severity s) noexcept {
+  switch (s) {
+    case Severity::kDebug: return "debug";
+    case Severity::kInfo: return "info";
+    case Severity::kWarn: return "warn";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+/// One recorded event. `phase` follows the Chrome trace_event convention:
+/// 'i' = instant event, 'C' = counter sample.
+struct Event {
+  double t = 0.0;             ///< simulation time, seconds
+  const char* name = "";      ///< static string literal
+  Category cat = Category::kExp;
+  Severity sev = Severity::kInfo;
+  char phase = 'i';
+  std::uint32_t id = 0;       ///< emitting entity (flow id, queue id, ...)
+  std::uint8_t nargs = 0;     ///< 0..2 of the k/v pairs below are valid
+  const char* k0 = nullptr;   ///< static string literal
+  const char* k1 = nullptr;   ///< static string literal
+  double v0 = 0.0;
+  double v1 = 0.0;
+};
+
+}  // namespace pert::obs

@@ -1,0 +1,73 @@
+// Observability hub: one object bundling the tracer, the metric registry,
+// and the installed probes for a scenario.
+//
+// Scenarios (exp::Dumbbell, exp::MultiBottleneck) own one Observability and
+// hand `&obs.tracer()` to every component they build; components keep a
+// nullable Tracer* and emit through it. Probes added with add_probe() see
+// both the periodic sample stream and the trace-event stream without the
+// ring buffer needing to be enabled.
+#pragma once
+
+#include "obs/event.h"
+#include "obs/metrics.h"
+#include "obs/probe.h"
+#include "obs/trace.h"
+
+namespace pert::obs {
+
+struct ObsConfig {
+  TraceConfig trace;
+  /// Record registry metrics (window counters + sampled gauges).
+  bool metrics = false;
+  /// Observation cadence for sampled series, seconds of simulation time.
+  double sample_interval = 0.1;
+
+  /// True when the scenario should schedule its sampling timer / wire
+  /// instrumentation at all. Kept false by default so un-observed runs are
+  /// event-for-event identical to pre-observability builds.
+  bool any() const noexcept { return trace.enabled || metrics; }
+};
+
+class Observability {
+ public:
+  explicit Observability(const ObsConfig& cfg = {})
+      : cfg_(cfg), tracer_(cfg.trace) {
+    tracer_.attach_probes(&probes_);
+  }
+
+  const ObsConfig& config() const noexcept { return cfg_; }
+  Tracer& tracer() noexcept { return tracer_; }
+  const Tracer& tracer() const noexcept { return tracer_; }
+  MetricRegistry& registry() noexcept { return registry_; }
+  const MetricRegistry& registry() const noexcept { return registry_; }
+  ProbeSet& probes() noexcept { return probes_; }
+
+  /// Installs a probe (not owned; must outlive the scenario run).
+  void add_probe(Probe* p) { probes_.add(p); }
+
+  /// True when a sampling timer is worth scheduling: someone is listening.
+  bool sampling_active() const noexcept {
+    return cfg_.any() || !probes_.empty();
+  }
+
+  /// Delivers one periodic sample to probes and, when metrics are on, to the
+  /// registry gauge named `name` (suffixed ".<id>" to separate entities).
+  void sample(double t, const char* name, std::uint32_t id, double value) {
+    Sample s;
+    s.t = t;
+    s.name = name;
+    s.id = id;
+    s.value = value;
+    probes_.sample(s);
+    if (cfg_.metrics)
+      registry_.gauge(std::string(name) + "." + std::to_string(id)).set(value);
+  }
+
+ private:
+  ObsConfig cfg_;
+  Tracer tracer_;
+  MetricRegistry registry_;
+  ProbeSet probes_;
+};
+
+}  // namespace pert::obs

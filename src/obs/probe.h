@@ -1,0 +1,61 @@
+// The probe API: how experiment code observes a running simulation.
+//
+// A Probe receives two streams:
+//   - on_sample: periodic metric samples on the scenario's observation
+//     cadence (queue length, srtt, cwnd, ...), driven by a simulation timer.
+//   - on_event: the structured trace-event stream (drops, state transitions,
+//     early responses, ...). Events are delivered only while the scenario's
+//     tracer is active for their category/severity — the hot path pays one
+//     predictable branch when nothing is listening.
+//
+// Probes replace the ad-hoc per-experiment recording fields scattered
+// through pre-observability scenario classes: install one with
+// Dumbbell::add_probe / MultiBottleneck::add_probe and receive everything
+// the scenario can see, with no glue code per experiment.
+#pragma once
+
+#include <vector>
+
+#include "obs/event.h"
+
+namespace pert::obs {
+
+/// One periodic metric sample. `name` is a static string literal naming the
+/// series ("queue.len", "tcp.cwnd", ...); `id` distinguishes entities
+/// (flow id, hop index) sharing a series name.
+struct Sample {
+  double t = 0.0;
+  const char* name = "";
+  std::uint32_t id = 0;
+  double value = 0.0;
+};
+
+class Probe {
+ public:
+  virtual ~Probe() = default;
+  /// Periodic metric sample on the scenario's observation cadence.
+  virtual void on_sample(const Sample&) {}
+  /// Structured trace event (delivered only while tracing is active for the
+  /// event's category and severity).
+  virtual void on_event(const Event&) {}
+};
+
+/// Fan-out helper: the set of probes installed on one scenario.
+class ProbeSet {
+ public:
+  void add(Probe* p) { probes_.push_back(p); }
+  bool empty() const noexcept { return probes_.empty(); }
+  std::size_t size() const noexcept { return probes_.size(); }
+
+  void sample(const Sample& s) const {
+    for (Probe* p : probes_) p->on_sample(s);
+  }
+  void event(const Event& e) const {
+    for (Probe* p : probes_) p->on_event(e);
+  }
+
+ private:
+  std::vector<Probe*> probes_;
+};
+
+}  // namespace pert::obs

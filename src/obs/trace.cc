@@ -1,0 +1,55 @@
+#include "obs/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+
+namespace pert::obs {
+
+namespace {
+
+/// Formats a double the same way on every platform: shortest %.12g form.
+void put_num(std::ostream& os, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  os << buf;
+}
+
+void put_event(std::ostream& os, const Event& e) {
+  // Simulation seconds -> trace microseconds, at nanosecond print precision.
+  char ts[48];
+  std::snprintf(ts, sizeof ts, "%.3f", e.t * 1e6);
+  os << "{\"name\":\"" << e.name << "\",\"cat\":\"" << to_string(e.cat)
+     << "\",\"ph\":\"" << e.phase << "\",\"ts\":" << ts
+     << ",\"pid\":" << e.id << ",\"tid\":" << e.id;
+  if (e.phase == 'i') os << ",\"s\":\"t\"";
+  if (e.nargs > 0) {
+    os << ",\"args\":{\"" << e.k0 << "\":";
+    put_num(os, e.v0);
+    if (e.nargs > 1) {
+      os << ",\"" << e.k1 << "\":";
+      put_num(os, e.v1);
+    }
+    os << "}";
+  }
+  os << "}";
+}
+
+}  // namespace
+
+void Tracer::write_chrome_trace(std::ostream& os) const {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for_each([&](const Event& e) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    put_event(os, e);
+  });
+  char meta[128];
+  std::snprintf(meta, sizeof meta,
+                "\"dropped_events\":%" PRIu64 ",\"recorded_events\":%" PRIu64,
+                dropped_, recorded_);
+  os << "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{" << meta << "}}\n";
+}
+
+}  // namespace pert::obs

@@ -1,0 +1,141 @@
+// Ring-buffered structured event tracer with Chrome trace_event JSON export.
+//
+// Design goals:
+//   - zero steady-state allocation: the ring is sized once at construction
+//     and events are plain stores into it (names are static literals);
+//   - compile-time-cheap when idle: every instrumentation point is
+//     `if (tracer && tracer->wants(cat, sev)) tracer->instant(...)` — a null
+//     check and, when attached but filtered, one mask test;
+//   - deterministic: timestamps are simulation time, the ring content is a
+//     pure function of the simulated run, and the JSON writer formats
+//     numbers reproducibly, so traces diff byte-identical across thread
+//     counts and machines.
+//
+// Export follows the Chrome trace_event JSON format, so any trace opens
+// directly in chrome://tracing or https://ui.perfetto.dev (see
+// docs/observability.md). Counter series use the emitting entity's id as the
+// trace "pid", giving one track per (series, entity).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "obs/event.h"
+#include "obs/probe.h"
+
+namespace pert::obs {
+
+struct TraceConfig {
+  bool enabled = false;
+  /// Bitmask of category_bit(Category) values; defaults to everything.
+  std::uint32_t categories = kAllCategories;
+  /// Events below this severity are dropped at the emission site.
+  Severity min_severity = Severity::kInfo;
+  /// Ring capacity in events; when full the oldest events are overwritten
+  /// (the export records how many were lost).
+  std::size_t capacity = 1 << 16;
+};
+
+class Tracer {
+ public:
+  explicit Tracer(TraceConfig cfg = {}) : cfg_(cfg) {
+    if (cfg_.capacity == 0) cfg_.capacity = 1;
+    if (cfg_.enabled) ring_.reserve(cfg_.capacity);
+  }
+
+  /// Attaches the scenario's probe set: events passing the filters are also
+  /// fanned out to probes (even when the ring itself is disabled).
+  void attach_probes(const ProbeSet* probes) { probes_ = probes; }
+
+  /// The emission-site filter. Inline and branch-predictable: a disabled,
+  /// probe-less tracer costs one load and one test.
+  bool wants(Category cat, Severity sev) const noexcept {
+    if (!cfg_.enabled && (probes_ == nullptr || probes_->empty()))
+      return false;
+    return sev >= cfg_.min_severity &&
+           (cfg_.categories & category_bit(cat)) != 0;
+  }
+
+  // --- emission (call sites should gate on wants() first) ---
+
+  void instant(double t, Category cat, Severity sev, const char* name,
+               std::uint32_t id) {
+    Event e;
+    e.t = t; e.cat = cat; e.sev = sev; e.name = name; e.id = id;
+    e.phase = 'i';
+    record(e);
+  }
+  void instant(double t, Category cat, Severity sev, const char* name,
+               std::uint32_t id, const char* k0, double v0) {
+    Event e;
+    e.t = t; e.cat = cat; e.sev = sev; e.name = name; e.id = id;
+    e.phase = 'i'; e.nargs = 1; e.k0 = k0; e.v0 = v0;
+    record(e);
+  }
+  void instant(double t, Category cat, Severity sev, const char* name,
+               std::uint32_t id, const char* k0, double v0, const char* k1,
+               double v1) {
+    Event e;
+    e.t = t; e.cat = cat; e.sev = sev; e.name = name; e.id = id;
+    e.phase = 'i'; e.nargs = 2; e.k0 = k0; e.v0 = v0; e.k1 = k1; e.v1 = v1;
+    record(e);
+  }
+  /// Counter sample: one point on the series `name` for entity `id`.
+  void counter(double t, Category cat, Severity sev, const char* name,
+               std::uint32_t id, double value) {
+    Event e;
+    e.t = t; e.cat = cat; e.sev = sev; e.name = name; e.id = id;
+    e.phase = 'C'; e.nargs = 1; e.k0 = "value"; e.v0 = value;
+    record(e);
+  }
+
+  // --- inspection / export ---
+
+  const TraceConfig& config() const noexcept { return cfg_; }
+  /// Events currently resident in the ring.
+  std::size_t size() const noexcept { return ring_.size(); }
+  /// Events overwritten because the ring was full.
+  std::uint64_t dropped() const noexcept { return dropped_; }
+  /// Total events recorded (resident + overwritten).
+  std::uint64_t recorded() const noexcept { return recorded_; }
+
+  /// Visits resident events oldest-first.
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    const std::size_t n = ring_.size();
+    for (std::size_t i = 0; i < n; ++i)
+      fn(ring_[(head_ + i) % n]);
+  }
+
+  /// Writes the ring as a Chrome trace_event JSON document (the
+  /// {"traceEvents": [...]} object form). Deterministic: fixed field order,
+  /// fixed number formatting.
+  void write_chrome_trace(std::ostream& os) const;
+
+ private:
+  // Inline so instrumented subsystems (sim, net, tcp, core) only need the
+  // obs headers, keeping the library dependency graph acyclic.
+  void record(const Event& e) {
+    ++recorded_;
+    if (probes_ != nullptr && !probes_->empty()) probes_->event(e);
+    if (!cfg_.enabled) return;
+    if (ring_.size() < cfg_.capacity) {
+      ring_.push_back(e);
+      return;
+    }
+    ring_[head_] = e;
+    head_ = (head_ + 1) % cfg_.capacity;
+    ++dropped_;
+  }
+
+  TraceConfig cfg_;
+  const ProbeSet* probes_ = nullptr;
+  std::vector<Event> ring_;
+  std::size_t head_ = 0;  ///< index of the oldest event once the ring wrapped
+  std::uint64_t dropped_ = 0;
+  std::uint64_t recorded_ = 0;
+};
+
+}  // namespace pert::obs

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "exp/dumbbell.h"
+#include "obs/metrics.h"
 #include "runner/cancel.h"
 
 namespace pert::runner {
@@ -25,6 +26,9 @@ namespace pert::runner {
 struct JobOutput {
   exp::WindowMetrics metrics;
   std::uint64_t events = 0;  ///< scheduler events dispatched by the job's sim
+  /// Snapshot of the job's metric registry (empty unless the job enabled
+  /// cfg.obs.metrics and copied d.obs().registry() here).
+  obs::MetricRegistry registry;
 };
 
 /// Thrown by a job body to flag a failure as transient: the runner retries
@@ -72,6 +76,7 @@ struct JobResult {
   std::map<std::string, std::string> tags;
   exp::WindowMetrics metrics;
   std::uint64_t events = 0;
+  obs::MetricRegistry registry;  ///< per-job metric snapshot (may be empty)
   double wall_ms = 0;  ///< wall-clock time of this job's body (all attempts)
   bool ok = false;     ///< convenience mirror of status == kOk
   JobStatus status = JobStatus::kFailed;

@@ -71,6 +71,77 @@ exp::WindowMetrics metrics_from_json(const JsonValue& v) {
   return m;
 }
 
+JsonValue to_json(const obs::MetricRegistry& reg) {
+  JsonValue::Object o;
+  o.reserve(3);
+  JsonValue::Object counters;
+  counters.reserve(reg.counters().size());
+  for (const auto& [name, c] : reg.counters())
+    counters.emplace_back(name, JsonValue(c.value()));
+  o.emplace_back("counters", JsonValue(std::move(counters)));
+  JsonValue::Object gauges;
+  gauges.reserve(reg.gauges().size());
+  for (const auto& [name, g] : reg.gauges()) {
+    const stats::Summary& s = g.summary();
+    JsonValue::Object go;
+    go.reserve(6);
+    go.emplace_back("last", JsonValue(g.last()));
+    go.emplace_back("count",
+                    JsonValue(static_cast<std::uint64_t>(s.count())));
+    go.emplace_back("min", JsonValue(s.min()));
+    go.emplace_back("max", JsonValue(s.max()));
+    go.emplace_back("mean", JsonValue(s.mean()));
+    go.emplace_back("m2", JsonValue(s.m2()));
+    gauges.emplace_back(name, JsonValue(std::move(go)));
+  }
+  o.emplace_back("gauges", JsonValue(std::move(gauges)));
+  JsonValue::Object histograms;
+  histograms.reserve(reg.histograms().size());
+  for (const auto& [name, h] : reg.histograms()) {
+    JsonValue::Object ho;
+    ho.reserve(3);
+    ho.emplace_back("lo", JsonValue(h.lo()));
+    ho.emplace_back("hi", JsonValue(h.hi()));
+    JsonValue::Array counts;
+    counts.reserve(h.bins());
+    for (std::size_t i = 0; i < h.bins(); ++i)
+      counts.push_back(JsonValue(static_cast<std::uint64_t>(h.bin_count(i))));
+    ho.emplace_back("counts", JsonValue(std::move(counts)));
+    histograms.emplace_back(name, JsonValue(std::move(ho)));
+  }
+  o.emplace_back("histograms", JsonValue(std::move(histograms)));
+  return JsonValue(std::move(o));
+}
+
+obs::MetricRegistry registry_from_json(const JsonValue& v) {
+  obs::MetricRegistry reg;
+  if (const JsonValue* counters = v.find("counters"))
+    for (const auto& [name, c] : counters->as_object())
+      reg.counter(name).add(c.as_uint());
+  if (const JsonValue* gauges = v.find("gauges"))
+    for (const auto& [name, g] : gauges->as_object()) {
+      const auto n = static_cast<std::size_t>(uint_or(g, "count", 0));
+      reg.gauge(name).restore(
+          num_or(g, "last", 0),
+          stats::Summary::restore(n, num_or(g, "min", 0), num_or(g, "max", 0),
+                                  num_or(g, "mean", 0), num_or(g, "m2", 0)));
+    }
+  if (const JsonValue* histograms = v.find("histograms"))
+    for (const auto& [name, h] : histograms->as_object()) {
+      std::vector<std::size_t> counts;
+      if (const JsonValue* c = h.find("counts")) {
+        counts.reserve(c->as_array().size());
+        for (const JsonValue& bin : c->as_array())
+          counts.push_back(static_cast<std::size_t>(bin.as_uint()));
+      }
+      if (counts.empty()) continue;  // malformed; shape is unrecoverable
+      const double lo = num_or(h, "lo", 0), hi = num_or(h, "hi", 1);
+      reg.histogram(name, lo, hi, counts.size()) =
+          stats::Histogram::restore(lo, hi, std::move(counts));
+    }
+  return reg;
+}
+
 JsonValue to_json(const JobResult& r) {
   JsonValue::Object o;
   o.reserve(10 + r.tags.size());
@@ -88,6 +159,7 @@ JsonValue to_json(const JobResult& r) {
   if (!r.diagnostics.empty())
     o.emplace_back("diagnostics", JsonValue(r.diagnostics));
   o.emplace_back("metrics", to_json(r.metrics));
+  if (!r.registry.empty()) o.emplace_back("registry", to_json(r.registry));
   return JsonValue(std::move(o));
 }
 
@@ -105,6 +177,7 @@ JobResult result_from_json(const JsonValue& v) {
     else if (k == "error") r.error = val.as_string();
     else if (k == "diagnostics") r.diagnostics = val.as_string();
     else if (k == "metrics") r.metrics = metrics_from_json(val);
+    else if (k == "registry") r.registry = registry_from_json(val);
     else if (val.is_string()) r.tags[k] = val.as_string();  // flattened tag
   }
   if (r.ok) r.status = JobStatus::kOk;  // pre-status reports only carry "ok"
@@ -125,6 +198,11 @@ JsonValue to_json(const RunReport& r) {
   results.reserve(r.results.size());
   for (const JobResult& jr : r.results) results.push_back(to_json(jr));
   o.emplace_back("results", JsonValue(std::move(results)));
+  // Batch-level rollup of every per-job registry (submission order, so the
+  // merge is deterministic). Derivable from "results"; not parsed back.
+  obs::MetricRegistry merged;
+  for (const JobResult& jr : r.results) merged.merge(jr.registry);
+  if (!merged.empty()) o.emplace_back("registry", to_json(merged));
   return JsonValue(std::move(o));
 }
 

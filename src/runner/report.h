@@ -22,7 +22,12 @@
 //         "attempts": 2,          // only when transient retries were used
 //         "error": "...",         // only when !ok
 //         "diagnostics": "...",   // only for watchdog aborts (snapshot)
-//         "metrics": { "duration": ..., "avg_queue_pkts": ..., ... } }, ... ]
+//         "metrics": { "duration": ..., "avg_queue_pkts": ..., ... },
+//         "registry": { "counters": ..., "gauges": ..., "histograms": ... }
+//                                 // only when the job recorded metrics
+//       }, ... ],
+//     "registry": { ... }         // all per-job registries merged; only
+//                                 // when at least one job recorded metrics
 //   }
 // Everything except the three wall-clock fields (and speedup) is a pure
 // function of the job vector, so stripping those yields a determinism-
@@ -39,6 +44,11 @@ namespace pert::runner {
 
 JsonValue to_json(const exp::WindowMetrics& m);
 exp::WindowMetrics metrics_from_json(const JsonValue& v);
+
+/// Registry snapshot with full state (gauge m2 included) so that a parsed
+/// registry re-serializes byte-identically — required for journal resume.
+JsonValue to_json(const obs::MetricRegistry& reg);
+obs::MetricRegistry registry_from_json(const JsonValue& v);
 
 JsonValue to_json(const JobResult& r);
 JobResult result_from_json(const JsonValue& v);

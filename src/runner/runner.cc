@@ -119,9 +119,17 @@ JobResult execute(const Job& job, unsigned max_retries,
     try {
       {
         TimeoutGuard guard(monitor, job);
-        const JobOutput out = job.run(job);
+        // Invoke a fresh copy of the body each attempt. std::function calls
+        // through to mutable lambda state that persists across invocations,
+        // so a retried attempt would otherwise see whatever the failed
+        // attempt left in the closure's captures (accumulated Queue::Stats
+        // snapshots, half-updated configs) and double-count it in the
+        // retried cell's report.
+        std::function<JobOutput(const Job&)> body = job.run;
+        const JobOutput out = body(job);
         r.metrics = out.metrics;
         r.events = out.events;
+        r.registry = out.registry;
       }
       if (job.cancel.requested()) {
         // The body outlived its wall-clock budget but never honored the

@@ -123,6 +123,10 @@ bool Scheduler::run_next() {
   heap_erase(0);
   release_slot(idx);
   ++dispatched_;
+  if (tracer_ && tracer_->wants(obs::Category::kSched, obs::Severity::kDebug))
+    tracer_->instant(now_, obs::Category::kSched, obs::Severity::kDebug,
+                     "sched.dispatch", 0, "pending",
+                     static_cast<double>(heap_.size()));
   cb();
   return true;
 }

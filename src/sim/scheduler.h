@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/trace.h"
 #include "sim/function.h"
 #include "sim/time.h"
 
@@ -89,6 +90,11 @@ class Scheduler {
     return instant_event_limit_;
   }
 
+  /// Attaches a tracer for dispatch-level events (not owned; may be null).
+  /// Emits "sched.dispatch" (kDebug) per dispatched event with the pending
+  /// count — a firehose series, off unless debug tracing is requested.
+  void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
+
  private:
   struct Slot {
     Time t = 0.0;
@@ -121,6 +127,7 @@ class Scheduler {
   std::vector<Slot> slots_;         // slot pool (high-water-mark sized)
   std::vector<std::uint32_t> free_; // recycled slot indices
   std::vector<std::uint32_t> heap_; // 4-ary min-heap of live slot indices
+  obs::Tracer* tracer_ = nullptr;
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t dispatched_ = 0;

@@ -1,6 +1,7 @@
 #include "stats/stats.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace pert::stats {
 
@@ -22,6 +23,13 @@ void Histogram::add(double x) {
                                  static_cast<std::ptrdiff_t>(counts_.size()) - 1);
   ++counts_[static_cast<std::size_t>(i)];
   ++total_;
+}
+
+void Histogram::merge(const Histogram& o) {
+  if (lo_ != o.lo_ || hi_ != o.hi_ || counts_.size() != o.counts_.size())
+    throw std::invalid_argument("Histogram::merge: shape mismatch");
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += o.counts_[i];
+  total_ += o.total_;
 }
 
 }  // namespace pert::stats

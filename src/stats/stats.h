@@ -28,6 +28,24 @@ class Summary {
     mean_ += d / static_cast<double>(n_);
     m2_ += d * (x - mean_);
   }
+  /// Combines another summary as if its samples had been added here too
+  /// (Chan et al. parallel variance combination; exact for mean/min/max).
+  void merge(const Summary& o) noexcept {
+    if (o.n_ == 0) return;
+    if (n_ == 0) {
+      *this = o;
+      return;
+    }
+    const double d = o.mean_ - mean_;
+    const std::size_t n = n_ + o.n_;
+    m2_ += o.m2_ + d * d * static_cast<double>(n_) *
+                       static_cast<double>(o.n_) / static_cast<double>(n);
+    mean_ += d * static_cast<double>(o.n_) / static_cast<double>(n);
+    if (o.min_ < min_) min_ = o.min_;
+    if (o.max_ > max_) max_ = o.max_;
+    n_ = n;
+  }
+
   std::size_t count() const noexcept { return n_; }
   double mean() const noexcept { return mean_; }
   double min() const noexcept { return min_; }
@@ -36,6 +54,22 @@ class Summary {
     return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
   }
   double stddev() const noexcept { return std::sqrt(variance()); }
+  /// Raw sum of squared deviations (Welford M2). Exposed so a summary can be
+  /// serialized and restored exactly (variance() loses the n-1 factor).
+  double m2() const noexcept { return m2_; }
+
+  /// Reconstructs a summary from its serialized state; exact inverse of
+  /// reading count/min/max/mean/m2 back out.
+  static Summary restore(std::size_t n, double min, double max, double mean,
+                         double m2) noexcept {
+    Summary s;
+    s.n_ = n;
+    s.min_ = min;
+    s.max_ = max;
+    s.mean_ = mean;
+    s.m2_ = m2;
+    return s;
+  }
 
  private:
   std::size_t n_ = 0;
@@ -51,9 +85,23 @@ class Histogram {
     assert(hi > lo && bins > 0);
   }
   void add(double x);
+  /// Bin-wise sum with a histogram of identical shape; throws
+  /// std::invalid_argument when ranges or bin counts differ.
+  void merge(const Histogram& o);
+  /// Reconstructs a histogram from serialized bin counts (total is their
+  /// sum); exact inverse of reading lo/hi/bin_count back out.
+  static Histogram restore(double lo, double hi,
+                           std::vector<std::size_t> counts) {
+    Histogram h(lo, hi, counts.size());
+    for (std::size_t c : counts) h.total_ += c;
+    h.counts_ = std::move(counts);
+    return h;
+  }
   std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
   std::size_t bins() const noexcept { return counts_.size(); }
   std::size_t total() const noexcept { return total_; }
+  double lo() const noexcept { return lo_; }
+  double hi() const noexcept { return hi_; }
   double bin_center(std::size_t i) const {
     return lo_ + (static_cast<double>(i) + 0.5) * width();
   }

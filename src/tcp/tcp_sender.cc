@@ -82,6 +82,12 @@ void TcpSender::update_rtt(double sample) {
   }
   rto_ = std::clamp(srtt_ + 4.0 * rttvar_, cfg_.min_rto, cfg_.max_rto);
   backoff_ = 1;
+  if (tracer_ && tracer_->wants(obs::Category::kTcp, obs::Severity::kDebug)) {
+    tracer_->counter(now(), obs::Category::kTcp, obs::Severity::kDebug,
+                     "tcp.srtt", trace_id(), srtt_);
+    tracer_->counter(now(), obs::Category::kTcp, obs::Severity::kDebug,
+                     "tcp.cwnd", trace_id(), cwnd_);
+  }
 }
 
 void TcpSender::handle_ece() {
@@ -91,6 +97,9 @@ void TcpSender::handle_ece() {
   ece_reduce_point_ = next_seq_;
   pending_cwr_ = true;
   ++st_.ecn_responses;
+  if (tracer_ && tracer_->wants(obs::Category::kTcp, obs::Severity::kInfo))
+    tracer_->instant(now(), obs::Category::kTcp, obs::Severity::kInfo,
+                     "tcp.ecn_response", trace_id(), "cwnd", cwnd_);
 }
 
 void TcpSender::multiplicative_decrease(double beta) {
@@ -207,6 +216,10 @@ void TcpSender::enter_recovery() {
   ssthresh_ = std::max(2.0, cwnd_ * (1.0 - cfg_.loss_beta));
   cwnd_ = ssthresh_;
   scan_ = snd_una_;
+  if (tracer_ && tracer_->wants(obs::Category::kTcp, obs::Severity::kInfo))
+    tracer_->instant(now(), obs::Category::kTcp, obs::Severity::kInfo,
+                     "tcp.enter_recovery", trace_id(), "cwnd", cwnd_,
+                     "recovery_point", static_cast<double>(recovery_point_));
 
   if (cfg_.sack) {
     rebuild_pipe();
@@ -232,11 +245,19 @@ void TcpSender::exit_recovery() {
   cwnd_ = ssthresh_;
   pipe_ = 0;
   dupacks_ = 0;
+  if (tracer_ && tracer_->wants(obs::Category::kTcp, obs::Severity::kInfo))
+    tracer_->instant(now(), obs::Category::kTcp, obs::Severity::kInfo,
+                     "tcp.exit_recovery", trace_id(), "cwnd", cwnd_);
 }
 
 void TcpSender::on_rto() {
   if (!has_data_outstanding()) return;
   ++st_.timeouts;
+  if (tracer_ && tracer_->wants(obs::Category::kTcp, obs::Severity::kWarn))
+    tracer_->instant(now(), obs::Category::kTcp, obs::Severity::kWarn,
+                     "tcp.rto", trace_id(), "backoff",
+                     static_cast<double>(backoff_), "outstanding",
+                     static_cast<double>(next_seq_ - snd_una_));
   if (on_loss_event) on_loss_event(now());
   cc_on_loss();
 

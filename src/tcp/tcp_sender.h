@@ -19,6 +19,7 @@
 #include "net/network.h"
 #include "net/node.h"
 #include "net/packet.h"
+#include "obs/trace.h"
 #include "sim/timer.h"
 #include "tcp/tcp_config.h"
 
@@ -88,7 +89,18 @@ class TcpSender : public net::Agent {
   std::function<void(sim::Time now)> on_loss_event;  ///< flow-level loss
   std::function<void()> on_transfer_complete;
 
+  /// Attaches a tracer (not owned; may be null). The sender reports under
+  /// its flow id: "tcp.enter_recovery"/"tcp.exit_recovery"/"tcp.ecn_response"
+  /// (kInfo), "tcp.rto" (kWarn), and "tcp.cwnd"/"tcp.srtt" counter series
+  /// (kDebug, per ACK). CC variants (PERT, PERT/PI) add their own series
+  /// through the protected tracer() accessor.
+  void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
+
  protected:
+  obs::Tracer* tracer() const noexcept { return tracer_; }
+  std::uint32_t trace_id() const noexcept {
+    return static_cast<std::uint32_t>(flow_);
+  }
   // --- congestion-control variant hooks ---
   /// Called for every valid RTT sample, before any window action.
   virtual void cc_on_rtt_sample(double /*rtt*/) {}
@@ -188,6 +200,7 @@ class TcpSender : public net::Agent {
 
   sim::Timer rto_timer_;
   FlowStats st_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace pert::tcp

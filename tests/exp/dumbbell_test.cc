@@ -22,7 +22,7 @@ class SchemeSweep : public ::testing::TestWithParam<Scheme> {};
 
 TEST_P(SchemeSweep, RunsAndProducesSaneMetrics) {
   Dumbbell d(small(GetParam()));
-  const WindowMetrics m = d.run(10.0, 15.0);
+  const WindowMetrics m = d.measure_window(10.0, 15.0);
   EXPECT_GT(m.utilization, 0.5) << to_string(GetParam());
   EXPECT_LE(m.utilization, 1.01);
   EXPECT_GE(m.avg_queue_pkts, 0.0);
@@ -76,7 +76,7 @@ TEST(Dumbbell, PerFlowRttsAreRealized) {
   cfg.num_fwd_flows = 3;
   cfg.start_window = 0.5;
   Dumbbell d(cfg);
-  d.run(5.0, 5.0);
+  d.measure_window(5.0, 5.0);
   for (int i = 0; i < 3; ++i)
     EXPECT_NEAR(d.fwd_sender(i).min_rtt(), cfg.flow_rtts[i],
                 0.25 * cfg.flow_rtts[i] + 0.005)
@@ -84,21 +84,21 @@ TEST(Dumbbell, PerFlowRttsAreRealized) {
 }
 
 TEST(Dumbbell, PertBeatsDroptailOnQueueAndDrops) {
-  const WindowMetrics pert = Dumbbell(small(Scheme::kPert)).run(10, 20);
-  const WindowMetrics dt = Dumbbell(small(Scheme::kSackDroptail)).run(10, 20);
+  const WindowMetrics pert = Dumbbell(small(Scheme::kPert)).measure_window(10, 20);
+  const WindowMetrics dt = Dumbbell(small(Scheme::kSackDroptail)).measure_window(10, 20);
   EXPECT_LT(pert.avg_queue_pkts, dt.avg_queue_pkts);
   EXPECT_LE(pert.drop_rate, dt.drop_rate + 1e-9);
 }
 
 TEST(Dumbbell, EcnSchemesMarkInsteadOfDrop) {
   Dumbbell d(small(Scheme::kSackRedEcn));
-  const WindowMetrics m = d.run(10, 20);
+  const WindowMetrics m = d.measure_window(10, 20);
   EXPECT_GT(m.ecn_marks, 0u);
 }
 
 TEST(Dumbbell, PertFlowsRespondEarly) {
   Dumbbell d(small(Scheme::kPert));
-  const WindowMetrics m = d.run(10, 20);
+  const WindowMetrics m = d.measure_window(10, 20);
   EXPECT_GT(m.early_responses, 0u);
 }
 
@@ -107,7 +107,7 @@ TEST(Dumbbell, WebTrafficRuns) {
   cfg.num_web_sessions = 20;
   cfg.web.think_mean = 0.5;
   Dumbbell d(cfg);
-  const WindowMetrics m = d.run(10, 15);
+  const WindowMetrics m = d.measure_window(10, 15);
   EXPECT_GT(m.utilization, 0.3);
 }
 
@@ -115,7 +115,7 @@ TEST(Dumbbell, ReverseFlowsShareReturnPath) {
   DumbbellConfig cfg = small(Scheme::kPert);
   cfg.num_rev_flows = 5;
   Dumbbell d(cfg);
-  const WindowMetrics m = d.run(10, 15);
+  const WindowMetrics m = d.measure_window(10, 15);
   // Forward direction still works with ack compression from reverse data.
   EXPECT_GT(m.utilization, 0.4);
 }
@@ -124,7 +124,7 @@ TEST(Dumbbell, NonproactiveMixForcesSackFlows) {
   DumbbellConfig cfg = small(Scheme::kPert);
   cfg.nonproactive_fraction = 0.4;  // 2 of 5 flows are plain SACK
   Dumbbell d(cfg);
-  const WindowMetrics m = d.run(10, 20);
+  const WindowMetrics m = d.measure_window(10, 20);
   // The SACK flows never respond early; total early responses still > 0
   // from the PERT flows.
   EXPECT_GT(m.early_responses, 0u);
@@ -153,7 +153,7 @@ TEST(Dumbbell, DynamicAddAndStopFlows) {
 
 TEST(Dumbbell, ConservationAtBottleneck) {
   Dumbbell d(small(Scheme::kSackDroptail));
-  d.run(10, 20);
+  d.measure_window(10, 20);
   const auto q = d.fwd_queue().snapshot();
   const auto l = d.fwd_link().snapshot();
   // Everything that arrived was either dropped, transmitted, is queued, or
@@ -165,8 +165,8 @@ TEST(Dumbbell, ConservationAtBottleneck) {
 }
 
 TEST(Dumbbell, DeterministicForSeed) {
-  const WindowMetrics a = Dumbbell(small(Scheme::kPert)).run(10, 10);
-  const WindowMetrics b = Dumbbell(small(Scheme::kPert)).run(10, 10);
+  const WindowMetrics a = Dumbbell(small(Scheme::kPert)).measure_window(10, 10);
+  const WindowMetrics b = Dumbbell(small(Scheme::kPert)).measure_window(10, 10);
   EXPECT_DOUBLE_EQ(a.utilization, b.utilization);
   EXPECT_DOUBLE_EQ(a.avg_queue_pkts, b.avg_queue_pkts);
   EXPECT_EQ(a.drops, b.drops);

@@ -15,7 +15,7 @@ TEST(Metrics, GoodputsSumToAggregate) {
   cfg.start_window = 2.0;
   cfg.seed = 3;
   Dumbbell d(cfg);
-  const WindowMetrics m = d.run(10, 20);
+  const WindowMetrics m = d.measure_window(10, 20);
   double sum = 0;
   for (std::int32_t i = 0; i < d.num_fwd(); ++i) sum += d.flow_goodput(i);
   EXPECT_NEAR(sum, m.agg_goodput_bps, 1.0);
@@ -29,7 +29,7 @@ TEST(Metrics, GoodputBoundedByUtilization) {
   cfg.start_window = 2.0;
   cfg.seed = 4;
   Dumbbell d(cfg);
-  const WindowMetrics m = d.run(10, 30);
+  const WindowMetrics m = d.measure_window(10, 30);
   // Payload goodput <= wire throughput (factor payload/wire ~ 0.96).
   EXPECT_LE(m.agg_goodput_bps, m.utilization * 20e6 + 1e5);
   // And with only long-term flows, goodput ~ utilization * payload share.
@@ -46,7 +46,7 @@ TEST(Metrics, NormalizedQueueConsistent) {
   cfg.start_window = 2.0;
   cfg.seed = 5;
   Dumbbell d(cfg);
-  const WindowMetrics m = d.run(10, 20);
+  const WindowMetrics m = d.measure_window(10, 20);
   EXPECT_NEAR(m.norm_queue, m.avg_queue_pkts / 200.0, 1e-12);
 }
 
@@ -57,7 +57,7 @@ TEST(Metrics, WindowDurationRecorded) {
   cfg.num_fwd_flows = 2;
   cfg.seed = 6;
   Dumbbell d(cfg);
-  const WindowMetrics m = d.run(5, 12.5);
+  const WindowMetrics m = d.measure_window(5, 12.5);
   EXPECT_DOUBLE_EQ(m.duration, 12.5);
 }
 

@@ -21,7 +21,7 @@ MultiBottleneckConfig small(Scheme s) {
 
 TEST(MultiBottleneck, AllHopsCarryTraffic) {
   MultiBottleneck mb(small(Scheme::kPert));
-  const auto hops = mb.run(8.0, 10.0);
+  const auto hops = mb.measure_window(8.0, 10.0);
   ASSERT_EQ(hops.size(), 3u);
   for (const auto& h : hops) {
     EXPECT_GT(h.utilization, 0.3);
@@ -32,9 +32,9 @@ TEST(MultiBottleneck, AllHopsCarryTraffic) {
 }
 
 TEST(MultiBottleneck, PertKeepsQueuesLowOnEveryHop) {
-  const auto pert_hops = MultiBottleneck(small(Scheme::kPert)).run(8.0, 12.0);
+  const auto pert_hops = MultiBottleneck(small(Scheme::kPert)).measure_window(8.0, 12.0);
   const auto dt_hops =
-      MultiBottleneck(small(Scheme::kSackDroptail)).run(8.0, 12.0);
+      MultiBottleneck(small(Scheme::kSackDroptail)).measure_window(8.0, 12.0);
   double pert_q = 0, dt_q = 0;
   for (const auto& h : pert_hops) pert_q += h.norm_queue;
   for (const auto& h : dt_hops) dt_q += h.norm_queue;
@@ -45,7 +45,7 @@ TEST(MultiBottleneck, LongHaulFlowsTraverseAllHops) {
   // With the long-haul group present, the last hop carries both its own
   // one-hop traffic and the end-to-end flows; utilization reflects that.
   MultiBottleneck mb(small(Scheme::kSackDroptail));
-  const auto hops = mb.run(8.0, 10.0);
+  const auto hops = mb.measure_window(8.0, 10.0);
   EXPECT_GT(hops.back().utilization, 0.5);
 }
 
@@ -54,7 +54,7 @@ class MbSchemeSweep : public ::testing::TestWithParam<Scheme> {};
 TEST_P(MbSchemeSweep, EveryRegisteredSchemeRunsOnTheChain) {
   MultiBottleneckConfig cfg = small(GetParam());
   MultiBottleneck mb(cfg);
-  const auto hops = mb.run(8.0, 8.0);
+  const auto hops = mb.measure_window(8.0, 8.0);
   for (const auto& h : hops) {
     EXPECT_GT(h.utilization, 0.2);
     EXPECT_GE(h.jain, 0.0);
@@ -77,7 +77,7 @@ TEST(MultiBottleneck, SixRouterPaperTopologyRuns) {
   cfg.num_routers = 6;
   cfg.hosts_per_cloud = 4;
   MultiBottleneck mb(cfg);
-  const auto hops = mb.run(6.0, 8.0);
+  const auto hops = mb.measure_window(6.0, 8.0);
   EXPECT_EQ(hops.size(), 5u);
   for (const auto& h : hops) EXPECT_GE(h.drop_rate, 0.0);
 }

@@ -1,0 +1,117 @@
+// OptionSet tests: the one typed flag grammar shared by bench harnesses,
+// pert_sim, and fuzz_scenarios.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/option_set.h"
+
+namespace pert::exp::cli {
+namespace {
+
+/// argv adapter: OptionSet::parse wants (argc, char**).
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> args) : storage_(std::move(args)) {
+    ptrs_.push_back(const_cast<char*>("prog"));
+    for (std::string& s : storage_) ptrs_.push_back(s.data());
+  }
+  int argc() const { return static_cast<int>(ptrs_.size()); }
+  char** argv() { return ptrs_.data(); }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<char*> ptrs_;
+};
+
+struct Parsed {
+  bool full = false;
+  unsigned jobs = 1;
+  std::uint64_t seed = 0;
+  double budget = 0;
+  std::string json;
+  std::vector<std::string> impairs;
+  std::vector<std::string> rest;
+};
+
+OptionSet make(Parsed& p) {
+  OptionSet o("prog", "test grammar");
+  o.flag("--full", &p.full, "paper scale")
+      .opt("--jobs", &p.jobs, "worker threads")
+      .opt("--seed", &p.seed, "base seed")
+      .opt("--budget-s", &p.budget, "time budget", "S")
+      .opt("--json", &p.json, "report path", "PATH")
+      .multi("--impair", &p.impairs, "impairment spec", "SPEC")
+      .positionals(&p.rest, "key=value");
+  return o;
+}
+
+TEST(OptionSet, ParsesAllValueFormsAndPositionals) {
+  Parsed p;
+  OptionSet o = make(p);
+  Argv a({"--full", "--jobs", "4", "--seed=99", "--budget-s", "2.5",
+          "--json=out.json", "scheme=pert", "--impair", "loss:p=0.01",
+          "--impair=jitter:max_ms=5", "bw=10M"});
+  ASSERT_EQ(o.parse(a.argc(), a.argv()), OptionSet::Result::kOk);
+  EXPECT_TRUE(p.full);
+  EXPECT_EQ(p.jobs, 4u);
+  EXPECT_EQ(p.seed, 99u);
+  EXPECT_DOUBLE_EQ(p.budget, 2.5);
+  EXPECT_EQ(p.json, "out.json");
+  EXPECT_EQ(p.impairs,
+            (std::vector<std::string>{"loss:p=0.01", "jitter:max_ms=5"}));
+  EXPECT_EQ(p.rest, (std::vector<std::string>{"scheme=pert", "bw=10M"}));
+}
+
+TEST(OptionSet, RejectsUnknownFlags) {
+  Parsed p;
+  OptionSet o = make(p);
+  Argv a({"--frobnicate"});
+  EXPECT_EQ(o.parse(a.argc(), a.argv()), OptionSet::Result::kError);
+}
+
+TEST(OptionSet, RejectsBadNumbersAndMissingValues) {
+  {
+    Parsed p;
+    OptionSet o = make(p);
+    Argv a({"--jobs", "four"});
+    EXPECT_EQ(o.parse(a.argc(), a.argv()), OptionSet::Result::kError);
+  }
+  {
+    Parsed p;
+    OptionSet o = make(p);
+    Argv a({"--json"});
+    EXPECT_EQ(o.parse(a.argc(), a.argv()), OptionSet::Result::kError);
+  }
+  {
+    Parsed p;
+    OptionSet o = make(p);
+    Argv a({"--full=yes"});  // flags take no value
+    EXPECT_EQ(o.parse(a.argc(), a.argv()), OptionSet::Result::kError);
+  }
+}
+
+TEST(OptionSet, RejectsBareTokensWithoutPositionalSink) {
+  bool full = false;
+  OptionSet o("prog");
+  o.flag("--full", &full, "paper scale");
+  Argv a({"stray"});
+  EXPECT_EQ(o.parse(a.argc(), a.argv()), OptionSet::Result::kError);
+}
+
+TEST(OptionSet, HelpListsEveryRegisteredOption) {
+  Parsed p;
+  OptionSet o = make(p);
+  const std::string u = o.usage();
+  for (const char* flag : {"--full", "--jobs", "--seed", "--budget-s",
+                           "--json", "--impair"})
+    EXPECT_NE(u.find(flag), std::string::npos) << flag;
+  EXPECT_NE(u.find("may repeat"), std::string::npos);
+  Argv a({"--help"});
+  EXPECT_EQ(o.parse(a.argc(), a.argv()), OptionSet::Result::kHelp);
+}
+
+}  // namespace
+}  // namespace pert::exp::cli

@@ -26,9 +26,9 @@ TEST_P(BandwidthShape, PertTracksRedEcnQueueAndDrops) {
   // Figure 6 claim: PERT's queue ~ RED-ECN's, both << DropTail; PERT has
   // no drops where DropTail does.
   const double bw = GetParam();
-  const auto pert = Dumbbell(base(Scheme::kPert, bw)).run(15, 25);
-  const auto red = Dumbbell(base(Scheme::kSackRedEcn, bw)).run(15, 25);
-  const auto dt = Dumbbell(base(Scheme::kSackDroptail, bw)).run(15, 25);
+  const auto pert = Dumbbell(base(Scheme::kPert, bw)).measure_window(15, 25);
+  const auto red = Dumbbell(base(Scheme::kSackRedEcn, bw)).measure_window(15, 25);
+  const auto dt = Dumbbell(base(Scheme::kSackDroptail, bw)).measure_window(15, 25);
   EXPECT_LT(pert.avg_queue_pkts, 0.6 * dt.avg_queue_pkts);
   EXPECT_LT(pert.avg_queue_pkts, 3.0 * red.avg_queue_pkts + 10.0);
   EXPECT_LE(pert.drop_rate, dt.drop_rate + 1e-9);
@@ -42,7 +42,7 @@ TEST(PaperShapes, VegasQueueGrowsWithFlowCountPertDoesNot) {
   auto run = [&](Scheme s, int flows) {
     DumbbellConfig cfg = base(s, 30e6);
     cfg.num_fwd_flows = flows;
-    return Dumbbell(cfg).run(15, 25);
+    return Dumbbell(cfg).measure_window(15, 25);
   };
   const double vegas_small = run(Scheme::kVegas, 5).avg_queue_pkts;
   const double vegas_big = run(Scheme::kVegas, 40).avg_queue_pkts;
@@ -55,10 +55,10 @@ TEST(PaperShapes, VegasQueueGrowsWithFlowCountPertDoesNot) {
 
 TEST(PaperShapes, PertFairerThanVegas) {
   // Figures 6/8 claim: PERT jain ~ 1, Vegas jain low (late-comer bias).
-  const auto pert = Dumbbell(base(Scheme::kPert, 30e6)).run(15, 30);
+  const auto pert = Dumbbell(base(Scheme::kPert, 30e6)).measure_window(15, 30);
   DumbbellConfig vc = base(Scheme::kVegas, 30e6);
   vc.start_window = 20.0;  // staggered starts expose Vegas' base-RTT bias
-  const auto vegas = Dumbbell(vc).run(25, 30);
+  const auto vegas = Dumbbell(vc).measure_window(25, 30);
   EXPECT_GT(pert.jain, 0.95);
   EXPECT_GT(pert.jain, vegas.jain);
 }
@@ -72,7 +72,7 @@ TEST(PaperShapes, PertReducesRttUnfairness) {
     cfg.num_fwd_flows = 10;
     cfg.flow_rtts.clear();
     for (int i = 1; i <= 10; ++i) cfg.flow_rtts.push_back(0.012 * i);
-    return Dumbbell(cfg).run(25, 60);
+    return Dumbbell(cfg).measure_window(25, 60);
   };
   const auto pert = run(Scheme::kPert);
   const auto sack = run(Scheme::kSackDroptail);
@@ -83,7 +83,7 @@ TEST(PaperShapes, EmulationNeedsNoRouterSupport) {
   // The core thesis: PERT achieves RED-ECN-like queues over *DropTail*.
   DumbbellConfig cfg = base(Scheme::kPert, 30e6);
   Dumbbell d(cfg);
-  const auto m = d.run(15, 30);
+  const auto m = d.measure_window(15, 30);
   EXPECT_EQ(m.ecn_marks, 0u);        // nothing marked anything
   EXPECT_GT(m.early_responses, 0u);  // the end hosts did the work
   EXPECT_LT(m.norm_queue, 0.5);
@@ -100,7 +100,7 @@ TEST(PaperShapes, MultiBottleneckLowQueuesEveryHop) {
   cfg.start_window = 3.0;
   cfg.seed = 6;
   MultiBottleneck mb(cfg);
-  for (const auto& hop : mb.run(10, 20)) {
+  for (const auto& hop : mb.measure_window(10, 20)) {
     EXPECT_LT(hop.norm_queue, 0.5);
     EXPECT_LT(hop.drop_rate, 1e-3);
   }

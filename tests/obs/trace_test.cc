@@ -1,0 +1,131 @@
+// Tracer unit tests: ring-buffer semantics, emission-site filters, probe
+// fan-out, and Chrome trace_event JSON export (validated with the repo's own
+// JSON parser).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/obs.h"
+#include "obs/trace.h"
+#include "runner/json.h"
+
+namespace pert::obs {
+namespace {
+
+TraceConfig enabled(std::size_t capacity = 1 << 10) {
+  TraceConfig cfg;
+  cfg.enabled = true;
+  cfg.capacity = capacity;
+  cfg.min_severity = Severity::kDebug;
+  return cfg;
+}
+
+TEST(Tracer, DisabledWithoutProbesWantsNothing) {
+  Tracer t;
+  EXPECT_FALSE(t.wants(Category::kQueue, Severity::kError));
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.recorded(), 0u);
+}
+
+TEST(Tracer, SeverityAndCategoryFiltersApplyAtEmission) {
+  TraceConfig cfg = enabled();
+  cfg.min_severity = Severity::kWarn;
+  cfg.categories = category_bit(Category::kQueue);
+  Tracer t(cfg);
+  EXPECT_TRUE(t.wants(Category::kQueue, Severity::kWarn));
+  EXPECT_TRUE(t.wants(Category::kQueue, Severity::kError));
+  EXPECT_FALSE(t.wants(Category::kQueue, Severity::kInfo));
+  EXPECT_FALSE(t.wants(Category::kTcp, Severity::kError));
+}
+
+TEST(Tracer, RingWrapsKeepingNewestEvents) {
+  Tracer t(enabled(4));
+  for (int i = 0; i < 6; ++i)
+    t.instant(static_cast<double>(i), Category::kQueue, Severity::kInfo,
+              "ev", 0);
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.dropped(), 2u);
+  EXPECT_EQ(t.recorded(), 6u);
+  std::vector<double> ts;
+  t.for_each([&](const Event& e) { ts.push_back(e.t); });
+  EXPECT_EQ(ts, (std::vector<double>{2, 3, 4, 5}));  // oldest-first
+}
+
+TEST(Tracer, ProbesSeeEventsEvenWhenRingDisabled) {
+  struct CountingProbe final : Probe {
+    int events = 0;
+    void on_event(const Event&) override { ++events; }
+  } probe;
+  ProbeSet probes;
+  probes.add(&probe);
+  Tracer t;  // ring disabled
+  t.attach_probes(&probes);
+  ASSERT_TRUE(t.wants(Category::kPert, Severity::kInfo));
+  t.instant(1.0, Category::kPert, Severity::kInfo, "pert.early_response", 3);
+  EXPECT_EQ(probe.events, 1);
+  EXPECT_EQ(t.size(), 0u);  // nothing buffered
+}
+
+TEST(Tracer, ChromeTraceExportIsValidJson) {
+  Tracer t(enabled());
+  t.instant(0.5, Category::kQueue, Severity::kInfo, "queue.drop.congestion",
+            0, "len", 12, "flow", 3);
+  t.counter(1.0, Category::kPert, Severity::kInfo, "pert.srtt99", 2, 0.042);
+  std::ostringstream os;
+  t.write_chrome_trace(os);
+
+  const runner::JsonValue doc = runner::JsonValue::parse(os.str());
+  const runner::JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->as_array().size(), 2u);
+
+  const runner::JsonValue& drop = events->as_array()[0];
+  EXPECT_EQ(drop.find("name")->as_string(), "queue.drop.congestion");
+  EXPECT_EQ(drop.find("ph")->as_string(), "i");
+  EXPECT_EQ(drop.find("s")->as_string(), "t");
+  EXPECT_DOUBLE_EQ(drop.find("ts")->as_double(), 0.5e6);  // microseconds
+  ASSERT_NE(drop.find("args"), nullptr);
+  EXPECT_DOUBLE_EQ(drop.find("args")->find("len")->as_double(), 12);
+  EXPECT_DOUBLE_EQ(drop.find("args")->find("flow")->as_double(), 3);
+
+  const runner::JsonValue& counter = events->as_array()[1];
+  EXPECT_EQ(counter.find("ph")->as_string(), "C");
+  EXPECT_EQ(counter.find("pid")->as_uint(), 2u);  // entity id -> track
+  EXPECT_DOUBLE_EQ(counter.find("args")->find("value")->as_double(), 0.042);
+
+  const runner::JsonValue* other = doc.find("otherData");
+  ASSERT_NE(other, nullptr);
+  EXPECT_EQ(other->find("dropped_events")->as_uint(), 0u);
+  EXPECT_EQ(other->find("recorded_events")->as_uint(), 2u);
+}
+
+TEST(Observability, SamplerFeedsProbesAndRegistry) {
+  struct LastSample final : Probe {
+    Sample last{};
+    int n = 0;
+    void on_sample(const Sample& s) override {
+      last = s;
+      ++n;
+    }
+  } probe;
+  ObsConfig cfg;
+  cfg.metrics = true;
+  Observability obs(cfg);
+  obs.add_probe(&probe);
+  EXPECT_TRUE(obs.sampling_active());
+  obs.sample(2.0, "queue.len", 0, 7.0);
+  EXPECT_EQ(probe.n, 1);
+  EXPECT_DOUBLE_EQ(probe.last.value, 7.0);
+  EXPECT_DOUBLE_EQ(obs.registry().gauge("queue.len.0").last(), 7.0);
+}
+
+TEST(Observability, InactiveByDefault) {
+  Observability obs;
+  EXPECT_FALSE(obs.sampling_active());
+  EXPECT_FALSE(obs.tracer().wants(Category::kQueue, Severity::kError));
+}
+
+}  // namespace
+}  // namespace pert::obs

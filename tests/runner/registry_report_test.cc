@@ -1,0 +1,88 @@
+// Registry <-> RunReport JSON integration: per-job registry snapshots are
+// serialized with full state, parse back exactly (required for journal
+// resume byte-identity), and roll up into a batch-level merged registry.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/metrics.h"
+#include "runner/report.h"
+
+namespace pert::runner {
+namespace {
+
+obs::MetricRegistry sample_registry(double util, std::uint64_t drops) {
+  obs::MetricRegistry reg;
+  reg.counter("window.drops").add(drops);
+  reg.gauge("window.utilization").set(util);
+  reg.gauge("window.utilization").set(util + 0.1);
+  reg.histogram("window.norm_queue", 0, 1, 4).add(util);
+  return reg;
+}
+
+TEST(RegistryReport, RoundTripsByteIdentically) {
+  const obs::MetricRegistry reg = sample_registry(0.5, 9);
+  const JsonValue j1 = to_json(reg);
+  const obs::MetricRegistry back = registry_from_json(j1);
+  const JsonValue j2 = to_json(back);
+  EXPECT_EQ(j1.dump(2), j2.dump(2));
+
+  // The restored registry is semantically identical, not just text-equal.
+  EXPECT_EQ(back.counters().at("window.drops").value(), 9u);
+  const obs::Gauge& g = back.gauges().at("window.utilization");
+  EXPECT_DOUBLE_EQ(g.last(), 0.6);
+  EXPECT_EQ(g.summary().count(), 2u);
+  EXPECT_EQ(back.histograms().at("window.norm_queue").total(), 1u);
+}
+
+TEST(RegistryReport, JobResultCarriesRegistryOnlyWhenNonEmpty) {
+  JobResult empty;
+  empty.key = "k";
+  empty.ok = true;
+  EXPECT_EQ(to_json(empty).find("registry"), nullptr);
+
+  JobResult with;
+  with.key = "k";
+  with.ok = true;
+  with.registry = sample_registry(0.3, 2);
+  const JsonValue j = to_json(with);
+  ASSERT_NE(j.find("registry"), nullptr);
+  const JobResult back = result_from_json(j);
+  EXPECT_EQ(back.registry.counters().at("window.drops").value(), 2u);
+}
+
+TEST(RegistryReport, RunReportMergesPerJobRegistries) {
+  RunReport report;
+  report.name = "merge";
+  JobResult a;
+  a.key = "a";
+  a.ok = true;
+  a.registry = sample_registry(0.2, 3);
+  JobResult b;
+  b.key = "b";
+  b.ok = true;
+  b.registry = sample_registry(0.8, 4);
+  report.results.push_back(a);
+  report.results.push_back(b);
+
+  const JsonValue j = to_json(report);
+  const JsonValue* merged = j.find("registry");
+  ASSERT_NE(merged, nullptr);
+  EXPECT_EQ(
+      merged->find("counters")->find("window.drops")->as_uint(), 7u);
+  EXPECT_EQ(merged->find("gauges")
+                ->find("window.utilization")
+                ->find("count")
+                ->as_uint(),
+            4u);
+  // Histograms summed bin-wise across cells.
+  const JsonValue* h = merged->find("histograms")->find("window.norm_queue");
+  ASSERT_NE(h, nullptr);
+  std::uint64_t total = 0;
+  for (const JsonValue& c : h->find("counts")->as_array())
+    total += c.as_uint();
+  EXPECT_EQ(total, 2u);
+}
+
+}  // namespace
+}  // namespace pert::runner

@@ -150,6 +150,37 @@ TEST(Resilience, TransientErrorRetriesSameSeed) {
   EXPECT_EQ(rep.status, "ok");
 }
 
+TEST(Resilience, RetryGetsFreshClosureState) {
+  // Regression: the runner used to call the same std::function object for
+  // every attempt, so mutable state captured by the body (snapshotted
+  // Queue::Stats drop-cause counters, accumulated totals) survived a
+  // TransientError and double-counted in the retried cell's report. Each
+  // attempt must run a fresh copy of the closure.
+  std::vector<Job> jobs;
+  jobs.push_back(quick_job(0));
+  auto tries = std::make_shared<std::atomic<int>>(0);
+  jobs[0].run = [tries, drops = std::uint64_t{0},
+                 congestion = std::uint64_t{0}](const Job&) mutable
+      -> JobOutput {
+    // Mimics a body accumulating queue-stat snapshots into its captures.
+    drops += 7;
+    congestion += 3;
+    if (tries->fetch_add(1) == 0)
+      throw TransientError("flaky on first attempt");
+    JobOutput out;
+    out.metrics.drops = drops;
+    out.metrics.congestion_drops = congestion;
+    return out;
+  };
+  RunnerOptions opts;
+  opts.max_retries = 2;
+  const RunReport rep = run(jobs, opts);
+  ASSERT_TRUE(rep.results[0].ok);
+  EXPECT_EQ(rep.results[0].attempts, 2u);
+  EXPECT_EQ(rep.results[0].metrics.drops, 7u);  // not 14: no leak across
+  EXPECT_EQ(rep.results[0].metrics.congestion_drops, 3u);  // attempts
+}
+
 TEST(Resilience, TransientErrorExhaustsRetriesThenFails) {
   std::vector<Job> jobs;
   jobs.push_back(quick_job(0));

@@ -131,7 +131,7 @@ TEST(Runner, DumbbellGridIdenticalFor1And2And8Threads) {
       job.run = [cfg](const Job&) {
         exp::Dumbbell d(cfg);
         JobOutput out;
-        out.metrics = d.run(2.0, 4.0);
+        out.metrics = d.measure_window(2.0, 4.0);
         out.events = d.network().sched().dispatched();
         return out;
       };

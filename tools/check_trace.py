@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Validate Chrome trace_event JSON files produced by the obs::Tracer.
+
+Checks, per file:
+  - the document parses as JSON and has the object form
+    {"traceEvents": [...], "displayTimeUnit": ..., "otherData": {...}}
+  - every event carries name/cat/ph/ts/pid/tid with sane types
+  - phases are limited to the tracer's vocabulary ('i' instants, 'C' counters)
+  - instants carry the scope field "s":"t" required by Perfetto
+  - timestamps are non-negative and non-decreasing (the ring is exported
+    oldest-first and simulation time is monotonic)
+  - otherData carries the dropped/recorded bookkeeping counters
+
+Usage:
+  check_trace.py TRACE.json [TRACE2.json ...] [--require NAME ...]
+
+--require NAME asserts that at least one event with that name appears in
+EVERY checked file (repeatable). Exit status: 0 = all files valid, 1 = a
+check failed, 2 = usage/IO error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(path, msg):
+    print(f"check_trace: {path}: {msg}", file=sys.stderr)
+    return False
+
+
+def check_event(path, i, ev):
+    if not isinstance(ev, dict):
+        return fail(path, f"traceEvents[{i}] is not an object")
+    for key, types in (
+        ("name", str),
+        ("cat", str),
+        ("ph", str),
+        ("ts", (int, float)),
+        ("pid", int),
+        ("tid", int),
+    ):
+        if key not in ev:
+            return fail(path, f"traceEvents[{i}] missing '{key}'")
+        if not isinstance(ev[key], types):
+            return fail(path, f"traceEvents[{i}] '{key}' has wrong type")
+    if ev["ph"] not in ("i", "C"):
+        return fail(path, f"traceEvents[{i}] unexpected phase {ev['ph']!r}")
+    if ev["ph"] == "i" and ev.get("s") != "t":
+        return fail(path, f"traceEvents[{i}] instant without scope 's':'t'")
+    if ev["ts"] < 0:
+        return fail(path, f"traceEvents[{i}] negative timestamp")
+    if "args" in ev and not isinstance(ev["args"], dict):
+        return fail(path, f"traceEvents[{i}] 'args' is not an object")
+    return True
+
+
+def check_file(path, required):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(path, f"cannot parse: {e}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return fail(path, "not the {'traceEvents': [...]} object form")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        return fail(path, "traceEvents is not a list")
+    if not events:
+        return fail(path, "trace contains no events")
+
+    ok = True
+    last_ts = -1.0
+    for i, ev in enumerate(events):
+        if not check_event(path, i, ev):
+            ok = False
+            continue
+        if ev["ts"] < last_ts:
+            ok = fail(path, f"traceEvents[{i}] timestamps go backwards")
+        last_ts = ev["ts"]
+
+    other = doc.get("otherData")
+    if not isinstance(other, dict) or not {
+        "dropped_events",
+        "recorded_events",
+    } <= other.keys():
+        ok = fail(path, "otherData missing dropped/recorded bookkeeping")
+
+    names = {ev["name"] for ev in events if isinstance(ev, dict)}
+    for name in required:
+        if name not in names:
+            ok = fail(path, f"required event '{name}' never appears")
+
+    if ok:
+        print(
+            f"check_trace: {path}: OK "
+            f"({len(events)} events, {len(names)} series)"
+        )
+    return ok
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("traces", nargs="+", help="trace_event JSON files")
+    ap.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="event name that must appear in every file (repeatable)",
+    )
+    args = ap.parse_args(argv)
+
+    ok = True
+    for path in args.traces:
+        ok = check_file(path, args.require) and ok
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -11,78 +11,39 @@
 //
 // Exit status: 0 = no violations, 1 = violations found, 2 = usage error.
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <exception>
 #include <string>
 
 #include "exp/fuzz/fuzz.h"
-
-namespace {
-
-void usage(std::FILE* out) {
-  std::fputs(
-      "usage: fuzz_scenarios [--seed N] [--iters N] [--budget-s S]\n"
-      "                      [--repro-dir DIR] [--no-shrink] [--verbose]\n",
-      out);
-}
-
-std::uint64_t parse_u64(const char* s, const char* flag) {
-  char* end = nullptr;
-  const unsigned long long v = std::strtoull(s, &end, 10);
-  if (end == s || *end != '\0') {
-    std::fprintf(stderr, "error: %s expects a number, got: %s\n", flag, s);
-    std::exit(2);
-  }
-  return v;
-}
-
-double parse_double(const char* s, const char* flag) {
-  char* end = nullptr;
-  const double v = std::strtod(s, &end);
-  if (end == s || *end != '\0' || v < 0) {
-    std::fprintf(stderr, "error: %s expects a non-negative number, got: %s\n",
-                 flag, s);
-    std::exit(2);
-  }
-  return v;
-}
-
-}  // namespace
+#include "exp/option_set.h"
 
 int main(int argc, char** argv) {
   using namespace pert::exp;
   fuzz::FuzzOptions opts;
   opts.verbose = false;
-  for (int i = 1; i < argc; ++i) {
-    auto value = [&](const char* flag) -> const char* {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "error: %s needs a value\n", flag);
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (std::strcmp(argv[i], "-h") == 0 ||
-        std::strcmp(argv[i], "--help") == 0) {
-      usage(stdout);
-      return 0;
-    } else if (std::strcmp(argv[i], "--seed") == 0) {
-      opts.seed = parse_u64(value("--seed"), "--seed");
-    } else if (std::strcmp(argv[i], "--iters") == 0) {
-      opts.iterations = parse_u64(value("--iters"), "--iters");
-    } else if (std::strcmp(argv[i], "--budget-s") == 0) {
-      opts.time_budget_s = parse_double(value("--budget-s"), "--budget-s");
-    } else if (std::strcmp(argv[i], "--repro-dir") == 0) {
-      opts.repro_dir = value("--repro-dir");
-    } else if (std::strcmp(argv[i], "--no-shrink") == 0) {
-      opts.shrink = false;
-    } else if (std::strcmp(argv[i], "--verbose") == 0) {
-      opts.verbose = true;
-    } else {
-      std::fprintf(stderr, "error: unknown flag: %s\n", argv[i]);
-      usage(stderr);
-      return 2;
-    }
+  bool no_shrink = false;
+  cli::OptionSet flags("fuzz_scenarios",
+                       "Randomized scenario fuzzer with invariant checking "
+                       "and a fluid-model oracle.");
+  flags.opt("--seed", &opts.seed, "base seed; iteration i derives from it")
+      .opt("--iters", &opts.iterations, "scenarios to run")
+      .opt("--budget-s", &opts.time_budget_s,
+           "stop early after this much wall time (0 = no budget)", "S")
+      .opt("--repro-dir", &opts.repro_dir,
+           "write repro bundles for violations into DIR", "DIR")
+      .flag("--no-shrink", &no_shrink, "skip shrinking violating scenarios")
+      .flag("--verbose", &opts.verbose, "per-iteration progress output");
+  switch (flags.parse(argc, argv)) {
+    case cli::OptionSet::Result::kOk: break;
+    case cli::OptionSet::Result::kHelp: return 0;
+    case cli::OptionSet::Result::kError: return 2;
+  }
+  opts.shrink = !no_shrink;
+  if (opts.time_budget_s < 0) {
+    std::fprintf(stderr,
+                 "error: --budget-s expects a non-negative number\n%s",
+                 flags.usage().c_str());
+    return 2;
   }
   if (opts.time_budget_s > 0 && opts.iterations == 25)
     opts.iterations = 100000;  // budget-bounded mode: iterate until time out

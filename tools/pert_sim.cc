@@ -14,6 +14,7 @@
 //
 //   pert_sim --jobs 0 --json out.json scheme=pert,sack,sack-red,vegas
 //            bw=100M rtt=60 flows=10                        (one line)
+#include <cctype>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -26,6 +27,7 @@
 
 #include "exp/cli.h"
 #include "exp/fuzz/fuzz.h"
+#include "exp/option_set.h"
 #include "exp/table.h"
 #include "predictors/trace_io.h"
 #include "predictors/trace_recorder.h"
@@ -63,6 +65,46 @@ void print_metrics(const exp::WindowMetrics& m) {
   t.print();
 }
 
+/// Derives a per-job output path from a user-given one by inserting `tag`
+/// before the extension: ("out.json", "PERT") -> "out.PERT.json". Tag
+/// characters outside [A-Za-z0-9._-] become '_' so scheme display names
+/// like "Sack/Droptail" cannot escape into the directory part.
+std::string tagged_path(const std::string& path, std::string tag) {
+  for (char& c : tag)
+    if (!(std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '-' ||
+          c == '.' || c == '_'))
+      c = '_';
+  const std::size_t slash = path.find_last_of('/');
+  const std::size_t dot = path.find_last_of('.');
+  if (dot == std::string::npos || (slash != std::string::npos && dot < slash))
+    return path + "." + tag;
+  return path.substr(0, dot) + "." + tag + path.substr(dot);
+}
+
+/// Writes the scenario's structured observability outputs (Chrome trace
+/// JSON and/or metric-registry snapshot) when the user asked for them.
+int write_obs_outputs(exp::Dumbbell& d, const std::string& trace_json,
+                      const std::string& metrics_json) {
+  try {
+    if (!trace_json.empty()) {
+      std::ofstream f(trace_json);
+      if (!f) throw std::runtime_error("cannot open " + trace_json);
+      d.obs().tracer().write_chrome_trace(f);
+      std::printf("event trace written to %s\n", trace_json.c_str());
+    }
+    if (!metrics_json.empty()) {
+      std::ofstream f(metrics_json);
+      if (!f) throw std::runtime_error("cannot open " + metrics_json);
+      d.obs().registry().write_json(f);
+      std::printf("metrics written to %s\n", metrics_json.c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error writing outputs: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
+
 /// Single-scenario path: trace/series recording, byte-identical output to the
 /// pre-runner CLI. Returns the result for optional JSON export.
 int run_single(const exp::CliOptions& opt, const std::string& json_out) {
@@ -81,7 +123,7 @@ int run_single(const exp::CliOptions& opt, const std::string& json_out) {
   }
 
   const auto t0 = std::chrono::steady_clock::now();
-  const exp::WindowMetrics m = d.run(opt.warmup, opt.measure);
+  const exp::WindowMetrics m = d.measure_window(opt.warmup, opt.measure);
   const double wall_ms =
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - t0)
@@ -89,6 +131,9 @@ int run_single(const exp::CliOptions& opt, const std::string& json_out) {
 
   print_banner(opt, opt.cfg.scheme, d.buffer_pkts());
   print_metrics(m);
+
+  if (const int rc = write_obs_outputs(d, opt.trace_json, opt.metrics_json))
+    return rc;
 
   try {
     if (recorder) {
@@ -145,14 +190,28 @@ int run_multi(const exp::CliOptions& opt, unsigned jobs,
               std::string(exp::to_string(cfg.scheme));
     job.seed = cfg.seed;  // same base seed per scheme, as if run one at a time
     job.tags = {{"scheme", std::string(exp::to_string(cfg.scheme))}};
+    // Per-job observability outputs: trace=/metrics= paths get the scheme
+    // name spliced in so parallel jobs never write to the same file.
+    const std::string scheme_tag(exp::to_string(cfg.scheme));
+    std::string trace_json = opt.trace_json.empty()
+                                 ? std::string()
+                                 : tagged_path(opt.trace_json, scheme_tag);
+    std::string metrics_json = opt.metrics_json.empty()
+                                   ? std::string()
+                                   : tagged_path(opt.metrics_json, scheme_tag);
     job.run = [cfg, warmup = opt.warmup, measure = opt.measure,
+               trace_json = std::move(trace_json),
+               metrics_json = std::move(metrics_json),
                &buf = buffer_pkts[i]](const runner::Job& j) mutable {
       cfg.watchdog.cancel = j.cancel.flag();
       exp::Dumbbell d(cfg);
       runner::JobOutput out;
-      out.metrics = d.run(warmup, measure);
+      out.metrics = d.measure_window(warmup, measure);
       out.events = d.network().sched().dispatched();
+      out.registry = d.obs().registry();
       buf = d.buffer_pkts();
+      if (write_obs_outputs(d, trace_json, metrics_json) != 0)
+        throw std::runtime_error("failed to write observability outputs");
       return out;
     };
     batch.push_back(std::move(job));
@@ -190,84 +249,42 @@ int run_multi(const exp::CliOptions& opt, unsigned jobs,
   return rc;
 }
 
-unsigned parse_jobs(const char* s) {
-  char* end = nullptr;
-  unsigned long v = std::strtoul(s, &end, 10);
-  if (end == s || *end != '\0') {
-    std::fprintf(stderr, "error: --jobs expects a number, got: %s\n", s);
-    std::exit(2);
-  }
-  return static_cast<unsigned>(v);
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace pert;
+
+  // Fuzzer repro bundle replay: self-contained, bypasses the normal
+  // key=value scenario grammar entirely.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "repro=", 6) != 0) continue;
+    try {
+      return exp::fuzz::replay_repro_bundle(argv[i] + 6) ? 0 : 1;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+  }
+
   unsigned jobs = 1;
   std::string json_out;
   std::string journal_path;
   bool resume = false;
+  std::vector<std::string> impairs;
   std::vector<std::string> args;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "-h") == 0 || std::strcmp(argv[i], "--help") == 0) {
-      std::fputs(exp::cli_usage().c_str(), stdout);
-      return 0;
-    } else if (std::strncmp(argv[i], "repro=", 6) == 0) {
-      // Fuzzer repro bundle replay: self-contained, bypasses the normal
-      // key=value scenario grammar entirely.
-      try {
-        return exp::fuzz::replay_repro_bundle(argv[i] + 6) ? 0 : 1;
-      } catch (const std::exception& e) {
-        std::fprintf(stderr, "error: %s\n", e.what());
-        return 2;
-      }
-    } else if (std::strcmp(argv[i], "--jobs") == 0) {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "error: --jobs needs a value\n%s",
-                     exp::cli_usage().c_str());
-        return 2;
-      }
-      jobs = parse_jobs(argv[++i]);
-    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
-      jobs = parse_jobs(argv[i] + 7);
-    } else if (std::strcmp(argv[i], "--json") == 0) {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "error: --json needs a path\n%s",
-                     exp::cli_usage().c_str());
-        return 2;
-      }
-      json_out = argv[++i];
-    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
-      json_out = argv[i] + 7;
-    } else if (std::strcmp(argv[i], "--journal") == 0) {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "error: --journal needs a path\n%s",
-                     exp::cli_usage().c_str());
-        return 2;
-      }
-      journal_path = argv[++i];
-    } else if (std::strncmp(argv[i], "--journal=", 10) == 0) {
-      journal_path = argv[i] + 10;
-    } else if (std::strcmp(argv[i], "--resume") == 0) {
-      resume = true;
-    } else if (std::strncmp(argv[i], "--impair=", 9) == 0) {
-      args.emplace_back(std::string("impair=") + (argv[i] + 9));
-    } else if (std::strcmp(argv[i], "--impair") == 0) {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "error: --impair needs a specification\n%s",
-                     exp::cli_usage().c_str());
-        return 2;
-      }
-      args.emplace_back(std::string("impair=") + argv[++i]);
-    } else if (argv[i][0] == '-') {
-      std::fprintf(stderr, "error: unknown flag: %s\n%s", argv[i],
-                   exp::cli_usage().c_str());
-      return 2;
-    } else {
-      args.emplace_back(argv[i]);
-    }
+  exp::cli::OptionSet opts("pert_sim", exp::cli_usage());
+  opts.opt("--jobs", &jobs, "worker threads for multi-scheme runs (0 = all cores)")
+      .opt("--json", &json_out, "export the RunReport as JSON", "PATH")
+      .opt("--journal", &journal_path, "crash-safe journal for --resume", "PATH")
+      .flag("--resume", &resume, "resume completed cells from --journal")
+      .multi("--impair", &impairs, "impairment spec, e.g. loss:p=0.01", "SPEC")
+      .positionals(&args, "key=value");
+  switch (opts.parse(argc, argv)) {
+    case exp::cli::OptionSet::Result::kOk: break;
+    case exp::cli::OptionSet::Result::kHelp: return 0;
+    case exp::cli::OptionSet::Result::kError: return 2;
   }
+  for (const std::string& spec : impairs) args.push_back("impair=" + spec);
 
   exp::CliOptions opt;
   try {
