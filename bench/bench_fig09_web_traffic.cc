@@ -37,6 +37,6 @@ int main(int argc, char** argv) {
   spec.window = [&](double) {
     return opt.full ? std::pair{100.0, 200.0} : std::pair{20.0, 40.0};
   };
-  opt.export_report(bench::run_dumbbell_sweep(spec, opt.runner(), opt.trace_dir));
+  opt.export_report(bench::run_dumbbell_sweep(spec, opt.runner(), opt.trace_dir, opt.worker));
   return 0;
 }

@@ -120,7 +120,7 @@ int main(int argc, char** argv) {
   spec.window = [&](double) { return std::pair{warmup, measure}; };
 
   const runner::RunReport report =
-      bench::run_dumbbell_sweep(spec, opt.runner(), opt.trace_dir);
+      bench::run_dumbbell_sweep(spec, opt.runner(), opt.trace_dir, opt.worker);
 
   // Drop-cause split per cell: shows injected (impairment) losses separated
   // from congestion/overflow drops the AQM itself took.

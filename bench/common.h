@@ -15,6 +15,13 @@
 //                only what is missing
 //   --trace-dir DIR  write one Chrome trace_event JSON per cell into DIR
 //                (see docs/observability.md)
+//   --shard K/N  run only the grid cells whose index i satisfies
+//                i % N == K (0-based); the union of all N shards is
+//                byte-identical to the unsharded run (docs/runner.md
+//                "Distributed sweeps")
+//   --worker HOST:PORT  serve this bench's grid as a distributed worker:
+//                fetch cell leases from a sweep_coordinator instead of
+//                running the grid locally
 //
 // Flags are parsed by exp::cli::OptionSet, so --help lists them and unknown
 // flags are an error (they used to be silently ignored).
@@ -22,8 +29,10 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
 
+#include "dist/shard.h"
 #include "exp/option_set.h"
 #include "runner/report.h"
 #include "runner/runner.h"
@@ -38,9 +47,12 @@ struct Opts {
   std::string journal;    ///< when non-empty, journal every completed cell
   bool resume = false;    ///< recover completed cells from the journal
   std::string trace_dir;  ///< when non-empty, per-cell event traces go here
+  dist::ShardSpec shard;  ///< --shard K/N grid slice ({0,1} = whole grid)
+  std::string worker;     ///< --worker HOST:PORT coordinator address
 
   static Opts parse(int argc, char** argv) {
     Opts o;
+    std::string shard_arg;
     exp::cli::OptionSet opts(argv != nullptr && argc > 0 ? argv[0] : "bench");
     opts.flag("--full", &o.full, "paper-scale grid (default: reduced)")
         .flag("--smoke", &o.smoke, "tiny grid for CI determinism checks")
@@ -51,7 +63,12 @@ struct Opts {
              "PATH")
         .flag("--resume", &o.resume, "recover completed cells from --journal")
         .opt("--trace-dir", &o.trace_dir,
-             "write one Chrome trace_event JSON per cell into DIR", "DIR");
+             "write one Chrome trace_event JSON per cell into DIR", "DIR")
+        .opt("--shard", &shard_arg,
+             "run only grid cells with index % N == K (0-based)", "K/N")
+        .opt("--worker", &o.worker,
+             "run as a distributed worker against this coordinator",
+             "HOST:PORT");
     switch (opts.parse(argc, argv)) {
       case exp::cli::OptionSet::Result::kOk: break;
       case exp::cli::OptionSet::Result::kHelp: std::exit(0);
@@ -59,6 +76,20 @@ struct Opts {
     }
     if (o.resume && o.journal.empty()) {
       std::fprintf(stderr, "error: --resume requires --journal PATH\n");
+      std::exit(2);
+    }
+    if (!shard_arg.empty()) {
+      try {
+        o.shard = dist::parse_shard(shard_arg);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        std::exit(2);
+      }
+    }
+    if (!o.worker.empty() && (o.shard.active() || o.resume)) {
+      std::fprintf(stderr,
+                   "error: --worker is exclusive with --shard/--resume (the "
+                   "coordinator owns cell assignment and the journal)\n");
       std::exit(2);
     }
     return o;
@@ -73,13 +104,14 @@ struct Opts {
     std::printf("paper shape: %s\n\n", paper_expectation);
   }
 
-  /// Runner options carrying --jobs / --journal / --resume for this
-  /// bench's batch.
+  /// Runner options carrying --jobs / --journal / --resume / --shard for
+  /// this bench's batch.
   runner::RunnerOptions runner() const {
     runner::RunnerOptions r;
     r.threads = jobs;
     r.journal_path = journal;
     r.resume = resume;
+    r.shard = shard;
     return r;
   }
 

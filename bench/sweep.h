@@ -18,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "dist/worker.h"
 #include "exp/dumbbell.h"
 #include "exp/table.h"
 #include "runner/runner.h"
@@ -55,9 +56,14 @@ inline std::string cell_trace_path(const std::string& dir,
 /// wall times) for JSON export. When `trace_dir` is non-empty, event tracing
 /// is enabled for every cell and each cell writes a Chrome trace_event JSON
 /// named after its (sanitized) job key into that directory.
+///
+/// With a sharded `ropts` only the shard's cells run (absent cells print as
+/// "-"); with `worker_address` set the grid is served to that coordinator
+/// instead of running locally and the returned report is a stub (the
+/// coordinator owns the real one).
 inline runner::RunReport run_dumbbell_sweep(
     const SweepSpec& spec, runner::RunnerOptions ropts = {},
-    const std::string& trace_dir = {}) {
+    const std::string& trace_dir = {}, const std::string& worker_address = {}) {
   const std::size_t nx = spec.xs.size(), ns = spec.schemes.size();
   if (!trace_dir.empty()) std::filesystem::create_directories(trace_dir);
 
@@ -103,6 +109,21 @@ inline runner::RunReport run_dumbbell_sweep(
     }
   }
 
+  if (!worker_address.empty()) {
+    dist::WorkerOptions wopts;
+    wopts.label = spec.name;
+    const dist::WorkerSummary ws =
+        dist::run_worker(worker_address, spec.name, jobs, wopts);
+    std::fprintf(stderr, "  worker served %llu cell(s) to %s\n",
+                 static_cast<unsigned long long>(ws.completed),
+                 worker_address.c_str());
+    runner::RunReport stub;
+    stub.name = spec.name;
+    stub.status = "ok";
+    stub.grid_cells = jobs.size();
+    return stub;
+  }
+
   ropts.name = spec.name;
   runner::ExperimentRunner exec(ropts);
   runner::RunReport report = exec.run(jobs);
@@ -111,6 +132,12 @@ inline runner::RunReport run_dumbbell_sweep(
     if (!r.ok)
       std::fprintf(stderr, "  WARNING: job %s failed: %s\n", r.key.c_str(),
                    r.error.c_str());
+
+  // A sharded run's results cover only its slice of the grid; index the
+  // tables by global cell, printing "-" for cells other shards own.
+  std::vector<const runner::JobResult*> by_cell(nx * ns, nullptr);
+  for (const runner::JobResult& r : report.results)
+    if (r.cell < by_cell.size()) by_cell[r.cell] = &r;
 
   struct MetricDef {
     const char* name;
@@ -135,9 +162,11 @@ inline runner::RunReport run_dumbbell_sweep(
     exp::Table t(headers);
     for (std::size_t i = 0; i < nx; ++i) {
       std::vector<std::string> row{spec.x_labels[i]};
-      for (std::size_t j = 0; j < ns; ++j)
-        row.push_back(
-            exp::fmt(md.get(report.results[i * ns + j].metrics), md.fmt));
+      for (std::size_t j = 0; j < ns; ++j) {
+        const runner::JobResult* r = by_cell[i * ns + j];
+        row.push_back(r != nullptr ? exp::fmt(md.get(r->metrics), md.fmt)
+                                   : std::string("-"));
+      }
       t.row(std::move(row));
     }
     t.print();

@@ -1,0 +1,89 @@
+// Work-stealing sweep coordinator: serves grid cells to TCP workers and
+// streams their results into a crash-safe journal.
+//
+// The coordinator is grid-agnostic — it never materializes job bodies. The
+// sweep's identity (name, cell count, shard-independent grid hash) is pinned
+// either from a resumed journal header or from the first worker's hello;
+// every later hello must match or is rejected. Workers compute cells and
+// stream back full JobResult records, which the coordinator journals exactly
+// as an in-process `--journal` run would, so the final report is
+// byte-identical (minus volatile wall-clock fields) to `--jobs 1` and the
+// journal is resumable by the bench itself.
+//
+// Scheduling is pull-based work stealing at cell-range granularity:
+//
+//   - a requesting worker is leased a contiguous chunk of the pending pool,
+//     sized 1/(2·workers) of what remains so late joiners still find work;
+//   - when the pool is empty, the requester steals half of the LARGEST
+//     outstanding lease. Stolen cells are leased to both workers —
+//     speculative duplicates are harmless because every cell is a pure
+//     function of its seed, and the first result to arrive wins;
+//   - a lease whose worker neither delivers a result nor stays connected
+//     past the lease timeout is revoked: the connection is closed and its
+//     unfinished cells return to the pool. A SIGKILLed worker is detected
+//     sooner via EOF on its socket;
+//   - receiving a result refreshes the sending worker's lease deadline, so
+//     long cells survive as long as the worker keeps making progress.
+//
+// Shutdown: when every cell is done the coordinator writes the report,
+// answers further requests with `drain`, and exits once all workers have
+// disconnected. Setting the `drain` flag (e.g. from a SIGTERM handler)
+// stops new assignments immediately; in-flight cells still land in the
+// journal, then a status:"partial" report is written.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "runner/job.h"
+
+namespace pert::dist {
+
+struct CoordinatorOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;        ///< 0 = ephemeral; see Coordinator::port()
+  std::string journal_path;      ///< required: results stream here
+  std::string json_path;         ///< when non-empty, final report JSON
+  bool resume = false;           ///< recover done cells from journal_path
+  std::uint64_t lease_ms = 30000;  ///< revoke silent leases after this long
+  std::uint64_t wait_ms = 250;   ///< worker backoff when nothing assignable
+  /// When non-null and set, the coordinator drains: stops assigning, keeps
+  /// accepting in-flight results, writes a partial report, exits.
+  const std::atomic<bool>* drain = nullptr;
+  bool verbose = true;           ///< progress lines on stderr
+};
+
+struct CoordinatorResult {
+  runner::RunReport report;
+  std::uint64_t completed = 0;   ///< cells completed by workers this serve
+  std::uint64_t resumed = 0;     ///< cells recovered from the journal
+  std::uint64_t superseded = 0;  ///< duplicate results (steals/races) dropped
+  std::uint64_t revoked = 0;     ///< leases revoked by timeout or disconnect
+  bool drained = false;          ///< exited early via the drain flag
+};
+
+class Coordinator {
+ public:
+  /// Binds and listens immediately (throws std::runtime_error on a missing
+  /// journal path or bind failure); serve() starts the loop and performs
+  /// journal recovery when `resume` is set.
+  explicit Coordinator(CoordinatorOptions opts);
+  ~Coordinator();
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  /// The actually-bound port (useful with port 0).
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Runs the serve loop on the calling thread until the grid completes or
+  /// the drain flag is set. Returns the assembled report.
+  CoordinatorResult serve();
+
+ private:
+  CoordinatorOptions opts_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace pert::dist

@@ -1,0 +1,127 @@
+// Wire protocol for the distributed sweep service (coordinator <-> worker).
+//
+// Transport is a plain TCP stream carrying length-prefixed JSON lines:
+//
+//   <decimal payload byte count> SP <payload JSON> LF
+//
+// e.g. `47 {"type":"request"}\n` (the count covers exactly the payload
+// bytes, excluding the trailing newline). The prefix makes message
+// boundaries explicit without trusting the payload to be newline-free, and
+// keeps the stream greppable/debuggable — `nc` against a coordinator prints
+// readable JSON. Payloads reuse the runner's JsonValue model, so result
+// records travel in exactly the bytes `runner::to_json(JobResult)` emits and
+// round-trip byte-identically into the coordinator's journal and report.
+//
+// Message vocabulary ("type" field):
+//
+//   worker -> coordinator
+//     hello    {name, cells, grid, worker}   grid = shard-independent grid
+//                                            hash (journal_header().base)
+//     request  {}                            ask for the next cell range
+//     result   {record}                      one completed cell, streamed as
+//                                            it finishes
+//     bye      {}                            voluntary disconnect
+//
+//   coordinator -> worker
+//     welcome  {done}                        hello accepted; cells already
+//                                            complete (resume/restart)
+//     reject   {error}                       hello refused (wrong grid)
+//     assign   {cells:[i,...]}               lease on these global cells
+//     wait     {ms}                          nothing assignable now; back
+//                                            off and re-request
+//     drain    {}                            no work now or ever; exit
+//
+// The coordinator never pushes unsolicited messages, so a worker is always
+// either computing or blocked on the reply to its own last message —
+// there is no client-side demultiplexing.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "runner/job.h"
+#include "runner/json.h"
+
+namespace pert::dist {
+
+/// Upper bound on one frame's payload; a length prefix beyond this is
+/// treated as a malformed/hostile stream, not an allocation request.
+constexpr std::size_t kMaxFramePayload = 64u << 20;
+
+/// Serializes one message as a length-prefixed line (see file comment).
+std::string frame_message(const runner::JsonValue& msg);
+
+/// Incremental decoder for the length-prefixed line framing. Feed raw bytes
+/// as they arrive; next() yields complete messages in order.
+class FrameReader {
+ public:
+  void feed(std::string_view data);
+
+  /// Next complete message, or nullopt when the buffer holds only a partial
+  /// frame. Throws std::runtime_error on malformed framing or JSON — a
+  /// stream error is not recoverable, close the connection.
+  std::optional<runner::JsonValue> next();
+
+  /// Bytes buffered but not yet consumed (tests).
+  std::size_t buffered() const noexcept { return buf_.size() - pos_; }
+
+ private:
+  std::string buf_;
+  std::size_t pos_ = 0;
+};
+
+/// The "type" field, or "" when absent/not a string.
+std::string_view message_type(const runner::JsonValue& msg);
+
+// --- message builders -------------------------------------------------
+
+struct HelloMsg {
+  std::string name;          ///< sweep/batch name
+  std::uint64_t cells = 0;   ///< full grid cell count
+  std::uint64_t grid = 0;    ///< shard-independent grid hash
+  std::string worker;        ///< free-form worker label (logs only)
+};
+
+runner::JsonValue make_hello(const HelloMsg& h);
+/// Throws std::runtime_error when required fields are missing/mistyped.
+HelloMsg parse_hello(const runner::JsonValue& msg);
+
+runner::JsonValue make_welcome(std::uint64_t done);
+runner::JsonValue make_reject(std::string_view error);
+runner::JsonValue make_request();
+runner::JsonValue make_assign(const std::vector<std::uint64_t>& cells);
+std::vector<std::uint64_t> parse_assign(const runner::JsonValue& msg);
+runner::JsonValue make_wait(std::uint64_t ms);
+runner::JsonValue make_drain();
+runner::JsonValue make_result(const runner::JobResult& r);
+runner::JobResult parse_result(const runner::JsonValue& msg);
+runner::JsonValue make_bye();
+
+// --- blocking socket helpers (POSIX) ----------------------------------
+
+/// Connects to "host:port" (numeric or resolvable host). Returns the fd.
+/// Throws std::runtime_error naming the failure.
+int dial(const std::string& address);
+
+/// Binds + listens on host:port (port 0 = ephemeral); returns the listening
+/// fd and writes the actually bound port to *bound_port.
+int listen_on(const std::string& host, std::uint16_t port,
+              std::uint16_t* bound_port);
+
+/// Writes all of `data`, retrying short writes/EINTR. Throws on error.
+void send_all(int fd, std::string_view data);
+
+/// Sends one framed message.
+inline void send_message(int fd, const runner::JsonValue& msg) {
+  send_all(fd, frame_message(msg));
+}
+
+/// Blocking read of the next message on `fd` via `reader`. Returns nullopt
+/// on clean EOF (with no partial frame buffered); throws on read errors,
+/// malformed frames, or EOF mid-frame.
+std::optional<runner::JsonValue> recv_message(int fd, FrameReader& reader);
+
+}  // namespace pert::dist

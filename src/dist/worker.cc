@@ -1,0 +1,112 @@
+#include "dist/worker.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <stdexcept>
+#include <thread>
+
+#include "dist/protocol.h"
+#include "runner/journal.h"
+#include "runner/runner.h"
+
+namespace pert::dist {
+
+using runner::JsonValue;
+
+WorkerSummary run_worker(const std::string& address, const std::string& name,
+                         const std::vector<runner::Job>& jobs,
+                         const WorkerOptions& opts) {
+  // The grid hash the coordinator pins/validates is the shard-independent
+  // journal identity, computed from the same (key, seed) fold a local
+  // `--journal` run would use.
+  const runner::JournalHeader ident = runner::journal_header(name, jobs);
+
+  const int fd = dial(address);
+  FrameReader reader;
+  WorkerSummary out;
+
+  auto recv_or_throw = [&](const char* awaiting) {
+    auto msg = recv_message(fd, reader);
+    if (!msg)
+      throw std::runtime_error(std::string("coordinator closed while "
+                                           "awaiting ") +
+                               awaiting);
+    return std::move(*msg);
+  };
+
+  try {
+    HelloMsg hello;
+    hello.name = name;
+    hello.cells = jobs.size();
+    hello.grid = ident.base;
+    hello.worker = opts.label;
+    send_message(fd, make_hello(hello));
+
+    {
+      const JsonValue reply = recv_or_throw("welcome");
+      const std::string_view type = message_type(reply);
+      if (type == "reject") {
+        const JsonValue* err = reply.find("error");
+        throw std::runtime_error(
+            "coordinator rejected worker: " +
+            (err != nullptr && err->is_string() ? err->as_string()
+                                                : std::string("(no reason)")));
+      }
+      if (type != "welcome")
+        throw std::runtime_error("protocol error: expected welcome, got \"" +
+                                 std::string(type) + "\"");
+    }
+
+    for (;;) {
+      send_message(fd, make_request());
+      auto reply = recv_message(fd, reader);
+      if (!reply) break;  // grid finished; coordinator exited
+      const std::string_view type = message_type(*reply);
+      if (type == "drain") {
+        send_message(fd, make_bye());
+        out.drained = true;
+        break;
+      }
+      if (type == "wait") {
+        std::uint64_t ms = 250;
+        if (const JsonValue* v = reply->find("ms"); v != nullptr && v->is_uint())
+          ms = v->as_uint();
+        std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+        continue;
+      }
+      if (type != "assign")
+        throw std::runtime_error("protocol error: expected assign/wait/drain, "
+                                 "got \"" +
+                                 std::string(type) + "\"");
+      for (std::uint64_t cell : parse_assign(*reply)) {
+        if (cell >= jobs.size())
+          throw std::runtime_error("coordinator assigned cell " +
+                                   std::to_string(cell) +
+                                   " beyond the grid");
+        runner::JobResult r = runner::run_job(
+            jobs[cell], opts.max_retries, opts.timeout_ms);
+        r.cell = cell;
+        send_message(fd, make_result(r));
+        ++out.completed;
+        if (opts.progress)
+          std::fprintf(stderr, "  [%s] cell %llu %s (%s)\n",
+                       opts.label.empty() ? "worker" : opts.label.c_str(),
+                       static_cast<unsigned long long>(cell), r.key.c_str(),
+                       std::string(runner::to_string(r.status)).c_str());
+      }
+    }
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  ::close(fd);
+  if (opts.progress)
+    std::fprintf(stderr, "  [%s] worker done: %llu cell(s) computed\n",
+                 opts.label.empty() ? "worker" : opts.label.c_str(),
+                 static_cast<unsigned long long>(out.completed));
+  return out;
+}
+
+}  // namespace pert::dist

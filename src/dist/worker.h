@@ -1,0 +1,41 @@
+// Distributed sweep worker: runs grid cells on behalf of a coordinator.
+//
+// The worker materializes the FULL job vector locally (exactly as an
+// in-process run would, so seeds and cell indices are identical), then
+// connects to the coordinator, offers the grid's identity, and executes
+// whatever cells it is leased — each under the runner's standard failure
+// isolation (transient retries, timeout watchdog, invariant classification,
+// via runner::run_job) — streaming each finished JobResult back as it
+// completes. The loop exits on `drain` or when the coordinator goes away
+// after the grid completes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runner/job.h"
+
+namespace pert::dist {
+
+struct WorkerOptions {
+  std::string label;        ///< free-form worker name for coordinator logs
+  unsigned max_retries = 0; ///< TransientError retries per cell
+  double timeout_ms = 0;    ///< per-cell wall-clock timeout (0 = none)
+  bool progress = true;     ///< per-cell lines on stderr
+};
+
+struct WorkerSummary {
+  std::uint64_t completed = 0;  ///< cells this worker computed and delivered
+  bool drained = false;         ///< coordinator said drain (vs. vanished)
+};
+
+/// Serves `jobs` (the FULL grid, submission order) for the sweep `name` to
+/// the coordinator at `address` ("host:port"). Blocks until drained or the
+/// coordinator disconnects cleanly; throws std::runtime_error on connection
+/// failure, protocol violations, or a rejected hello (wrong grid).
+WorkerSummary run_worker(const std::string& address, const std::string& name,
+                         const std::vector<runner::Job>& jobs,
+                         const WorkerOptions& opts = {});
+
+}  // namespace pert::dist

@@ -128,6 +128,7 @@ FuzzSummary run_fuzz(const FuzzOptions& opts) {
   for (std::uint64_t i = 0; i < opts.iterations; ++i) {
     if (opts.time_budget_s > 0 && seconds_since(t0) > opts.time_budget_s)
       break;
+    if (!opts.shard.owns(i)) continue;
     const std::uint64_t seed =
         runner::derive_seed(opts.seed, "fuzz/" + std::to_string(i));
     Scenario s = generate_scenario(seed, opts.bounds);

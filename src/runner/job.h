@@ -16,6 +16,7 @@
 #include <string_view>
 #include <vector>
 
+#include "dist/shard.h"
 #include "exp/dumbbell.h"
 #include "obs/metrics.h"
 #include "runner/cancel.h"
@@ -73,6 +74,10 @@ struct Job {
 struct JobResult {
   std::string key;
   std::uint64_t seed = 0;
+  /// Global cell index in the full (unsharded) grid: the job's submission
+  /// index. Stable across sharding, so per-shard results can be merged back
+  /// into full-grid submission order (tools/sweep_merge, dist::Coordinator).
+  std::uint64_t cell = 0;
   std::map<std::string, std::string> tags;
   exp::WindowMetrics metrics;
   std::uint64_t events = 0;
@@ -88,6 +93,12 @@ struct JobResult {
 struct RunReport {
   std::string name;        ///< batch label, e.g. the bench name
   unsigned threads = 1;    ///< worker threads actually used
+  /// Which slice of the grid this report covers ({0,1} = the whole grid).
+  /// Serialized as a "shard" block only when active, so unsharded reports
+  /// keep their pre-shard byte format.
+  dist::ShardSpec shard;
+  std::uint64_t grid = 0;        ///< base grid hash (shard-independent)
+  std::uint64_t grid_cells = 0;  ///< cells in the full (unsharded) grid
   double wall_ms = 0;      ///< wall-clock time of the whole batch
   double cpu_ms = 0;       ///< sum of per-job wall times
   /// "ok" (all jobs ok), "partial" (some failed), or "failed" (all failed).

@@ -65,6 +65,15 @@ JsonValue header_to_json(const JournalHeader& h) {
   o.emplace_back("name", JsonValue(h.name));
   o.emplace_back("jobs", JsonValue(h.jobs));
   o.emplace_back("grid", JsonValue(h.grid));
+  // Shard keys only when sharded: unsharded journals keep the pre-shard byte
+  // format (and stay resumable by pre-shard builds).
+  if (h.shard.active()) {
+    o.emplace_back("shard_index",
+                   JsonValue(static_cast<std::uint64_t>(h.shard.index)));
+    o.emplace_back("shard_count",
+                   JsonValue(static_cast<std::uint64_t>(h.shard.count)));
+    o.emplace_back("shard_grid", JsonValue(h.base));
+  }
   return JsonValue(std::move(o));
 }
 
@@ -81,6 +90,18 @@ bool header_from_json(const JsonValue& v, JournalHeader& out) {
   out.name = name->as_string();
   out.jobs = jobs->as_uint();
   out.grid = grid->as_uint();
+  out.base = out.grid;
+  out.shard = {};
+  const JsonValue* si = v.find("shard_index");
+  const JsonValue* sc = v.find("shard_count");
+  const JsonValue* sg = v.find("shard_grid");
+  if (si && sc && sg && si->is_uint() && sc->is_uint() && sg->is_uint()) {
+    out.shard.index = static_cast<std::uint32_t>(si->as_uint());
+    out.shard.count = static_cast<std::uint32_t>(sc->as_uint());
+    out.base = sg->as_uint();
+  } else if (si || sc || sg) {
+    return false;  // a partial shard triple is corruption, not a header
+  }
   return true;
 }
 
@@ -136,10 +157,12 @@ std::string journal_frame(char type, const std::string& payload) {
 }
 
 JournalHeader journal_header(std::string_view name,
-                             const std::vector<Job>& jobs) {
+                             const std::vector<Job>& jobs,
+                             dist::ShardSpec shard) {
   JournalHeader h;
   h.name = name;
   h.jobs = jobs.size();
+  h.shard = shard;
   // Fold every (key, seed) pair, order-sensitively, through the same FNV/
   // splitmix primitives the seed rule uses.
   std::uint64_t acc = fnv1a64(name);
@@ -147,7 +170,13 @@ JournalHeader journal_header(std::string_view name,
     acc = splitmix64(acc ^ fnv1a64(j.key));
     acc = splitmix64(acc ^ j.seed);
   }
-  h.grid = acc;
+  h.base = acc;
+  // Sharded identity additionally folds the shard spec, so --resume of a
+  // shard journal by a different shard (or the unsharded sweep) is rejected
+  // as "a different sweep" instead of silently skipping the wrong cells.
+  h.grid = shard.active()
+               ? splitmix64(splitmix64(acc ^ shard.index) ^ shard.count)
+               : acc;
   return h;
 }
 

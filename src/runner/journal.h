@@ -33,22 +33,35 @@
 #include <string_view>
 #include <vector>
 
+#include "dist/shard.h"
 #include "runner/job.h"
 
 namespace pert::runner {
 
 struct JournalHeader {
   std::string name;         ///< RunReport/batch name
-  std::uint64_t jobs = 0;   ///< cells in the sweep
-  std::uint64_t grid = 0;   ///< hash over every (key, seed) pair
+  std::uint64_t jobs = 0;   ///< cells in the full (unsharded) sweep grid
+  /// Identity hash. Unsharded: a hash over every (key, seed) pair. Sharded:
+  /// that base hash folded with the shard index and count, so a shard can
+  /// never resume (or be mistaken for) another shard's journal — or an
+  /// unsharded one. Pre-shard journals carry the base hash and a {0,1}
+  /// shard, so they keep resuming byte-identically.
+  std::uint64_t grid = 0;
+  std::uint64_t base = 0;   ///< shard-independent grid hash (== grid when
+                            ///< unsharded); lets tools cross-check that N
+                            ///< shard journals describe one grid
+  dist::ShardSpec shard;    ///< which slice this journal records
 
   friend bool operator==(const JournalHeader&, const JournalHeader&) = default;
 };
 
 /// The header describing `jobs` (order-sensitive: the grid hash folds keys
-/// and seeds in submission order).
+/// and seeds in submission order), sliced by `shard`. Pass the FULL job
+/// vector even when sharding: the hash covers the whole grid, the shard spec
+/// only selects which cells this journal may record.
 JournalHeader journal_header(std::string_view name,
-                             const std::vector<Job>& jobs);
+                             const std::vector<Job>& jobs,
+                             dist::ShardSpec shard = {});
 
 struct JournalRecovery {
   /// False when the file has no decodable header (missing, empty, or the

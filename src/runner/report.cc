@@ -148,6 +148,7 @@ JsonValue to_json(const JobResult& r) {
   o.emplace_back("key", JsonValue(r.key));
   for (const auto& [k, val] : r.tags) o.emplace_back(k, JsonValue(val));
   o.emplace_back("seed", JsonValue(r.seed));
+  o.emplace_back("cell", JsonValue(r.cell));
   o.emplace_back("events", JsonValue(r.events));
   o.emplace_back("wall_ms", JsonValue(r.wall_ms));
   o.emplace_back("ok", JsonValue(r.ok));
@@ -168,6 +169,7 @@ JobResult result_from_json(const JsonValue& v) {
   for (const auto& [k, val] : v.as_object()) {
     if (k == "key") r.key = val.as_string();
     else if (k == "seed") r.seed = val.as_uint();
+    else if (k == "cell") r.cell = val.as_uint();
     else if (k == "events") r.events = val.as_uint();
     else if (k == "wall_ms") r.wall_ms = val.as_double();
     else if (k == "ok") r.ok = val.as_bool();
@@ -191,6 +193,22 @@ JsonValue to_json(const RunReport& r) {
   o.emplace_back("status", JsonValue(r.status));
   o.emplace_back("threads", JsonValue(static_cast<std::uint64_t>(r.threads)));
   o.emplace_back("jobs", JsonValue(static_cast<std::uint64_t>(r.results.size())));
+  // Shard slice metadata, only when this report covers a strict slice: the
+  // unsharded document (what merged shards must be byte-identical to) does
+  // not carry the block at all.
+  if (r.shard.active()) {
+    JsonValue::Object so;
+    so.reserve(5);
+    so.emplace_back("index",
+                    JsonValue(static_cast<std::uint64_t>(r.shard.index)));
+    so.emplace_back("count",
+                    JsonValue(static_cast<std::uint64_t>(r.shard.count)));
+    so.emplace_back("cells",
+                    JsonValue(static_cast<std::uint64_t>(r.results.size())));
+    so.emplace_back("total", JsonValue(r.grid_cells));
+    so.emplace_back("grid", JsonValue(r.grid));
+    o.emplace_back("shard", JsonValue(std::move(so)));
+  }
   o.emplace_back("wall_ms", JsonValue(r.wall_ms));
   o.emplace_back("cpu_ms", JsonValue(r.cpu_ms));
   o.emplace_back("speedup", JsonValue(r.speedup()));
@@ -214,9 +232,16 @@ RunReport report_from_json(const JsonValue& v) {
   r.threads = static_cast<unsigned>(uint_or(v, "threads", 1));
   r.wall_ms = num_or(v, "wall_ms", 0);
   r.cpu_ms = num_or(v, "cpu_ms", 0);
+  if (const JsonValue* shard = v.find("shard")) {
+    r.shard.index = static_cast<std::uint32_t>(uint_or(*shard, "index", 0));
+    r.shard.count = static_cast<std::uint32_t>(uint_or(*shard, "count", 1));
+    r.grid_cells = uint_or(*shard, "total", 0);
+    r.grid = uint_or(*shard, "grid", 0);
+  }
   if (const JsonValue* results = v.find("results"))
     for (const JsonValue& jr : results->as_array())
       r.results.push_back(result_from_json(jr));
+  if (!r.shard.active()) r.grid_cells = r.results.size();
   return r;
 }
 

@@ -7,6 +7,10 @@
 //     "status": "ok",             // "ok" | "partial" | "failed"
 //     "threads": 4,
 //     "jobs": 20,
+//     "shard": { "index": 1, "count": 4, "cells": 5,
+//                "total": 20, "grid": 123... },  // only for --shard k/n
+//                                 // runs; "grid" is the shard-independent
+//                                 // grid hash sweep_merge cross-checks
 //     "wall_ms": 5123.4,          // volatile: wall-clock, varies per run
 //     "cpu_ms": 19876.5,          // volatile
 //     "speedup": 3.88,            // volatile
@@ -14,6 +18,7 @@
 //       { "key": "fig08_num_flows/flows=10/PERT",
 //         "x": "10", "scheme": "PERT",   // job tags, flattened
 //         "seed": 1234567890123456789,
+//         "cell": 2,              // global index in the full grid
 //         "events": 987654,
 //         "wall_ms": 812.3,              // volatile
 //         "ok": true,

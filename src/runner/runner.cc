@@ -207,24 +207,45 @@ unsigned resolve_threads(unsigned requested) {
   return hw != 0 ? hw : 1;
 }
 
+JobResult run_job(const Job& job, unsigned max_retries, double timeout_ms) {
+  std::unique_ptr<TimeoutMonitor> monitor;
+  if (timeout_ms > 0) monitor = std::make_unique<TimeoutMonitor>(timeout_ms);
+  return execute(job, max_retries, monitor.get());
+}
+
 ExperimentRunner::ExperimentRunner(RunnerOptions opts)
     : opts_(std::move(opts)) {
   opts_.threads = resolve_threads(opts_.threads);
 }
 
 RunReport ExperimentRunner::run(const std::vector<Job>& jobs) {
+  const dist::ShardSpec shard = opts_.shard;
+  if (shard.count == 0 || shard.index >= shard.count)
+    throw std::invalid_argument("invalid shard spec " + shard.to_string());
+
+  // The shard's slice of the grid: global cell indices this run executes,
+  // in submission order. Unsharded, that is every cell. The header (and so
+  // the journal identity) always covers the FULL grid plus the shard spec.
+  std::vector<std::size_t> owned;
+  owned.reserve(shard.active() ? jobs.size() / shard.count + 1 : jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i)
+    if (shard.owns(i)) owned.push_back(i);
+  const JournalHeader header = journal_header(opts_.name, jobs, shard);
+
   RunReport report;
   report.name = opts_.name;
-  report.results.resize(jobs.size());
+  report.shard = shard;
+  report.grid = header.base;
+  report.grid_cells = jobs.size();
+  report.results.resize(owned.size());
 
   // Crash-safe journal + resume: recover completed cells before running,
   // then journal every newly completed cell. Recovered results are placed
   // at their submission index, so the final report is bit-identical to an
   // uninterrupted run (every cell is a pure function of its seed).
-  std::vector<char> done(jobs.size(), 0);
+  std::vector<char> done(owned.size(), 0);
   std::unique_ptr<Journal> journal;
   if (!opts_.journal_path.empty()) {
-    const JournalHeader header = journal_header(opts_.name, jobs);
     bool fresh = true;
     if (opts_.resume) {
       JournalRecovery rec = recover_journal(opts_.journal_path);
@@ -232,19 +253,20 @@ RunReport ExperimentRunner::run(const std::vector<Job>& jobs) {
         if (rec.header != header)
           throw std::runtime_error(
               "journal " + opts_.journal_path +
-              " was written by a different sweep (name, job count, or "
-              "key/seed grid differs); delete it or drop --resume");
+              " was written by a different sweep (name, job count, shard "
+              "spec, or key/seed grid differs); delete it or drop --resume");
         std::unordered_map<std::string_view, std::size_t> index;
-        index.reserve(jobs.size());
-        for (std::size_t i = 0; i < jobs.size(); ++i)
-          index.emplace(jobs[i].key, i);
+        index.reserve(owned.size());
+        for (std::size_t slot = 0; slot < owned.size(); ++slot)
+          index.emplace(jobs[owned[slot]].key, slot);
         for (JobResult& r : rec.records) {
           const auto it = index.find(r.key);
           // Only ok cells with the job's exact derived seed short-circuit;
           // failed/timeout cells (and stale seeds) re-run on resume.
-          if (it == index.end() || r.seed != jobs[it->second].seed ||
+          if (it == index.end() || r.seed != jobs[owned[it->second]].seed ||
               r.status != JobStatus::kOk)
             continue;
+          r.cell = owned[it->second];
           report.results[it->second] = std::move(r);
           done[it->second] = 1;
           ++report.resumed;
@@ -257,7 +279,7 @@ RunReport ExperimentRunner::run(const std::vector<Job>& jobs) {
               : Journal::append_to(opts_.journal_path));
   }
 
-  const std::size_t remaining = jobs.size() - report.resumed;
+  const std::size_t remaining = owned.size() - report.resumed;
   const unsigned n_workers = static_cast<unsigned>(
       std::min<std::size_t>(opts_.threads, remaining == 0 ? 1 : remaining));
   report.threads = n_workers;
@@ -266,35 +288,45 @@ RunReport ExperimentRunner::run(const std::vector<Job>& jobs) {
   if (opts_.job_timeout_ms > 0 && remaining > 0)
     monitor = std::make_unique<TimeoutMonitor>(opts_.job_timeout_ms);
 
+  // Progress totals (and the ETA derived from them) describe the shard's
+  // slice, not the full grid: a 1/8th shard of a 1000-cell grid is a
+  // 125-cell batch as far as throughput extrapolation goes.
   ProgressReporter progress(opts_.name, remaining, opts_.progress);
+  if (shard.active())
+    progress.note("shard " + shard.to_string() + ": " +
+                  std::to_string(owned.size()) + " of " +
+                  std::to_string(jobs.size()) + " grid cells");
   if (report.resumed > 0)
     progress.note("resumed " + std::to_string(report.resumed) + "/" +
-                  std::to_string(jobs.size()) + " cells from " +
+                  std::to_string(owned.size()) + " cells from " +
                   opts_.journal_path);
   progress.batch_started(n_workers);
   const auto t0 = Clock::now();
 
-  auto run_one = [&](std::size_t i) {
-    report.results[i] = execute(jobs[i], opts_.max_retries, monitor.get());
-    if (journal) journal->append(report.results[i]);
-    progress.job_done(report.results[i].key, report.results[i].wall_ms,
-                      report.results[i].ok);
+  auto run_one = [&](std::size_t slot) {
+    const std::size_t gi = owned[slot];
+    JobResult r = execute(jobs[gi], opts_.max_retries, monitor.get());
+    r.cell = gi;
+    report.results[slot] = std::move(r);
+    if (journal) journal->append(report.results[slot]);
+    progress.job_done(report.results[slot].key, report.results[slot].wall_ms,
+                      report.results[slot].ok);
   };
 
   if (n_workers <= 1) {
     // Serial path: calling thread, submission order, no worker spawned.
-    for (std::size_t i = 0; i < jobs.size(); ++i)
-      if (!done[i]) run_one(i);
+    for (std::size_t slot = 0; slot < owned.size(); ++slot)
+      if (!done[slot]) run_one(slot);
   } else {
-    // Each worker claims the next unstarted index; results are written to
+    // Each worker claims the next unstarted slot; results are written to
     // disjoint slots, so the only shared mutable state is the counter (and
     // the journal, which serializes its appends internally).
     std::atomic<std::size_t> next{0};
     auto worker = [&] {
       for (;;) {
-        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= jobs.size()) return;
-        if (!done[i]) run_one(i);
+        const std::size_t slot = next.fetch_add(1, std::memory_order_relaxed);
+        if (slot >= owned.size()) return;
+        if (!done[slot]) run_one(slot);
       }
     };
     std::vector<std::thread> pool;

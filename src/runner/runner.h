@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "dist/shard.h"
 #include "runner/job.h"
 
 namespace pert::runner {
@@ -42,6 +43,12 @@ struct RunnerOptions {
   /// different sweep (name, job count, or any key/seed differs) is rejected
   /// with std::runtime_error rather than silently mixed in.
   bool resume = false;
+  /// Deterministic grid slice (--shard k/n): only cells whose global index i
+  /// satisfies i % count == index execute; everything else — seeds, journal
+  /// record bytes, report cell order — is unchanged, so the union of all n
+  /// shards is byte-identical to the unsharded run. Progress totals, the
+  /// report's job count, and the journal identity all describe the slice.
+  dist::ShardSpec shard;
 };
 
 class ExperimentRunner {
@@ -64,5 +71,15 @@ class ExperimentRunner {
 
 /// Resolves a requested thread count: 0 -> hardware_concurrency (min 1).
 unsigned resolve_threads(unsigned requested);
+
+/// Runs one job body on the calling thread with the runner's full failure
+/// classification: transient-error retries (same seed, fresh closure copy),
+/// the failed/timeout/invariant status taxonomy, and watchdog diagnostics
+/// capture. `timeout_ms > 0` arms a wall-clock monitor for just this job.
+/// This is the building block the distributed worker loop (src/dist/)
+/// shares with the in-process thread pool; JobResult::cell is left 0 — the
+/// caller knows the global index, the job body does not.
+JobResult run_job(const Job& job, unsigned max_retries = 0,
+                  double timeout_ms = 0);
 
 }  // namespace pert::runner

@@ -1,0 +1,212 @@
+// Coordinator/worker service, in-process over loopback: completion with
+// multiple workers, byte-identity with the local runner, dead-worker
+// reassignment (work stealing + EOF), graceful drain, journal resume, and
+// wrong-grid rejection.
+#include "dist/coordinator.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dist/protocol.h"
+#include "dist/worker.h"
+#include "dist_test_util.h"
+#include "runner/journal.h"
+#include "runner/report.h"
+#include "runner/runner.h"
+
+namespace pert::dist {
+namespace {
+
+using testutil::strip_volatile;
+using testutil::synth_jobs;
+
+struct TempJournal {
+  std::string path;
+  explicit TempJournal(const std::string& name)
+      : path(::testing::TempDir() + name) {
+    std::remove(path.c_str());
+    std::remove((path + ".quarantine").c_str());
+  }
+  ~TempJournal() {
+    std::remove(path.c_str());
+    std::remove((path + ".quarantine").c_str());
+  }
+};
+
+CoordinatorOptions quiet_opts(const std::string& journal) {
+  CoordinatorOptions o;
+  o.journal_path = journal;
+  o.verbose = false;
+  o.wait_ms = 20;
+  o.lease_ms = 5000;  // keep straggler cleanup inside test timeouts
+  return o;
+}
+
+WorkerOptions quiet_worker(const std::string& label) {
+  WorkerOptions w;
+  w.label = label;
+  w.progress = false;
+  return w;
+}
+
+TEST(Coordinator, TwoWorkersCompleteTheGridByteIdentically) {
+  const auto jobs = synth_jobs(10);
+
+  runner::RunnerOptions lo;
+  lo.threads = 1;
+  lo.progress = false;
+  lo.name = "coord_equiv";
+  const runner::RunReport local = runner::ExperimentRunner(lo).run(jobs);
+
+  TempJournal tj("coord_equiv.journal");
+  Coordinator coord(quiet_opts(tj.path));
+  const std::string addr = "127.0.0.1:" + std::to_string(coord.port());
+
+  CoordinatorResult res;
+  std::thread server([&] { res = coord.serve(); });
+  std::thread w1([&] {
+    run_worker(addr, "coord_equiv", jobs, quiet_worker("w1"));
+  });
+  std::thread w2([&] {
+    run_worker(addr, "coord_equiv", jobs, quiet_worker("w2"));
+  });
+  w1.join();
+  w2.join();
+  server.join();
+
+  EXPECT_FALSE(res.drained);
+  EXPECT_EQ(res.report.results.size(), 10u);
+  EXPECT_EQ(res.report.status, "ok");
+  EXPECT_EQ(strip_volatile(runner::to_json(res.report).dump(2)),
+            strip_volatile(runner::to_json(local).dump(2)));
+}
+
+TEST(Coordinator, DeadWorkerCellsAreReassigned) {
+  const auto jobs = synth_jobs(8);
+  TempJournal tj("coord_dead.journal");
+  CoordinatorOptions copts = quiet_opts(tj.path);
+  Coordinator coord(copts);
+  const std::string addr = "127.0.0.1:" + std::to_string(coord.port());
+
+  CoordinatorResult res;
+  std::thread server([&] { res = coord.serve(); });
+
+  // A worker that takes a lease and dies without delivering anything: raw
+  // protocol, then an abrupt close — the SIGKILL shape as the coordinator
+  // sees it.
+  {
+    const runner::JournalHeader ident =
+        runner::journal_header("coord_dead", jobs);
+    const int fd = dial(addr);
+    FrameReader reader;
+    HelloMsg hello;
+    hello.name = "coord_dead";
+    hello.cells = jobs.size();
+    hello.grid = ident.base;
+    hello.worker = "doomed";
+    send_message(fd, make_hello(hello));
+    auto welcome = recv_message(fd, reader);
+    ASSERT_TRUE(welcome.has_value());
+    ASSERT_EQ(message_type(*welcome), "welcome");
+    send_message(fd, make_request());
+    auto assign = recv_message(fd, reader);
+    ASSERT_TRUE(assign.has_value());
+    ASSERT_EQ(message_type(*assign), "assign");
+    EXPECT_FALSE(parse_assign(*assign).empty());
+    ::close(fd);  // dies holding the lease
+  }
+
+  // A healthy worker must still complete every cell, including the dead
+  // worker's, via EOF-triggered reassignment.
+  const WorkerSummary ws =
+      run_worker(addr, "coord_dead", jobs, quiet_worker("healthy"));
+  server.join();
+
+  EXPECT_EQ(ws.completed, 8u);
+  EXPECT_EQ(res.report.results.size(), 8u);
+  EXPECT_EQ(res.report.status, "ok");
+}
+
+TEST(Coordinator, DrainFlagStopsAssignmentAndWritesPartialReport) {
+  const auto jobs = synth_jobs(4);
+  TempJournal tj("coord_drain.journal");
+  std::atomic<bool> drain{true};  // drain before any worker connects
+  CoordinatorOptions copts = quiet_opts(tj.path);
+  copts.drain = &drain;
+  Coordinator coord(copts);
+  const CoordinatorResult res = coord.serve();
+  EXPECT_TRUE(res.drained);
+  EXPECT_EQ(res.report.results.size(), 0u);
+}
+
+TEST(Coordinator, ResumeRecoversJournaledCellsWithoutRerunningThem) {
+  const auto jobs = synth_jobs(6);
+  TempJournal tj("coord_resume.journal");
+
+  {
+    Coordinator coord(quiet_opts(tj.path));
+    const std::string addr = "127.0.0.1:" + std::to_string(coord.port());
+    CoordinatorResult res;
+    std::thread server([&] { res = coord.serve(); });
+    run_worker(addr, "coord_resume", jobs, quiet_worker("w"));
+    server.join();
+    ASSERT_EQ(res.report.results.size(), 6u);
+  }
+
+  // Second serve resumes the finished journal: complete with no workers.
+  CoordinatorOptions copts = quiet_opts(tj.path);
+  copts.resume = true;
+  Coordinator coord(copts);
+  const CoordinatorResult res = coord.serve();
+  EXPECT_EQ(res.resumed, 6u);
+  EXPECT_EQ(res.completed, 0u);
+  EXPECT_EQ(res.report.results.size(), 6u);
+  EXPECT_EQ(res.report.status, "ok");
+}
+
+TEST(Coordinator, RejectsWorkerOfferingADifferentGrid) {
+  const auto jobs = synth_jobs(6, 7);
+  const auto other = synth_jobs(6, 8);  // same shape, different seeds
+  TempJournal tj("coord_reject.journal");
+  Coordinator coord(quiet_opts(tj.path));
+  const std::string addr = "127.0.0.1:" + std::to_string(coord.port());
+
+  CoordinatorResult res;
+  std::thread server([&] { res = coord.serve(); });
+
+  // Pin the grid identity deterministically with a raw hello before the
+  // mismatched worker shows up.
+  const runner::JournalHeader ident =
+      runner::journal_header("coord_reject", jobs);
+  const int pin_fd = dial(addr);
+  FrameReader reader;
+  HelloMsg hello;
+  hello.name = "coord_reject";
+  hello.cells = jobs.size();
+  hello.grid = ident.base;
+  hello.worker = "pin";
+  send_message(pin_fd, make_hello(hello));
+  auto welcome = recv_message(pin_fd, reader);
+  ASSERT_TRUE(welcome.has_value());
+  ASSERT_EQ(message_type(*welcome), "welcome");
+
+  EXPECT_THROW(
+      run_worker(addr, "coord_reject", other, quiet_worker("bad")),
+      std::runtime_error);
+
+  run_worker(addr, "coord_reject", jobs, quiet_worker("good"));
+  send_message(pin_fd, make_bye());
+  ::close(pin_fd);
+  server.join();
+  EXPECT_EQ(res.report.results.size(), 6u);
+}
+
+}  // namespace
+}  // namespace pert::dist

@@ -1,0 +1,135 @@
+// Wire-protocol codec: framing round-trips under arbitrary fragmentation,
+// malformed streams fail loudly, and message builders/parsers are inverses.
+#include "dist/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "runner/report.h"
+
+namespace pert::dist {
+namespace {
+
+using runner::JsonValue;
+
+JsonValue obj(const char* type) {
+  JsonValue::Object o;
+  o.emplace_back("type", JsonValue(type));
+  return JsonValue(std::move(o));
+}
+
+TEST(Framing, RoundTripsASingleMessage) {
+  const JsonValue msg = make_request();
+  const std::string wire = frame_message(msg);
+  // "<len> <payload>\n" with the count covering exactly the payload.
+  const std::size_t sp = wire.find(' ');
+  ASSERT_NE(sp, std::string::npos);
+  EXPECT_EQ(std::stoul(wire.substr(0, sp)), wire.size() - sp - 2);
+  EXPECT_EQ(wire.back(), '\n');
+
+  FrameReader r;
+  r.feed(wire);
+  const auto out = r.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(message_type(*out), "request");
+  EXPECT_FALSE(r.next().has_value());
+  EXPECT_EQ(r.buffered(), 0u);
+}
+
+TEST(Framing, ReassemblesByteByByteFeeds) {
+  std::string wire = frame_message(make_wait(123));
+  wire += frame_message(make_drain());
+  FrameReader r;
+  std::vector<std::string> types;
+  for (char c : wire) {
+    r.feed(std::string_view(&c, 1));
+    while (auto msg = r.next()) types.emplace_back(message_type(*msg));
+  }
+  ASSERT_EQ(types.size(), 2u);
+  EXPECT_EQ(types[0], "wait");
+  EXPECT_EQ(types[1], "drain");
+}
+
+TEST(Framing, DecodesManyMessagesFromOneFeed) {
+  std::string wire;
+  for (int i = 0; i < 50; ++i)
+    wire += frame_message(make_welcome(static_cast<std::uint64_t>(i)));
+  FrameReader r;
+  r.feed(wire);
+  for (int i = 0; i < 50; ++i) {
+    const auto msg = r.next();
+    ASSERT_TRUE(msg.has_value()) << i;
+    EXPECT_EQ(msg->at("done").as_uint(), static_cast<std::uint64_t>(i));
+  }
+  EXPECT_FALSE(r.next().has_value());
+}
+
+TEST(Framing, RejectsMalformedStreams) {
+  {
+    FrameReader r;  // no digits before the space
+    r.feed(" {}\n");
+    EXPECT_THROW(r.next(), std::runtime_error);
+  }
+  {
+    FrameReader r;  // length lies: payload not newline-terminated there
+    r.feed("1 {}\n");
+    EXPECT_THROW(r.next(), std::runtime_error);
+  }
+  {
+    FrameReader r;  // oversize length is hostile, not an allocation request
+    r.feed(std::to_string(kMaxFramePayload + 1) + " ");
+    EXPECT_THROW(r.next(), std::runtime_error);
+  }
+  {
+    FrameReader r;  // valid frame, garbage payload
+    r.feed("3 abc\n");
+    EXPECT_THROW(r.next(), std::runtime_error);
+  }
+}
+
+TEST(Messages, HelloRoundTrips) {
+  HelloMsg h;
+  h.name = "fig08_num_flows";
+  h.cells = 20;
+  h.grid = 0x1234deadbeefULL;
+  h.worker = "w1";
+  const HelloMsg back = parse_hello(make_hello(h));
+  EXPECT_EQ(back.name, h.name);
+  EXPECT_EQ(back.cells, h.cells);
+  EXPECT_EQ(back.grid, h.grid);
+  EXPECT_EQ(back.worker, h.worker);
+
+  EXPECT_THROW(parse_hello(obj("hello")), std::runtime_error);
+}
+
+TEST(Messages, AssignRoundTrips) {
+  const std::vector<std::uint64_t> cells{0, 7, 3, 999};
+  EXPECT_EQ(parse_assign(make_assign(cells)), cells);
+  EXPECT_EQ(parse_assign(make_assign({})), std::vector<std::uint64_t>{});
+  EXPECT_THROW(parse_assign(obj("assign")), std::runtime_error);
+}
+
+TEST(Messages, ResultCarriesTheExactReportBytes) {
+  runner::JobResult r;
+  r.key = "dist/cell=3";
+  r.seed = 42;
+  r.cell = 3;
+  r.tags = {{"x", "3"}};
+  r.metrics.avg_queue_pkts = 12.5;
+  r.events = 107;
+  r.registry.counter("cells").add(1);
+  r.wall_ms = 1.5;
+  r.ok = true;
+  r.status = runner::JobStatus::kOk;
+
+  const runner::JobResult back = parse_result(make_result(r));
+  // Byte-identity is the contract: the record the coordinator journals is
+  // the record a local run would have journaled.
+  EXPECT_EQ(runner::to_json(back).dump(), runner::to_json(r).dump());
+  EXPECT_EQ(back.cell, 3u);
+}
+
+}  // namespace
+}  // namespace pert::dist

@@ -14,6 +14,7 @@
 #include <exception>
 #include <string>
 
+#include "dist/shard.h"
 #include "exp/fuzz/fuzz.h"
 #include "exp/option_set.h"
 
@@ -22,6 +23,7 @@ int main(int argc, char** argv) {
   fuzz::FuzzOptions opts;
   opts.verbose = false;
   bool no_shrink = false;
+  std::string shard_arg;
   cli::OptionSet flags("fuzz_scenarios",
                        "Randomized scenario fuzzer with invariant checking "
                        "and a fluid-model oracle.");
@@ -31,6 +33,8 @@ int main(int argc, char** argv) {
            "stop early after this much wall time (0 = no budget)", "S")
       .opt("--repro-dir", &opts.repro_dir,
            "write repro bundles for violations into DIR", "DIR")
+      .opt("--shard", &shard_arg,
+           "run only iterations with index % N == K (0-based)", "K/N")
       .flag("--no-shrink", &no_shrink, "skip shrinking violating scenarios")
       .flag("--verbose", &opts.verbose, "per-iteration progress output");
   switch (flags.parse(argc, argv)) {
@@ -39,6 +43,14 @@ int main(int argc, char** argv) {
     case cli::OptionSet::Result::kError: return 2;
   }
   opts.shrink = !no_shrink;
+  if (!shard_arg.empty()) {
+    try {
+      opts.shard = pert::dist::parse_shard(shard_arg);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n%s", e.what(), flags.usage().c_str());
+      return 2;
+    }
+  }
   if (opts.time_budget_s < 0) {
     std::fprintf(stderr,
                  "error: --budget-s expects a non-negative number\n%s",

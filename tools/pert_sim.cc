@@ -25,6 +25,8 @@
 #include <string>
 #include <vector>
 
+#include "dist/shard.h"
+#include "dist/worker.h"
 #include "exp/cli.h"
 #include "exp/fuzz/fuzz.h"
 #include "exp/option_set.h"
@@ -170,10 +172,12 @@ int run_single(const exp::CliOptions& opt, const std::string& json_out) {
   return 0;
 }
 
-/// Multi-scheme path: one job per scheme through the experiment runner.
+/// Multi-scheme path: one job per scheme through the experiment runner —
+/// or, with `worker` set, served as a distributed worker to that
+/// coordinator (see docs/runner.md "Distributed sweeps").
 int run_multi(const exp::CliOptions& opt, unsigned jobs,
               const std::string& json_out, const std::string& journal_path,
-              bool resume) {
+              bool resume, dist::ShardSpec shard, const std::string& worker) {
   if (!opt.trace_out.empty() || !opt.series_out.empty()) {
     std::fprintf(stderr,
                  "error: trace_out/series_out need a single scheme\n");
@@ -217,23 +221,36 @@ int run_multi(const exp::CliOptions& opt, unsigned jobs,
     batch.push_back(std::move(job));
   }
 
+  if (!worker.empty()) {
+    dist::WorkerOptions wopts;
+    wopts.label = "pert_sim";
+    const dist::WorkerSummary ws =
+        dist::run_worker(worker, "pert_sim", batch, wopts);
+    std::printf("worker served %llu cell(s) to %s\n",
+                static_cast<unsigned long long>(ws.completed),
+                worker.c_str());
+    return 0;
+  }
+
   runner::RunnerOptions ropts;
   ropts.threads = jobs;
   ropts.name = "pert_sim";
   ropts.journal_path = journal_path;
   ropts.resume = resume;
+  ropts.shard = shard;
   const runner::RunReport report = runner::ExperimentRunner(ropts).run(batch);
 
   int rc = 0;
-  for (std::size_t i = 0; i < report.results.size(); ++i) {
-    const runner::JobResult& r = report.results[i];
+  for (const runner::JobResult& r : report.results) {
     if (!r.ok) {
       std::fprintf(stderr, "error: %s failed: %s\n", r.key.c_str(),
                    r.error.c_str());
       rc = 1;
       continue;
     }
-    print_banner(opt, opt.schemes[i], buffer_pkts[i]);
+    // r.cell is the global scheme index even under --shard, where results
+    // cover only this shard's slice of the batch.
+    print_banner(opt, opt.schemes[r.cell], buffer_pkts[r.cell]);
     print_metrics(r.metrics);
     std::printf("\n");
   }
@@ -270,6 +287,7 @@ int main(int argc, char** argv) {
   std::string json_out;
   std::string journal_path;
   bool resume = false;
+  std::string shard_arg;
   std::vector<std::string> impairs;
   std::vector<std::string> args;
   exp::cli::OptionSet opts("pert_sim", exp::cli_usage());
@@ -277,6 +295,8 @@ int main(int argc, char** argv) {
       .opt("--json", &json_out, "export the RunReport as JSON", "PATH")
       .opt("--journal", &journal_path, "crash-safe journal for --resume", "PATH")
       .flag("--resume", &resume, "resume completed cells from --journal")
+      .opt("--shard", &shard_arg,
+           "run only batch cells with index % N == K (0-based)", "K/N")
       .multi("--impair", &impairs, "impairment spec, e.g. loss:p=0.01", "SPEC")
       .positionals(&args, "key=value");
   switch (opts.parse(argc, argv)) {
@@ -285,6 +305,31 @@ int main(int argc, char** argv) {
     case exp::cli::OptionSet::Result::kError: return 2;
   }
   for (const std::string& spec : impairs) args.push_back("impair=" + spec);
+
+  // worker=HOST:PORT rides in the key=value grammar (like repro=) but is
+  // dispatch, not scenario shape: pull it out before scenario parsing.
+  std::string worker;
+  std::erase_if(args, [&worker](const std::string& a) {
+    if (a.rfind("worker=", 0) != 0) return false;
+    worker = a.substr(7);
+    return true;
+  });
+
+  dist::ShardSpec shard;
+  if (!shard_arg.empty()) {
+    try {
+      shard = dist::parse_shard(shard_arg);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+  }
+  if (!worker.empty() && (shard.active() || resume || !journal_path.empty())) {
+    std::fprintf(stderr,
+                 "error: worker= is exclusive with --shard/--journal/--resume "
+                 "(the coordinator owns cell assignment and the journal)\n");
+    return 2;
+  }
 
   exp::CliOptions opt;
   try {
@@ -298,7 +343,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: --resume requires --journal PATH\n");
     return 2;
   }
-  if (opt.schemes.size() <= 1 && journal_path.empty())
+  if (opt.schemes.size() <= 1 && journal_path.empty() && !shard.active() &&
+      worker.empty())
     return run_single(opt, json_out);
-  return run_multi(opt, jobs, json_out, journal_path, resume);
+  return run_multi(opt, jobs, json_out, journal_path, resume, shard, worker);
 }

@@ -1,0 +1,78 @@
+// sweep_merge — combine per-shard sweep outputs into one full-grid report.
+//
+// Usage:
+//   sweep_merge [--out PATH] [--partial] INPUT...
+//
+// Each INPUT is either a RunReport JSON (from `--shard k/n --json ...`) or a
+// PERTJ1 journal (from `--shard k/n --journal ...`); the format is sniffed
+// from the file content. Inputs must all belong to the same sweep grid and
+// shard count; see src/dist/merge.h for the validation rules.
+//
+// The merged report goes to --out (atomic replace) or stdout. Exit codes:
+//   0  complete merge (every grid cell covered)
+//   1  validation or I/O error (overlap, grid mismatch, missing cells
+//      without --partial, unreadable input)
+//   2  partial merge emitted under --partial (some cells missing)
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "dist/merge.h"
+#include "runner/report.h"
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  pert::dist::MergeOptions opts;
+  std::vector<std::string> inputs;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "sweep_merge: --out requires a path\n");
+        return 1;
+      }
+      out_path = argv[++i];
+    } else if (arg == "--partial") {
+      opts.allow_partial = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: sweep_merge [--out PATH] [--partial] INPUT...\n");
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "sweep_merge: unknown flag %s\n", arg.c_str());
+      return 1;
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) {
+    std::fprintf(stderr,
+                 "usage: sweep_merge [--out PATH] [--partial] INPUT...\n");
+    return 1;
+  }
+
+  try {
+    const pert::dist::MergeOutcome m = pert::dist::merge_shards(inputs, opts);
+    for (const std::string& note : m.notes)
+      std::fprintf(stderr, "sweep_merge: note: %s\n", note.c_str());
+    if (out_path.empty()) {
+      const std::string doc =
+          pert::runner::to_json(m.report).dump(2) + "\n";
+      std::fwrite(doc.data(), 1, doc.size(), stdout);
+    } else {
+      pert::runner::write_report(m.report, out_path);
+    }
+    std::fprintf(stderr,
+                 "sweep_merge: %llu/%llu cells from %zu input(s)%s%s\n",
+                 static_cast<unsigned long long>(m.total_cells - m.missing),
+                 static_cast<unsigned long long>(m.total_cells),
+                 inputs.size(),
+                 m.superseded > 0 ? ", duplicates superseded" : "",
+                 m.complete() ? "" : " (PARTIAL)");
+    return m.complete() ? 0 : 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sweep_merge: error: %s\n", e.what());
+    return 1;
+  }
+}
