@@ -1,0 +1,251 @@
+#include "dist/chaos.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "dist/protocol.h"
+#include "sim/random.h"
+
+namespace pert::dist {
+namespace {
+
+/// Writes all of `data`, swallowing errors: a half-dead peer is the normal
+/// state of affairs inside a chaos proxy, and the reader side will observe
+/// the outcome itself. MSG_NOSIGNAL so a torn-down peer yields EPIPE, not
+/// SIGPIPE (the proxy is also used from inside test binaries).
+void relay_write(int fd, const char* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;
+    }
+    data += static_cast<std::size_t>(n);
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+struct ChaosProxy::Impl {
+  // One proxied connection: a client (worker) socket, an upstream
+  // (coordinator) socket, and a pump thread per direction.
+  struct Conn {
+    int client_fd = -1;
+    int upstream_fd = -1;
+    std::thread up;    // client -> upstream
+    std::thread down;  // upstream -> client
+
+    void sever() const {
+      ::shutdown(client_fd, SHUT_RDWR);
+      ::shutdown(upstream_fd, SHUT_RDWR);
+    }
+  };
+
+  std::string upstream;
+  ChaosConfig cfg;
+  int listen_fd = -1;
+  std::uint16_t port = 0;
+  sim::Rng master{1};
+
+  std::mutex mu;  // guards conns and the sleep cv below
+  std::condition_variable cv;
+  bool stopping = false;
+  std::atomic<bool> partitioned{false};
+  std::vector<std::unique_ptr<Conn>> conns;
+  std::thread accept_thread;
+  std::thread partition_thread;
+  bool started = false;
+
+  std::atomic<std::uint64_t> s_conns{0}, s_refused{0}, s_chunks{0},
+      s_delayed{0}, s_corrupted{0}, s_truncated{0}, s_duplicated{0},
+      s_partitions{0};
+
+  /// Sleeps up to `ms` but wakes immediately on stop(). Returns false when
+  /// stopping.
+  bool sleep_unless_stopping(std::uint64_t ms) {
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait_for(lk, std::chrono::milliseconds(ms),
+                [this] { return stopping; });
+    return !stopping;
+  }
+
+  /// Relays src -> dst, rolling each chunk's fate from this direction's own
+  /// seeded stream. Exits on EOF, on a severed socket, or after injecting a
+  /// truncation (which kills the whole connection mid-frame).
+  void pump(Conn& c, int src, int dst, sim::Rng rng) {
+    char buf[4096];
+    for (;;) {
+      const ssize_t n = ::recv(src, buf, sizeof buf, 0);
+      if (n == 0) break;
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      s_chunks.fetch_add(1, std::memory_order_relaxed);
+
+      if (cfg.delay.max_delay > 0) {
+        const double hold_s = rng.uniform(0.0, cfg.delay.max_delay);
+        const auto hold =
+            std::chrono::microseconds(static_cast<std::int64_t>(hold_s * 1e6));
+        if (hold.count() > 0) {
+          s_delayed.fetch_add(1, std::memory_order_relaxed);
+          std::this_thread::sleep_for(hold);
+        }
+      }
+      if (cfg.corrupt.p > 0 && rng.bernoulli(cfg.corrupt.p)) {
+        const std::size_t idx =
+            rng.uniform_int(0, static_cast<std::uint64_t>(n) - 1);
+        buf[idx] ^= static_cast<char>(rng.uniform_int(1, 255));
+        s_corrupted.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (cfg.truncate.p > 0 && rng.bernoulli(cfg.truncate.p)) {
+        // Forward a prefix (possibly empty) and tear the connection down:
+        // the receiver is left holding a frame that will never complete.
+        relay_write(dst, buf, rng.uniform_int(0, static_cast<std::uint64_t>(n) - 1));
+        s_truncated.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+      const bool dup =
+          cfg.duplicate.p > 0 && rng.bernoulli(cfg.duplicate.p);
+      relay_write(dst, buf, static_cast<std::size_t>(n));
+      if (dup) {
+        relay_write(dst, buf, static_cast<std::size_t>(n));
+        s_duplicated.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    c.sever();  // wake the opposite-direction pump too
+  }
+
+  void accept_loop() {
+    for (;;) {
+      pollfd pfd{};
+      pfd.fd = listen_fd;
+      pfd.events = POLLIN;
+      const int r = ::poll(&pfd, 1, 100);
+      {
+        std::lock_guard<std::mutex> lk(mu);
+        if (stopping) return;
+      }
+      if (r <= 0) continue;
+      const int cfd = ::accept(listen_fd, nullptr, nullptr);
+      if (cfd < 0) continue;
+      if (partitioned.load(std::memory_order_relaxed)) {
+        ::close(cfd);
+        s_refused.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      int ufd = -1;
+      try {
+        ufd = dial(upstream);
+      } catch (const std::exception&) {
+        ::close(cfd);  // upstream down: the worker sees a refused connect
+        s_refused.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      s_conns.fetch_add(1, std::memory_order_relaxed);
+      auto conn = std::make_unique<Conn>();
+      conn->client_fd = cfd;
+      conn->upstream_fd = ufd;
+      // Fate streams fork from the master in accept order — the sole
+      // consumer of `master`, so the per-connection streams are a pure
+      // function of (seed, connection index, direction).
+      sim::Rng rng_up = master.fork();
+      sim::Rng rng_down = master.fork();
+      Conn* c = conn.get();
+      conn->up = std::thread(
+          [this, c, r = std::move(rng_up)]() mutable {
+            pump(*c, c->client_fd, c->upstream_fd, std::move(r));
+          });
+      conn->down = std::thread(
+          [this, c, r = std::move(rng_down)]() mutable {
+            pump(*c, c->upstream_fd, c->client_fd, std::move(r));
+          });
+      std::lock_guard<std::mutex> lk(mu);
+      conns.push_back(std::move(conn));
+    }
+  }
+
+  void partition_loop() {
+    while (sleep_unless_stopping(cfg.partition.period_ms)) {
+      partitioned.store(true, std::memory_order_relaxed);
+      s_partitions.fetch_add(1, std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> lk(mu);
+        for (const auto& c : conns) c->sever();
+      }
+      const bool keep = sleep_unless_stopping(
+          cfg.partition.heal_ms > 0 ? cfg.partition.heal_ms : 1);
+      partitioned.store(false, std::memory_order_relaxed);
+      if (!keep) return;
+    }
+  }
+};
+
+ChaosProxy::ChaosProxy(std::string upstream, ChaosConfig cfg,
+                       const std::string& host, std::uint16_t port)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->upstream = std::move(upstream);
+  impl_->cfg = cfg;
+  impl_->master = sim::Rng(cfg.seed == 0 ? 1 : cfg.seed);
+  impl_->listen_fd = listen_on(host, port, &impl_->port);
+}
+
+ChaosProxy::~ChaosProxy() { stop(); }
+
+std::uint16_t ChaosProxy::port() const noexcept { return impl_->port; }
+
+void ChaosProxy::start() {
+  if (impl_->started) return;
+  impl_->started = true;
+  impl_->accept_thread = std::thread([this] { impl_->accept_loop(); });
+  if (impl_->cfg.partition.period_ms > 0)
+    impl_->partition_thread = std::thread([this] { impl_->partition_loop(); });
+}
+
+void ChaosProxy::stop() {
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    if (impl_->stopping) return;
+    impl_->stopping = true;
+  }
+  impl_->cv.notify_all();
+  if (impl_->accept_thread.joinable()) impl_->accept_thread.join();
+  if (impl_->partition_thread.joinable()) impl_->partition_thread.join();
+  for (const auto& c : impl_->conns) c->sever();
+  for (const auto& c : impl_->conns) {
+    if (c->up.joinable()) c->up.join();
+    if (c->down.joinable()) c->down.join();
+    ::close(c->client_fd);
+    ::close(c->upstream_fd);
+  }
+  impl_->conns.clear();
+  if (impl_->listen_fd >= 0) {
+    ::close(impl_->listen_fd);
+    impl_->listen_fd = -1;
+  }
+}
+
+ChaosStats ChaosProxy::stats() const {
+  ChaosStats s;
+  s.connections = impl_->s_conns.load(std::memory_order_relaxed);
+  s.refused = impl_->s_refused.load(std::memory_order_relaxed);
+  s.chunks = impl_->s_chunks.load(std::memory_order_relaxed);
+  s.delayed = impl_->s_delayed.load(std::memory_order_relaxed);
+  s.corrupted = impl_->s_corrupted.load(std::memory_order_relaxed);
+  s.truncated = impl_->s_truncated.load(std::memory_order_relaxed);
+  s.duplicated = impl_->s_duplicated.load(std::memory_order_relaxed);
+  s.partitions = impl_->s_partitions.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace pert::dist

@@ -1,0 +1,93 @@
+// Deterministic network-chaos proxy for the distributed sweep stack.
+//
+// ChaosProxy sits between workers and a coordinator as a plain TCP relay and
+// injects the failure modes the dist layer claims to survive:
+//
+//   - delay:     a chunk is held before forwarding (uniform [0, max]);
+//   - corrupt:   one byte of a chunk is XOR-flipped — the per-frame CRC must
+//                catch it and the receiver must treat the stream as dead;
+//   - truncate:  a chunk is cut mid-frame and the connection is torn down,
+//                exercising reconnect + unacked-result re-offer;
+//   - duplicate: a chunk is forwarded twice (frames arrive twice; duplicate
+//                results must be discarded-and-acked);
+//   - partition: periodically ALL proxied connections are severed and new
+//                ones refused for heal_ms, then service resumes.
+//
+// The same vocabulary as net::ImpairmentQueue, one layer down the stack:
+// where the simulation impairs modelled packets, the proxy impairs the real
+// bytes of the coordination protocol — so the chaos configuration reuses the
+// ImpairmentConfig sub-structs (Bernoulli for the per-chunk fates, Jitter
+// for delay).
+//
+// Determinism: every fate is drawn from sim::Rng streams forked from one
+// master seed in connection-accept order, so a given (seed, config, traffic)
+// replays the same decisions. Thread interleaving still varies wall-clock —
+// the invariant chaos tests assert is the end-to-end one: the merged sweep
+// report is byte-identical to an unimpaired run, chaos or no chaos.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/impairment.h"
+
+namespace pert::dist {
+
+struct ChaosConfig {
+  std::uint64_t seed = 1;  ///< master seed for all fate streams
+
+  net::ImpairmentConfig::Bernoulli corrupt;    ///< P(flip a byte) per chunk
+  net::ImpairmentConfig::Bernoulli truncate;   ///< P(cut + kill conn) per chunk
+  net::ImpairmentConfig::Bernoulli duplicate;  ///< P(forward twice) per chunk
+  net::ImpairmentConfig::Jitter delay;  ///< per-chunk hold, uniform [0, max] s
+
+  struct Partition {
+    std::uint64_t period_ms = 0;  ///< sever everything this often; 0 disables
+    std::uint64_t heal_ms = 0;    ///< refuse new connections for this long
+  } partition;
+
+  bool any() const {
+    return corrupt.p > 0 || truncate.p > 0 || duplicate.p > 0 ||
+           delay.max_delay > 0 || partition.period_ms > 0;
+  }
+};
+
+/// Monotonic injection counters (snapshot; the proxy updates them live).
+struct ChaosStats {
+  std::uint64_t connections = 0;  ///< proxied connections accepted
+  std::uint64_t refused = 0;      ///< connections refused while partitioned
+  std::uint64_t chunks = 0;       ///< chunks relayed (both directions)
+  std::uint64_t delayed = 0;
+  std::uint64_t corrupted = 0;
+  std::uint64_t truncated = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t partitions = 0;
+};
+
+/// A seeded man-in-the-middle TCP proxy: accepts on its own port and relays
+/// each connection to `upstream` ("host:port"), applying ChaosConfig fates
+/// per relayed chunk. start() spawns the accept/relay/partition threads and
+/// returns; stop() (or the destructor) severs everything and joins.
+class ChaosProxy {
+ public:
+  /// Binds immediately (throws std::runtime_error on bind failure);
+  /// relaying begins at start().
+  ChaosProxy(std::string upstream, ChaosConfig cfg,
+             const std::string& host = "127.0.0.1", std::uint16_t port = 0);
+  ~ChaosProxy();
+  ChaosProxy(const ChaosProxy&) = delete;
+  ChaosProxy& operator=(const ChaosProxy&) = delete;
+
+  std::uint16_t port() const noexcept;
+  void start();
+  void stop();
+  ChaosStats stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace pert::dist

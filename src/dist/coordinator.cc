@@ -11,6 +11,7 @@
 #include <deque>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <stdexcept>
 #include <utility>
 #include <vector>
@@ -35,10 +36,14 @@ struct Conn {
   bool dead = false;
   std::string label;
   std::vector<std::uint64_t> lease;  ///< cells leased, not yet delivered
-  /// Activity deadline: refreshed on every message received. Past it, a
-  /// non-empty lease is revoked; an idle conn is closed once the sweep is
-  /// complete or draining (a vanished peer must not block shutdown).
+  /// Liveness deadline: refreshed on every message received (results,
+  /// requests, heartbeats alike). Past it, a non-empty lease is revoked; an
+  /// idle conn is closed once the sweep is complete or draining (a vanished
+  /// peer must not block shutdown).
   Clock::time_point deadline{};
+  /// Horizon the deadline is refreshed to: the pre-hello grace until the
+  /// handshake, then the heartbeat budget (heartbeat_ms · misses).
+  std::uint64_t grace_ms = 0;
 
   explicit Conn(int f) : fd(f) {}
   ~Conn() {
@@ -53,6 +58,44 @@ std::string batch_status(const std::vector<JobResult>& results) {
   for (const JobResult& r : results) ok += r.ok ? 1 : 0;
   if (ok == results.size()) return "ok";
   return ok == 0 ? "failed" : "partial";
+}
+
+/// Scheduling-state snapshot recovered from `<journal>.ckpt`. Cell indices
+/// only — the journal stays the sole authority on completed results.
+struct Checkpoint {
+  std::string name;
+  std::uint64_t cells = 0;
+  std::uint64_t grid = 0;
+  std::vector<std::uint64_t> pending;  ///< pool order at snapshot time
+  std::vector<std::uint64_t> leased;   ///< cells in some worker's lease
+};
+
+/// Parses a checkpoint file; nullopt when absent or undecodable (a torn or
+/// stale checkpoint only costs scheduling order, never correctness, so it
+/// degrades to "ignore").
+std::optional<Checkpoint> load_checkpoint(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return std::nullopt;
+  std::string text;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  try {
+    const JsonValue doc = JsonValue::parse(text);
+    Checkpoint ck;
+    ck.name = doc.at("name").as_string();
+    ck.cells = doc.at("cells").as_uint();
+    ck.grid = doc.at("grid").as_uint();
+    for (const JsonValue& v : doc.at("pending").as_array())
+      ck.pending.push_back(v.as_uint());
+    for (const JsonValue& l : doc.at("leases").as_array())
+      for (const JsonValue& v : l.at("cells").as_array())
+        ck.leased.push_back(v.as_uint());
+    return ck;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
 }
 
 }  // namespace
@@ -71,6 +114,15 @@ Coordinator::~Coordinator() {
 
 CoordinatorResult Coordinator::serve() {
   CoordinatorResult out;
+  obs::Counter& m_steals = out.metrics.counter("dist.steals");
+  obs::Counter& m_dups = out.metrics.counter("dist.dup_results_discarded");
+  obs::Counter& m_revoked = out.metrics.counter("dist.lease_revoked");
+  obs::Counter& m_connects = out.metrics.counter("dist.worker_connects");
+  obs::Counter& m_rejects = out.metrics.counter("dist.worker_rejects");
+  obs::Counter& m_results = out.metrics.counter("dist.results");
+  obs::Counter& m_heartbeats = out.metrics.counter("dist.heartbeats");
+  obs::Counter& m_ckpts = out.metrics.counter("dist.checkpoints");
+  obs::Counter& m_resumed = out.metrics.counter("dist.resumed_cells");
 
   // --- grid identity & completion state (pinned lazily) -----------------
   bool pinned = false;
@@ -80,7 +132,7 @@ CoordinatorResult Coordinator::serve() {
   std::vector<JobResult> cells;
   std::vector<char> done;
   std::vector<char> queued;          // cell is in `pending`
-  std::deque<std::uint64_t> pending;  // unleased, undone cells, grid order
+  std::deque<std::uint64_t> pending;  // unleased, undone cells
   std::uint64_t ndone = 0;
   std::optional<runner::Journal> journal;
 
@@ -94,6 +146,8 @@ CoordinatorResult Coordinator::serve() {
     queued.assign(total, 0);
     pinned = true;
   };
+
+  const std::string ckpt_path = checkpoint_path(opts_.journal_path);
 
   if (opts_.resume) {
     runner::JournalRecovery rec = runner::recover_journal(opts_.journal_path);
@@ -112,6 +166,7 @@ CoordinatorResult Coordinator::serve() {
         ++ndone;
         ++out.resumed;
       }
+      m_resumed.add(out.resumed);
       journal.emplace(runner::Journal::append_to(opts_.journal_path));
       if (opts_.verbose)
         std::fprintf(stderr,
@@ -121,12 +176,38 @@ CoordinatorResult Coordinator::serve() {
                      opts_.journal_path.c_str());
     }
   }
-  if (pinned)
-    for (std::uint64_t i = 0; i < total; ++i)
-      if (done[i] == 0) {
-        pending.push_back(i);
-        queued[i] = 1;
-      }
+  if (pinned) {
+    // Rebuild the pending pool. The journal alone would suffice (every
+    // undone cell is pending), but the checkpoint restores the scheduling
+    // SHAPE the killed coordinator had: its pool order first, then cells
+    // that were leased out — those are queued LAST because a surviving
+    // worker is likely still computing them and will re-offer the results,
+    // so re-assigning them first would only buy duplicate work.
+    auto enqueue = [&](std::uint64_t i) {
+      if (i >= total || done[i] != 0 || queued[i] != 0) return;
+      pending.push_back(i);
+      queued[i] = 1;
+    };
+    std::optional<Checkpoint> ck =
+        opts_.resume ? load_checkpoint(ckpt_path) : std::nullopt;
+    if (ck && (ck->name != name || ck->cells != total || ck->grid != base)) {
+      if (opts_.verbose)
+        std::fprintf(stderr,
+                     "[%s] ignoring stale checkpoint %s (different grid)\n",
+                     name.c_str(), ckpt_path.c_str());
+      ck.reset();
+    }
+    if (ck) {
+      for (std::uint64_t i : ck->pending) enqueue(i);
+      for (std::uint64_t i : ck->leased) enqueue(i);
+      if (opts_.verbose)
+        std::fprintf(stderr,
+                     "[%s] checkpoint restored: %zu pending, %zu in-flight "
+                     "cell(s) deprioritized\n",
+                     name.c_str(), ck->pending.size(), ck->leased.size());
+    }
+    for (std::uint64_t i = 0; i < total; ++i) enqueue(i);
+  }
 
   // --- connection bookkeeping -------------------------------------------
   std::vector<std::unique_ptr<Conn>> conns;
@@ -175,9 +256,47 @@ CoordinatorResult Coordinator::serve() {
   bool draining = false;
   auto complete = [&] { return pinned && ndone == total; };
 
+  // --- checkpointing ------------------------------------------------------
+  std::uint64_t results_since_ckpt = 0;
+  auto save_checkpoint = [&] {
+    if (!pinned || opts_.checkpoint_every == 0) return;
+    JsonValue doc{JsonValue::Object{}};
+    doc.set("name", JsonValue(name));
+    doc.set("cells", JsonValue(total));
+    doc.set("grid", JsonValue(base));
+    JsonValue::Array pend;
+    pend.reserve(pending.size());
+    for (std::uint64_t i : pending) pend.push_back(JsonValue(i));
+    doc.set("pending", JsonValue(std::move(pend)));
+    JsonValue::Array leases;
+    for (const auto& c : conns) {
+      if (c->dead || c->lease.empty()) continue;
+      JsonValue l{JsonValue::Object{}};
+      l.set("worker", JsonValue(c->label));
+      JsonValue::Array lc;
+      lc.reserve(c->lease.size());
+      for (std::uint64_t i : c->lease) lc.push_back(JsonValue(i));
+      l.set("cells", JsonValue(std::move(lc)));
+      leases.push_back(std::move(l));
+    }
+    doc.set("leases", JsonValue(std::move(leases)));
+    runner::atomic_write_file(ckpt_path, doc.dump() + "\n");
+    m_ckpts.add(1);
+    results_since_ckpt = 0;
+  };
+
   // --- message handling --------------------------------------------------
   auto on_hello = [&](Conn* c, const JsonValue& msg) {
     const HelloMsg h = parse_hello(msg);
+    if (h.version != kProtocolVersion) {
+      m_rejects.add(1);
+      send(c, make_reject("protocol version mismatch: coordinator speaks v" +
+                          std::to_string(kProtocolVersion) +
+                          ", worker offered v" + std::to_string(h.version) +
+                          " — upgrade the older side"));
+      drop(c);
+      return;
+    }
     if (!pinned) {
       pin(h.name, h.cells, h.grid);
       for (std::uint64_t i = 0; i < total; ++i) {
@@ -191,7 +310,9 @@ CoordinatorResult Coordinator::serve() {
       hdr.grid = base;  // whole grid: identity == base hash
       journal.emplace(
           runner::Journal::start_fresh(opts_.journal_path, hdr));
+      save_checkpoint();
     } else if (h.name != name || h.cells != total || h.grid != base) {
+      m_rejects.add(1);
       send(c, make_reject("grid mismatch: coordinator serves \"" + name +
                           "\" (" + std::to_string(total) +
                           " cells); worker offered \"" + h.name + "\" (" +
@@ -201,12 +322,23 @@ CoordinatorResult Coordinator::serve() {
     }
     c->helloed = true;
     c->label = h.worker.empty() ? "worker" : h.worker;
+    // From here on liveness is heartbeat-based: the worker beats every
+    // heartbeat_ms even while computing, so the deadline horizon shrinks
+    // from the generous pre-hello grace to a few missed beats.
+    if (opts_.heartbeat_ms > 0)
+      c->grace_ms = opts_.heartbeat_ms * std::max<std::uint64_t>(
+                                             1, opts_.heartbeat_misses);
+    c->deadline = Clock::now() + std::chrono::milliseconds(c->grace_ms);
+    m_connects.add(1);
     if (opts_.verbose)
       std::fprintf(stderr, "[%s] %s connected (%llu/%llu cells done)\n",
                    name.c_str(), c->label.c_str(),
                    static_cast<unsigned long long>(ndone),
                    static_cast<unsigned long long>(total));
-    send(c, make_welcome(ndone));
+    WelcomeMsg w;
+    w.done = ndone;
+    w.heartbeat_ms = opts_.heartbeat_ms;
+    send(c, make_welcome(w));
   };
 
   auto on_request = [&](Conn* c) {
@@ -229,7 +361,6 @@ CoordinatorResult Coordinator::serve() {
         assign.push_back(cell);
       }
       c->lease.insert(c->lease.end(), assign.begin(), assign.end());
-      c->deadline = Clock::now() + std::chrono::milliseconds(opts_.lease_ms);
       send(c, make_assign(assign));
       return;
     }
@@ -248,7 +379,7 @@ CoordinatorResult Coordinator::serve() {
       std::vector<std::uint64_t> stolen(victim->lease.end() - take,
                                         victim->lease.end());
       c->lease.insert(c->lease.end(), stolen.begin(), stolen.end());
-      c->deadline = Clock::now() + std::chrono::milliseconds(opts_.lease_ms);
+      m_steals.add(1);
       if (opts_.verbose)
         std::fprintf(stderr, "[%s] %s steals %zu cell(s) from %s\n",
                      name.c_str(), c->label.c_str(), stolen.size(),
@@ -266,12 +397,14 @@ CoordinatorResult Coordinator::serve() {
       drop(c);
       return;
     }
-    // Progress refreshes the lease: a worker chewing through long cells is
-    // alive, however long each one takes.
-    c->deadline = Clock::now() + std::chrono::milliseconds(opts_.lease_ms);
     const std::uint64_t cell = r.cell;
     if (done[cell] != 0) {
-      ++out.superseded;  // lost a steal race; byte-identical anyway
+      // Lost a steal race, or a re-offer after a reconnect/coordinator
+      // restart; byte-identical to the accepted copy either way. Still
+      // acked so the worker can drop its buffered copy.
+      ++out.superseded;
+      m_dups.add(1);
+      send(c, make_ack(cell));
       return;
     }
     done[cell] = 1;
@@ -279,11 +412,16 @@ CoordinatorResult Coordinator::serve() {
     cells[cell] = std::move(r);
     ++ndone;
     ++out.completed;
+    m_results.add(1);
+    // Journal (one fsynced write) BEFORE acking: an acked result may be
+    // dropped by the worker, so it must already be durable here.
     journal->append(cells[cell]);
+    send(c, make_ack(cell));
     for (auto& other : conns)
       other->lease.erase(
           std::remove(other->lease.begin(), other->lease.end(), cell),
           other->lease.end());
+    if (++results_since_ckpt >= opts_.checkpoint_every) save_checkpoint();
     if (opts_.verbose)
       std::fprintf(stderr, "[%s] %llu/%llu %s (%s)\n", name.c_str(),
                    static_cast<unsigned long long>(ndone),
@@ -304,6 +442,8 @@ CoordinatorResult Coordinator::serve() {
       }
     } else if (type == "result") {
       on_result(c, msg);
+    } else if (type == "heartbeat") {
+      m_heartbeats.add(1);  // deadline already refreshed by the recv path
     } else if (type == "bye") {
       drop(c);
     } else {
@@ -315,21 +455,28 @@ CoordinatorResult Coordinator::serve() {
   // --- serve loop ---------------------------------------------------------
   std::vector<pollfd> fds;
   for (;;) {
-    draining = draining ||
-               (opts_.drain != nullptr &&
-                opts_.drain->load(std::memory_order_relaxed));
+    const bool drain_seen =
+        opts_.drain != nullptr && opts_.drain->load(std::memory_order_relaxed);
+    if (drain_seen && !draining) {
+      draining = true;
+      save_checkpoint();  // snapshot the state the partial report reflects
+    }
     if ((complete() || draining) && conns.empty()) break;
 
-    // Revoke silent leases: no result and no traffic before the deadline
-    // means the worker is hung (a crashed one already surfaced as EOF).
+    // Revoke silent leases: no heartbeat, result, or other traffic inside
+    // the liveness horizon means the worker is hung (a crashed one already
+    // surfaced as EOF).
     const auto now = Clock::now();
     for (auto& c : conns) {
       if (c->dead || now < c->deadline) continue;
       if (!c->lease.empty()) {
         if (opts_.verbose)
-          std::fprintf(stderr, "[%s] lease of %zu cell(s) to %s timed out\n",
+          std::fprintf(stderr,
+                       "[%s] lease of %zu cell(s) to %s timed out "
+                       "(no heartbeat)\n",
                        name.c_str(), c->lease.size(), c->label.c_str());
         ++out.revoked;
+        m_revoked.add(1);
         drop(c.get());
       } else if (complete() || draining) {
         drop(c.get());  // idle straggler; don't let it block shutdown
@@ -353,8 +500,9 @@ CoordinatorResult Coordinator::serve() {
       const int cfd = ::accept(listen_fd_, nullptr, nullptr);
       if (cfd >= 0) {
         auto c = std::make_unique<Conn>(cfd);
+        c->grace_ms = opts_.lease_ms;
         c->deadline =
-            Clock::now() + std::chrono::milliseconds(opts_.lease_ms);
+            Clock::now() + std::chrono::milliseconds(c->grace_ms);
         conns.push_back(std::move(c));
       }
     }
@@ -378,12 +526,15 @@ CoordinatorResult Coordinator::serve() {
       try {
         c->reader.feed(std::string_view(buf, static_cast<std::size_t>(n)));
         c->deadline =
-            Clock::now() + std::chrono::milliseconds(opts_.lease_ms);
+            Clock::now() + std::chrono::milliseconds(c->grace_ms);
         while (auto msg = c->reader.next()) {
           handle(c, *msg);
           if (c->dead) break;
         }
       } catch (const std::exception& e) {
+        // Includes per-frame CRC mismatches: one corrupted byte anywhere in
+        // the stream drops the connection; the worker reconnects and
+        // re-offers whatever it had in flight.
         if (opts_.verbose)
           std::fprintf(stderr, "[%s] dropping %s: %s\n", name.c_str(),
                        c->label.c_str(), e.what());
@@ -394,6 +545,12 @@ CoordinatorResult Coordinator::serve() {
                                [](const auto& c) { return c->dead; }),
                 conns.end());
   }
+
+  // Stop listening BEFORE assembling the report: a worker that missed its
+  // drain (severed link) and reconnects must see ECONNREFUSED — and give up
+  // or fall back — not a kernel-accepted connection nobody will ever serve.
+  ::close(listen_fd_);
+  listen_fd_ = -1;
 
   // --- report -------------------------------------------------------------
   runner::RunReport& rep = out.report;
@@ -410,6 +567,14 @@ CoordinatorResult Coordinator::serve() {
   out.drained = draining && !complete();
   if (!opts_.json_path.empty() && pinned)
     runner::write_report(rep, opts_.json_path);
+  if (complete())
+    std::remove(ckpt_path.c_str());  // journal alone restores a done grid
+  if (!opts_.dist_metrics_path.empty()) {
+    std::ostringstream os;
+    out.metrics.write_json(os);
+    os << "\n";
+    runner::atomic_write_file(opts_.dist_metrics_path, os.str());
+  }
   if (opts_.verbose && pinned)
     std::fprintf(stderr, "[%s] coordinator done: %llu/%llu cells (%s)\n",
                  name.c_str(), static_cast<unsigned long long>(ndone),

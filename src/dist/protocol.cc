@@ -13,15 +13,30 @@
 #include <utility>
 
 #include "runner/report.h"
+#include "sim/checksum.h"
 
 namespace pert::dist {
 
 using runner::JsonValue;
 
+namespace {
+
+/// Lowercase fixed-width hex of a CRC32 (the journal's "hex8" spelling).
+std::string crc_hex8(std::uint32_t crc) {
+  static const char* const kHex = "0123456789abcdef";
+  std::string out(8, '0');
+  for (int i = 7; i >= 0; --i, crc >>= 4) out[static_cast<std::size_t>(i)] = kHex[crc & 0xfu];
+  return out;
+}
+
+}  // namespace
+
 std::string frame_message(const JsonValue& msg) {
   std::string payload = msg.dump();  // compact: contains no newline
   std::string out = std::to_string(payload.size());
-  out.reserve(out.size() + payload.size() + 2);
+  out.reserve(out.size() + payload.size() + 11);
+  out += ' ';
+  out += crc_hex8(sim::crc32(payload));
   out += ' ';
   out += payload;
   out += '\n';
@@ -39,7 +54,7 @@ void FrameReader::feed(std::string_view data) {
 }
 
 std::optional<JsonValue> FrameReader::next() {
-  // Parse "<len> " prefix.
+  // Parse the "<len> " prefix.
   std::size_t p = pos_;
   std::size_t len = 0;
   bool any_digit = false;
@@ -62,10 +77,31 @@ std::optional<JsonValue> FrameReader::next() {
     return std::nullopt;  // prefix incomplete
   }
   ++p;  // consume the space
+  // Parse the "<crc32-hex8> " checksum field.
+  if (buf_.size() - p < 9) return std::nullopt;  // checksum incomplete
+  std::uint32_t want_crc = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    const char c = buf_[p + i];
+    std::uint32_t nibble;
+    if (c >= '0' && c <= '9') {
+      nibble = static_cast<std::uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      nibble = static_cast<std::uint32_t>(c - 'a') + 10;
+    } else {
+      throw std::runtime_error("malformed frame checksum field");
+    }
+    want_crc = (want_crc << 4) | nibble;
+  }
+  if (buf_[p + 8] != ' ')
+    throw std::runtime_error("malformed frame checksum field");
+  p += 9;
   if (buf_.size() - p < len + 1) return std::nullopt;  // payload incomplete
   const std::string_view payload(buf_.data() + p, len);
   if (buf_[p + len] != '\n')
     throw std::runtime_error("frame payload not newline-terminated");
+  if (sim::crc32(payload) != want_crc)
+    throw std::runtime_error(
+        "frame checksum mismatch: payload corrupted in transit");
   pos_ = p + len + 1;
   try {
     return JsonValue::parse(payload);
@@ -97,6 +133,7 @@ JsonValue typed(const char* type) {
 
 JsonValue make_hello(const HelloMsg& h) {
   JsonValue msg = typed("hello");
+  msg.set("v", JsonValue(h.version));
   msg.set("name", JsonValue(h.name));
   msg.set("cells", JsonValue(h.cells));
   msg.set("grid", JsonValue(h.grid));
@@ -112,6 +149,11 @@ HelloMsg parse_hello(const JsonValue& msg) {
       !grid->is_uint())
     bad_message("hello requires name/cells/grid");
   HelloMsg h;
+  // Absent `v` means the pre-versioning protocol; report it as revision 1 so
+  // the coordinator's reject can name the skew instead of guessing.
+  h.version = 1;
+  if (const JsonValue* v = msg.find("v"); v && v->is_uint())
+    h.version = v->as_uint();
   h.name = name->as_string();
   h.cells = cells->as_uint();
   h.grid = grid->as_uint();
@@ -120,10 +162,24 @@ HelloMsg parse_hello(const JsonValue& msg) {
   return h;
 }
 
-JsonValue make_welcome(std::uint64_t done) {
+JsonValue make_welcome(const WelcomeMsg& w) {
   JsonValue msg = typed("welcome");
-  msg.set("done", JsonValue(done));
+  msg.set("v", JsonValue(w.version));
+  msg.set("done", JsonValue(w.done));
+  msg.set("heartbeat_ms", JsonValue(w.heartbeat_ms));
   return msg;
+}
+
+WelcomeMsg parse_welcome(const JsonValue& msg) {
+  WelcomeMsg w;
+  w.version = 1;
+  if (const JsonValue* v = msg.find("v"); v && v->is_uint())
+    w.version = v->as_uint();
+  if (const JsonValue* d = msg.find("done"); d && d->is_uint())
+    w.done = d->as_uint();
+  if (const JsonValue* hb = msg.find("heartbeat_ms"); hb && hb->is_uint())
+    w.heartbeat_ms = hb->as_uint();
+  return w;
 }
 
 JsonValue make_reject(std::string_view error) {
@@ -133,6 +189,20 @@ JsonValue make_reject(std::string_view error) {
 }
 
 JsonValue make_request() { return typed("request"); }
+
+JsonValue make_heartbeat() { return typed("heartbeat"); }
+
+JsonValue make_ack(std::uint64_t cell) {
+  JsonValue msg = typed("ack");
+  msg.set("cell", JsonValue(cell));
+  return msg;
+}
+
+std::uint64_t parse_ack(const JsonValue& msg) {
+  const JsonValue* cell = msg.find("cell");
+  if (!cell || !cell->is_uint()) bad_message("ack requires cell");
+  return cell->as_uint();
+}
 
 JsonValue make_assign(const std::vector<std::uint64_t>& cells) {
   JsonValue msg = typed("assign");

@@ -1,39 +1,57 @@
 // Wire protocol for the distributed sweep service (coordinator <-> worker).
 //
-// Transport is a plain TCP stream carrying length-prefixed JSON lines:
+// Transport is a plain TCP stream carrying length-prefixed, CRC-framed JSON
+// lines:
 //
-//   <decimal payload byte count> SP <payload JSON> LF
+//   <decimal payload byte count> SP <crc32-hex8> SP <payload JSON> LF
 //
-// e.g. `47 {"type":"request"}\n` (the count covers exactly the payload
-// bytes, excluding the trailing newline). The prefix makes message
-// boundaries explicit without trusting the payload to be newline-free, and
-// keeps the stream greppable/debuggable — `nc` against a coordinator prints
-// readable JSON. Payloads reuse the runner's JsonValue model, so result
-// records travel in exactly the bytes `runner::to_json(JobResult)` emits and
-// round-trip byte-identically into the coordinator's journal and report.
+// e.g. `18 6c55293b {"type":"request"}\n` — the count covers exactly the
+// payload bytes (excluding the trailing newline) and the checksum is
+// sim::crc32 over those same bytes, the discipline the on-disk journal
+// already uses. The prefix makes message boundaries explicit without
+// trusting the payload to be newline-free, the checksum turns a corrupted
+// byte anywhere in the stream into a loud connection error instead of a
+// silently wrong record, and the line stays greppable/debuggable — `nc`
+// against a coordinator prints readable JSON. Payloads reuse the runner's
+// JsonValue model, so result records travel in exactly the bytes
+// `runner::to_json(JobResult)` emits and round-trip byte-identically into
+// the coordinator's journal and report.
 //
 // Message vocabulary ("type" field):
 //
 //   worker -> coordinator
-//     hello    {name, cells, grid, worker}   grid = shard-independent grid
-//                                            hash (journal_header().base)
-//     request  {}                            ask for the next cell range
-//     result   {record}                      one completed cell, streamed as
-//                                            it finishes
-//     bye      {}                            voluntary disconnect
+//     hello     {v, name, cells, grid, worker}  v = kProtocolVersion; grid =
+//                                            shard-independent grid hash
+//                                            (journal_header().base)
+//     request   {}                           ask for the next cell range
+//     result    {record}                     one completed cell; coordinator
+//                                            answers with ack
+//     heartbeat {}                           liveness while computing a long
+//                                            cell (sent by a side thread);
+//                                            no reply
+//     bye       {}                           voluntary disconnect
 //
 //   coordinator -> worker
-//     welcome  {done}                        hello accepted; cells already
-//                                            complete (resume/restart)
-//     reject   {error}                       hello refused (wrong grid)
+//     welcome  {v, done, heartbeat_ms}       hello accepted; cells already
+//                                            complete (resume/restart) and
+//                                            the heartbeat cadence expected
+//     reject   {error}                       hello refused (wrong grid or
+//                                            protocol version)
 //     assign   {cells:[i,...]}               lease on these global cells
+//     ack      {cell}                        result received and journaled —
+//                                            the worker may drop its copy
 //     wait     {ms}                          nothing assignable now; back
 //                                            off and re-request
 //     drain    {}                            no work now or ever; exit
 //
-// The coordinator never pushes unsolicited messages, so a worker is always
-// either computing or blocked on the reply to its own last message —
-// there is no client-side demultiplexing.
+// Except for `heartbeat` (fire-and-forget from a worker side thread), the
+// coordinator never pushes unsolicited messages, so a worker is always
+// either computing or blocked on the reply to its own last message — there
+// is no client-side demultiplexing. The per-result `ack` is what bounds the
+// worker's retained-result memory: a result stays buffered (and is
+// re-offered after a reconnect) until acked, and the buffer is bounded, so
+// a long coordinator outage backpressures the worker instead of growing an
+// unbounded queue.
 #pragma once
 
 #include <cstdint>
@@ -46,6 +64,12 @@
 #include "runner/json.h"
 
 namespace pert::dist {
+
+/// Wire-protocol revision. Offered in `hello`, echoed in `welcome`; a
+/// coordinator explicitly rejects a worker speaking any other revision —
+/// version skew fails at the handshake with a reason, never mid-sweep with
+/// a confusing frame error.
+constexpr std::uint64_t kProtocolVersion = 2;
 
 /// Upper bound on one frame's payload; a length prefix beyond this is
 /// treated as a malformed/hostile stream, not an allocation request.
@@ -79,6 +103,7 @@ std::string_view message_type(const runner::JsonValue& msg);
 // --- message builders -------------------------------------------------
 
 struct HelloMsg {
+  std::uint64_t version = kProtocolVersion;  ///< wire-protocol revision
   std::string name;          ///< sweep/batch name
   std::uint64_t cells = 0;   ///< full grid cell count
   std::uint64_t grid = 0;    ///< shard-independent grid hash
@@ -87,11 +112,26 @@ struct HelloMsg {
 
 runner::JsonValue make_hello(const HelloMsg& h);
 /// Throws std::runtime_error when required fields are missing/mistyped.
+/// A missing `v` parses as version 1 (the pre-CRC protocol), so the
+/// coordinator can name the skew in its reject message.
 HelloMsg parse_hello(const runner::JsonValue& msg);
 
-runner::JsonValue make_welcome(std::uint64_t done);
+struct WelcomeMsg {
+  std::uint64_t version = kProtocolVersion;
+  std::uint64_t done = 0;          ///< cells already complete (resume)
+  std::uint64_t heartbeat_ms = 0;  ///< cadence the coordinator expects; the
+                                   ///< worker's liveness deadline is a small
+                                   ///< multiple of this (0 = no heartbeats)
+};
+
+runner::JsonValue make_welcome(const WelcomeMsg& w);
+WelcomeMsg parse_welcome(const runner::JsonValue& msg);
+
 runner::JsonValue make_reject(std::string_view error);
 runner::JsonValue make_request();
+runner::JsonValue make_heartbeat();
+runner::JsonValue make_ack(std::uint64_t cell);
+std::uint64_t parse_ack(const runner::JsonValue& msg);
 runner::JsonValue make_assign(const std::vector<std::uint64_t>& cells);
 std::vector<std::uint64_t> parse_assign(const runner::JsonValue& msg);
 runner::JsonValue make_wait(std::uint64_t ms);

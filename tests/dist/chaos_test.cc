@@ -1,0 +1,233 @@
+// Chaos harness: coordinator/worker sweeps driven through the deterministic
+// ChaosProxy must survive byte corruption (CRC-detected), mid-frame
+// truncation (reconnect + re-offer), duplication (discard-and-ack), and
+// periodic partitions — and still produce a report byte-identical to a
+// local single-threaded run. Also covers the graceful give-up path and
+// coordinator checkpoint/restart.
+#include "dist/chaos.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dist/coordinator.h"
+#include "dist/worker.h"
+#include "dist_test_util.h"
+#include "runner/report.h"
+#include "runner/runner.h"
+
+namespace pert::dist {
+namespace {
+
+using testutil::strip_volatile;
+using testutil::synth_jobs;
+
+struct TempJournal {
+  std::string path;
+  explicit TempJournal(const std::string& name)
+      : path(::testing::TempDir() + name) {
+    cleanup();
+  }
+  ~TempJournal() { cleanup(); }
+  void cleanup() const {
+    std::remove(path.c_str());
+    std::remove((path + ".quarantine").c_str());
+    std::remove((path + ".ckpt").c_str());
+  }
+};
+
+CoordinatorOptions quiet_opts(const std::string& journal) {
+  CoordinatorOptions o;
+  o.journal_path = journal;
+  o.verbose = false;
+  o.wait_ms = 10;
+  o.lease_ms = 5000;
+  o.heartbeat_ms = 50;  // chaos-scale liveness, not production-scale
+  return o;
+}
+
+WorkerOptions chaos_worker(const std::string& label) {
+  WorkerOptions w;
+  w.label = label;
+  w.progress = false;
+  w.max_reconnects = 64;  // chaos kills connections constantly; that's fine
+  w.backoff_base_ms = 2;
+  w.backoff_cap_ms = 20;
+  w.recv_timeout_ms = 2000;  // bound any half-open stall at test scale
+  return w;
+}
+
+std::string local_baseline(const std::string& name,
+                           const std::vector<runner::Job>& jobs) {
+  runner::RunnerOptions lo;
+  lo.threads = 1;
+  lo.progress = false;
+  lo.name = name;
+  return strip_volatile(
+      runner::to_json(runner::ExperimentRunner(lo).run(jobs)).dump(2));
+}
+
+/// Runs a coordinator and one worker whose traffic crosses `cfg` chaos,
+/// returning the coordinator's result. Retries the worker if it gives up
+/// while the sweep is still incomplete (a pathological fate roll must not
+/// hang the test — in production that's the standalone-fallback path).
+CoordinatorResult sweep_through_chaos(const std::string& name,
+                                      const std::vector<runner::Job>& jobs,
+                                      const std::string& journal,
+                                      ChaosConfig cfg, ChaosStats* stats_out) {
+  CoordinatorOptions copts = quiet_opts(journal);
+  Coordinator coord(copts);
+  ChaosProxy proxy("127.0.0.1:" + std::to_string(coord.port()), cfg);
+  proxy.start();
+  const std::string addr = "127.0.0.1:" + std::to_string(proxy.port());
+
+  CoordinatorResult res;
+  std::atomic<bool> served{false};
+  std::thread server([&] {
+    res = coord.serve();
+    served.store(true);
+  });
+  WorkerSummary ws;
+  do {
+    ws = run_worker(addr, name, jobs, chaos_worker("w"));
+  } while (ws.gave_up && !served.load());
+  server.join();
+  if (stats_out != nullptr) *stats_out = proxy.stats();
+  proxy.stop();
+  return res;
+}
+
+TEST(Chaos, CleanProxyIsTransparent) {
+  const auto jobs = synth_jobs(8);
+  const std::string want = local_baseline("chaos_clean", jobs);
+  TempJournal tj("chaos_clean.journal");
+  ChaosStats stats;
+  const CoordinatorResult res =
+      sweep_through_chaos("chaos_clean", jobs, tj.path, ChaosConfig{}, &stats);
+  EXPECT_EQ(res.report.status, "ok");
+  EXPECT_EQ(res.report.results.size(), 8u);
+  EXPECT_EQ(strip_volatile(runner::to_json(res.report).dump(2)), want);
+  EXPECT_GE(stats.connections, 1u);
+  EXPECT_EQ(stats.corrupted + stats.truncated + stats.duplicated, 0u);
+}
+
+TEST(Chaos, SweepSurvivesCorruptionTruncationAndDuplication) {
+  const auto jobs = synth_jobs(24);
+  const std::string want = local_baseline("chaos_full", jobs);
+  TempJournal tj("chaos_full.journal");
+  ChaosConfig cfg;
+  cfg.seed = 42;
+  cfg.corrupt.p = 0.05;    // CRC must catch every flipped byte
+  cfg.truncate.p = 0.03;   // mid-frame cuts force reconnect + re-offer
+  cfg.duplicate.p = 0.10;  // double frames -> duplicate results discarded
+  ChaosStats stats;
+  const CoordinatorResult res =
+      sweep_through_chaos("chaos_full", jobs, tj.path, cfg, &stats);
+  EXPECT_EQ(res.report.status, "ok");
+  EXPECT_EQ(res.report.results.size(), 24u);
+  // The whole point: abuse on the wire, byte-identical report out.
+  EXPECT_EQ(strip_volatile(runner::to_json(res.report).dump(2)), want);
+  EXPECT_GT(stats.chunks, 0u);
+}
+
+TEST(Chaos, SweepSurvivesPeriodicPartitions) {
+  const auto jobs = synth_jobs(16);
+  const std::string want = local_baseline("chaos_part", jobs);
+  TempJournal tj("chaos_part.journal");
+  ChaosConfig cfg;
+  cfg.seed = 7;
+  cfg.delay.max_delay = 0.002;  // stretch the sweep across partitions
+  cfg.partition.period_ms = 40;
+  cfg.partition.heal_ms = 20;
+  ChaosStats stats;
+  const CoordinatorResult res =
+      sweep_through_chaos("chaos_part", jobs, tj.path, cfg, &stats);
+  EXPECT_EQ(res.report.status, "ok");
+  EXPECT_EQ(res.report.results.size(), 16u);
+  EXPECT_EQ(strip_volatile(runner::to_json(res.report).dump(2)), want);
+}
+
+TEST(Chaos, WorkerGivesUpGracefullyWhenNothingListens) {
+  const auto jobs = synth_jobs(4);
+  WorkerOptions w;
+  w.label = "orphan";
+  w.progress = false;
+  w.max_reconnects = 3;
+  w.backoff_base_ms = 1;
+  w.backoff_cap_ms = 5;
+  // Nothing listens on port 1; run_worker must return (not throw) with
+  // gave_up set so callers fall back to standalone execution.
+  const WorkerSummary ws = run_worker("127.0.0.1:1", "orphan_grid", jobs, w);
+  EXPECT_TRUE(ws.gave_up);
+  EXPECT_FALSE(ws.drained);
+  EXPECT_EQ(ws.completed, 0u);
+}
+
+TEST(Chaos, CoordinatorRestartResumesFromCheckpointWithoutDuplicates) {
+  const std::size_t n = 12;
+  const auto jobs = synth_jobs(n);
+  const std::string want = local_baseline("chaos_ckpt", jobs);
+  TempJournal tj("chaos_ckpt.journal");
+  const std::string ckpt = Coordinator::checkpoint_path(tj.path);
+
+  // Phase 1: drain (the graceful stand-in for SIGKILL — the on-disk state
+  // is the same journal + checkpoint pair) after a few cells complete.
+  std::atomic<bool> drain{false};
+  std::atomic<std::uint64_t> computed{0};
+  auto tripwire = jobs;
+  for (runner::Job& j : tripwire) {
+    auto inner = j.run;
+    j.run = [inner, &drain, &computed](const runner::Job& jj) {
+      if (computed.fetch_add(1) + 1 >= 3) drain.store(true);
+      return inner(jj);
+    };
+  }
+  std::size_t first_half = 0;
+  {
+    CoordinatorOptions copts = quiet_opts(tj.path);
+    copts.checkpoint_every = 1;
+    copts.drain = &drain;
+    Coordinator coord(copts);
+    const std::string addr = "127.0.0.1:" + std::to_string(coord.port());
+    CoordinatorResult res;
+    std::thread server([&] { res = coord.serve(); });
+    run_worker(addr, "chaos_ckpt", tripwire, chaos_worker("w1"));
+    server.join();
+    first_half = res.report.results.size();
+    ASSERT_GE(first_half, 1u);
+    if (res.drained) {
+      std::FILE* f = std::fopen(ckpt.c_str(), "rb");
+      EXPECT_NE(f, nullptr) << "drained coordinator left no checkpoint";
+      if (f != nullptr) std::fclose(f);
+    }
+  }
+
+  // Phase 2: a fresh coordinator resumes journal + checkpoint and a fresh
+  // worker finishes the grid; nothing is lost, nothing double-counted.
+  CoordinatorOptions copts = quiet_opts(tj.path);
+  copts.resume = true;
+  copts.checkpoint_every = 1;
+  Coordinator coord(copts);
+  const std::string addr = "127.0.0.1:" + std::to_string(coord.port());
+  CoordinatorResult res;
+  std::thread server([&] { res = coord.serve(); });
+  run_worker(addr, "chaos_ckpt", jobs, chaos_worker("w2"));
+  server.join();
+
+  EXPECT_EQ(res.resumed, first_half);
+  EXPECT_EQ(res.resumed + res.completed, n);
+  EXPECT_EQ(res.report.results.size(), n);
+  EXPECT_EQ(res.report.status, "ok");
+  EXPECT_EQ(strip_volatile(runner::to_json(res.report).dump(2)), want);
+  // A completed grid needs no scheduling snapshot: the checkpoint is gone.
+  std::FILE* f = std::fopen(ckpt.c_str(), "rb");
+  EXPECT_EQ(f, nullptr);
+  if (f != nullptr) std::fclose(f);
+}
+
+}  // namespace
+}  // namespace pert::dist

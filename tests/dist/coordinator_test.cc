@@ -171,6 +171,49 @@ TEST(Coordinator, ResumeRecoversJournaledCellsWithoutRerunningThem) {
   EXPECT_EQ(res.report.status, "ok");
 }
 
+TEST(Coordinator, RejectsWorkerSpeakingAnOlderProtocol) {
+  const auto jobs = synth_jobs(4);
+  TempJournal tj("coord_vskew.journal");
+  Coordinator coord(quiet_opts(tj.path));
+  const std::string addr = "127.0.0.1:" + std::to_string(coord.port());
+
+  CoordinatorResult res;
+  std::thread server([&] { res = coord.serve(); });
+
+  // A v1 worker: its hello carries v=1 (exactly what parse_hello infers for
+  // a hello with no "v" at all). It must get an explicit versioned reject,
+  // not a confusing grid error or a hang.
+  {
+    const runner::JournalHeader ident =
+        runner::journal_header("coord_vskew", jobs);
+    HelloMsg h;
+    h.name = "coord_vskew";
+    h.cells = jobs.size();
+    h.grid = ident.base;
+    h.worker = "relic";
+    runner::JsonValue msg = make_hello(h);
+    for (auto& [k, v] : msg.as_object())
+      if (k == "v") v = runner::JsonValue(std::uint64_t{1});
+    const int fd = dial(addr);
+    FrameReader reader;
+    send_message(fd, msg);
+    auto reply = recv_message(fd, reader);
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(message_type(*reply), "reject");
+    EXPECT_NE(reply->at("error").as_string().find("version"),
+              std::string::npos);
+    ::close(fd);
+  }
+
+  // The rejected hello must not have pinned anything: a current-version
+  // worker still runs the grid to completion.
+  const WorkerSummary ws =
+      run_worker(addr, "coord_vskew", jobs, quiet_worker("current"));
+  server.join();
+  EXPECT_TRUE(ws.drained);
+  EXPECT_EQ(res.report.results.size(), 4u);
+}
+
 TEST(Coordinator, RejectsWorkerOfferingADifferentGrid) {
   const auto jobs = synth_jobs(6, 7);
   const auto other = synth_jobs(6, 8);  // same shape, different seeds

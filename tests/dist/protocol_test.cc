@@ -1,5 +1,6 @@
-// Wire-protocol codec: framing round-trips under arbitrary fragmentation,
-// malformed streams fail loudly, and message builders/parsers are inverses.
+// Wire-protocol codec: CRC framing round-trips under arbitrary
+// fragmentation, corrupted or malformed streams fail loudly, and message
+// builders/parsers are inverses.
 #include "dist/protocol.h"
 
 #include <gtest/gtest.h>
@@ -20,13 +21,26 @@ JsonValue obj(const char* type) {
   return JsonValue(std::move(o));
 }
 
+// Offset of the payload inside a framed message:
+// "<len> <crc8> <payload>\n".
+std::size_t payload_offset(const std::string& wire) {
+  const std::size_t sp1 = wire.find(' ');
+  EXPECT_NE(sp1, std::string::npos);
+  const std::size_t sp2 = wire.find(' ', sp1 + 1);
+  EXPECT_NE(sp2, std::string::npos);
+  return sp2 + 1;
+}
+
 TEST(Framing, RoundTripsASingleMessage) {
   const JsonValue msg = make_request();
   const std::string wire = frame_message(msg);
-  // "<len> <payload>\n" with the count covering exactly the payload.
-  const std::size_t sp = wire.find(' ');
-  ASSERT_NE(sp, std::string::npos);
-  EXPECT_EQ(std::stoul(wire.substr(0, sp)), wire.size() - sp - 2);
+  // "<len> <crc8> <payload>\n": the count covers exactly the payload and
+  // the checksum field is fixed-width hex.
+  const std::size_t sp1 = wire.find(' ');
+  ASSERT_NE(sp1, std::string::npos);
+  const std::size_t pay = payload_offset(wire);
+  EXPECT_EQ(pay - sp1 - 2, 8u);  // 8 hex digits between the two spaces
+  EXPECT_EQ(std::stoul(wire.substr(0, sp1)), wire.size() - pay - 1);
   EXPECT_EQ(wire.back(), '\n');
 
   FrameReader r;
@@ -55,26 +69,57 @@ TEST(Framing, ReassemblesByteByByteFeeds) {
 TEST(Framing, DecodesManyMessagesFromOneFeed) {
   std::string wire;
   for (int i = 0; i < 50; ++i)
-    wire += frame_message(make_welcome(static_cast<std::uint64_t>(i)));
+    wire += frame_message(make_ack(static_cast<std::uint64_t>(i)));
   FrameReader r;
   r.feed(wire);
   for (int i = 0; i < 50; ++i) {
     const auto msg = r.next();
     ASSERT_TRUE(msg.has_value()) << i;
-    EXPECT_EQ(msg->at("done").as_uint(), static_cast<std::uint64_t>(i));
+    EXPECT_EQ(parse_ack(*msg), static_cast<std::uint64_t>(i));
   }
   EXPECT_FALSE(r.next().has_value());
+}
+
+TEST(Framing, SurvivesSplitExactlyAtTheLengthPrefixBoundary) {
+  const std::string wire = frame_message(make_wait(7));
+  const std::size_t sp1 = wire.find(' ');
+  // Chaos proxies love to cut frames at field boundaries. Feed the digits
+  // alone (incomplete: no decision possible yet), then the space (still
+  // incomplete: checksum field not fully buffered), then the rest.
+  FrameReader r;
+  r.feed(std::string_view(wire).substr(0, sp1));
+  EXPECT_FALSE(r.next().has_value());
+  r.feed(std::string_view(wire).substr(sp1, 1));
+  EXPECT_FALSE(r.next().has_value());
+  r.feed(std::string_view(wire).substr(sp1 + 1));
+  const auto msg = r.next();
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(message_type(*msg), "wait");
+}
+
+TEST(Framing, RejectsACorruptedPayload) {
+  std::string wire = frame_message(make_request());
+  // Flip one payload bit: length still honest, checksum now a liar.
+  wire[payload_offset(wire)] ^= 0x01;
+  FrameReader r;
+  r.feed(wire);
+  EXPECT_THROW(r.next(), std::runtime_error);
 }
 
 TEST(Framing, RejectsMalformedStreams) {
   {
     FrameReader r;  // no digits before the space
-    r.feed(" {}\n");
+    r.feed(" 00000000 {}\n");
     EXPECT_THROW(r.next(), std::runtime_error);
   }
   {
-    FrameReader r;  // length lies: payload not newline-terminated there
-    r.feed("1 {}\n");
+    FrameReader r;  // checksum field is not hex
+    r.feed("2 zzzzzzzz {}\n");
+    EXPECT_THROW(r.next(), std::runtime_error);
+  }
+  {
+    FrameReader r;  // checksum field not space-terminated
+    r.feed("2 00000000X{}\n");
     EXPECT_THROW(r.next(), std::runtime_error);
   }
   {
@@ -83,25 +128,60 @@ TEST(Framing, RejectsMalformedStreams) {
     EXPECT_THROW(r.next(), std::runtime_error);
   }
   {
-    FrameReader r;  // valid frame, garbage payload
-    r.feed("3 abc\n");
+    FrameReader r;  // checksum valid ("abc"), payload is not JSON
+    r.feed("3 352441c2 abc\n");
+    EXPECT_THROW(r.next(), std::runtime_error);
+  }
+  {
+    FrameReader r;  // length lies: frame not newline-terminated there
+    r.feed("3 352441c2 abcX");
     EXPECT_THROW(r.next(), std::runtime_error);
   }
 }
 
-TEST(Messages, HelloRoundTrips) {
+TEST(Messages, HelloRoundTripsAndCarriesTheProtocolVersion) {
   HelloMsg h;
   h.name = "fig08_num_flows";
   h.cells = 20;
   h.grid = 0x1234deadbeefULL;
   h.worker = "w1";
   const HelloMsg back = parse_hello(make_hello(h));
+  EXPECT_EQ(back.version, kProtocolVersion);
   EXPECT_EQ(back.name, h.name);
   EXPECT_EQ(back.cells, h.cells);
   EXPECT_EQ(back.grid, h.grid);
   EXPECT_EQ(back.worker, h.worker);
 
   EXPECT_THROW(parse_hello(obj("hello")), std::runtime_error);
+}
+
+TEST(Messages, HelloWithoutAVersionFieldParsesAsVersionOne) {
+  // A v1 worker never sent "v"; the coordinator must see 1 (and reject it
+  // with a version message), not crash or mistake it for current.
+  JsonValue msg = make_hello({kProtocolVersion, "s", 4, 99, "w"});
+  JsonValue::Object o;
+  for (auto& [k, v] : msg.as_object())
+    if (k != "v") o.emplace_back(k, std::move(v));
+  const HelloMsg back = parse_hello(JsonValue(std::move(o)));
+  EXPECT_EQ(back.version, 1u);
+}
+
+TEST(Messages, WelcomeRoundTrips) {
+  WelcomeMsg w;
+  w.done = 17;
+  w.heartbeat_ms = 250;
+  const WelcomeMsg back = parse_welcome(make_welcome(w));
+  EXPECT_EQ(back.version, kProtocolVersion);
+  EXPECT_EQ(back.done, 17u);
+  EXPECT_EQ(back.heartbeat_ms, 250u);
+}
+
+TEST(Messages, HeartbeatAndAckRoundTrip) {
+  EXPECT_EQ(message_type(make_heartbeat()), "heartbeat");
+  const JsonValue ack = make_ack(41);
+  EXPECT_EQ(message_type(ack), "ack");
+  EXPECT_EQ(parse_ack(ack), 41u);
+  EXPECT_THROW(parse_ack(obj("ack")), std::runtime_error);
 }
 
 TEST(Messages, AssignRoundTrips) {

@@ -1,0 +1,118 @@
+#!/usr/bin/env bash
+# Chaos soak: the fig08 smoke grid run through a byte-mangling proxy while
+# BOTH processes that matter are SIGKILLed mid-sweep —
+#
+#   1. unimpaired --jobs 1 baseline (the byte-identity oracle),
+#   2. coordinator behind chaos_proxy (corruption, mid-frame truncation,
+#      duplication — every fate seeded, so a failure replays);
+#      worker 1 is SIGKILLed after its first journal record lands,
+#      then the coordinator itself is SIGKILLed and restarted with
+#      --resume on the same port; worker 2 rides the chaos to completion,
+#
+# and requires the post-crash merged report byte-identical to the baseline
+# minus wall-clock fields, the checkpoint cleaned up, and the coordinator's
+# dist.* metrics written. CI runs this after check_dist.sh; see
+# docs/runner.md "Chaos testing".
+#
+# Usage: tools/check_chaos.sh [BENCH]
+#   BENCH  sweep binary accepting --smoke --jobs --json --worker
+#          (default: ./build/bench/bench_fig08_num_flows)
+set -euo pipefail
+
+BENCH=${1:-./build/bench/bench_fig08_num_flows}
+COORD=${COORD:-./build/tools/sweep_coordinator}
+PROXY=${PROXY:-./build/tools/chaos_proxy}
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"; kill $(jobs -p) 2> /dev/null || true' EXIT
+
+strip_volatile() { grep -vE '"(wall_ms|cpu_ms|speedup|threads)"' "$1"; }
+records() {
+  if [ -f "$1" ]; then grep -c '^PERTJ1 R ' "$1" || true; else echo 0; fi
+}
+# Polls `listening on 127.0.0.1:PORT` out of $1 (dies if pid $2 exits first).
+learn_port() {
+  local out=$1 pid=$2 port=
+  for _ in $(seq 1 500); do
+    port=$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$out")
+    [ -n "$port" ] && { echo "$port"; return 0; }
+    kill -0 "$pid" 2> /dev/null || return 1
+    sleep 0.01
+  done
+  return 1
+}
+
+# 1. Unimpaired baseline.
+"$BENCH" --smoke --jobs 1 --json "$TMP/base.json" > /dev/null
+strip_volatile "$TMP/base.json" > "$TMP/base.stable"
+
+# 2a. Coordinator (incarnation one) + chaos proxy in front of it.
+"$COORD" --journal "$TMP/coord.journal" --checkpoint-every 1 \
+         --port 0 --lease-ms 10000 > "$TMP/coord.out" 2> /dev/null &
+COORD_PID=$!
+CPORT=$(learn_port "$TMP/coord.out" "$COORD_PID") || {
+  echo "check_chaos: coordinator died before binding" >&2; exit 1; }
+
+"$PROXY" --upstream "127.0.0.1:$CPORT" --port 0 --seed 1 \
+         --corrupt 0.02 --truncate 0.02 --duplicate 0.05 \
+         > "$TMP/proxy.out" 2> "$TMP/proxy.err" &
+PROXY_PID=$!
+PPORT=$(learn_port "$TMP/proxy.out" "$PROXY_PID") || {
+  echo "check_chaos: proxy died before binding" >&2; exit 1; }
+
+# 2b. Worker 1 through the chaos; SIGKILL it once its first result is
+#     durable, leaving leased cells behind.
+"$BENCH" --smoke --worker "127.0.0.1:$PPORT" > /dev/null 2>&1 &
+W1_PID=$!
+for _ in $(seq 1 6000); do
+  kill -0 "$W1_PID" 2> /dev/null || break
+  if [ "$(records "$TMP/coord.journal")" -ge 1 ]; then
+    kill -KILL "$W1_PID" 2> /dev/null || true
+    break
+  fi
+  sleep 0.01
+done
+wait "$W1_PID" 2> /dev/null || true
+echo "check_chaos: SIGKILLed worker 1 at" \
+     "$(records "$TMP/coord.journal") journal record(s)"
+
+# 2c. SIGKILL the coordinator itself — no drain, no atexit — and restart it
+#     on the SAME port with --resume: journal gives it the done cells, the
+#     .ckpt its scheduling shape.
+kill -KILL "$COORD_PID" 2> /dev/null || true
+wait "$COORD_PID" 2> /dev/null || true
+echo "check_chaos: SIGKILLed coordinator at" \
+     "$(records "$TMP/coord.journal") journal record(s)"
+
+"$COORD" --journal "$TMP/coord.journal" --resume --checkpoint-every 1 \
+         --json "$TMP/coord.json" --dist-metrics "$TMP/dist-metrics.json" \
+         --port "$CPORT" --lease-ms 10000 \
+         > "$TMP/coord2.out" 2> /dev/null &
+COORD_PID=$!
+learn_port "$TMP/coord2.out" "$COORD_PID" > /dev/null || {
+  echo "check_chaos: restarted coordinator died before binding" >&2; exit 1; }
+
+# 2d. Worker 2 rides the same chaos to completion (or, if the restarted
+#     coordinator somehow finished alone, falls back to a local run — the
+#     coordinator exit status below still gates the check).
+"$BENCH" --smoke --worker "127.0.0.1:$PPORT" > /dev/null 2>&1
+wait "$COORD_PID"
+
+# 3. The oracle: crash-riddled distributed run == clean local run, byte for
+#    byte (minus wall-clock); checkpoint consumed; metrics written.
+strip_volatile "$TMP/coord.json" > "$TMP/coord.stable"
+diff "$TMP/base.stable" "$TMP/coord.stable"
+if [ -e "$TMP/coord.journal.ckpt" ]; then
+  echo "check_chaos: completed grid left a stale checkpoint behind" >&2
+  exit 1
+fi
+grep -q '"dist.results"' "$TMP/dist-metrics.json" || {
+  echo "check_chaos: dist metrics missing from dist-metrics.json" >&2
+  exit 1
+}
+
+kill "$PROXY_PID" 2> /dev/null || true
+wait "$PROXY_PID" 2> /dev/null || true
+sed -n 's/^chaos_proxy: /check_chaos: proxy injected /p' "$TMP/proxy.err" || true
+
+echo "check_chaos OK: chaos-proxied sweep with a killed worker AND a killed" \
+     "coordinator is byte-identical to the clean run"

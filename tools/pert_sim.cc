@@ -226,10 +226,18 @@ int run_multi(const exp::CliOptions& opt, unsigned jobs,
     wopts.label = "pert_sim";
     const dist::WorkerSummary ws =
         dist::run_worker(worker, "pert_sim", batch, wopts);
-    std::printf("worker served %llu cell(s) to %s\n",
-                static_cast<unsigned long long>(ws.completed),
-                worker.c_str());
-    return 0;
+    if (!ws.gave_up) {
+      std::printf("worker served %llu cell(s) to %s\n",
+                  static_cast<unsigned long long>(ws.completed),
+                  worker.c_str());
+      return 0;
+    }
+    // Coordinator unreachable past the reconnect budget: degrade to a
+    // standalone run (identical results — cells are pure functions of
+    // their seeds) rather than exiting with nothing.
+    std::fprintf(stderr,
+                 "worker gave up on %s; falling back to standalone run\n",
+                 worker.c_str());
   }
 
   runner::RunnerOptions ropts;

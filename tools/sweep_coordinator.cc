@@ -9,6 +9,11 @@
 // completes. SIGTERM/SIGINT drain gracefully: no new assignments, in-flight
 // results still journal, a status:"partial" report is written.
 //
+// Crash recovery: results are journaled (fsync per record) and scheduling
+// state is checkpointed to `<journal>.ckpt`; after a SIGKILL, re-running
+// with `--resume` (same --journal, same --port so workers reconnect)
+// continues the sweep with no lost or double-counted cells.
+//
 // Exit codes: 0 = grid complete, 3 = drained before completion, 1 = error.
 #include <csignal>
 #include <cstdio>
@@ -37,11 +42,23 @@ int main(int argc, char** argv) {
       .opt("--host", &host, "listen address", "ADDR")
       .opt("--port", &port, "listen port (0 = ephemeral, printed on stdout)")
       .flag("--resume", &copts.resume,
-            "recover completed cells from --journal before serving")
+            "recover completed cells from --journal (and scheduling state "
+            "from its .ckpt) before serving")
       .opt("--lease-ms", &copts.lease_ms,
-           "revoke a worker's lease after this long without progress")
+           "liveness budget before a worker's hello (heartbeats take over "
+           "after)")
       .opt("--wait-ms", &copts.wait_ms,
            "worker backoff when nothing is assignable")
+      .opt("--heartbeat-ms", &copts.heartbeat_ms,
+           "heartbeat cadence advertised to workers (0 = activity timeout "
+           "only)")
+      .opt("--heartbeat-misses", &copts.heartbeat_misses,
+           "silent heartbeats before a lease is revoked")
+      .opt("--checkpoint-every", &copts.checkpoint_every,
+           "snapshot scheduling state every N results (0 = never)")
+      .opt("--dist-metrics", &copts.dist_metrics_path,
+           "write the coordinator's dist.* metric registry here as JSON",
+           "PATH")
       .flag("--quiet", &quiet, "suppress per-cell progress on stderr");
   switch (opts.parse(argc, argv)) {
     case pert::exp::cli::OptionSet::Result::kOk: break;
