@@ -1,6 +1,8 @@
 // PERT parameters (Section 3 of the paper).
 #pragma once
 
+#include "sim/validate.h"
+
 namespace pert::core {
 
 struct PertParams {
@@ -37,6 +39,27 @@ struct PertParams {
   double pmax_min = 0.01;
   double pmax_max = 0.5;
   double adapt_interval = 0.5;  ///< seconds between pmax adjustments
+
+  /// Rejects out-of-domain parameters with sim::ConfigError. Called by
+  /// PertSender at construction; an inverted [T_min, T_max] band or a
+  /// probability outside [0, 1] must never reach the response curve.
+  void validate() const {
+    sim::require_in("PertParams", "srtt_alpha", srtt_alpha, 0.0, 1.0);
+    sim::require_less("PertParams", "srtt_alpha", srtt_alpha, "1", 1.0);
+    sim::require_positive("PertParams", "tmin_offset", tmin_offset);
+    sim::require_positive("PertParams", "tmax_offset", tmax_offset);
+    sim::require_less("PertParams", "tmin_offset", tmin_offset, "tmax_offset",
+                      tmax_offset);
+    sim::require_prob("PertParams", "pmax", pmax);
+    sim::require_prob("PertParams", "early_beta", early_beta);
+    sim::require_less("PertParams", "early_beta", early_beta, "1", 1.0);
+    sim::require_non_negative("PertParams", "min_cwnd_for_response",
+                              min_cwnd_for_response);
+    sim::require_prob("PertParams", "pmax_min", pmax_min);
+    sim::require_prob("PertParams", "pmax_max", pmax_max);
+    sim::require_le("PertParams", "pmax_min", pmax_min, "pmax_max", pmax_max);
+    sim::require_positive("PertParams", "adapt_interval", adapt_interval);
+  }
 };
 
 }  // namespace pert::core

@@ -1,8 +1,22 @@
 #include "core/pert_sender.h"
 
 #include <algorithm>
+#include <string>
+
+#include "sim/sentinel.h"
 
 namespace pert::core {
+
+std::string PertSender::invariant_violation() const {
+  if (std::string v = tcp::TcpSender::invariant_violation(); !v.empty())
+    return v;
+  if (std::string v = estimator_.numeric_violation(); !v.empty()) return v;
+  if (std::string v =
+          sim::bounded_violation("pert.pmax", curve_.pmax(), 0.0, 1.0);
+      !v.empty())
+    return v;
+  return {};
+}
 
 void PertSender::maybe_early_response(double rtt) {
   if (!estimator_.ready()) return;

@@ -22,7 +22,11 @@ class PertSender : public tcp::TcpSender {
         params_(params),
         estimator_(params.srtt_alpha),
         curve_(params),
-        rng_(net.rng().fork()) {}
+        rng_(net.rng().fork()) {
+    // Members above only store doubles, so validating here (before any use)
+    // is safe and keeps the throw out of the initializer list.
+    params_.validate();
+  }
 
   const SrttEstimator& estimator() const noexcept { return estimator_; }
   const PertParams& params() const noexcept { return params_; }
@@ -32,6 +36,10 @@ class PertSender : public tcp::TcpSender {
   double response_probability() const {
     return curve_.probability(estimator_.queueing_delay());
   }
+
+  /// Base TCP checks plus the srtt_0.99 estimator and the (possibly
+  /// adapted) response-curve knee probability.
+  std::string invariant_violation() const override;
 
  protected:
   void cc_on_rtt_sample(double rtt) override {
@@ -53,6 +61,8 @@ class PertSender : public tcp::TcpSender {
   sim::Time last_early_ = -1e18;
   sim::Time last_adapt_ = 0.0;
   int trace_region_ = 0;  ///< last T_min/T_max region reported to the tracer
+
+  friend class SentinelTestPeer;  // NaN-injection tests for the sentinel layer
 };
 
 }  // namespace pert::core

@@ -7,6 +7,12 @@ namespace pert::core {
 PiEmuDesign PiEmuDesign::for_path(double capacity_pps, double n_min,
                                   double rtt_max, double tq_ref,
                                   double sample_hz, double gain_boost) {
+  sim::require_positive("PiEmuDesign::for_path", "capacity_pps", capacity_pps);
+  sim::require_positive("PiEmuDesign::for_path", "n_min", n_min);
+  sim::require_positive("PiEmuDesign::for_path", "rtt_max", rtt_max);
+  sim::require_positive("PiEmuDesign::for_path", "tq_ref", tq_ref);
+  sim::require_positive("PiEmuDesign::for_path", "sample_hz", sample_hz);
+  sim::require_positive("PiEmuDesign::for_path", "gain_boost", gain_boost);
   PiEmuDesign d;
   d.tq_ref = tq_ref;
   d.sample_interval = 1.0 / sample_hz;
@@ -30,6 +36,9 @@ PertPiSender::PertPiSender(net::Network& net, tcp::TcpConfig cfg,
       estimator_(srtt_alpha),
       rng_(net.rng().fork()),
       sample_timer_(net.sched(), [this] { sample(); }) {
+  design.validate();
+  sim::require_in("PertPiSender", "srtt_alpha", srtt_alpha, 0.0, 1.0);
+  sim::require_less("PertPiSender", "srtt_alpha", srtt_alpha, "1", 1.0);
   sample_timer_.schedule_in(design.sample_interval);
 }
 
@@ -45,6 +54,14 @@ void PertPiSender::sample() {
     }
   }
   sample_timer_.schedule_in(pi_.design().sample_interval);
+}
+
+std::string PertPiSender::invariant_violation() const {
+  if (std::string v = tcp::TcpSender::invariant_violation(); !v.empty())
+    return v;
+  if (std::string v = pi_.numeric_violation(); !v.empty()) return v;
+  if (std::string v = estimator_.numeric_violation(); !v.empty()) return v;
+  return {};
 }
 
 void PertPiSender::cc_on_rtt_sample(double rtt) {

@@ -18,10 +18,13 @@
 #pragma once
 
 #include <algorithm>
+#include <string>
 
 #include "core/srtt_estimator.h"
+#include "sim/sentinel.h"
 #include "sim/random.h"
 #include "sim/timer.h"
+#include "sim/validate.h"
 #include "tcp/tcp_sender.h"
 
 namespace pert::core {
@@ -41,6 +44,20 @@ struct PiEmuDesign {
                               double rtt_max, double tq_ref = 0.003,
                               double sample_hz = 170.0,
                               double gain_boost = 1.0);
+
+  /// Rejects out-of-domain coefficients with sim::ConfigError. The
+  /// discretization requires a > b (see the header comment: the current
+  /// error must carry the larger weight or the loop integrates with
+  /// negative gain), so an inverted pair is a config error, not a tuning.
+  void validate() const {
+    sim::require_positive("PiEmuDesign", "a", a);
+    sim::require_finite("PiEmuDesign", "b", b);
+    sim::require_less("PiEmuDesign", "b", b, "a", a);
+    sim::require_positive("PiEmuDesign", "tq_ref", tq_ref);
+    sim::require_positive("PiEmuDesign", "sample_interval", sample_interval);
+    sim::require_prob("PiEmuDesign", "early_beta", early_beta);
+    sim::require_less("PiEmuDesign", "early_beta", early_beta, "1", 1.0);
+  }
 };
 
 /// The controller itself, reusable outside the sender (tests, fluid checks).
@@ -59,10 +76,25 @@ class PiEmulator {
   double probability() const noexcept { return prob_; }
   const PiEmuDesign& design() const noexcept { return d_; }
 
+  /// Numeric sentinel: the integrator must hold a probability (a NaN delay
+  /// sample slips through std::clamp — NaN compares false — and then feeds
+  /// back through prob_ forever). "" while healthy.
+  std::string numeric_violation() const {
+    if (std::string v = sim::bounded_violation("pert_pi.prob", prob_, 0.0, 1.0);
+        !v.empty())
+      return v;
+    if (std::string v = sim::finite_violation("pert_pi.prev_tq", prev_tq_);
+        !v.empty())
+      return v;
+    return {};
+  }
+
  private:
   PiEmuDesign d_;
   double prob_ = 0.0;
   double prev_tq_ = 0.0;
+
+  friend class SentinelTestPeer;  // NaN-injection tests for the sentinel layer
 };
 
 class PertPiSender : public tcp::TcpSender {
@@ -72,6 +104,9 @@ class PertPiSender : public tcp::TcpSender {
 
   double response_probability() const noexcept { return pi_.probability(); }
   const SrttEstimator& estimator() const noexcept { return estimator_; }
+
+  /// Base TCP checks plus the PI integrator and srtt estimator.
+  std::string invariant_violation() const override;
 
  protected:
   void cc_on_rtt_sample(double rtt) override;
@@ -84,6 +119,8 @@ class PertPiSender : public tcp::TcpSender {
   sim::Rng rng_;
   sim::Timer sample_timer_;
   sim::Time last_early_ = -1e18;
+
+  friend class SentinelTestPeer;  // NaN-injection tests for the sentinel layer
 };
 
 }  // namespace pert::core

@@ -7,7 +7,9 @@
 
 #include <algorithm>
 #include <limits>
+#include <string>
 
+#include "sim/sentinel.h"
 #include "stats/stats.h"
 
 namespace pert::core {
@@ -33,6 +35,19 @@ class SrttEstimator {
   void reset() {
     ewma_.reset();
     min_rtt_ = std::numeric_limits<double>::infinity();
+  }
+
+  /// Numeric sentinel: once seeded, the EWMA and the propagation-delay
+  /// estimate must stay finite and non-negative (one absorbed NaN sample
+  /// poisons both forever). "" while healthy.
+  std::string numeric_violation() const {
+    if (!ready()) return {};
+    if (std::string v = sim::finite_violation("srtt99", ewma_.value());
+        !v.empty())
+      return v;
+    if (!(min_rtt_ >= 0.0) || !std::isfinite(min_rtt_))
+      return "min_rtt corrupt: " + std::to_string(min_rtt_);
+    return {};
   }
 
  private:

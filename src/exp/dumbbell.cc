@@ -13,12 +13,40 @@ namespace {
 constexpr std::int32_t kPort = 1;
 }
 
+void DumbbellConfig::validate() const {
+  sim::require_positive("DumbbellConfig", "bottleneck_bps", bottleneck_bps);
+  sim::require_positive("DumbbellConfig", "rtt", rtt);
+  for (double r : flow_rtts)
+    sim::require_positive("DumbbellConfig", "flow_rtts[i]", r);
+  sim::require_at_least("DumbbellConfig", "num_fwd_flows", num_fwd_flows, 1);
+  sim::require_at_least("DumbbellConfig", "num_rev_flows", num_rev_flows, 0);
+  sim::require_at_least("DumbbellConfig", "num_web_sessions", num_web_sessions,
+                        0);
+  sim::require_at_least("DumbbellConfig", "buffer_pkts", buffer_pkts, 0);
+  sim::require_positive("DumbbellConfig", "access_multiplier",
+                        access_multiplier);
+  sim::require_non_negative("DumbbellConfig", "start_window", start_window);
+  sim::require_non_negative("DumbbellConfig", "start_offset", start_offset);
+  sim::require_at_least("DumbbellConfig", "flow_id_base", flow_id_base, 0);
+  sim::require_positive("DumbbellConfig", "pi_target_delay", pi_target_delay);
+  sim::require_positive("DumbbellConfig", "pert_pi_gain_boost",
+                        pert_pi_gain_boost);
+  sim::require_positive("DumbbellConfig", "pert_pi_sample_hz",
+                        pert_pi_sample_hz);
+  sim::require_prob("DumbbellConfig", "nonproactive_fraction",
+                    nonproactive_fraction);
+  tcp.validate();
+  pert.validate();
+  impair.validate();
+}
+
 Dumbbell::Dumbbell(DumbbellConfig cfg)
     : cfg_(cfg),
       net_(cfg.seed),
       obs_(cfg.obs),
       sampler_(net_.sched(), [this] { sample_tick(); }) {
-  assert(cfg_.num_fwd_flows > 0);
+  cfg_.validate();
+  next_flow_ = cfg_.flow_id_base;
   cfg_.tcp.ecn = sender_ecn(cfg_.scheme);
 
   const double seg_bytes = cfg_.tcp.seg_bytes();
@@ -65,13 +93,15 @@ Dumbbell::Dumbbell(DumbbellConfig cfg)
         cfg_.nonproactive_fraction > 0 &&
         static_cast<double>(i) <
             cfg_.nonproactive_fraction * cfg_.num_fwd_flows;
-    const sim::Time start = net_.rng().uniform(0.0, cfg_.start_window);
+    const sim::Time start =
+        cfg_.start_offset + net_.rng().uniform(0.0, cfg_.start_window);
     fwd_senders_.push_back(add_flow_path(r1_, r2_, rtt, next_flow_++, start,
                                          force_sack, /*reverse=*/false));
   }
   // Long-term reverse flows.
   for (std::int32_t i = 0; i < cfg_.num_rev_flows; ++i) {
-    const sim::Time start = net_.rng().uniform(0.0, cfg_.start_window);
+    const sim::Time start =
+        cfg_.start_offset + net_.rng().uniform(0.0, cfg_.start_window);
     rev_senders_.push_back(add_flow_path(r2_, r1_, cfg_.rtt, next_flow_++,
                                          start, /*force_sack=*/false,
                                          /*reverse=*/true));
@@ -82,7 +112,8 @@ Dumbbell::Dumbbell(DumbbellConfig cfg)
         add_flow_path(r1_, r2_, cfg_.rtt, next_flow_++,
                       /*start=*/-1.0, /*force_sack=*/false, /*reverse=*/false);
     web_senders_.push_back(s);
-    const sim::Time start = net_.rng().uniform(0.0, cfg_.start_window);
+    const sim::Time start =
+        cfg_.start_offset + net_.rng().uniform(0.0, cfg_.start_window);
     web_sessions_.push_back(std::make_unique<traffic::WebSession>(
         net_.sched(), *s, cfg_.web, net_.rng().fork(), start));
   }
@@ -123,18 +154,23 @@ std::unique_ptr<net::Queue> Dumbbell::make_bottleneck_queue() {
     }
     case Scheme::kSackPiEcn: {
       const double rtt_max = cfg_.rtt * 1.5 + buffer_pkts_ / pps;
+      const double q_want = pps * cfg_.pi_target_delay;
+      const double q_ref = std::min<double>(buffer_pkts_ / 2.0, q_want);
       net::PiDesign d = net::PiDesign::for_link(
-          pps, std::max(1, cfg_.num_fwd_flows), rtt_max,
-          std::min<double>(buffer_pkts_ / 2.0, pps * cfg_.pi_target_delay));
-      return std::make_unique<net::PiQueue>(net_.sched(), buffer_pkts_, d,
-                                            /*ecn=*/true, net_.rng().fork());
+          pps, std::max(1, cfg_.num_fwd_flows), rtt_max, q_ref);
+      auto q = std::make_unique<net::PiQueue>(net_.sched(), buffer_pkts_, d,
+                                              /*ecn=*/true, net_.rng().fork());
+      if (q_ref < q_want) q->note_param_clamp("q_ref", q_want, q_ref);
+      return q;
     }
     case Scheme::kSackRemEcn: {
       net::RemParams rp;
-      rp.q_ref = std::min<double>(buffer_pkts_ / 2.0,
-                                  pps * cfg_.pi_target_delay);
-      return std::make_unique<net::RemQueue>(net_.sched(), buffer_pkts_, rp,
-                                             net_.rng().fork());
+      const double q_want = pps * cfg_.pi_target_delay;
+      rp.q_ref = std::min<double>(buffer_pkts_ / 2.0, q_want);
+      auto q = std::make_unique<net::RemQueue>(net_.sched(), buffer_pkts_, rp,
+                                               net_.rng().fork());
+      if (rp.q_ref < q_want) q->note_param_clamp("q_ref", q_want, rp.q_ref);
+      return q;
     }
     case Scheme::kSackAvqEcn:
       return std::make_unique<net::AvqQueue>(net_.sched(), buffer_pkts_,
@@ -163,7 +199,7 @@ tcp::TcpSender* Dumbbell::make_sender(net::FlowId flow, bool force_sack) {
       const double rtt_max = cfg_.rtt * 1.2 + 4.0 * cfg_.pi_target_delay;
       core::PiEmuDesign d = core::PiEmuDesign::for_path(
           pps, std::max(1, cfg_.num_fwd_flows), rtt_max, cfg_.pi_target_delay,
-          170.0, cfg_.pert_pi_gain_boost);
+          cfg_.pert_pi_sample_hz, cfg_.pert_pi_gain_boost);
       return net_.add_agent<core::PertPiSender>(nullptr, 0, net_, tc, flow, d);
     }
     case Scheme::kPertRem: {

@@ -47,7 +47,14 @@ struct DumbbellConfig {
   double access_multiplier = 4.0;
   /// Long-term flow start times are uniform in [0, start_window).
   double start_window = 50.0;
+  /// Added to every flow/web start time: shifting the whole scenario later
+  /// by a constant must not change what happens (the time-origin-shift
+  /// metamorphic relation; callers add the same offset to warmup).
+  double start_offset = 0.0;
   std::uint64_t seed = 1;
+  /// First FlowId assigned; flow ids are labels carried in packets and must
+  /// never influence control flow (the relabeling metamorphic relation).
+  std::int32_t flow_id_base = 0;
   tcp::TcpConfig tcp;            ///< seg size etc.; ecn set per scheme
   core::PertParams pert;         ///< PERT knobs (ablations override)
   traffic::WebParams web;
@@ -58,6 +65,10 @@ struct DumbbellConfig {
   /// a biased min-RTT estimate respond unequally); 0.5 balances the two and
   /// reproduces the paper's "slightly worse fairness at low RTT".
   double pert_pi_gain_boost = 0.5;
+  /// Sampling frequency of the PERT/PI end-host controller (paper: 170 Hz).
+  /// A config knob (not a constant) so time-rescaled twin scenarios can
+  /// scale every time dimension consistently.
+  double pert_pi_sample_hz = 170.0;
   /// Mix: fraction of forward long-term flows using plain SACK instead of
   /// the scheme under test (co-existence ablation). 0 = none.
   double nonproactive_fraction = 0.0;
@@ -75,6 +86,11 @@ struct DumbbellConfig {
   /// cadence. Off by default; un-observed runs schedule no extra events and
   /// are byte-identical to pre-observability builds.
   obs::ObsConfig obs;
+
+  /// Rejects an out-of-domain topology with sim::ConfigError before any
+  /// node is built, including the nested TCP/PERT/impairment configs —
+  /// a bad scenario must fail at construction, not mid-run.
+  void validate() const;
 };
 
 class Dumbbell {

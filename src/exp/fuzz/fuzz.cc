@@ -23,6 +23,14 @@ double seconds_since(Clock::time_point t0) {
 
 }  // namespace
 
+const char* build_stamp() {
+#ifdef PERT_GIT_DESCRIBE
+  return PERT_GIT_DESCRIBE;
+#else
+  return "unknown";
+#endif
+}
+
 std::pair<std::string, std::string> classify_scenario(const Scenario& s) {
   WindowMetrics metrics;
   try {
@@ -103,13 +111,20 @@ Scenario shrink_scenario(const Scenario& s, const std::string& kind) {
       c.reorder_max_delay = 0;
       try_candidate(std::move(c));
     }
+    if (best.has_flaps()) {
+      Scenario c = best;
+      c.flap_first_down = c.flap_down_for = c.flap_period = 0;
+      c.flap_count = 0;
+      try_candidate(std::move(c));
+    }
   }
   return best;
 }
 
 std::string write_repro_bundle(const Violation& v, const std::string& dir) {
   runner::JsonValue::Object o;
-  o.emplace_back("pert_fuzz_repro", runner::JsonValue(std::uint64_t{1}));
+  o.emplace_back("pert_fuzz_repro", runner::JsonValue(kReproSchemaVersion));
+  o.emplace_back("build", runner::JsonValue(std::string(build_stamp())));
   o.emplace_back("kind", runner::JsonValue(v.kind));
   o.emplace_back("detail", runner::JsonValue(v.detail));
   o.emplace_back("iteration", runner::JsonValue(v.iteration));
@@ -171,8 +186,25 @@ bool replay_repro_bundle(const std::string& path, bool verbose) {
   std::ostringstream ss;
   ss << f.rdbuf();
   const runner::JsonValue doc = runner::JsonValue::parse(ss.str());
-  if (!doc.find("pert_fuzz_repro"))
+  const runner::JsonValue* schema = doc.find("pert_fuzz_repro");
+  if (!schema)
     throw std::runtime_error(path + " is not a pert fuzz repro bundle");
+  // Version/build drift does not stop the replay — the scenario decoder
+  // defaults unknown fields — but a non-reproducing violation on a
+  // mismatched bundle is expected, so say so up front.
+  if (schema->as_uint() != kReproSchemaVersion)
+    std::fprintf(stderr,
+                 "warning: bundle schema v%llu, this build expects v%llu; "
+                 "replay may not reproduce\n",
+                 static_cast<unsigned long long>(schema->as_uint()),
+                 static_cast<unsigned long long>(kReproSchemaVersion));
+  if (const runner::JsonValue* build = doc.find("build")) {
+    if (build->as_string() != build_stamp())
+      std::fprintf(stderr,
+                   "warning: bundle recorded on build %s, replaying on %s; "
+                   "behavior may legitimately differ\n",
+                   build->as_string().c_str(), build_stamp());
+  }
   const std::string expected_kind = doc.at("kind").as_string();
   const Scenario s = scenario_from_json(doc.at("scenario"));
 

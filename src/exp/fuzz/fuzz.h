@@ -27,6 +27,15 @@
 
 namespace pert::exp::fuzz {
 
+/// Repro-bundle schema version, stored in the "pert_fuzz_repro" field.
+/// Bump when the bundle layout or the scenario vocabulary changes meaning;
+/// replay warns (but still tries) on a version mismatch.
+inline constexpr std::uint64_t kReproSchemaVersion = 2;
+
+/// Build stamp recorded in bundles ("git describe" at configure time), so a
+/// replay on a different build can explain a non-reproducing violation.
+const char* build_stamp();
+
 struct Violation {
   Scenario scenario;       ///< shrunk scenario that still violates
   Scenario original;       ///< as generated, before shrinking

@@ -1,0 +1,82 @@
+// Metamorphic self-validation: runs a scenario against transformed twins
+// whose results are *predictable from the original run* without any oracle.
+//
+// Four relations, each asserting a symmetry the simulator must have:
+//   - "seed-stream": the observability layer (tracing, sampling, metric
+//     registry) draws from no seeded RNG stream, so running the identical
+//     scenario fully observed must reproduce the un-observed metrics
+//     byte-for-byte. Re-running the baseline also pins plain determinism.
+//   - "time-shift": shifting every flow/web start (and the flap schedule)
+//     later by a constant, and measuring the same window shifted by the
+//     same constant, must not change what happens. Compared within
+//     tolerance bands: event times differ by ulps after the shift, which a
+//     chaotic packet system amplifies into trajectory noise, but any *real*
+//     dependence on absolute time produces gross differences.
+//   - "relabel": flow ids are labels carried in packets; adding a constant
+//     to every id must reproduce the metrics byte-for-byte.
+//   - "rescale": halving every time dimension while doubling every rate
+//     (k = 2, so each scaling is an exact IEEE-754 exponent shift) must
+//     reproduce packet-for-packet dynamics: identical drop/mark counters,
+//     identical dimensionless metrics, goodput exactly doubled. Applies to
+//     schemes whose control laws are scale-free (PERT, plain SACK); the
+//     router-AQM discretizations re-derive their gains from the link and
+//     are checked by their own unit tests instead.
+//
+// A failed relation means the simulator broke a symmetry no parameter
+// choice should break — the strongest correctness signal available without
+// a second implementation to differ against.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/fuzz/generator.h"
+#include "exp/fuzz/scenario.h"
+
+namespace pert::exp::fuzz {
+
+struct RelationResult {
+  std::string relation;    ///< "seed-stream" | "time-shift" | "relabel" | "rescale"
+  bool applicable = true;  ///< false: scenario shape outside the relation's domain
+  bool ok = true;
+  std::string detail;      ///< failure description (metric, got, want)
+};
+
+/// Runs the scenario and every applicable relation twin. Scenario failures
+/// (invariant violations, crashes) surface as a failed relation with the
+/// exception text in `detail`.
+std::vector<RelationResult> check_relations(const Scenario& s);
+
+/// The degenerate-corner scenario family: 1-packet buffers, near-zero and
+/// huge RTTs, one fat flow, many starved flows, back-to-back link flaps.
+/// Deterministic in `base_seed`; each corner derives its own seed.
+std::vector<Scenario> corner_scenarios(std::uint64_t base_seed);
+
+struct MetamorphicOptions {
+  std::uint64_t seed = 1;
+  std::uint64_t scenarios = 20;  ///< generated scenarios to check
+  /// Stop early once this much wall time has elapsed (0 = no budget).
+  double time_budget_s = 0;
+  bool include_corners = true;   ///< also run the corner family (once)
+  GeneratorBounds bounds;
+  bool verbose = false;
+};
+
+struct MetamorphicFailure {
+  Scenario scenario;
+  RelationResult result;
+};
+
+struct MetamorphicSummary {
+  std::uint64_t scenarios_run = 0;
+  std::uint64_t relations_checked = 0;  ///< applicable relation evaluations
+  std::vector<MetamorphicFailure> failures;
+};
+
+/// Generates `scenarios` seeded scenarios (shorter windows than the plain
+/// fuzzer: each scenario runs up to five times), prepends the corner family
+/// when asked, and checks every applicable relation on each.
+MetamorphicSummary run_metamorphic(const MetamorphicOptions& opts);
+
+}  // namespace pert::exp::fuzz

@@ -76,6 +76,10 @@ runner::JsonValue to_json(const Scenario& s) {
   o.emplace_back("reorder_p", runner::JsonValue(s.reorder_p));
   o.emplace_back("reorder_max_delay",
                  runner::JsonValue(s.reorder_max_delay));
+  o.emplace_back("flap_first_down", runner::JsonValue(s.flap_first_down));
+  o.emplace_back("flap_down_for", runner::JsonValue(s.flap_down_for));
+  o.emplace_back("flap_period", runner::JsonValue(s.flap_period));
+  o.emplace_back("flap_count", runner::JsonValue(s.flap_count));
   o.emplace_back("start_window", runner::JsonValue(s.start_window));
   o.emplace_back("warmup", runner::JsonValue(s.warmup));
   o.emplace_back("measure", runner::JsonValue(s.measure));
@@ -107,6 +111,10 @@ Scenario scenario_from_json(const runner::JsonValue& v) {
   s.jitter_max_delay = num_or(v, "jitter_max_delay", s.jitter_max_delay);
   s.reorder_p = num_or(v, "reorder_p", s.reorder_p);
   s.reorder_max_delay = num_or(v, "reorder_max_delay", s.reorder_max_delay);
+  s.flap_first_down = num_or(v, "flap_first_down", s.flap_first_down);
+  s.flap_down_for = num_or(v, "flap_down_for", s.flap_down_for);
+  s.flap_period = num_or(v, "flap_period", s.flap_period);
+  s.flap_count = int_or(v, "flap_count", s.flap_count);
   s.start_window = num_or(v, "start_window", s.start_window);
   s.warmup = num_or(v, "warmup", s.warmup);
   s.measure = num_or(v, "measure", s.measure);
@@ -134,6 +142,12 @@ DumbbellConfig to_dumbbell(const Scenario& s) {
   cfg.impair.jitter.max_delay = s.jitter_max_delay;
   cfg.impair.reorder.p = s.reorder_p;
   cfg.impair.reorder.max_delay = s.reorder_max_delay;
+  if (s.has_flaps()) {
+    cfg.impair.flap.first_down = s.flap_first_down;
+    cfg.impair.flap.down_for = s.flap_down_for;
+    cfg.impair.flap.period = s.flap_period;
+    cfg.impair.flap.count = s.flap_count;
+  }
   // Fuzz scenarios are short; a tight stall timeout turns a wedged
   // simulation into a structured StallError violation quickly.
   cfg.watchdog.stall_timeout = 30.0;

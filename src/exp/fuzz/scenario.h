@@ -53,6 +53,13 @@ struct Scenario {
   double reorder_p = 0.0;          ///< hold-back probability
   double reorder_max_delay = 0.0;  ///< hold duration bound, seconds
 
+  /// Bottleneck link flaps (down_for = 0 disables). The degenerate-corner
+  /// family uses these for its back-to-back outage scenarios.
+  double flap_first_down = 0.0;    ///< absolute time of the first outage
+  double flap_down_for = 0.0;      ///< outage duration, seconds
+  double flap_period = 0.0;        ///< down-edge spacing; 0 = single outage
+  std::int32_t flap_count = 0;     ///< number of outages
+
   /// Measurement window.
   double start_window = 2.0;  ///< flow start times uniform in [0, this)
   double warmup = 15.0;       ///< seconds before measurement begins
@@ -60,8 +67,10 @@ struct Scenario {
 
   bool has_impairments() const {
     return loss_p > 0 || jitter_max_delay > 0 ||
-           (reorder_p > 0 && reorder_max_delay > 0);
+           (reorder_p > 0 && reorder_max_delay > 0) || has_flaps();
   }
+
+  bool has_flaps() const { return flap_down_for > 0 && flap_count > 0; }
 
   friend bool operator==(const Scenario&, const Scenario&) = default;
 };

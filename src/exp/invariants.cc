@@ -31,6 +31,20 @@ std::unique_ptr<sim::InvariantChecker> install_standard_invariants(
     return std::string{};
   });
 
+  // Numeric sentinels: non-finite EWMAs / integrator state / averaged queue
+  // estimates and saturating byte counters rot silently — every later value
+  // stays plausible-looking garbage. Polled only on watchdog ticks, so the
+  // packet hot path pays nothing for the check.
+  checker->add_invariant("numeric-sentinel", [&net] {
+    const auto links = net.links();
+    for (std::size_t i = 0; i < links.size(); ++i) {
+      std::string v = links[i]->queue().numeric_violation();
+      if (v.empty()) v = links[i]->numeric_violation();
+      if (!v.empty()) return "link " + std::to_string(i) + ": " + v;
+    }
+    return std::string{};
+  });
+
   checker->set_progress_probe([&net, senders] {
     std::uint64_t progress = 0;
     for (const tcp::TcpSender* s : senders())

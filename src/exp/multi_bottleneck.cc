@@ -1,9 +1,9 @@
 #include "exp/multi_bottleneck.h"
 
 #include <algorithm>
-#include <cassert>
 
 #include "exp/invariants.h"
+#include "sim/validate.h"
 #include "stats/stats.h"
 
 namespace pert::exp {
@@ -12,12 +12,33 @@ namespace {
 constexpr std::int32_t kPort = 1;
 }
 
+void MultiBottleneckConfig::validate() const {
+  // Below 3 routers there is no "middle" hop and the long-haul group
+  // degenerates into the one-hop group; the chain topology needs >= 3.
+  sim::require_at_least("MultiBottleneckConfig", "num_routers", num_routers, 3);
+  sim::require_at_least("MultiBottleneckConfig", "hosts_per_cloud",
+                        hosts_per_cloud, 1);
+  sim::require_positive("MultiBottleneckConfig", "router_link_bps",
+                        router_link_bps);
+  sim::require_non_negative("MultiBottleneckConfig", "router_link_delay",
+                            router_link_delay);
+  sim::require_positive("MultiBottleneckConfig", "access_bps", access_bps);
+  sim::require_non_negative("MultiBottleneckConfig", "access_delay",
+                            access_delay);
+  sim::require_at_least("MultiBottleneckConfig", "buffer_pkts", buffer_pkts,
+                        0);
+  sim::require_non_negative("MultiBottleneckConfig", "start_window",
+                            start_window);
+  tcp.validate();
+  pert.validate();
+}
+
 MultiBottleneck::MultiBottleneck(MultiBottleneckConfig cfg)
     : cfg_(cfg),
       net_(cfg.seed),
       obs_(cfg.obs),
       sampler_(net_.sched(), [this] { sample_tick(); }) {
-  assert(cfg_.num_routers >= 3);
+  cfg_.validate();
   cfg_.tcp.ecn = sender_ecn(cfg_.scheme);
 
   const double seg_bytes = cfg_.tcp.seg_bytes();

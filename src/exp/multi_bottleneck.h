@@ -31,6 +31,10 @@ struct MultiBottleneckConfig {
   sim::WatchdogOptions watchdog;
   /// Observability (tracing, metric registry, sampling). Off by default.
   obs::ObsConfig obs;
+
+  /// Rejects an out-of-domain chain topology with sim::ConfigError before
+  /// any node is built, including the nested TCP/PERT configs.
+  void validate() const;
 };
 
 struct HopMetrics {

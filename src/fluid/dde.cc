@@ -1,6 +1,11 @@
 #include "fluid/dde.h"
 
 #include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <string>
+
+#include "sim/errors.h"
 
 namespace pert::fluid {
 
@@ -40,6 +45,19 @@ void DdeIntegrator::step() {
   for (std::size_t i = 0; i < n; ++i)
     x_[i] += h_ / 6.0 * (k1[i] + 2 * k2[i] + 2 * k3[i] + k4[i]);
   t_ += h_;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!std::isfinite(x_[i])) {
+      std::ostringstream diag;
+      diag << "t=" << t_ << " h=" << h_ << " tau=" << tau_ << " state=[";
+      for (std::size_t j = 0; j < n; ++j)
+        diag << (j ? ", " : "") << x_[j];
+      diag << "]\n";
+      throw sim::NumericError(
+          "DdeIntegrator: state[" + std::to_string(i) +
+              "] became non-finite (diverged trajectory or too-coarse step)",
+          diag.str());
+    }
+  }
   hist_.emplace_back(t_, x_);
 
   // Prune history older than tau (keep one entry before the cutoff).

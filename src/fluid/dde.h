@@ -3,10 +3,11 @@
 // ring buffer; history before t=0 is the initial condition (constant).
 #pragma once
 
-#include <cassert>
 #include <cstddef>
 #include <functional>
 #include <vector>
+
+#include "sim/validate.h"
 
 namespace pert::fluid {
 
@@ -19,14 +20,22 @@ class DdeIntegrator {
 
   DdeIntegrator(Rhs rhs, State x0, double tau, double step)
       : rhs_(std::move(rhs)), tau_(tau), h_(step), x_(std::move(x0)) {
-    assert(tau_ >= 0 && h_ > 0);
+    sim::require_non_negative("DdeIntegrator", "tau", tau_);
+    sim::require_positive("DdeIntegrator", "step", h_);
+    sim::require_at_least("DdeIntegrator", "x0.size",
+                          static_cast<std::int64_t>(x_.size()), 1);
+    for (std::size_t i = 0; i < x_.size(); ++i)
+      sim::require_finite("DdeIntegrator", "x0[i]", x_[i]);
     hist_.push_back({0.0, x_});
   }
 
   double time() const noexcept { return t_; }
   const State& state() const noexcept { return x_; }
 
-  /// Advances one RK4 step.
+  /// Advances one RK4 step. Throws sim::NumericError with a (t, state)
+  /// snapshot if the trajectory leaves the finite domain — a stiff system
+  /// stepped too coarsely diverges to inf/NaN within a few steps, and every
+  /// later value would silently be garbage.
   void step();
 
   /// Integrates until `t_end`, invoking `observe(t, x)` after every step

@@ -1,6 +1,9 @@
 #include "net/avq_queue.h"
 
 #include <algorithm>
+#include <string>
+
+#include "sim/sentinel.h"
 
 namespace pert::net {
 
@@ -9,7 +12,25 @@ AvqQueue::AvqQueue(sim::Scheduler& sched, std::int32_t capacity_pkts,
     : Queue(sched, capacity_pkts),
       params_(params),
       link_bps_(link_bps),
-      vcap_bps_(params.gamma * link_bps) {}
+      vcap_bps_(params.gamma * link_bps) {
+  params_.validate();
+  sim::require_positive("AvqQueue", "link_bps", link_bps);
+}
+
+std::string AvqQueue::numeric_violation() const {
+  if (std::string v = Queue::numeric_violation(); !v.empty()) return v;
+  if (std::string v = sim::bounded_violation("avq.vcap_bps", vcap_bps_, 0.0,
+                                             link_bps_);
+      !v.empty())
+    return v;
+  if (std::string v = sim::finite_violation("avq.vq_bytes", vq_bytes_);
+      !v.empty())
+    return v;
+  if (std::string v = sim::finite_violation("avq.mean_pkt", mean_pkt_);
+      !v.empty())
+    return v;
+  return {};
+}
 
 void AvqQueue::enqueue(PacketPtr p) {
   count_arrival();

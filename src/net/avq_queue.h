@@ -14,6 +14,14 @@ struct AvqParams {
   double gamma = 0.98;   ///< desired utilization
   double alpha = 0.15;   ///< adaptation gain
   bool ecn = true;
+
+  /// Rejects out-of-domain parameters with sim::ConfigError: gamma is a
+  /// target utilization in (0, 1], alpha a positive adaptation gain.
+  void validate() const {
+    sim::require_positive("AvqParams", "gamma", gamma);
+    sim::require_le("AvqParams", "gamma", gamma, "1", 1.0);
+    sim::require_positive("AvqParams", "alpha", alpha);
+  }
 };
 
 class AvqQueue final : public Queue {
@@ -27,6 +35,9 @@ class AvqQueue final : public Queue {
   double virtual_capacity_bps() const noexcept { return vcap_bps_; }
   double virtual_queue_bytes() const noexcept { return vq_bytes_; }
 
+  /// Base checks plus virtual capacity/backlog and the mean-packet EWMA.
+  std::string numeric_violation() const override;
+
  private:
   AvqParams params_;
   double link_bps_;
@@ -34,6 +45,8 @@ class AvqQueue final : public Queue {
   double vq_bytes_ = 0; ///< virtual queue backlog
   double mean_pkt_ = 1040;
   sim::Time last_ = 0.0;
+
+  friend class SentinelTestPeer;  // NaN-injection tests for the sentinel layer
 };
 
 }  // namespace pert::net

@@ -8,6 +8,7 @@ ImpairmentQueue::ImpairmentQueue(sim::Scheduler& sched,
                                  std::unique_ptr<Queue> inner,
                                  ImpairmentConfig cfg, sim::Rng rng)
     : WrapperQueue(sched, std::move(inner)), cfg_(cfg), rng_(rng) {
+  cfg_.validate();
   capacity_check_ = false;  // len_pkts() includes held-in-flight packets
 }
 

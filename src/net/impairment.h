@@ -39,6 +39,7 @@
 #include "net/queue.h"
 #include "sim/random.h"
 #include "sim/scheduler.h"
+#include "sim/validate.h"
 
 namespace pert::net {
 
@@ -87,6 +88,37 @@ struct ImpairmentConfig {
   }
   bool flaps_link() const { return flap.down_for > 0 && flap.count > 0; }
   bool any() const { return any_queue_impairment() || flaps_link(); }
+
+  /// Rejects out-of-domain impairment parameters with sim::ConfigError:
+  /// every probability in [0, 1], every delay/duration non-negative, the
+  /// reorder window ordered. Called by ImpairmentQueue and
+  /// schedule_link_flaps; topology builders validate up front too.
+  void validate() const {
+    sim::require_prob("ImpairmentConfig", "loss.p", loss.p);
+    sim::require_prob("ImpairmentConfig", "gilbert.p_enter_bad",
+                      gilbert.p_enter_bad);
+    sim::require_prob("ImpairmentConfig", "gilbert.p_exit_bad",
+                      gilbert.p_exit_bad);
+    sim::require_prob("ImpairmentConfig", "gilbert.loss_good",
+                      gilbert.loss_good);
+    sim::require_prob("ImpairmentConfig", "gilbert.loss_bad", gilbert.loss_bad);
+    sim::require_prob("ImpairmentConfig", "bit_error.ber", bit_error.ber);
+    sim::require_prob("ImpairmentConfig", "reorder.p", reorder.p);
+    sim::require_non_negative("ImpairmentConfig", "reorder.min_delay",
+                              reorder.min_delay);
+    sim::require_non_negative("ImpairmentConfig", "reorder.max_delay",
+                              reorder.max_delay);
+    sim::require_le("ImpairmentConfig", "reorder.min_delay", reorder.min_delay,
+                    "reorder.max_delay", reorder.max_delay);
+    sim::require_non_negative("ImpairmentConfig", "jitter.max_delay",
+                              jitter.max_delay);
+    sim::require_non_negative("ImpairmentConfig", "flap.first_down",
+                              flap.first_down);
+    sim::require_non_negative("ImpairmentConfig", "flap.down_for",
+                              flap.down_for);
+    sim::require_non_negative("ImpairmentConfig", "flap.period", flap.period);
+    sim::require_at_least("ImpairmentConfig", "flap.count", flap.count, 0);
+  }
 };
 
 /// Delegating base for queue wrappers: forwards length/estimate/dequeue to

@@ -1,9 +1,12 @@
 #include "net/link.h"
 
 #include <cassert>
+#include <string>
 #include <utility>
 
 #include "net/node.h"
+#include "sim/sentinel.h"
+#include "sim/validate.h"
 
 namespace pert::net {
 
@@ -14,7 +17,11 @@ Link::Link(sim::Scheduler& sched, Node& to, double rate_bps,
       rate_bps_(rate_bps),
       prop_delay_(prop_delay),
       queue_(std::move(queue)) {
-  assert(rate_bps_ > 0 && prop_delay_ >= 0 && queue_);
+  sim::require_positive("Link", "rate_bps", rate_bps_);
+  sim::require_non_negative("Link", "prop_delay", prop_delay_);
+  if (!queue_)
+    throw sim::ConfigError("Link: queue must not be null",
+                           "component=Link param=queue value=null\n");
   // Impairment wrappers admit held packets asynchronously; wake the
   // transmitter when one lands in the buffer.
   queue_->on_ready = [this] {
@@ -48,6 +55,20 @@ void Link::set_down(bool down) {
                        sched_->now() - down_since_);
     if (!busy_) try_transmit();
   }
+}
+
+std::string Link::numeric_violation() const {
+  if (std::string v = sim::counter_violation("link.bytes_tx", stats_.bytes_tx);
+      !v.empty())
+    return v;
+  if (std::string v = sim::counter_violation("link.pkts_tx", stats_.pkts_tx);
+      !v.empty())
+    return v;
+  if (std::string v =
+          sim::finite_violation("link.busy_integral", stats_.busy_integral);
+      !v.empty())
+    return v;
+  return {};
 }
 
 void Link::try_transmit() {

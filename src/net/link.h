@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "net/packet.h"
 #include "net/queue.h"
@@ -59,6 +60,12 @@ class Link {
     if (down()) s.down_integral += sched_->now() - down_since_;
     return s;
   }
+
+  /// Numeric sentinel over the transmit counters and busy-time integral
+  /// (window metrics difference snapshots of these; a saturated counter or
+  /// non-finite integral silently poisons every later window). Returns ""
+  /// while healthy. Polled from the watchdog, never the packet path.
+  std::string numeric_violation() const;
 
   /// Attaches a tracer (not owned; may be null) for this link and its queue.
   /// Emits "link.tx" (kDebug, per packet) and "link.down"/"link.up" (kWarn)

@@ -2,11 +2,19 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
+
+#include "sim/sentinel.h"
 
 namespace pert::net {
 
 PiDesign PiDesign::for_link(double capacity_pps, double n_min, double rtt_max,
                             double q_ref, double sample_hz) {
+  sim::require_positive("PiDesign::for_link", "capacity_pps", capacity_pps);
+  sim::require_positive("PiDesign::for_link", "n_min", n_min);
+  sim::require_positive("PiDesign::for_link", "rtt_max", rtt_max);
+  sim::require_non_negative("PiDesign::for_link", "q_ref", q_ref);
+  sim::require_positive("PiDesign::for_link", "sample_hz", sample_hz);
   PiDesign d;
   d.q_ref = q_ref;
   d.sample_hz = sample_hz;
@@ -30,7 +38,18 @@ PiQueue::PiQueue(sim::Scheduler& sched, std::int32_t capacity_pkts,
       ecn_(ecn),
       rng_(rng),
       sample_timer_(sched, [this] { sample(); }) {
+  design_.validate();
   sample_timer_.schedule_in(1.0 / design_.sample_hz);
+}
+
+std::string PiQueue::numeric_violation() const {
+  if (std::string v = Queue::numeric_violation(); !v.empty()) return v;
+  if (std::string v = sim::bounded_violation("pi.prob", prob_, 0.0, 1.0);
+      !v.empty())
+    return v;
+  if (std::string v = sim::finite_violation("pi.prev_q", prev_q_); !v.empty())
+    return v;
+  return {};
 }
 
 void PiQueue::sample() {

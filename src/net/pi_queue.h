@@ -29,6 +29,17 @@ struct PiDesign {
   /// gain at the crossover, loop gain R^3 C^3 / (2N)^2.
   static PiDesign for_link(double capacity_pps, double n_min, double rtt_max,
                            double q_ref, double sample_hz = 170);
+
+  /// Rejects out-of-domain coefficients with sim::ConfigError. As with the
+  /// end-host emulation, the discretization needs a > b (b itself may be
+  /// negative); with a <= b the integrator runs with negative gain.
+  void validate() const {
+    sim::require_positive("PiDesign", "a", a);
+    sim::require_finite("PiDesign", "b", b);
+    sim::require_less("PiDesign", "b", b, "a", a);
+    sim::require_non_negative("PiDesign", "q_ref", q_ref);
+    sim::require_positive("PiDesign", "sample_hz", sample_hz);
+  }
 };
 
 class PiQueue final : public Queue {
@@ -42,6 +53,9 @@ class PiQueue final : public Queue {
   double mark_prob() const noexcept { return prob_; }
   const PiDesign& design() const noexcept { return design_; }
 
+  /// Base checks plus the PI integrator state.
+  std::string numeric_violation() const override;
+
  private:
   void sample();
 
@@ -51,6 +65,8 @@ class PiQueue final : public Queue {
   double prev_q_ = 0.0;
   sim::Rng rng_;
   sim::Timer sample_timer_;
+
+  friend class SentinelTestPeer;  // NaN-injection tests for the sentinel layer
 };
 
 }  // namespace pert::net

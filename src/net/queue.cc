@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "sim/sentinel.h"
+
 namespace pert::net {
 
 PacketPtr Queue::dequeue() {
@@ -34,6 +36,28 @@ std::string Queue::conservation_violation() const {
            std::to_string(s.drops) + " + resident " + std::to_string(len);
   if (s.drops != s.forced_drops + s.early_drops + s.injected_drops)
     return "drop-cause counters do not sum to total drops";
+  return {};
+}
+
+std::string Queue::numeric_violation() const {
+  if (std::string v = sim::counter_violation("queue.len_bytes", len_bytes());
+      !v.empty())
+    return v;
+  if (std::string v = sim::finite_violation("queue.avg_estimate",
+                                            avg_estimate());
+      !v.empty())
+    return v;
+  const Stats s = snapshot();
+  if (std::string v = sim::counter_violation("queue.arrivals", s.arrivals);
+      !v.empty())
+    return v;
+  if (std::string v = sim::counter_violation("queue.bytes_in", s.bytes_in);
+      !v.empty())
+    return v;
+  if (std::string v = sim::finite_violation("queue.len_integral",
+                                            s.len_integral);
+      !v.empty())
+    return v;
   return {};
 }
 

@@ -6,15 +6,17 @@
 // differencing snapshots, so no sampling timers are needed.
 #pragma once
 
-#include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <string>
+#include <vector>
 
 #include "net/packet.h"
 #include "obs/trace.h"
 #include "sim/function.h"
 #include "sim/scheduler.h"
+#include "sim/validate.h"
 
 namespace pert::net {
 
@@ -44,7 +46,7 @@ class Queue {
 
   Queue(sim::Scheduler& sched, std::int32_t capacity_pkts)
       : sched_(&sched), capacity_(capacity_pkts) {
-    assert(capacity_pkts > 0);
+    sim::require_at_least("Queue", "capacity_pkts", capacity_pkts, 1);
   }
   virtual ~Queue() = default;
   Queue(const Queue&) = delete;
@@ -79,6 +81,15 @@ class Queue {
   /// a message describing the imbalance (watchdog invariant).
   std::string conservation_violation() const;
 
+  /// Numeric-sentinel self-check: smoothed estimates, byte accounting, and
+  /// cumulative counters must stay finite / non-negative / below counter
+  /// saturation. Returns "" while healthy, else a message naming the rotted
+  /// state. Polled by the watchdog's "numeric-sentinel" invariant on its
+  /// coarse tick, so the packet hot path never pays for it. Disciplines with
+  /// their own hidden state (RED avg, PI/REM integrators, AVQ virtual
+  /// capacity) extend the base check.
+  virtual std::string numeric_violation() const;
+
   /// The discipline's smoothed congestion estimate (RED avg; raw length for
   /// disciplines without smoothing). Exposed for monitors and tests.
   virtual double avg_estimate() const { return static_cast<double>(fifo_.size()); }
@@ -91,6 +102,22 @@ class Queue {
   virtual void set_tracer(obs::Tracer* tracer, std::uint32_t id) noexcept {
     tracer_ = tracer;
     trace_id_ = id;
+    flush_clamp_notes();
+  }
+
+  /// Records an intentional setup-time parameter clamp (auto-tuning floors,
+  /// q_ref capping — applied by the discipline or the topology builder).
+  /// Tracers attach after construction, so notes are buffered and flushed
+  /// exactly once as "queue.param_clamped" kWarn instants when set_tracer
+  /// runs — a silently adjusted configuration is visible in every trace.
+  /// `param` must be a string literal (trace events store the pointer).
+  void note_param_clamp(const char* param, double requested, double used) {
+    clamp_notes_.push_back({param, requested, used});
+  }
+
+  /// Clamp notes not yet flushed to a tracer (tests, diagnostics).
+  std::size_t pending_clamp_notes() const noexcept {
+    return clamp_notes_.size();
   }
 
   /// Fired for every dropped packet (after counting). Used by the predictor
@@ -179,11 +206,29 @@ class Queue {
   bool capacity_check_ = true;
 
  private:
+  struct ClampNote {
+    const char* param;
+    double requested;
+    double used;
+  };
+
+  void flush_clamp_notes() noexcept {
+    if (tracer_ == nullptr || clamp_notes_.empty()) return;
+    for (const ClampNote& n : clamp_notes_) {
+      if (tracer_->wants(obs::Category::kQueue, obs::Severity::kWarn))
+        tracer_->instant(now(), obs::Category::kQueue, obs::Severity::kWarn,
+                         "queue.param_clamped", trace_id_, n.param,
+                         n.requested, "used", n.used);
+    }
+    clamp_notes_.clear();
+  }
+
   sim::Scheduler* sched_;
   std::int32_t capacity_;
   std::int64_t bytes_ = 0;
   sim::Time last_change_ = 0.0;
   Stats stats_;
+  std::vector<ClampNote> clamp_notes_;
   obs::Tracer* tracer_ = nullptr;
   std::uint32_t trace_id_ = 0;
 

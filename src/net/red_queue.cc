@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
+
+#include "sim/sentinel.h"
 
 namespace pert::net {
 
@@ -9,10 +12,16 @@ RedParams RedParams::auto_tuned(std::int32_t cap, double rate_pps,
                                 bool ecn_enabled) {
   RedParams p;
   p.min_th = std::max(5.0, cap / 6.0);
+  if (cap / 6.0 < 5.0) p.clamps.push_back({"min_th", cap / 6.0, p.min_th});
   p.max_th = std::max(3.0 * p.min_th, cap / 2.0);
+  if (cap / 2.0 < 3.0 * p.min_th)
+    p.clamps.push_back({"max_th", cap / 2.0, p.max_th});
   p.max_p = 0.10;
-  // Floyd 2001: wq = 1 - exp(-1/C), a ~1 s averaging time constant.
+  // Floyd 2001: wq = 1 - exp(-1/C), a ~1 s averaging time constant. Rates
+  // below 10 pps would push wq toward 1 (no averaging at all); floor them.
   p.wq = 1.0 - std::exp(-1.0 / std::max(rate_pps, 10.0));
+  if (rate_pps < 10.0)
+    p.clamps.push_back({"wq", 1.0 - std::exp(-1.0 / rate_pps), p.wq});
   p.gentle = true;
   p.ecn = ecn_enabled;
   p.adaptive = true;
@@ -27,6 +36,9 @@ RedQueue::RedQueue(sim::Scheduler& sched, std::int32_t capacity_pkts,
       idle_since_(0.0),
       rng_(rng),
       adapt_timer_(sched, [this] { adapt_max_p(); }) {
+  params_.validate();
+  for (const RedParams::Clamp& c : params_.clamps)
+    note_param_clamp(c.param, c.requested, c.used);
   if (params_.adaptive) adapt_timer_.schedule_in(0.5);
 }
 
@@ -103,6 +115,17 @@ PacketPtr RedQueue::dequeue() {
   PacketPtr p = Queue::dequeue();
   if (len_pkts() == 0) idle_since_ = now();
   return p;
+}
+
+std::string RedQueue::numeric_violation() const {
+  if (std::string v = Queue::numeric_violation(); !v.empty()) return v;
+  if (std::string v = sim::finite_violation("red.avg", avg_); !v.empty())
+    return v;
+  if (std::string v = sim::bounded_violation("red.max_p", params_.max_p, 0.0,
+                                             1.0);
+      !v.empty())
+    return v;
+  return {};
 }
 
 void RedQueue::adapt_max_p() {

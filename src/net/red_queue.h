@@ -5,6 +5,8 @@
 // (2001). This is the router-side baseline that PERT emulates from end hosts.
 #pragma once
 
+#include <vector>
+
 #include "net/queue.h"
 #include "sim/random.h"
 #include "sim/timer.h"
@@ -25,9 +27,34 @@ struct RedParams {
   double link_rate_pps = 1000;
 
   /// Floyd-2001 defaults scaled to a queue of `cap` packets: thresholds at
-  /// cap/6 and cap/2 (min 5/15), automatic wq from the link rate.
+  /// cap/6 and cap/2 (min 5/15), automatic wq from the link rate. Floors
+  /// that bind are recorded in `clamps` and surface as one-shot trace
+  /// warnings through the queue (see Queue::note_param_clamp).
   static RedParams auto_tuned(std::int32_t cap, double link_rate_pps,
                               bool ecn_enabled = true);
+
+  /// Intentional clamps applied while deriving these params: {param,
+  /// requested, used}. Forwarded by the RedQueue ctor so auto-tuning floors
+  /// are never silently invisible.
+  struct Clamp {
+    const char* param;
+    double requested;
+    double used;
+  };
+  std::vector<Clamp> clamps;
+
+  /// Rejects out-of-domain parameters with sim::ConfigError: inverted
+  /// thresholds (min_th >= max_th), probabilities outside [0, 1], EWMA
+  /// weight outside (0, 1], non-positive sizes/rates.
+  void validate() const {
+    sim::require_positive("RedParams", "min_th", min_th);
+    sim::require_less("RedParams", "min_th", min_th, "max_th", max_th);
+    sim::require_prob("RedParams", "max_p", max_p);
+    sim::require_positive("RedParams", "wq", wq);
+    sim::require_le("RedParams", "wq", wq, "1", 1.0);
+    sim::require_positive("RedParams", "mean_pktsize", mean_pktsize);
+    sim::require_positive("RedParams", "link_rate_pps", link_rate_pps);
+  }
 };
 
 class RedQueue final : public Queue {
@@ -41,6 +68,9 @@ class RedQueue final : public Queue {
   double avg_estimate() const override { return avg_; }
   const RedParams& params() const noexcept { return params_; }
   double cur_max_p() const noexcept { return params_.max_p; }
+
+  /// Base checks plus the averaged queue and adapted max_p.
+  std::string numeric_violation() const override;
 
  private:
   /// Probability of mark/drop for the current average, given the count of
@@ -56,6 +86,8 @@ class RedQueue final : public Queue {
   sim::Time idle_since_ = 0.0;   ///< when the queue went empty (kNever if busy)
   sim::Rng rng_;
   sim::Timer adapt_timer_;
+
+  friend class SentinelTestPeer;  // NaN-injection tests for the sentinel layer
 };
 
 }  // namespace pert::net

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
+
+#include "sim/sentinel.h"
 
 namespace pert::net {
 
@@ -11,7 +14,18 @@ RemQueue::RemQueue(sim::Scheduler& sched, std::int32_t capacity_pkts,
       params_(params),
       rng_(rng),
       sample_timer_(sched, [this] { sample(); }) {
+  params_.validate();
   sample_timer_.schedule_in(1.0 / params_.sample_hz);
+}
+
+std::string RemQueue::numeric_violation() const {
+  if (std::string v = Queue::numeric_violation(); !v.empty()) return v;
+  if (std::string v = sim::finite_violation("rem.price", price_); !v.empty())
+    return v;
+  if (std::string v = sim::bounded_violation("rem.prob", prob_, 0.0, 1.0);
+      !v.empty())
+    return v;
+  return {};
 }
 
 void RemQueue::sample() {

@@ -18,6 +18,17 @@ struct RemParams {
   double rate_weight = 0.1;  ///< weight of the backlog-derivative term
   double sample_hz = 500;
   bool ecn = true;
+
+  /// Rejects out-of-domain parameters with sim::ConfigError. phi must
+  /// exceed 1: phi = 1 makes the marking probability identically zero and
+  /// phi < 1 makes it negative.
+  void validate() const {
+    sim::require_positive("RemParams", "gamma", gamma);
+    sim::require_greater("RemParams", "phi", phi, 1.0);
+    sim::require_non_negative("RemParams", "q_ref", q_ref);
+    sim::require_non_negative("RemParams", "rate_weight", rate_weight);
+    sim::require_positive("RemParams", "sample_hz", sample_hz);
+  }
 };
 
 class RemQueue final : public Queue {
@@ -31,6 +42,9 @@ class RemQueue final : public Queue {
   double price() const noexcept { return price_; }
   double mark_prob() const noexcept { return prob_; }
 
+  /// Base checks plus the price integrator and marking probability.
+  std::string numeric_violation() const override;
+
  private:
   void sample();
 
@@ -40,6 +54,8 @@ class RemQueue final : public Queue {
   double prev_q_ = 0.0;
   sim::Rng rng_;
   sim::Timer sample_timer_;
+
+  friend class SentinelTestPeer;  // NaN-injection tests for the sentinel layer
 };
 
 }  // namespace pert::net

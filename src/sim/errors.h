@@ -27,6 +27,28 @@ class DiagnosticError : public std::runtime_error {
   std::string diagnostics_;
 };
 
+/// A configurable component (queue discipline, sender, link, fluid model,
+/// scenario builder) was handed out-of-domain parameters at construction
+/// time: negative RTTs, inverted thresholds, probabilities outside [0,1],
+/// zero-capacity links. Thrown by the sim/validate.h vocabulary before any
+/// event runs, so a bad configuration can never produce a half-run
+/// simulation. what() names the component and parameter; diagnostics()
+/// carries the offending value and the expected domain.
+class ConfigError : public DiagnosticError {
+ public:
+  using DiagnosticError::DiagnosticError;
+};
+
+/// A numeric sentinel detected rotted state while the simulation was
+/// running: a non-finite EWMA/integrator/trajectory value or an overflowed
+/// counter. Thrown by the sentinel layer (sim/sentinel.h) and the fluid
+/// integrator; watchdog-detected sentinel failures surface as
+/// InvariantViolation instead (both are DiagnosticErrors).
+class NumericError : public DiagnosticError {
+ public:
+  using DiagnosticError::DiagnosticError;
+};
+
 /// A registered invariant (conservation, bounds, monotonicity) failed.
 class InvariantViolation : public DiagnosticError {
  public:

@@ -66,6 +66,16 @@ void Scheduler::release_slot(std::uint32_t idx) {
 
 Scheduler::EventId Scheduler::schedule_at(Time t, Callback cb) {
   assert(cb && "scheduling an empty callback");
+  // Numeric sentinel: a NaN time would fail every heap comparison and
+  // silently corrupt event ordering (and NaN delays slip through the
+  // negative-delay clamp in schedule_in, since NaN compares false). One
+  // predictable branch; the schedule path is warm but not arithmetic-bound.
+  if (!(t - t == 0.0)) {  // false for NaN and +-inf, no libm call
+    throw NumericError(
+        "Scheduler: scheduled time is not finite",
+        "now=" + std::to_string(now_) + " t=" + std::to_string(t) +
+            " pending=" + std::to_string(heap_.size()) + "\n");
+  }
   if (t < now_) t = now_;
   std::uint32_t idx;
   if (!free_.empty()) {

@@ -56,7 +56,12 @@ class Scheduler {
 
   /// Schedules `cb` to run `delay` seconds from now (delay clamped to >= 0).
   EventId schedule_in(Time delay, Callback cb) {
-    return schedule_at(now_ + (delay > 0 ? delay : 0), std::move(cb));
+    // A negative delay clamps to "now", but a non-finite delay must not:
+    // NaN > 0 is false, so the clamp alone would silently turn a NaN delay
+    // into zero. Forward it so schedule_at's finite guard rejects it.
+    const bool non_finite = !(delay - delay == 0.0);
+    return schedule_at(delay > 0 || non_finite ? now_ + delay : now_,
+                       std::move(cb));
   }
 
   /// Cancels a pending event. Returns true iff the event was still pending.

@@ -1,0 +1,63 @@
+// Numeric sentinels: cheap self-checks for hot state that can rot.
+//
+// EWMAs, PI/REM/AVQ integrators, RED's averaged queue, fluid trajectories and
+// cumulative byte counters are all one absorbed NaN (or one wrapped counter)
+// away from silently poisoning every metric downstream. These helpers turn
+// "value went non-finite" and "counter is about to wrap" into watchdog-style
+// violation strings ("" while healthy), so components can expose a
+// numeric_violation() that the default-on InvariantChecker polls on its
+// coarse tick — the packet hot path pays nothing when healthy.
+//
+// Direct throwers (the fluid integrator, which has no watchdog) use
+// NumericError from sim/errors.h instead.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace pert::sim {
+
+/// Cumulative counters past this bound have either wrapped or soon will;
+/// snapshot differencing (the windowed-metrics pattern used everywhere)
+/// would produce negative deltas. 2^62 leaves a full factor-of-two margin
+/// below both the uint64 wrap and the int64 sign flip.
+inline constexpr std::uint64_t kCounterSaturation = std::uint64_t{1} << 62;
+
+/// "" while v is finite; otherwise "<name> = <v> is not finite".
+inline std::string finite_violation(const char* name, double v) {
+  if (std::isfinite(v)) return {};
+  std::ostringstream os;
+  os << name << " = " << v << " is not finite";
+  return os.str();
+}
+
+/// "" while v is finite and within [lo, hi]; otherwise a bounds message.
+/// For state with a known closed domain (probabilities, utilizations).
+inline std::string bounded_violation(const char* name, double v, double lo,
+                                     double hi) {
+  if (std::isfinite(v) && v >= lo && v <= hi) return {};
+  std::ostringstream os;
+  os << name << " = " << v << " outside [" << lo << ", " << hi << "]";
+  return os.str();
+}
+
+/// "" while the cumulative counter is safely below saturation.
+inline std::string counter_violation(const char* name, std::uint64_t v) {
+  if (v < kCounterSaturation) return {};
+  std::ostringstream os;
+  os << name << " = " << v << " at/after saturation (counter wrap imminent)";
+  return os.str();
+}
+
+/// Signed variant: also rejects negatives (a wrapped unsigned source or a
+/// double-subtracted byte count shows up here as < 0).
+inline std::string counter_violation(const char* name, std::int64_t v) {
+  if (v >= 0 && static_cast<std::uint64_t>(v) < kCounterSaturation) return {};
+  std::ostringstream os;
+  os << name << " = " << v << " outside [0, saturation)";
+  return os.str();
+}
+
+}  // namespace pert::sim

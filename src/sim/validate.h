@@ -1,0 +1,150 @@
+// Domain-checking vocabulary for configuration validation.
+//
+// Every configurable component (queue params, TCP config, PERT knobs, link
+// geometry, fluid integrator) calls these at construction time so an
+// out-of-domain parameter becomes a typed ConfigError before any event runs,
+// instead of a silent clamp, an assert in debug builds only, or a NaN that
+// surfaces three subsystems later. The functions are construction-path only —
+// never called per packet — so clarity beats cycle counting here.
+//
+// Usage:
+//   void RedParams::validate() const {
+//     sim::require_positive("RedParams", "min_th", min_th);
+//     sim::require_less("RedParams", "min_th", min_th, "max_th", max_th);
+//     sim::require_prob("RedParams", "max_p", max_p);
+//   }
+//
+// what() reads "RedParams: min_th (= -3) must be > 0"; diagnostics() carries
+// a one-line machine-greppable echo ("component=RedParams param=min_th
+// value=-3 domain=(0, inf)") so runner JobResults and repro bundles keep the
+// offending value.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "sim/errors.h"
+
+namespace pert::sim {
+
+namespace detail {
+
+inline std::string fmt_value(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+[[noreturn]] inline void throw_config(std::string_view component,
+                                      std::string_view param, double value,
+                                      std::string_view requirement,
+                                      std::string_view domain) {
+  std::ostringstream what;
+  what << component << ": " << param << " (= " << fmt_value(value) << ") "
+       << requirement;
+  std::ostringstream diag;
+  diag << "component=" << component << " param=" << param
+       << " value=" << fmt_value(value) << " domain=" << domain << "\n";
+  throw ConfigError(what.str(), diag.str());
+}
+
+}  // namespace detail
+
+/// v must be a finite number (rejects NaN and +-inf).
+inline void require_finite(std::string_view component, std::string_view param,
+                           double v) {
+  if (!std::isfinite(v)) {
+    detail::throw_config(component, param, v, "must be finite", "finite");
+  }
+}
+
+/// v must be finite and > 0.
+inline void require_positive(std::string_view component, std::string_view param,
+                             double v) {
+  if (!(std::isfinite(v) && v > 0.0)) {
+    detail::throw_config(component, param, v, "must be > 0", "(0, inf)");
+  }
+}
+
+/// v must be finite and >= 0.
+inline void require_non_negative(std::string_view component,
+                                 std::string_view param, double v) {
+  if (!(std::isfinite(v) && v >= 0.0)) {
+    detail::throw_config(component, param, v, "must be >= 0", "[0, inf)");
+  }
+}
+
+/// v must be a probability: finite and in [0, 1].
+inline void require_prob(std::string_view component, std::string_view param,
+                         double v) {
+  if (!(std::isfinite(v) && v >= 0.0 && v <= 1.0)) {
+    detail::throw_config(component, param, v, "must be a probability in [0, 1]",
+                         "[0, 1]");
+  }
+}
+
+/// v must be finite and in the closed interval [lo, hi].
+inline void require_in(std::string_view component, std::string_view param,
+                       double v, double lo, double hi) {
+  if (!(std::isfinite(v) && v >= lo && v <= hi)) {
+    std::ostringstream req, dom;
+    req << "must be in [" << detail::fmt_value(lo) << ", "
+        << detail::fmt_value(hi) << "]";
+    dom << "[" << detail::fmt_value(lo) << ", " << detail::fmt_value(hi) << "]";
+    detail::throw_config(component, param, v, req.str(), dom.str());
+  }
+}
+
+/// Strict ordering between two named parameters: lo < hi. Catches inverted
+/// thresholds (min_th >= max_th, min_rto >= max_rto, tmin >= tmax).
+inline void require_less(std::string_view component, std::string_view lo_name,
+                         double lo, std::string_view hi_name, double hi) {
+  if (!(std::isfinite(lo) && std::isfinite(hi) && lo < hi)) {
+    std::ostringstream req;
+    req << "must be < " << hi_name << " (= " << detail::fmt_value(hi) << ")";
+    std::ostringstream dom;
+    dom << "(-inf, " << hi_name << ")";
+    detail::throw_config(component, lo_name, lo, req.str(), dom.str());
+  }
+}
+
+/// v must be finite and strictly greater than `bound` (e.g. REM's phi > 1).
+inline void require_greater(std::string_view component, std::string_view param,
+                            double v, double bound) {
+  if (!(std::isfinite(v) && v > bound)) {
+    std::ostringstream req, dom;
+    req << "must be > " << detail::fmt_value(bound);
+    dom << "(" << detail::fmt_value(bound) << ", inf)";
+    detail::throw_config(component, param, v, req.str(), dom.str());
+  }
+}
+
+/// Non-strict ordering: lo <= hi.
+inline void require_le(std::string_view component, std::string_view lo_name,
+                       double lo, std::string_view hi_name, double hi) {
+  if (!(std::isfinite(lo) && std::isfinite(hi) && lo <= hi)) {
+    std::ostringstream req;
+    req << "must be <= " << hi_name << " (= " << detail::fmt_value(hi) << ")";
+    std::ostringstream dom;
+    dom << "(-inf, " << hi_name << "]";
+    detail::throw_config(component, lo_name, lo, req.str(), dom.str());
+  }
+}
+
+/// Integer count must be >= min (flow counts, buffer sizes, router counts).
+inline void require_at_least(std::string_view component, std::string_view param,
+                             std::int64_t v, std::int64_t min) {
+  if (v < min) {
+    std::ostringstream req, dom;
+    req << "must be >= " << min;
+    dom << "[" << min << ", inf)";
+    detail::throw_config(component, param, static_cast<double>(v), req.str(),
+                         dom.str());
+  }
+}
+
+}  // namespace pert::sim

@@ -3,6 +3,8 @@
 
 #include <cstdint>
 
+#include "sim/validate.h"
+
 namespace pert::tcp {
 
 struct TcpConfig {
@@ -29,8 +31,31 @@ struct TcpConfig {
   /// arrivals and ECN-CE are always acked immediately.
   std::int32_t ack_every = 1;
   double delack_timeout = 0.1;       ///< seconds (below min_rto, no races)
+  /// RTO before the first RTT sample (RFC 6298 suggests 1 s; ns-2 uses 3 s).
+  double initial_rto = 3.0;
 
   std::int32_t seg_bytes() const noexcept { return seg_payload + header_bytes; }
+
+  /// Rejects out-of-domain knobs with sim::ConfigError. Called by TcpSender
+  /// at construction (covering every CC variant that subclasses it).
+  void validate() const {
+    sim::require_at_least("TcpConfig", "seg_payload", seg_payload, 1);
+    sim::require_at_least("TcpConfig", "header_bytes", header_bytes, 0);
+    sim::require_at_least("TcpConfig", "ack_bytes", ack_bytes, 1);
+    sim::require_positive("TcpConfig", "initial_cwnd", initial_cwnd);
+    sim::require_positive("TcpConfig", "initial_ssthresh", initial_ssthresh);
+    sim::require_prob("TcpConfig", "loss_beta", loss_beta);
+    sim::require_less("TcpConfig", "loss_beta", loss_beta, "1", 1.0);
+    sim::require_at_least("TcpConfig", "dupthresh", dupthresh, 1);
+    sim::require_positive("TcpConfig", "min_rto", min_rto);
+    sim::require_le("TcpConfig", "min_rto", min_rto, "max_rto", max_rto);
+    sim::require_positive("TcpConfig", "max_cwnd", max_cwnd);
+    sim::require_positive("TcpConfig", "rwnd", rwnd);
+    sim::require_at_least("TcpConfig", "max_burst", max_burst, 0);
+    sim::require_at_least("TcpConfig", "ack_every", ack_every, 1);
+    sim::require_positive("TcpConfig", "delack_timeout", delack_timeout);
+    sim::require_positive("TcpConfig", "initial_rto", initial_rto);
+  }
 };
 
 }  // namespace pert::tcp

@@ -7,6 +7,8 @@
 #include <sstream>
 #include <utility>
 
+#include "sim/sentinel.h"
+
 namespace pert::tcp {
 
 TcpSender::TcpSender(net::Network& net, TcpConfig cfg, net::FlowId flow)
@@ -15,7 +17,10 @@ TcpSender::TcpSender(net::Network& net, TcpConfig cfg, net::FlowId flow)
       net_(&net),
       cfg_(cfg),
       flow_(flow),
-      rto_timer_(net.sched(), [this] { on_rto(); }) {}
+      rto_timer_(net.sched(), [this] { on_rto(); }) {
+  cfg_.validate();
+  rto_ = cfg_.initial_rto;
+}
 
 void TcpSender::connect(net::NodeId dst, std::int32_t dst_port) {
   dst_ = dst;
@@ -383,6 +388,15 @@ std::string TcpSender::invariant_violation() const {
   if (!std::isfinite(rto_) || rto_ <= 0)
     return "rto out of range: " + std::to_string(rto_);
   if (pipe_ < 0) return "negative pipe: " + std::to_string(pipe_);
+  // Counter sentinels: cumulative sequence/packet counters saturating would
+  // flip windowed-metric deltas negative long before wrapping.
+  if (std::string v = sim::counter_violation("tcp.snd_una", snd_una_);
+      !v.empty())
+    return v;
+  if (std::string v =
+          sim::counter_violation("tcp.data_pkts_sent", st_.data_pkts_sent);
+      !v.empty())
+    return v;
   return {};
 }
 

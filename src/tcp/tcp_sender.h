@@ -76,9 +76,12 @@ class TcpSender : public net::Agent {
   }
 
   /// Self-check for the simulation watchdog: cwnd/ssthresh finite, positive,
-  /// and bounded; sequence space consistent; RTT state sane. Returns "" while
-  /// healthy, else a message describing the broken invariant.
-  std::string invariant_violation() const;
+  /// and bounded; sequence space consistent; RTT state sane; cumulative
+  /// counters below saturation. Returns "" while healthy, else a message
+  /// describing the broken invariant. Virtual so CC variants extend it with
+  /// their own estimator/controller state (PERT's srtt99 EWMA, PERT/PI's
+  /// integrator).
+  virtual std::string invariant_violation() const;
 
   /// One diagnostic line (cwnd, ssthresh, una/next, recovery, rto) for abort
   /// snapshots.

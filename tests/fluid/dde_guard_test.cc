@@ -1,0 +1,79 @@
+// Guard tests for the fluid DDE integrator: construction rejects degenerate
+// setups with ConfigError, and a trajectory that diverges to inf/NaN throws
+// NumericError with a (t, state) snapshot instead of silently filling the
+// history ring with garbage.
+#include "fluid/dde.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+#include "sim/errors.h"
+
+namespace pert::fluid {
+namespace {
+
+State decay_rhs(double, const State& x, const State&) {
+  return {-x[0]};
+}
+
+TEST(DdeGuard, ValidConstructionAndRun) {
+  DdeIntegrator dde(decay_rhs, {1.0}, /*tau=*/0.1, /*step=*/0.01);
+  EXPECT_NO_THROW(dde.run_until(1.0));
+  EXPECT_NEAR(dde.state()[0], std::exp(-1.0), 1e-6);
+}
+
+TEST(DdeGuard, RejectsNegativeTau) {
+  EXPECT_THROW(DdeIntegrator(decay_rhs, {1.0}, -0.1, 0.01), sim::ConfigError);
+}
+
+TEST(DdeGuard, RejectsNonPositiveStep) {
+  EXPECT_THROW(DdeIntegrator(decay_rhs, {1.0}, 0.1, 0.0), sim::ConfigError);
+  EXPECT_THROW(DdeIntegrator(decay_rhs, {1.0}, 0.1, -0.01), sim::ConfigError);
+}
+
+TEST(DdeGuard, RejectsEmptyInitialState) {
+  EXPECT_THROW(DdeIntegrator(decay_rhs, {}, 0.1, 0.01), sim::ConfigError);
+}
+
+TEST(DdeGuard, RejectsNonFiniteInitialState) {
+  EXPECT_THROW(
+      DdeIntegrator(decay_rhs, {std::numeric_limits<double>::quiet_NaN()}, 0.1,
+                    0.01),
+      sim::ConfigError);
+  EXPECT_THROW(
+      DdeIntegrator(decay_rhs, {1.0, std::numeric_limits<double>::infinity()},
+                    0.1, 0.01),
+      sim::ConfigError);
+}
+
+TEST(DdeGuard, BlowupThrowsNumericErrorWithSnapshot) {
+  // x' = x^2 from x0 = 1 blows up at t = 1; a coarse fixed step overshoots
+  // to inf (then NaN) within a few steps past the pole.
+  DdeIntegrator dde([](double, const State& x, const State&) -> State {
+                      return {x[0] * x[0]};
+                    },
+                    {1.0}, /*tau=*/0.0, /*step=*/0.1);
+  try {
+    dde.run_until(10.0);
+    FAIL() << "expected NumericError from the diverging trajectory";
+  } catch (const sim::NumericError& e) {
+    EXPECT_NE(std::string(e.what()).find("non-finite"), std::string::npos)
+        << e.what();
+    const std::string& diag = e.diagnostics();
+    EXPECT_NE(diag.find("state="), std::string::npos) << diag;
+    EXPECT_NE(diag.find("t="), std::string::npos) << diag;
+  }
+}
+
+TEST(DdeGuard, NumericErrorIsDiagnosticError) {
+  DdeIntegrator dde([](double, const State& x, const State&) -> State {
+                      return {x[0] * x[0]};
+                    },
+                    {1.0}, 0.0, 0.1);
+  EXPECT_THROW(dde.run_until(10.0), sim::DiagnosticError);
+}
+
+}  // namespace
+}  // namespace pert::fluid

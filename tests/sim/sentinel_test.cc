@@ -1,0 +1,68 @@
+// Tests for the sim/sentinel.h numeric-sentinel helpers: healthy state
+// yields "", rotted state yields a message naming the value.
+#include "sim/sentinel.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+namespace pert::sim {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(Sentinel, FiniteViolation) {
+  EXPECT_EQ(finite_violation("srtt", 0.1), "");
+  EXPECT_EQ(finite_violation("srtt", 0.0), "");
+  EXPECT_EQ(finite_violation("srtt", -5.0), "");  // finite, sign not its job
+  EXPECT_NE(finite_violation("srtt", kNaN), "");
+  EXPECT_NE(finite_violation("srtt", kInf), "");
+  EXPECT_NE(finite_violation("srtt", -kInf), "");
+  // The message names the offending state so the snapshot is actionable.
+  EXPECT_NE(finite_violation("srtt", kNaN).find("srtt"), std::string::npos);
+  EXPECT_NE(finite_violation("srtt", kNaN).find("not finite"),
+            std::string::npos);
+}
+
+TEST(Sentinel, BoundedViolation) {
+  EXPECT_EQ(bounded_violation("prob", 0.0, 0.0, 1.0), "");
+  EXPECT_EQ(bounded_violation("prob", 1.0, 0.0, 1.0), "");
+  EXPECT_NE(bounded_violation("prob", -0.01, 0.0, 1.0), "");
+  EXPECT_NE(bounded_violation("prob", 1.01, 0.0, 1.0), "");
+  EXPECT_NE(bounded_violation("prob", kNaN, 0.0, 1.0), "");
+}
+
+TEST(Sentinel, UnsignedCounterViolation) {
+  EXPECT_EQ(counter_violation("bytes", std::uint64_t{0}), "");
+  EXPECT_EQ(counter_violation("bytes", kCounterSaturation - 1), "");
+  EXPECT_NE(counter_violation("bytes", kCounterSaturation), "");
+  EXPECT_NE(counter_violation("bytes",
+                              std::numeric_limits<std::uint64_t>::max()),
+            "");
+}
+
+TEST(Sentinel, SignedCounterViolation) {
+  EXPECT_EQ(counter_violation("acked", std::int64_t{0}), "");
+  EXPECT_EQ(counter_violation("acked",
+                              static_cast<std::int64_t>(kCounterSaturation) - 1),
+            "");
+  // A wrapped unsigned source or double-subtracted delta shows up negative.
+  EXPECT_NE(counter_violation("acked", std::int64_t{-1}), "");
+  EXPECT_NE(counter_violation("acked",
+                              static_cast<std::int64_t>(kCounterSaturation)),
+            "");
+}
+
+TEST(Sentinel, SaturationLeavesWrapMargin) {
+  // 2^62: a full factor of two below the int64 sign flip and uint64 wrap,
+  // so snapshot differencing stays exact right up to the sentinel firing.
+  EXPECT_EQ(kCounterSaturation, std::uint64_t{1} << 62);
+  EXPECT_LT(kCounterSaturation,
+            static_cast<std::uint64_t>(
+                std::numeric_limits<std::int64_t>::max()));
+}
+
+}  // namespace
+}  // namespace pert::sim

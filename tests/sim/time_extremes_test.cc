@@ -1,0 +1,116 @@
+// Arithmetic-extreme tests for sim/time.h and the scheduler's time handling:
+// resolution at large absolute times, overflow to infinity, NaN rejection,
+// and negative-duration clamping. Simulation time is a double counting
+// seconds, so these pin exactly where the representation's limits sit and
+// that crossing them fails loudly instead of corrupting event order.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "sim/errors.h"
+#include "sim/scheduler.h"
+#include "sim/time.h"
+
+namespace pert::sim {
+namespace {
+
+TEST(TimeExtremes, HelpersScaleExactly) {
+  EXPECT_DOUBLE_EQ(ms(250), 0.25);
+  EXPECT_DOUBLE_EQ(us(1), 1e-6);
+  EXPECT_DOUBLE_EQ(ns(1), 1e-9);
+  EXPECT_DOUBLE_EQ(seconds(3.5), 3.5);
+}
+
+TEST(TimeExtremes, MicrosecondResolvableAtLargeTimes) {
+  // A double has ~15-16 significant digits: at t = 1e8 s (~3 simulated
+  // years) the ulp is ~1.5e-8 s, so microsecond steps still advance time.
+  const Time t = 1e8;
+  EXPECT_GT(t + us(1), t);
+  EXPECT_GT(t + us(1) - t, 0.0);
+}
+
+TEST(TimeExtremes, SubNanosecondLostAtLargeTimes) {
+  // ...but a tenth of a nanosecond is below the ulp there and silently
+  // vanishes. This is the documented resolution floor: event ordering
+  // correctness rests on the scheduler's sequence tie-break, not on every
+  // distinct delay producing a distinct time.
+  const Time t = 1e8;
+  EXPECT_EQ(t + ns(0.1), t);
+}
+
+TEST(TimeExtremes, SchedulerRunsAtHugeTimes) {
+  Scheduler sched;
+  int ran = 0;
+  sched.schedule_at(1e300, [&] { ++ran; });
+  sched.run_until(1e300);
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(sched.now(), 1e300);
+}
+
+TEST(TimeExtremes, SchedulerRejectsNaNTime) {
+  Scheduler sched;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  try {
+    sched.schedule_at(nan, [] {});
+    FAIL() << "expected NumericError";
+  } catch (const NumericError& e) {
+    EXPECT_NE(std::string(e.what()).find("not finite"), std::string::npos);
+    EXPECT_FALSE(e.diagnostics().empty());
+    EXPECT_NE(e.diagnostics().find("pending="), std::string::npos);
+  }
+  // The reject leaves the scheduler intact.
+  EXPECT_EQ(sched.pending(), 0u);
+  int ran = 0;
+  sched.schedule_in(1.0, [&] { ++ran; });
+  sched.run_until(2.0);
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(TimeExtremes, SchedulerRejectsInfiniteTime) {
+  Scheduler sched;
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(sched.schedule_at(inf, [] {}), NumericError);
+  EXPECT_THROW(sched.schedule_at(-inf, [] {}), NumericError);
+  // A NaN *delay* slips past any negative clamp (NaN compares false), so
+  // the absolute-time guard must catch it after now + delay.
+  EXPECT_THROW(
+      sched.schedule_in(std::numeric_limits<double>::quiet_NaN(), [] {}),
+      NumericError);
+}
+
+TEST(TimeExtremes, OverflowToInfinityRejected) {
+  // now + delay can overflow to +inf with both operands finite; the guard
+  // fires on the result, before the event enters the heap.
+  Scheduler sched;
+  const double huge = std::numeric_limits<double>::max();
+  int ran = 0;
+  sched.schedule_at(huge, [&] { ++ran; });
+  sched.run_until(huge);
+  EXPECT_EQ(ran, 1);  // DBL_MAX itself is a legal (finite) time...
+  EXPECT_THROW(sched.schedule_in(huge, [] {}), NumericError);  // ...2x is not
+}
+
+TEST(TimeExtremes, NegativeDelayClampsToNow) {
+  Scheduler sched;
+  sched.schedule_in(5.0, [] {});
+  sched.run_until(5.0);
+  ASSERT_EQ(sched.now(), 5.0);
+  // Scheduling into the past fires "now", never before: time is monotone.
+  Time fired_at = kNever;
+  sched.schedule_in(-3.0, [&] { fired_at = sched.now(); });
+  sched.run_until(5.0);
+  EXPECT_EQ(fired_at, 5.0);
+  Time fired_abs = kNever;
+  sched.schedule_at(1.0, [&] { fired_abs = sched.now(); });
+  sched.run_until(5.0);
+  EXPECT_EQ(fired_abs, 5.0);
+}
+
+TEST(TimeExtremes, NeverSentinelPrecedesAllValidTimes) {
+  EXPECT_LT(kNever, 0.0);
+  EXPECT_LT(kNever, ns(1));
+}
+
+}  // namespace
+}  // namespace pert::sim

@@ -1,0 +1,123 @@
+// Tests for the sim/validate.h domain-checking vocabulary: every require_*
+// accepts its boundary, rejects just outside it, and produces a ConfigError
+// whose what() names component/param/value and whose diagnostics() line is
+// machine-greppable.
+#include "sim/validate.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "sim/errors.h"
+
+namespace pert::sim {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(Validate, RequireFinite) {
+  EXPECT_NO_THROW(require_finite("C", "p", 0.0));
+  EXPECT_NO_THROW(require_finite("C", "p", -1e300));
+  EXPECT_THROW(require_finite("C", "p", kNaN), ConfigError);
+  EXPECT_THROW(require_finite("C", "p", kInf), ConfigError);
+  EXPECT_THROW(require_finite("C", "p", -kInf), ConfigError);
+}
+
+TEST(Validate, RequirePositive) {
+  EXPECT_NO_THROW(require_positive("C", "p", 1e-300));
+  EXPECT_NO_THROW(require_positive("C", "p", 1.0));
+  EXPECT_THROW(require_positive("C", "p", 0.0), ConfigError);
+  EXPECT_THROW(require_positive("C", "p", -1.0), ConfigError);
+  EXPECT_THROW(require_positive("C", "p", kNaN), ConfigError);
+  EXPECT_THROW(require_positive("C", "p", kInf), ConfigError);
+}
+
+TEST(Validate, RequireNonNegative) {
+  EXPECT_NO_THROW(require_non_negative("C", "p", 0.0));
+  EXPECT_NO_THROW(require_non_negative("C", "p", 5.0));
+  EXPECT_THROW(require_non_negative("C", "p", -1e-300), ConfigError);
+  EXPECT_THROW(require_non_negative("C", "p", kNaN), ConfigError);
+  EXPECT_THROW(require_non_negative("C", "p", kInf), ConfigError);
+}
+
+TEST(Validate, RequireProb) {
+  EXPECT_NO_THROW(require_prob("C", "p", 0.0));
+  EXPECT_NO_THROW(require_prob("C", "p", 1.0));
+  EXPECT_NO_THROW(require_prob("C", "p", 0.5));
+  EXPECT_THROW(require_prob("C", "p", -0.001), ConfigError);
+  EXPECT_THROW(require_prob("C", "p", 1.001), ConfigError);
+  EXPECT_THROW(require_prob("C", "p", kNaN), ConfigError);
+}
+
+TEST(Validate, RequireIn) {
+  EXPECT_NO_THROW(require_in("C", "p", 2.0, 2.0, 4.0));
+  EXPECT_NO_THROW(require_in("C", "p", 4.0, 2.0, 4.0));
+  EXPECT_THROW(require_in("C", "p", 1.999, 2.0, 4.0), ConfigError);
+  EXPECT_THROW(require_in("C", "p", 4.001, 2.0, 4.0), ConfigError);
+  EXPECT_THROW(require_in("C", "p", kNaN, 2.0, 4.0), ConfigError);
+}
+
+TEST(Validate, RequireLess) {
+  EXPECT_NO_THROW(require_less("C", "lo", 1.0, "hi", 2.0));
+  EXPECT_THROW(require_less("C", "lo", 2.0, "hi", 2.0), ConfigError);
+  EXPECT_THROW(require_less("C", "lo", 3.0, "hi", 2.0), ConfigError);
+  EXPECT_THROW(require_less("C", "lo", kNaN, "hi", 2.0), ConfigError);
+  EXPECT_THROW(require_less("C", "lo", 1.0, "hi", kNaN), ConfigError);
+}
+
+TEST(Validate, RequireLe) {
+  EXPECT_NO_THROW(require_le("C", "lo", 2.0, "hi", 2.0));
+  EXPECT_NO_THROW(require_le("C", "lo", 1.0, "hi", 2.0));
+  EXPECT_THROW(require_le("C", "lo", 2.0 + 1e-9, "hi", 2.0), ConfigError);
+  EXPECT_THROW(require_le("C", "lo", kNaN, "hi", 2.0), ConfigError);
+}
+
+TEST(Validate, RequireGreater) {
+  EXPECT_NO_THROW(require_greater("C", "phi", 1.1, 1.0));
+  EXPECT_THROW(require_greater("C", "phi", 1.0, 1.0), ConfigError);
+  EXPECT_THROW(require_greater("C", "phi", 0.9, 1.0), ConfigError);
+  EXPECT_THROW(require_greater("C", "phi", kNaN, 1.0), ConfigError);
+}
+
+TEST(Validate, RequireAtLeast) {
+  EXPECT_NO_THROW(require_at_least("C", "n", 1, 1));
+  EXPECT_NO_THROW(require_at_least("C", "n", 100, 1));
+  EXPECT_THROW(require_at_least("C", "n", 0, 1), ConfigError);
+  EXPECT_THROW(require_at_least("C", "n", -7, 0), ConfigError);
+}
+
+TEST(Validate, ConfigErrorIsDiagnosticError) {
+  try {
+    require_positive("RedParams", "min_th", -3.0);
+    FAIL() << "expected ConfigError";
+  } catch (const DiagnosticError& e) {
+    // what() names component, parameter, value and requirement.
+    const std::string what = e.what();
+    EXPECT_NE(what.find("RedParams"), std::string::npos) << what;
+    EXPECT_NE(what.find("min_th"), std::string::npos) << what;
+    EXPECT_NE(what.find("-3"), std::string::npos) << what;
+    EXPECT_NE(what.find("must be > 0"), std::string::npos) << what;
+    // diagnostics() is the machine-greppable one-liner.
+    const std::string& diag = e.diagnostics();
+    EXPECT_NE(diag.find("component=RedParams"), std::string::npos) << diag;
+    EXPECT_NE(diag.find("param=min_th"), std::string::npos) << diag;
+    EXPECT_NE(diag.find("value=-3"), std::string::npos) << diag;
+    EXPECT_NE(diag.find("domain=(0, inf)"), std::string::npos) << diag;
+  }
+}
+
+TEST(Validate, NamedBoundAppearsInOrderingError) {
+  try {
+    require_less("TcpConfig", "min_rto", 5.0, "max_rto", 1.0);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("min_rto"), std::string::npos) << what;
+    EXPECT_NE(what.find("max_rto"), std::string::npos) << what;
+  }
+}
+
+}  // namespace
+}  // namespace pert::sim

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Metamorphic self-validation smoke: run the fixed-seed metamorphic harness
+# (seed-stream independence, time-origin shift, flow relabeling, k=2
+# time/rate rescaling, plus the degenerate-corner family) and require zero
+# relation failures. Fixed seed, so the campaign is byte-reproducible; any
+# failure prints the offending scenario seed and the first out-of-band
+# metric. CI runs this inside the ASan+UBSan build so a relation checked on
+# a corner scenario also soaks the allocator-hostile paths. See
+# docs/validation.md "Metamorphic self-validation".
+#
+# Usage: tools/check_metamorphic.sh [FUZZ_BIN] [SCENARIOS] [SEED]
+#   FUZZ_BIN   fuzz_scenarios binary (default: ./build/tools/fuzz_scenarios)
+#   SCENARIOS  generated scenarios on top of the corner family (default: 25;
+#              the nightly-strength acceptance campaign uses 200+)
+#   SEED       base seed (default: 1)
+set -euo pipefail
+
+FUZZ=${1:-./build/tools/fuzz_scenarios}
+SCENARIOS=${2:-25}
+SEED=${3:-1}
+
+if [ ! -x "$FUZZ" ]; then
+  echo "error: $FUZZ not found or not executable (build fuzz_scenarios first)" >&2
+  exit 2
+fi
+
+echo "metamorphic smoke: $SCENARIOS scenarios + corner family, seed $SEED"
+"$FUZZ" --metamorphic --iters "$SCENARIOS" --seed "$SEED"
+echo "metamorphic OK: all relations held"

@@ -9,6 +9,11 @@
 //   fuzz_scenarios --seed 7 --iters 40 --repro-dir /tmp/repros
 //   fuzz_scenarios --seed 1 --budget-s 60          (CI smoke mode)
 //
+// With --metamorphic, runs the metamorphic self-validation harness instead:
+// each scenario (plus the degenerate-corner family) is checked against
+// transformed twins — seed-stream independence, time-origin shift,
+// flow relabeling, k=2 time/rate rescaling (see exp/fuzz/metamorphic.h).
+//
 // Exit status: 0 = no violations, 1 = violations found, 2 = usage error.
 #include <cstdio>
 #include <exception>
@@ -16,13 +21,51 @@
 
 #include "dist/shard.h"
 #include "exp/fuzz/fuzz.h"
+#include "exp/fuzz/metamorphic.h"
 #include "exp/option_set.h"
+#include "sim/errors.h"
+
+namespace {
+
+int run_metamorphic_mode(const pert::exp::fuzz::FuzzOptions& base,
+                         bool no_corners) {
+  using namespace pert::exp::fuzz;
+  MetamorphicOptions opts;
+  opts.seed = base.seed;
+  opts.scenarios = base.iterations;
+  opts.time_budget_s = base.time_budget_s;
+  opts.include_corners = !no_corners;
+  opts.verbose = base.verbose;
+  // Each scenario runs up to five times (baseline + four twins): shorter
+  // windows than the plain fuzzer keep the campaign inside a CI budget
+  // while every feedback loop still converges well before measurement.
+  opts.bounds.warmup = 6.0;
+  opts.bounds.measure = 4.0;
+  const MetamorphicSummary summary = run_metamorphic(opts);
+  std::printf("metamorphic: %llu scenario%s, %llu relation check%s, "
+              "%zu failure%s\n",
+              static_cast<unsigned long long>(summary.scenarios_run),
+              summary.scenarios_run == 1 ? "" : "s",
+              static_cast<unsigned long long>(summary.relations_checked),
+              summary.relations_checked == 1 ? "" : "s",
+              summary.failures.size(),
+              summary.failures.size() == 1 ? "" : "s");
+  for (const MetamorphicFailure& f : summary.failures)
+    std::printf("  [%s] seed %llu: %s\n", f.result.relation.c_str(),
+                static_cast<unsigned long long>(f.scenario.seed),
+                f.result.detail.c_str());
+  return summary.failures.empty() ? 0 : 1;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace pert::exp;
   fuzz::FuzzOptions opts;
   opts.verbose = false;
   bool no_shrink = false;
+  bool metamorphic = false;
+  bool no_corners = false;
   std::string shard_arg;
   cli::OptionSet flags("fuzz_scenarios",
                        "Randomized scenario fuzzer with invariant checking "
@@ -36,6 +79,10 @@ int main(int argc, char** argv) {
       .opt("--shard", &shard_arg,
            "run only iterations with index % N == K (0-based)", "K/N")
       .flag("--no-shrink", &no_shrink, "skip shrinking violating scenarios")
+      .flag("--metamorphic", &metamorphic,
+            "check metamorphic relations on transformed scenario twins")
+      .flag("--no-corners", &no_corners,
+            "with --metamorphic: skip the degenerate-corner family")
       .flag("--verbose", &opts.verbose, "per-iteration progress output");
   switch (flags.parse(argc, argv)) {
     case cli::OptionSet::Result::kOk: break;
@@ -59,6 +106,18 @@ int main(int argc, char** argv) {
   }
   if (opts.time_budget_s > 0 && opts.iterations == 25)
     opts.iterations = 100000;  // budget-bounded mode: iterate until time out
+
+  if (metamorphic) {
+    try {
+      return run_metamorphic_mode(opts, no_corners);
+    } catch (const pert::sim::ConfigError& e) {
+      std::fprintf(stderr, "error: %s\n%s", e.what(), e.diagnostics().c_str());
+      return 2;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+  }
 
   try {
     const fuzz::FuzzSummary summary = fuzz::run_fuzz(opts);

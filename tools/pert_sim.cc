@@ -35,6 +35,7 @@
 #include "predictors/trace_recorder.h"
 #include "runner/report.h"
 #include "runner/runner.h"
+#include "sim/errors.h"
 #include "stats/time_series.h"
 
 namespace {
@@ -351,8 +352,15 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: --resume requires --journal PATH\n");
     return 2;
   }
-  if (opt.schemes.size() <= 1 && journal_path.empty() && !shard.active() &&
-      worker.empty())
-    return run_single(opt, json_out);
-  return run_multi(opt, jobs, json_out, journal_path, resume, shard, worker);
+  try {
+    if (opt.schemes.size() <= 1 && journal_path.empty() && !shard.active() &&
+        worker.empty())
+      return run_single(opt, json_out);
+    return run_multi(opt, jobs, json_out, journal_path, resume, shard, worker);
+  } catch (const sim::ConfigError& e) {
+    // Out-of-domain scenario parameters: a usage error, not a crash. Print
+    // the human line plus the machine-greppable component=/param= detail.
+    std::fprintf(stderr, "error: %s\n%s", e.what(), e.diagnostics().c_str());
+    return 2;
+  }
 }
