@@ -34,6 +34,7 @@ int main(int argc, char** argv) {
     cfg.num_fwd_flows = static_cast<std::int32_t>(n);
     cfg.start_window = opt.smoke ? 2.0 : opt.full ? 50.0 : 10.0;
     cfg.seed = 8;
+    cfg.sim_threads = static_cast<std::int32_t>(opt.sim_threads);
     return cfg;
   };
   spec.window = [&](double) {

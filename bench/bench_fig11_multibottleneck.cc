@@ -36,14 +36,15 @@ int main(int argc, char** argv) {
     exp::MultiBottleneckConfig cfg;
     cfg.scheme = schemes[j];
     cfg.num_routers = 6;
-    cfg.hosts_per_cloud = opt.full ? 20 : 10;
-    cfg.router_link_bps = opt.full ? 150e6 : 100e6;
+    cfg.hosts_per_cloud = opt.smoke ? 4 : opt.full ? 20 : 10;
+    cfg.router_link_bps = opt.smoke ? 50e6 : opt.full ? 150e6 : 100e6;
     cfg.router_link_delay = 0.005;
     cfg.access_bps = 1e9;
     cfg.access_delay = 0.005;
-    cfg.start_window = opt.full ? 50.0 : 10.0;
-    const double warmup = opt.full ? 100.0 : 20.0;
-    const double measure = opt.full ? 200.0 : 40.0;
+    cfg.start_window = opt.smoke ? 2.0 : opt.full ? 50.0 : 10.0;
+    cfg.sim_threads = static_cast<std::int32_t>(opt.sim_threads);
+    const double warmup = opt.smoke ? 5.0 : opt.full ? 100.0 : 20.0;
+    const double measure = opt.smoke ? 10.0 : opt.full ? 200.0 : 40.0;
 
     runner::Job job;
     job.key = std::string("fig11_multibottleneck/") +
@@ -55,7 +56,7 @@ int main(int argc, char** argv) {
       exp::MultiBottleneck mb(cfg);
       slot = mb.measure_window(warmup, measure);
       runner::JobOutput out;
-      out.events = mb.network().sched().dispatched();
+      out.events = mb.network().total_dispatched();
       // Report hop averages as the job's scalar metrics (tables below carry
       // the full per-hop detail).
       for (const exp::HopMetrics& h : slot) {

@@ -5,6 +5,8 @@
 #include <memory>
 
 #include "core/response_curve.h"
+#include "exp/dumbbell.h"
+#include "exp/multi_bottleneck.h"
 #include "net/network.h"
 #include "net/pi_queue.h"
 #include "net/red_queue.h"
@@ -17,18 +19,39 @@ namespace {
 
 using namespace pert;
 
+/// One schedule + (amortized) one dispatch per iteration, so the reported
+/// ns/op is per *event*. An earlier version scheduled and drained 64 events
+/// inside each iteration, silently reporting ns per 64-event block — any
+/// scheduler regression under ~64x was invisible in the committed baseline.
 void BM_SchedulerScheduleDispatch(benchmark::State& state) {
   sim::Scheduler s;
   std::uint64_t n = 0;
+  int i = 0;
   for (auto _ : state) {
-    for (int i = 0; i < 64; ++i)
-      s.schedule_in(static_cast<double>(i % 7) * 1e-6, [&n] { ++n; });
-    s.run();
+    s.schedule_in(static_cast<double>(i % 7) * 1e-6, [&n] { ++n; });
+    if (++i % 64 == 0) s.run();
   }
+  s.run();
   benchmark::DoNotOptimize(n);
-  state.SetItemsProcessed(static_cast<std::int64_t>(n));
+  state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_SchedulerScheduleDispatch);
+
+/// Same per-event accounting, but every group of 64 events shares one
+/// timestamp, so the drain goes through the batched dispatch path.
+void BM_SchedulerBatchDispatch(benchmark::State& state) {
+  sim::Scheduler s;
+  std::uint64_t n = 0;
+  int i = 0;
+  for (auto _ : state) {
+    s.schedule_at(s.now() + 1e-6, [&n] { ++n; });
+    if (++i % 64 == 0) s.run_until(s.now() + 1e-6);
+  }
+  s.run();
+  benchmark::DoNotOptimize(n);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SchedulerBatchDispatch);
 
 void BM_SchedulerCancel(benchmark::State& state) {
   sim::Scheduler s;
@@ -202,6 +225,89 @@ void BM_EndToEndSimSecond(benchmark::State& state) {
       static_cast<std::int64_t>(net.sched().dispatched()));
 }
 BENCHMARK(BM_EndToEndSimSecond);
+
+/// Paper-scale dumbbell (PERT, 150 Mbps): one simulated second per
+/// iteration. The benchmark argument is sim_threads: 0 = the classic
+/// single-scheduler path, >= 1 = the sharded parallel engine with that many
+/// workers (1 is the determinism oracle; speedup needs real cores). The
+/// watchdog is off in all variants so classic and sharded simulate the same
+/// event population. Wall-clock (UseRealTime) is the honest metric when
+/// worker threads are doing the simulating.
+void end_to_end_dumbbell(benchmark::State& state, std::int32_t flows) {
+  exp::DumbbellConfig c;
+  c.scheme = exp::Scheme::kPert;
+  c.bottleneck_bps = 150e6;
+  c.rtt = 0.060;
+  c.num_fwd_flows = flows;
+  c.start_window = 2.0;
+  c.watchdog.enabled = false;
+  c.sim_threads = static_cast<std::int32_t>(state.range(0));
+  exp::Dumbbell d(c);
+  d.network().run_until(3.0);  // starts + slow start outside the timed loop
+  double t = 3.0;
+  const std::int64_t before =
+      static_cast<std::int64_t>(d.network().total_dispatched());
+  for (auto _ : state) {
+    t += 1.0;
+    d.network().run_until(t);
+  }
+  const std::int64_t events =
+      static_cast<std::int64_t>(d.network().total_dispatched()) - before;
+  state.SetItemsProcessed(events);
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+
+void BM_EndToEndDumbbell100Flows(benchmark::State& state) {
+  end_to_end_dumbbell(state, 100);
+}
+BENCHMARK(BM_EndToEndDumbbell100Flows)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EndToEndDumbbell1000Flows(benchmark::State& state) {
+  end_to_end_dumbbell(state, 1000);
+}
+BENCHMARK(BM_EndToEndDumbbell1000Flows)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// Paper-scale Figure 10/11 chain (6 routers, 20 hosts per cloud): one
+/// simulated second per iteration; argument = sim_threads as above (the
+/// sharded layout is one shard per router cloud).
+void BM_EndToEndMultiBottleneck(benchmark::State& state) {
+  exp::MultiBottleneckConfig c;
+  c.scheme = exp::Scheme::kPert;
+  c.start_window = 2.0;
+  c.watchdog.enabled = false;
+  c.sim_threads = static_cast<std::int32_t>(state.range(0));
+  exp::MultiBottleneck m(c);
+  m.network().run_until(3.0);
+  double t = 3.0;
+  const std::int64_t before =
+      static_cast<std::int64_t>(m.network().total_dispatched());
+  for (auto _ : state) {
+    t += 1.0;
+    m.network().run_until(t);
+  }
+  const std::int64_t events =
+      static_cast<std::int64_t>(m.network().total_dispatched()) - before;
+  state.SetItemsProcessed(events);
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EndToEndMultiBottleneck)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -43,6 +43,11 @@ struct Opts {
   bool full = false;
   bool smoke = false;
   unsigned jobs = 1;      ///< worker threads; 0 = hardware concurrency
+  /// Parallel-engine workers *inside* each simulation (0 = classic
+  /// single-scheduler path). Orthogonal to --jobs: --jobs parallelizes
+  /// across grid cells, --sim-threads parallelizes one simulation. Results
+  /// are byte-identical for every value (tools/check_pdes.sh pins this).
+  unsigned sim_threads = 0;
   std::string json;       ///< when non-empty, write the RunReport here
   std::string journal;    ///< when non-empty, journal every completed cell
   bool resume = false;    ///< recover completed cells from the journal
@@ -57,6 +62,9 @@ struct Opts {
     opts.flag("--full", &o.full, "paper-scale grid (default: reduced)")
         .flag("--smoke", &o.smoke, "tiny grid for CI determinism checks")
         .opt("--jobs", &o.jobs, "parallel simulation cells (0 = all cores)")
+        .opt("--sim-threads", &o.sim_threads,
+             "parallel engine workers per simulation (0 = classic "
+             "single-scheduler path; results identical for any value)")
         .opt("--json", &o.json, "export the per-cell RunReport as JSON",
              "PATH")
         .opt("--journal", &o.journal, "crash-safe journal for --resume",

@@ -95,7 +95,7 @@ inline runner::RunReport run_dumbbell_sweep(
         exp::Dumbbell d(cfg);
         runner::JobOutput out;
         out.metrics = d.measure_window(warmup, measure);
-        out.events = d.network().sched().dispatched();
+        out.events = d.network().total_dispatched();
         out.registry = d.obs().registry();
         if (!trace_path.empty()) {
           std::ofstream f(trace_path);

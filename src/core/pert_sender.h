@@ -10,6 +10,7 @@
 #include "core/response_curve.h"
 #include "core/srtt_estimator.h"
 #include "sim/random.h"
+#include "tcp/flow_arena.h"
 #include "tcp/tcp_sender.h"
 
 namespace pert::core {
@@ -22,10 +23,18 @@ class PertSender : public tcp::TcpSender {
         params_(params),
         estimator_(params.srtt_alpha),
         curve_(params),
-        rng_(net.rng().fork()) {
+        rng_(net.rng().fork()),
+        last_early_(arena_slot() >= 0 ? arena()->last_early(arena_slot())
+                                      : last_early_inline_) {
     // Members above only store doubles, so validating here (before any use)
     // is safe and keeps the throw out of the initializer list.
     params_.validate();
+    if (arena_slot() >= 0) {
+      tcp::FlowArena& a = *arena();
+      estimator_.bind(&a.srtt99(arena_slot()), &a.min_rtt(arena_slot()),
+                      &a.srtt_seeded(arena_slot()));
+    }
+    last_early_ = kNeverEarly;  // arena lanes start at 0.0, not the sentinel
   }
 
   const SrttEstimator& estimator() const noexcept { return estimator_; }
@@ -54,11 +63,18 @@ class PertSender : public tcp::TcpSender {
   void maybe_early_response(double rtt);
   void maybe_adapt_pmax();
 
+  /// "Never responded yet": far enough in the past that the once-per-RTT
+  /// guard passes on the first opportunity.
+  static constexpr sim::Time kNeverEarly = -1e18;
+
   PertParams params_;
   SrttEstimator estimator_;
   ResponseCurve curve_;
   sim::Rng rng_;
-  sim::Time last_early_ = -1e18;
+  /// Time of the last early response. A reference for the same reason as
+  /// TcpSender::cwnd_: it lives in the flow's arena row when one exists.
+  sim::Time& last_early_;
+  sim::Time last_early_inline_ = kNeverEarly;
   sim::Time last_adapt_ = 0.0;
   int trace_region_ = 0;  ///< last T_min/T_max region reported to the tracer
 

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "tcp/flow_arena.h"
+
 namespace pert::core {
 
 PiEmuDesign PiEmuDesign::for_path(double capacity_pps, double n_min,
@@ -39,6 +41,11 @@ PertPiSender::PertPiSender(net::Network& net, tcp::TcpConfig cfg,
   design.validate();
   sim::require_in("PertPiSender", "srtt_alpha", srtt_alpha, 0.0, 1.0);
   sim::require_less("PertPiSender", "srtt_alpha", srtt_alpha, "1", 1.0);
+  if (arena_slot() >= 0) {
+    tcp::FlowArena& a = *arena();
+    estimator_.bind(&a.srtt99(arena_slot()), &a.min_rtt(arena_slot()),
+                    &a.srtt_seeded(arena_slot()));
+  }
   sample_timer_.schedule_in(design.sample_interval);
 }
 

@@ -19,6 +19,7 @@
 #include "core/srtt_estimator.h"
 #include "sim/random.h"
 #include "sim/timer.h"
+#include "tcp/flow_arena.h"
 #include "tcp/tcp_sender.h"
 
 namespace pert::core {
@@ -77,6 +78,11 @@ class PertRemSender : public tcp::TcpSender {
         estimator_(srtt_alpha),
         rng_(net.rng().fork()),
         sample_timer_(net.sched(), [this] { sample(); }) {
+    if (arena_slot() >= 0) {
+      tcp::FlowArena& a = *arena();
+      estimator_.bind(&a.srtt99(arena_slot()), &a.min_rtt(arena_slot()),
+                      &a.srtt_seeded(arena_slot()));
+    }
     sample_timer_.schedule_in(design.sample_interval);
   }
 

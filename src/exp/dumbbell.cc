@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <optional>
 
 #include "exp/invariants.h"
 #include "stats/stats.h"
@@ -35,6 +36,24 @@ void DumbbellConfig::validate() const {
                         pert_pi_sample_hz);
   sim::require_prob("DumbbellConfig", "nonproactive_fraction",
                     nonproactive_fraction);
+  sim::require_at_least("DumbbellConfig", "sim_threads", sim_threads, 0);
+  if (sim_threads > 0) {
+    // The parallel engine runs shards on worker threads; anything that reads
+    // cross-shard state mid-run from a single timer (web session generators,
+    // the watchdog poller, observability sampling) is a data race there and
+    // must be off. Window metrics still work: they snapshot between engine
+    // rounds on the calling thread.
+    if (num_web_sessions > 0)
+      throw sim::ConfigError(
+          "DumbbellConfig: web sessions are not supported with sim_threads > 0",
+          "component=DumbbellConfig param=num_web_sessions value=" +
+              std::to_string(num_web_sessions) + "\n");
+    if (obs.any())
+      throw sim::ConfigError(
+          "DumbbellConfig: observability is not supported with sim_threads > 0",
+          "component=DumbbellConfig param=obs sim_threads=" +
+              std::to_string(sim_threads) + "\n");
+  }
   tcp.validate();
   pert.validate();
   impair.validate();
@@ -46,8 +65,27 @@ Dumbbell::Dumbbell(DumbbellConfig cfg)
       obs_(cfg.obs),
       sampler_(net_.sched(), [this] { sample_tick(); }) {
   cfg_.validate();
+  if (cfg_.sim_threads > 0) {
+    // Shard 0: r1 + forward bottleneck; shard 1: r2 + reverse bottleneck
+    // (the bottleneck propagation delay is the lookahead between them —
+    // splitting the routers roughly halves the busiest shard's event
+    // share); shards 2..kFlowShards+1: endpoints, dealt round-robin.
+    net_.set_shards(2 + kFlowShards);
+    net_.set_sim_threads(cfg_.sim_threads);
+  }
   next_flow_ = cfg_.flow_id_base;
   cfg_.tcp.ecn = sender_ecn(cfg_.scheme);
+
+  // Struct-of-arrays arenas for the hot per-flow state, pre-sized for the
+  // configured flow population (later add_flows cohorts that overflow fall
+  // back to inline storage — an optimization lost, not an error).
+  const std::int32_t total_paths =
+      cfg_.num_fwd_flows + cfg_.num_rev_flows + cfg_.num_web_sessions;
+  const std::int32_t n_arenas = net_.sharded() ? kFlowShards : 1;
+  const std::int32_t per_arena =
+      std::max(1, (total_paths + n_arenas - 1) / n_arenas);
+  for (std::int32_t i = 0; i < n_arenas; ++i)
+    arenas_.push_back(std::make_unique<tcp::FlowArena>(per_arena));
 
   const double seg_bytes = cfg_.tcp.seg_bytes();
 
@@ -68,7 +106,11 @@ Dumbbell::Dumbbell(DumbbellConfig cfg)
   bottleneck_delay_ = 0.2 * min_rtt;  // one-way; access links supply the rest
 
   r1_ = net_.add_node();
-  r2_ = net_.add_node();
+  {
+    std::optional<net::Network::ShardCursor> at_r2;
+    if (net_.sharded()) at_r2.emplace(net_, 1);
+    r2_ = net_.add_node();
+  }
   std::unique_ptr<net::Queue> fwd_q = make_bottleneck_queue();
   if (cfg_.impair.any_queue_impairment()) {
     // Fork the impairment stream only when enabled, so a clean run draws the
@@ -78,8 +120,13 @@ Dumbbell::Dumbbell(DumbbellConfig cfg)
   }
   fwd_link_ = net_.add_link(r1_, r2_, cfg_.bottleneck_bps, bottleneck_delay_,
                             std::move(fwd_q));
-  net_.add_link(r2_, r1_, cfg_.bottleneck_bps, bottleneck_delay_,
-                make_bottleneck_queue());
+  {
+    // The reverse transmitter (and its queue) run on r2's shard.
+    std::optional<net::Network::ShardCursor> at_r2;
+    if (net_.sharded()) at_r2.emplace(net_, 1);
+    net_.add_link(r2_, r1_, cfg_.bottleneck_bps, bottleneck_delay_,
+                  make_bottleneck_queue());
+  }
   fwd_queue_ = &fwd_link_->queue();
   if (cfg_.impair.flaps_link())
     net::schedule_link_flaps(net_.sched(), *fwd_link_, cfg_.impair.flap);
@@ -119,19 +166,24 @@ Dumbbell::Dumbbell(DumbbellConfig cfg)
   }
 
   net_.compute_routes();
+  net_.finalize_shards();
 
-  checker_ = install_standard_invariants(
-      net_,
-      [this] {
-        std::vector<const tcp::TcpSender*> all;
-        all.reserve(fwd_senders_.size() + rev_senders_.size() +
-                    web_senders_.size());
-        for (auto* s : fwd_senders_) all.push_back(s);
-        for (auto* s : rev_senders_) all.push_back(s);
-        for (auto* s : web_senders_) all.push_back(s);
-        return all;
-      },
-      cfg_.watchdog);
+  // The watchdog polls every queue and sender from one shard-0 timer, which
+  // is a cross-shard read under the parallel engine — skip it there (both
+  // sim_threads=1 and =N skip, so the determinism oracle still matches).
+  if (!net_.sharded())
+    checker_ = install_standard_invariants(
+        net_,
+        [this] {
+          std::vector<const tcp::TcpSender*> all;
+          all.reserve(fwd_senders_.size() + rev_senders_.size() +
+                      web_senders_.size());
+          for (auto* s : fwd_senders_) all.push_back(s);
+          for (auto* s : rev_senders_) all.push_back(s);
+          for (auto* s : web_senders_) all.push_back(s);
+          return all;
+        },
+        cfg_.watchdog);
 
   // Wire the tracer through every layer. This changes no simulation
   // behavior (instrumentation points gate on wants(), which is false for a
@@ -186,6 +238,7 @@ tcp::TcpSender* Dumbbell::make_sender(net::FlowId flow, bool force_sack) {
   Scheme s = force_sack ? Scheme::kSackDroptail : cfg_.scheme;
   tcp::TcpConfig tc = cfg_.tcp;
   tc.ecn = sender_ecn(s);
+  tc.arena = cur_arena_;
   switch (s) {
     case Scheme::kVegas:
       return net_.add_agent<tcp::VegasSender>(nullptr, 0, net_, tc, flow);
@@ -217,6 +270,16 @@ tcp::TcpSender* Dumbbell::add_flow_path(net::Node* edge_src,
                                         net::Node* edge_dst, double rtt,
                                         net::FlowId flow, sim::Time start,
                                         bool force_sack, bool reverse) {
+  // Endpoint shard for this flow path: everything built below — nodes,
+  // access queues, sink, sender (and the timers they capture) — belongs to
+  // it. Round-robin over a FIXED shard count so the layout (and with it the
+  // cross-shard event keys) never depends on the worker-thread count.
+  const std::int32_t lane =
+      net_.sharded() ? next_flow_shard_++ % kFlowShards : 0;
+  std::optional<net::Network::ShardCursor> shard_scope;
+  if (net_.sharded()) shard_scope.emplace(net_, 2 + lane);
+  cur_arena_ = arenas_[static_cast<std::size_t>(lane)].get();
+
   // One-way budget: rtt/2 = access_src + bottleneck + access_dst.
   const double access_delay =
       std::max(0.0005, (rtt / 2.0 - bottleneck_delay_) / 2.0);
@@ -242,6 +305,13 @@ tcp::TcpSender* Dumbbell::add_flow_path(net::Node* edge_src,
 
 void Dumbbell::maybe_start_sampler() {
   if (sampler_started_ || !obs_.sampling_active()) return;
+  // validate() rejects observed sharded configs; this catches probes added
+  // after construction, which would race the sampler across shards.
+  if (net_.sharded())
+    throw sim::ConfigError(
+        "Dumbbell: observability sampling is not supported with "
+        "sim_threads > 0",
+        "component=Dumbbell param=obs\n");
   sampler_started_ = true;
   sampler_.schedule_in(obs_.config().sample_interval);
 }
@@ -298,6 +368,12 @@ WindowMetrics Dumbbell::measure_window(sim::Time warmup, sim::Time measure) {
 }
 
 std::vector<std::int32_t> Dumbbell::add_flows(std::int32_t n, sim::Time at) {
+  // Topology is frozen once finalize_shards() has routed boundary links
+  // through channels; the dynamic-behavior experiment stays single-threaded.
+  if (net_.sharded())
+    throw sim::ConfigError(
+        "Dumbbell: add_flows is not supported with sim_threads > 0",
+        "component=Dumbbell param=sim_threads\n");
   std::vector<std::int32_t> idx;
   for (std::int32_t i = 0; i < n; ++i) {
     idx.push_back(static_cast<std::int32_t>(fwd_senders_.size()));

@@ -29,6 +29,20 @@ void MultiBottleneckConfig::validate() const {
                         0);
   sim::require_non_negative("MultiBottleneckConfig", "start_window",
                             start_window);
+  sim::require_at_least("MultiBottleneckConfig", "sim_threads", sim_threads,
+                        0);
+  if (sim_threads > 0) {
+    // Router links are the shard boundaries: their propagation delay is the
+    // engine's lookahead and must be strictly positive.
+    sim::require_positive("MultiBottleneckConfig", "router_link_delay",
+                          router_link_delay);
+    if (obs.any())
+      throw sim::ConfigError(
+          "MultiBottleneckConfig: observability is not supported with "
+          "sim_threads > 0",
+          "component=MultiBottleneckConfig param=obs sim_threads=" +
+              std::to_string(sim_threads) + "\n");
+  }
   tcp.validate();
   pert.validate();
 }
@@ -39,6 +53,10 @@ MultiBottleneck::MultiBottleneck(MultiBottleneckConfig cfg)
       obs_(cfg.obs),
       sampler_(net_.sched(), [this] { sample_tick(); }) {
   cfg_.validate();
+  if (cfg_.sim_threads > 0) {
+    net_.set_shards(cfg_.num_routers);  // one shard per router cloud
+    net_.set_sim_threads(cfg_.sim_threads);
+  }
   cfg_.tcp.ecn = sender_ecn(cfg_.scheme);
 
   const double seg_bytes = cfg_.tcp.seg_bytes();
@@ -54,14 +72,42 @@ MultiBottleneck::MultiBottleneck(MultiBottleneckConfig cfg)
          2.0 * cfg_.hosts_per_cloud * 2.0, 10.0}));
   }
 
-  for (std::int32_t i = 0; i < cfg_.num_routers; ++i)
+  // Shard layout: router i, its hop queues, and every host homed on it live
+  // in shard i (shard 0 when unsharded — the cursor is then a no-op). Only
+  // the router-to-router links cross shards.
+  const auto shard_of = [this](std::int32_t r) {
+    return net_.sharded() ? r : 0;
+  };
+
+  for (std::int32_t i = 0; i < cfg_.num_routers; ++i) {
+    net::Network::ShardCursor at_r(net_, shard_of(i));
     routers_.push_back(net_.add_node());
+  }
   for (std::int32_t i = 0; i + 1 < cfg_.num_routers; ++i) {
-    hop_links_.push_back(net_.add_link(routers_[i], routers_[i + 1],
-                                       cfg_.router_link_bps,
-                                       cfg_.router_link_delay, make_queue()));
-    net_.add_link(routers_[i + 1], routers_[i], cfg_.router_link_bps,
-                  cfg_.router_link_delay, make_queue());
+    {
+      net::Network::ShardCursor at_r(net_, shard_of(i));
+      hop_links_.push_back(
+          net_.add_link(routers_[i], routers_[i + 1], cfg_.router_link_bps,
+                        cfg_.router_link_delay, make_queue()));
+    }
+    {
+      net::Network::ShardCursor at_r(net_, shard_of(i + 1));
+      net_.add_link(routers_[i + 1], routers_[i], cfg_.router_link_bps,
+                    cfg_.router_link_delay, make_queue());
+    }
+  }
+
+  // Struct-of-arrays arenas for per-flow hot state: one per router cloud
+  // when sharded (senders homed on router i use arena i, so no two workers
+  // share a lane), one global arena otherwise. Cloud 0 homes two groups
+  // (its hop group and the long-haul group), hence the 2x per-shard size.
+  if (net_.sharded()) {
+    for (std::int32_t i = 0; i < cfg_.num_routers; ++i)
+      arenas_.push_back(
+          std::make_unique<tcp::FlowArena>(2 * cfg_.hosts_per_cloud));
+  } else {
+    arenas_.push_back(std::make_unique<tcp::FlowArena>(
+        cfg_.num_routers * cfg_.hosts_per_cloud));
   }
 
   net::FlowId flow = 0;
@@ -70,13 +116,28 @@ MultiBottleneck::MultiBottleneck(MultiBottleneckConfig cfg)
   auto add_group = [&](std::int32_t src_r, std::int32_t dst_r,
                        std::size_t group) {
     for (std::int32_t h = 0; h < cfg_.hosts_per_cloud; ++h) {
-      net::Node* src = net_.add_node();
-      net::Node* dst = net_.add_node();
+      net::Node* src;
+      net::Node* dst;
+      {
+        net::Network::ShardCursor at_src(net_, shard_of(src_r));
+        src = net_.add_node();
+      }
+      {
+        net::Network::ShardCursor at_dst(net_, shard_of(dst_r));
+        dst = net_.add_node();
+      }
+      // Access links are intra-shard by construction; add_duplex scopes each
+      // direction's queue to its source shard.
       net_.add_duplex_droptail(src, routers_[src_r], cfg_.access_bps,
                                cfg_.access_delay, buffer_pkts_);
       net_.add_duplex_droptail(routers_[dst_r], dst, cfg_.access_bps,
                                cfg_.access_delay, buffer_pkts_);
-      net_.add_agent<tcp::TcpSink>(dst, kPort, net_, cfg_.tcp);
+      {
+        net::Network::ShardCursor at_dst(net_, shard_of(dst_r));
+        net_.add_agent<tcp::TcpSink>(dst, kPort, net_, cfg_.tcp);
+      }
+      net::Network::ShardCursor at_src(net_, shard_of(src_r));
+      cur_arena_ = arenas_[static_cast<std::size_t>(shard_of(src_r))].get();
       tcp::TcpSender* s = make_sender(flow++);
       src->bind(*s, kPort);
       s->connect(dst->id(), kPort);
@@ -90,16 +151,21 @@ MultiBottleneck::MultiBottleneck(MultiBottleneckConfig cfg)
             static_cast<std::size_t>(cfg_.num_routers - 1));
 
   net_.compute_routes();
+  net_.finalize_shards();
 
-  checker_ = install_standard_invariants(
-      net_,
-      [this] {
-        std::vector<const tcp::TcpSender*> all;
-        for (const auto& g : groups_)
-          for (auto* s : g) all.push_back(s);
-        return all;
-      },
-      cfg_.watchdog);
+  // The watchdog polls cross-shard state from one shard-0 timer; skip it
+  // under the parallel engine (every sim_threads value skips, so the
+  // determinism oracle matches).
+  if (!net_.sharded())
+    checker_ = install_standard_invariants(
+        net_,
+        [this] {
+          std::vector<const tcp::TcpSender*> all;
+          for (const auto& g : groups_)
+            for (auto* s : g) all.push_back(s);
+          return all;
+        },
+        cfg_.watchdog);
 
   // Wire the tracer through every layer (behavior-neutral when disabled).
   // Hop links and their queues report under the hop index.
@@ -143,31 +209,39 @@ std::unique_ptr<net::Queue> MultiBottleneck::make_queue() {
 }
 
 tcp::TcpSender* MultiBottleneck::make_sender(net::FlowId flow) {
+  tcp::TcpConfig tc = cfg_.tcp;
+  tc.arena = cur_arena_;
   switch (cfg_.scheme) {
     case Scheme::kVegas:
-      return net_.add_agent<tcp::VegasSender>(nullptr, 0, net_, cfg_.tcp, flow);
+      return net_.add_agent<tcp::VegasSender>(nullptr, 0, net_, tc, flow);
     case Scheme::kPert:
-      return net_.add_agent<core::PertSender>(nullptr, 0, net_, cfg_.tcp, flow,
+      return net_.add_agent<core::PertSender>(nullptr, 0, net_, tc, flow,
                                               cfg_.pert);
     case Scheme::kPertPi: {
       const double pps = cfg_.router_link_bps / (8.0 * cfg_.tcp.seg_bytes());
       core::PiEmuDesign d = core::PiEmuDesign::for_path(
           pps, cfg_.hosts_per_cloud, 0.2);
-      return net_.add_agent<core::PertPiSender>(nullptr, 0, net_, cfg_.tcp,
-                                                flow, d);
+      return net_.add_agent<core::PertPiSender>(nullptr, 0, net_, tc, flow, d);
     }
     case Scheme::kPertRem: {
       const double pps = cfg_.router_link_bps / (8.0 * cfg_.tcp.seg_bytes());
       return net_.add_agent<core::PertRemSender>(
-          nullptr, 0, net_, cfg_.tcp, flow, core::RemEmuDesign::for_path(pps));
+          nullptr, 0, net_, tc, flow, core::RemEmuDesign::for_path(pps));
     }
     default:
-      return net_.add_agent<tcp::TcpSender>(nullptr, 0, net_, cfg_.tcp, flow);
+      return net_.add_agent<tcp::TcpSender>(nullptr, 0, net_, tc, flow);
   }
 }
 
 void MultiBottleneck::maybe_start_sampler() {
   if (sampler_started_ || !obs_.sampling_active()) return;
+  // validate() rejects observed sharded configs; this catches probes added
+  // after construction, which would race the sampler across shards.
+  if (net_.sharded())
+    throw sim::ConfigError(
+        "MultiBottleneck: observability sampling is not supported with "
+        "sim_threads > 0",
+        "component=MultiBottleneck param=obs\n");
   sampler_started_ = true;
   sampler_.schedule_in(obs_.config().sample_interval);
 }

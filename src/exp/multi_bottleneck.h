@@ -31,6 +31,12 @@ struct MultiBottleneckConfig {
   sim::WatchdogOptions watchdog;
   /// Observability (tracing, metric registry, sampling). Off by default.
   obs::ObsConfig obs;
+  /// Parallel engine worker threads. 0 (default) = classic single-scheduler
+  /// path. >= 1 shards the chain one-shard-per-router-cloud (router i plus
+  /// every host homed on it) and runs the conservative engine with the
+  /// router-link propagation delay as lookahead; requires
+  /// router_link_delay > 0. Results are byte-identical for every value.
+  std::int32_t sim_threads = 0;
 
   /// Rejects an out-of-domain chain topology with sim::ConfigError before
   /// any node is built, including the nested TCP/PERT configs.
@@ -89,6 +95,12 @@ class MultiBottleneck {
   /// senders grouped by source hop: index 0..4 = cloud i -> cloud i+1,
   /// index 5 = cloud 1 -> cloud 6 long-haul.
   std::vector<std::vector<tcp::TcpSender*>> groups_;
+  /// Struct-of-arrays backing for per-flow hot state: arena i serves the
+  /// senders homed on router i when sharded; a single arena otherwise.
+  std::vector<std::unique_ptr<tcp::FlowArena>> arenas_;
+  /// Arena for the sender currently under construction (set in add_group,
+  /// consumed by make_sender).
+  tcp::FlowArena* cur_arena_ = nullptr;
   std::unique_ptr<sim::InvariantChecker> checker_;
 
   obs::Observability obs_;

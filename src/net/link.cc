@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "net/node.h"
+#include "net/pdes.h"
 #include "sim/sentinel.h"
 #include "sim/validate.h"
 
@@ -91,10 +92,17 @@ void Link::try_transmit() {
                        obs::Severity::kDebug, "link.tx", trace_id_, "bytes",
                        static_cast<double>(p->size_bytes), "flow",
                        static_cast<double>(p->flow));
-    // Propagation: deliver after the wire delay.
-    sched_->schedule_in(prop_delay_, [this, p = std::move(p)]() mutable {
-      to_->receive(std::move(p));
-    });
+    // Propagation: deliver after the wire delay. Across a shard boundary
+    // the delivery belongs to the receiver's scheduler, so the packet ships
+    // by value through the channel (and `p` releases into the local pool);
+    // otherwise it stays a locally scheduled move-only event.
+    if (boundary_) {
+      boundary_->push(sched_->now() + prop_delay_, to_, *p);
+    } else {
+      sched_->schedule_in(prop_delay_, [this, p = std::move(p)]() mutable {
+        to_->receive(std::move(p));
+      });
+    }
     try_transmit();
   });
 }

@@ -14,6 +14,7 @@
 namespace pert::net {
 
 class Node;
+class ShardChannel;
 
 class Link {
  public:
@@ -67,6 +68,13 @@ class Link {
   /// while healthy. Polled from the watchdog, never the packet path.
   std::string numeric_violation() const;
 
+  /// Marks this link as a shard boundary (parallel engine): the propagation
+  /// leg ships packets through `ch` instead of a locally scheduled delivery
+  /// event, so the receiving node runs on its own shard's scheduler. Set by
+  /// Network::finalize_shards(); null (the default) keeps local delivery.
+  void set_boundary(ShardChannel* ch) noexcept { boundary_ = ch; }
+  bool is_boundary() const noexcept { return boundary_ != nullptr; }
+
   /// Attaches a tracer (not owned; may be null) for this link and its queue.
   /// Emits "link.tx" (kDebug, per packet) and "link.down"/"link.up" (kWarn)
   /// instants; the queue reports under the same entity id.
@@ -84,6 +92,7 @@ class Link {
   double rate_bps_;
   sim::Time prop_delay_;
   std::unique_ptr<Queue> queue_;
+  ShardChannel* boundary_ = nullptr;
   bool busy_ = false;
   sim::Time busy_since_ = 0.0;
   std::int32_t down_depth_ = 0;

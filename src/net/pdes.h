@@ -1,0 +1,93 @@
+// Cross-shard packet transport for the parallel engine (sim/engine.h).
+//
+// When a topology is partitioned into shards, every link whose endpoints
+// live in different shards becomes a *boundary link*: its transmitter still
+// runs on the producer shard's scheduler, but the propagation leg — the only
+// part that touches the consumer — travels through a ShardChannel instead of
+// a locally scheduled event. One channel exists per ordered shard pair that
+// has at least one crossing link, so the engine's horizon scan is O(peer
+// shards), not O(boundary links).
+//
+// A message carries the arrival time (sender-local send time + that link's
+// propagation delay), the destination node, and the packet BY VALUE: Packet
+// copies shed pool membership (PoolRef resets on copy), so the producer's
+// PacketPtr releases into the producer pool as usual, and the consumer
+// re-acquires from its own pool at drain time — the two pools never see each
+// other's packets, which is what keeps them thread-unsafe and fast.
+//
+// Determinism: messages are scheduled into the consumer with an explicit
+// tie-break key (channel id, pop index) via Scheduler::schedule_at_keyed.
+// Push order is producer execution order (deterministic), so the key stream
+// per channel is a pure function of the simulation — never of when the
+// consumer's worker thread happened to drain. See sim/scheduler.h.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <limits>
+
+#include "net/node.h"
+#include "net/packet.h"
+#include "net/pool.h"
+#include "sim/scheduler.h"
+#include "sim/spsc.h"
+#include "sim/time.h"
+
+namespace pert::net {
+
+class ShardChannel {
+ public:
+  ShardChannel(int from_shard, int to_shard, std::uint32_t id)
+      : from_(from_shard), to_(to_shard), id_(id) {}
+
+  int from_shard() const noexcept { return from_; }
+  int to_shard() const noexcept { return to_; }
+
+  /// Lookahead guarantee: the minimum propagation delay over every boundary
+  /// link routed through this channel. finalize_shards() narrows it as links
+  /// are assigned.
+  sim::Time lookahead() const noexcept { return lookahead_; }
+  void note_link_delay(sim::Time prop_delay) noexcept {
+    if (prop_delay < lookahead_) lookahead_ = prop_delay;
+  }
+
+  /// Producer side (boundary Link's tx-complete event): ship a packet that
+  /// arrives at `dst` at absolute time `t`.
+  void push(sim::Time t, Node* dst, const Packet& pkt) {
+    q_.push(Msg{t, dst, pkt});
+  }
+
+  /// Consumer side (engine drain hook): schedule every visible message into
+  /// the consumer shard's scheduler, re-homing each packet into `pool`.
+  void drain(sim::Scheduler& sched, PacketPool& pool) {
+    while (Msg* m = q_.front()) {
+      assert(popped_ <= std::numeric_limits<std::uint32_t>::max());
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(id_ + 1) << 32) | popped_;
+      PacketPtr p = pool.acquire();
+      *p = m->pkt;  // PoolRef assignment is a no-op: stays in `pool`
+      sched.schedule_at_keyed(
+          m->t, key, [dst = m->dst, p = std::move(p)]() mutable {
+            dst->receive(std::move(p));
+          });
+      ++popped_;
+      q_.pop();
+    }
+  }
+
+ private:
+  struct Msg {
+    sim::Time t;  // arrival time at the consumer
+    Node* dst;
+    Packet pkt;
+  };
+
+  sim::SpscQueue<Msg> q_;
+  int from_;
+  int to_;
+  std::uint32_t id_;
+  std::uint64_t popped_ = 0;
+  sim::Time lookahead_ = std::numeric_limits<sim::Time>::infinity();
+};
+
+}  // namespace pert::net

@@ -1,6 +1,7 @@
 #include "sim/scheduler.h"
 
 #include <cassert>
+#include <limits>
 #include <string>
 #include <utility>
 
@@ -64,19 +65,7 @@ void Scheduler::release_slot(std::uint32_t idx) {
   free_.push_back(idx);
 }
 
-Scheduler::EventId Scheduler::schedule_at(Time t, Callback cb) {
-  assert(cb && "scheduling an empty callback");
-  // Numeric sentinel: a NaN time would fail every heap comparison and
-  // silently corrupt event ordering (and NaN delays slip through the
-  // negative-delay clamp in schedule_in, since NaN compares false). One
-  // predictable branch; the schedule path is warm but not arithmetic-bound.
-  if (!(t - t == 0.0)) {  // false for NaN and +-inf, no libm call
-    throw NumericError(
-        "Scheduler: scheduled time is not finite",
-        "now=" + std::to_string(now_) + " t=" + std::to_string(t) +
-            " pending=" + std::to_string(heap_.size()) + "\n");
-  }
-  if (t < now_) t = now_;
+Scheduler::EventId Scheduler::emplace(Time t, std::uint64_t seq, Callback cb) {
   std::uint32_t idx;
   if (!free_.empty()) {
     idx = free_.back();
@@ -87,13 +76,43 @@ Scheduler::EventId Scheduler::schedule_at(Time t, Callback cb) {
   }
   Slot& s = slots_[idx];
   s.t = t;
-  s.seq = next_seq_++;
+  s.seq = seq;
   s.gen += 1;  // even -> odd: live
   s.cb = std::move(cb);
   heap_.push_back(idx);
   s.heap_pos = static_cast<std::int32_t>(heap_.size() - 1);
   sift_up(heap_.size() - 1);
   return EventId{idx, s.gen};
+}
+
+Scheduler::EventId Scheduler::schedule_at(Time t, Callback cb) {
+  assert(cb && "scheduling an empty callback");
+  // Numeric sentinel: a NaN time would fail every heap comparison and
+  // silently corrupt event ordering (and NaN delays slip through the
+  // negative-delay clamp in schedule_in, since NaN compares false). One
+  // predictable branch; the schedule path is warm but not arithmetic-bound.
+  if (!(t - t == 0.0)) {  // false for NaN and +-inf, no libm call
+    throw NumericError(
+        "Scheduler: scheduled time is not finite",
+        "now=" + std::to_string(now_) + " t=" + std::to_string(t) +
+            " pending=" + std::to_string(pending()) + "\n");
+  }
+  if (t < now_) t = now_;
+  return emplace(t, kLocalLane | next_seq_++, std::move(cb));
+}
+
+Scheduler::EventId Scheduler::schedule_at_keyed(Time t, std::uint64_t key,
+                                                Callback cb) {
+  assert(cb && "scheduling an empty callback");
+  assert(key < kLocalLane && "explicit keys live below the local lane");
+  if (!(t - t == 0.0)) {
+    throw NumericError(
+        "Scheduler: scheduled time is not finite",
+        "now=" + std::to_string(now_) + " t=" + std::to_string(t) +
+            " pending=" + std::to_string(pending()) + "\n");
+  }
+  if (t < now_) t = now_;
+  return emplace(t, key, std::move(cb));
 }
 
 bool Scheduler::cancel(EventId id) {
@@ -103,15 +122,22 @@ bool Scheduler::cancel(EventId id) {
   // Generation mismatch: the event already ran or was cancelled (and the
   // slot possibly recycled for a newer event this handle must not touch).
   if (s.gen != id.gen_) return false;
+  if (s.heap_pos == kInBatch) {
+    // Drained into the current dispatch batch but not yet run. Releasing the
+    // slot bumps its generation, so the batch loop skips it — exactly the
+    // events repeated run_next() could still cancel at this point.
+    assert(batch_live_ > 0);
+    --batch_live_;
+    release_slot(id.slot_);
+    return true;
+  }
   assert(s.heap_pos >= 0);
   heap_erase(static_cast<std::size_t>(s.heap_pos));
   release_slot(id.slot_);
   return true;
 }
 
-bool Scheduler::run_next() {
-  if (heap_.empty()) return false;
-  const std::uint32_t idx = heap_[0];
+void Scheduler::dispatch_slot(std::uint32_t idx) {
   Slot& s = slots_[idx];
   assert(s.t >= now_);
   if (s.t > now_) {
@@ -130,20 +156,80 @@ bool Scheduler::run_next() {
   // Move the callback out and free the slot *before* invoking: the callback
   // may schedule (growing slots_) or cancel, and must see itself as done.
   Callback cb = std::move(s.cb);
-  heap_erase(0);
   release_slot(idx);
   ++dispatched_;
   if (tracer_ && tracer_->wants(obs::Category::kSched, obs::Severity::kDebug))
     tracer_->instant(now_, obs::Category::kSched, obs::Severity::kDebug,
                      "sched.dispatch", 0, "pending",
-                     static_cast<double>(heap_.size()));
+                     static_cast<double>(pending()));
   cb();
+}
+
+bool Scheduler::run_next() {
+  if (heap_.empty()) return false;
+  const std::uint32_t idx = heap_[0];
+  heap_erase(0);
+  dispatch_slot(idx);
   return true;
 }
 
+std::size_t Scheduler::run_batch() {
+  if (heap_.empty()) return 0;
+  // Singleton fast path: most instants host exactly one event, and going
+  // through the batch buffer would only add bookkeeping.
+  {
+    const std::uint32_t top = heap_[0];
+    const std::size_t n = heap_.size();
+    const std::size_t first = 1;
+    const std::size_t last = first + kArity < n ? first + kArity : n;
+    bool tie = false;
+    for (std::size_t c = first; c < last; ++c)
+      if (slots_[heap_[c]].t == slots_[top].t) {
+        tie = true;
+        break;
+      }
+    if (!tie) {
+      heap_erase(0);
+      dispatch_slot(top);
+      return 1;
+    }
+  }
+  // Drain the whole same-timestamp run off the heap in one pop loop. Slots
+  // stay live (heap_pos = kInBatch) so cancel() keeps exact semantics; the
+  // generation snapshot detects cancellation before dispatch.
+  const Time t = slots_[heap_[0]].t;
+  batch_.clear();
+  while (!heap_.empty() && slots_[heap_[0]].t == t) {
+    const std::uint32_t idx = heap_[0];
+    heap_erase(0);
+    slots_[idx].heap_pos = kInBatch;
+    batch_.emplace_back(idx, slots_[idx].gen);
+  }
+  batch_live_ = batch_.size();
+  std::size_t ran = 0;
+  for (std::size_t i = 0; i < batch_.size(); ++i) {
+    const auto [idx, gen] = batch_[i];
+    if (slots_[idx].gen != gen) continue;  // cancelled mid-batch
+    --batch_live_;
+    dispatch_slot(idx);
+    ++ran;
+  }
+  assert(batch_live_ == 0);
+  return ran;
+}
+
 void Scheduler::run_until(Time t) {
-  while (!heap_.empty() && slots_[heap_[0]].t <= t) run_next();
+  while (!heap_.empty() && slots_[heap_[0]].t <= t) run_batch();
   if (now_ < t) now_ = t;
+}
+
+void Scheduler::run_until_exclusive(Time t) {
+  while (!heap_.empty() && slots_[heap_[0]].t < t) run_batch();
+}
+
+Time Scheduler::next_time() const noexcept {
+  return heap_.empty() ? std::numeric_limits<Time>::infinity()
+                       : slots_[heap_[0]].t;
 }
 
 std::size_t Scheduler::run(std::size_t max_events) {

@@ -1,6 +1,6 @@
 // Discrete-event scheduler.
 //
-// An index-addressable 4-ary min-heap of (time, sequence) keyed events over a
+// An index-addressable 4-ary min-heap of (time, key) keyed events over a
 // generation-tagged slot pool. Ties in time are broken by insertion order
 // (monotonic sequence numbers), which makes every run fully deterministic for
 // a given seed and call sequence.
@@ -16,6 +16,23 @@
 //     storage: scheduling a typical event (a `this` pointer plus a few words
 //     of capture, or an in-flight PacketPtr) performs zero heap allocations
 //     once the slot pool has reached its high-water mark.
+//
+// Tie-break key layout (64 bits): locally scheduled events carry
+// kLocalLane | <monotonic counter>, so same-time local events dispatch in
+// schedule order exactly as before. Events imported from another shard of a
+// parallel run are scheduled through schedule_at_keyed() with an explicit
+// (channel, message) key below kLocalLane — their order at a timestamp is a
+// pure function of topology, never of when a worker thread drained them, and
+// they always dispatch before local events at the same instant. Single-shard
+// runs never create keyed events and are byte-identical to prior builds.
+//
+// Same-timestamp dispatch is batched: run_batch() drains the whole run of
+// events sharing the earliest timestamp off the heap in one pop loop, then
+// dispatches them back-to-back through a small reusable buffer. Heap
+// maintenance and callback execution stop interleaving at high event density
+// (ACK bursts, synchronized starts), while cancellation keeps exact
+// semantics: an event cancelled by an earlier callback in its own batch is
+// skipped, precisely as the unbatched loop would have skipped it.
 #pragma once
 
 #include <cassert>
@@ -32,6 +49,11 @@ namespace pert::sim {
 class Scheduler {
  public:
   using Callback = UniqueFunction<void()>;
+
+  /// High bit of the tie-break key: set for locally scheduled events.
+  /// Explicit keys passed to schedule_at_keyed must stay below this, so
+  /// boundary events dispatch before local ones at the same timestamp.
+  static constexpr std::uint64_t kLocalLane = 1ull << 63;
 
   /// Opaque handle to a scheduled event; default-constructed handles are
   /// "null" and never match a live event.
@@ -54,6 +76,12 @@ class Scheduler {
   /// Schedules `cb` to run at absolute time `t` (clamped to now()).
   EventId schedule_at(Time t, Callback cb);
 
+  /// Schedules `cb` at absolute time `t` with an explicit tie-break key
+  /// (must be < kLocalLane). Used by the parallel engine for cross-shard
+  /// events: the key encodes (channel, message index), so same-time ordering
+  /// is independent of when the message was drained from its channel.
+  EventId schedule_at_keyed(Time t, std::uint64_t key, Callback cb);
+
   /// Schedules `cb` to run `delay` seconds from now (delay clamped to >= 0).
   EventId schedule_in(Time delay, Callback cb) {
     // A negative delay clamps to "now", but a non-finite delay must not:
@@ -64,22 +92,38 @@ class Scheduler {
                        std::move(cb));
   }
 
-  /// Cancels a pending event. Returns true iff the event was still pending.
+  /// Cancels a pending event. Returns true iff the event was still pending
+  /// (including events drained into the current dispatch batch but not yet
+  /// run — exactly the events the unbatched loop could still cancel).
   bool cancel(EventId id);
 
   /// Pops and dispatches the earliest event. Returns false when none is left.
   bool run_next();
 
+  /// Drains every event sharing the earliest timestamp and dispatches the
+  /// run back-to-back. Dispatch order is identical to repeated run_next().
+  /// Returns the number of events dispatched (0 when the queue is empty).
+  std::size_t run_batch();
+
   /// Dispatches every event with time <= t, then advances the clock to t.
   void run_until(Time t);
+
+  /// Dispatches every event with time strictly < t. Does NOT advance the
+  /// clock to t: the parallel engine advances a shard to a safety horizon
+  /// that is not a simulated instant of its own.
+  void run_until_exclusive(Time t);
+
+  /// Time of the earliest pending event; +infinity when none is pending.
+  Time next_time() const noexcept;
 
   /// Dispatches events until the queue is empty or `max_events` were run.
   /// Returns the number of events dispatched.
   std::size_t run(std::size_t max_events = SIZE_MAX);
 
-  /// Number of pending (non-cancelled) events. O(1): cancellation removes
-  /// events from the heap eagerly, so the heap size *is* the pending count.
-  std::size_t pending() const noexcept { return heap_.size(); }
+  /// Number of pending (non-cancelled, not-yet-dispatched) events. O(1):
+  /// cancellation removes events eagerly, and events drained into the
+  /// current batch still count until they actually run.
+  std::size_t pending() const noexcept { return heap_.size() + batch_live_; }
 
   /// Total events dispatched so far (for micro-benchmarks and sanity checks).
   std::uint64_t dispatched() const noexcept { return dispatched_; }
@@ -101,11 +145,15 @@ class Scheduler {
   void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
 
  private:
+  /// heap_pos value for events drained into the current dispatch batch:
+  /// live (cancellable) but no longer heap residents.
+  static constexpr std::int32_t kInBatch = -2;
+
   struct Slot {
     Time t = 0.0;
-    std::uint64_t seq = 0;       // global tie-break counter at schedule time
+    std::uint64_t seq = 0;       // tie-break key (lane bit | counter)
     std::uint32_t gen = 0;       // odd while scheduled, even while free
-    std::int32_t heap_pos = -1;  // index into heap_, -1 while free
+    std::int32_t heap_pos = -1;  // index into heap_, -1 free, kInBatch drained
     Callback cb;
   };
 
@@ -129,9 +177,20 @@ class Scheduler {
   /// Returns a slot to the free list (bumps generation, drops the callback).
   void release_slot(std::uint32_t idx);
 
+  EventId emplace(Time t, std::uint64_t seq, Callback cb);
+
+  /// Shared guts of run_next / run_batch: clock + stall accounting, slot
+  /// release, dispatch trace, callback invocation for the event in `idx`.
+  void dispatch_slot(std::uint32_t idx);
+
   std::vector<Slot> slots_;         // slot pool (high-water-mark sized)
   std::vector<std::uint32_t> free_; // recycled slot indices
   std::vector<std::uint32_t> heap_; // 4-ary min-heap of live slot indices
+  /// Reusable (slot, generation) scratch for run_batch; generation detects
+  /// cancellation (or slot reuse) between drain and dispatch.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> batch_;
+  /// Drained-but-not-yet-run events of the current batch (pending() term).
+  std::size_t batch_live_ = 0;
   obs::Tracer* tracer_ = nullptr;
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 1;

@@ -1,0 +1,103 @@
+// Unbounded single-producer / single-consumer queue.
+//
+// The cross-shard event channel of the parallel engine: the producer is one
+// shard's worker thread pushing boundary packets mid-run, the consumer is
+// another shard's worker draining them between rounds. Built as a linked
+// list of fixed-size chunks so neither side ever blocks or spins:
+//
+//   - The producer appends into the tail chunk and publishes each element by
+//     a release-store of the chunk's count; when a chunk fills it links a
+//     fresh chunk with a release-store of `next`.
+//   - The consumer acquire-loads count/next, so every published element's
+//     payload is visible before the consumer can observe it. It retires a
+//     chunk only after fully consuming it AND observing a successor, so it
+//     never frees memory the producer may still touch.
+//
+// Exactly one thread may push and one may pop at a time (the engine's
+// round structure guarantees this); no other concurrency is supported.
+// Steady state allocates one chunk per kChunk messages — the engine's
+// lookahead bounds in-flight messages, so chunks stay few and warm.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <utility>
+
+namespace pert::sim {
+
+template <class T, std::size_t kChunk = 64>
+class SpscQueue {
+ public:
+  SpscQueue() : head_(new Chunk), tail_(head_) {}
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  ~SpscQueue() {
+    // Single-threaded by the time we get here (engine joined its workers).
+    while (front()) pop();
+    Chunk* c = head_;
+    while (c) {
+      Chunk* next = c->next.load(std::memory_order_relaxed);
+      delete c;
+      c = next;
+    }
+  }
+
+  /// Producer side. Publishes `v` to the consumer.
+  void push(T v) {
+    Chunk* c = tail_;
+    std::uint32_t n = c->count.load(std::memory_order_relaxed);
+    if (n == kChunk) {
+      Chunk* fresh = new Chunk;
+      c->next.store(fresh, std::memory_order_release);
+      tail_ = fresh;
+      c = fresh;
+      n = 0;
+    }
+    ::new (c->slot(n)) T(std::move(v));
+    c->count.store(n + 1, std::memory_order_release);
+  }
+
+  /// Consumer side. Pointer to the oldest unconsumed element, or nullptr
+  /// when none is currently visible. The pointer stays valid until pop().
+  T* front() {
+    Chunk* c = head_;
+    if (c->consumed == kChunk) {
+      Chunk* next = c->next.load(std::memory_order_acquire);
+      if (!next) return nullptr;
+      delete c;
+      head_ = c = next;
+    }
+    const std::uint32_t avail = c->count.load(std::memory_order_acquire);
+    if (c->consumed == avail) return nullptr;
+    return c->slot_t(c->consumed);
+  }
+
+  /// Consumer side. Destroys the element front() returned.
+  void pop() {
+    Chunk* c = head_;
+    c->slot_t(c->consumed)->~T();
+    ++c->consumed;
+  }
+
+ private:
+  struct Chunk {
+    std::atomic<std::uint32_t> count{0};  // published elements (producer)
+    std::atomic<Chunk*> next{nullptr};
+    std::uint32_t consumed = 0;  // consumer-local cursor
+    alignas(T) unsigned char storage[kChunk * sizeof(T)];
+
+    void* slot(std::size_t i) noexcept { return storage + i * sizeof(T); }
+    T* slot_t(std::size_t i) noexcept {
+      return std::launder(reinterpret_cast<T*>(slot(i)));
+    }
+  };
+
+  alignas(64) Chunk* head_;  // consumer-owned
+  alignas(64) Chunk* tail_;  // producer-owned
+};
+
+}  // namespace pert::sim

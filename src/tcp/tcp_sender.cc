@@ -8,17 +8,25 @@
 #include <utility>
 
 #include "sim/sentinel.h"
+#include "tcp/flow_arena.h"
 
 namespace pert::tcp {
 
 TcpSender::TcpSender(net::Network& net, TcpConfig cfg, net::FlowId flow)
-    : cwnd_(cfg.initial_cwnd),
-      ssthresh_(cfg.initial_ssthresh),
+    : TcpSender(net, cfg, flow, cfg.arena ? cfg.arena->acquire() : -1) {}
+
+TcpSender::TcpSender(net::Network& net, TcpConfig cfg, net::FlowId flow,
+                     std::int32_t slot)
+    : cwnd_(slot >= 0 ? cfg.arena->cwnd(slot) : cwnd_inline_),
+      ssthresh_(slot >= 0 ? cfg.arena->ssthresh(slot) : ssthresh_inline_),
       net_(&net),
       cfg_(cfg),
       flow_(flow),
+      arena_slot_(slot),
       rto_timer_(net.sched(), [this] { on_rto(); }) {
   cfg_.validate();
+  cwnd_ = cfg_.initial_cwnd;
+  ssthresh_ = cfg_.initial_ssthresh;
   rto_ = cfg_.initial_rto;
 }
 

@@ -1,0 +1,196 @@
+// Batched dispatch must be order-equivalent to one-event-at-a-time dispatch,
+// and cancellation must keep exact semantics even for events already drained
+// into the current batch. The strongest check is a randomized twin run: the
+// same schedule/cancel script driven through run() (one event per heap pop)
+// and through run_until() (batched) must produce the same dispatch sequence
+// at the same timestamps.
+#include "sim/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/random.h"
+
+namespace pert::sim {
+namespace {
+
+// One trace entry per dispatched event: (logical id, dispatch time).
+using Trace = std::vector<std::pair<int, Time>>;
+
+// A deterministic script of operations replayed against a scheduler. Each
+// event may, from inside its callback, schedule more events (possibly at the
+// current timestamp, landing in a *later* batch) and cancel a pending one.
+// All decisions are driven by the event's logical id and a fixed Rng seed so
+// both twins replay the exact same choices.
+class Script {
+ public:
+  explicit Script(std::uint64_t seed, int initial, int max_events)
+      : rng_(seed), max_events_(max_events), initial_(initial) {}
+
+  void run_on(Scheduler& s, bool batched) {
+    for (int i = 0; i < initial_; ++i) spawn(s, next_id_++, rng_.uniform(0, 4));
+    if (batched) {
+      s.run_until(1e9);
+    } else {
+      while (s.run_next()) {
+      }
+    }
+  }
+
+  const Trace& trace() const { return trace_; }
+
+ private:
+  void spawn(Scheduler& s, int id, Time t) {
+    // Coarse times force heavy timestamp collisions (the batching case).
+    const Time qt = static_cast<Time>(static_cast<int>(t * 8.0)) / 8.0;
+    ids_.resize(static_cast<std::size_t>(next_id_), Scheduler::EventId{});
+    ids_[static_cast<std::size_t>(id)] = s.schedule_at(qt, [this, &s, id] {
+      trace_.emplace_back(id, s.now());
+      if (next_id_ < max_events_) {
+        // Spawn 0-2 children, sometimes at the current time exactly.
+        const int n = static_cast<int>(rng_.uniform(0.0, 3.0));
+        for (int c = 0; c < n && next_id_ < max_events_; ++c) {
+          const bool same_t = rng_.bernoulli(0.3);
+          spawn(s, next_id_++, same_t ? s.now() : s.now() + rng_.uniform(0.01, 1.0));
+        }
+        // Occasionally cancel a random earlier event (often already run —
+        // cancel() then reports false; sometimes in this very batch).
+        if (rng_.bernoulli(0.4)) {
+          const int victim = static_cast<int>(
+              rng_.uniform(0.0, static_cast<double>(next_id_)));
+          const bool ok = s.cancel(ids_[static_cast<std::size_t>(victim)]);
+          trace_.emplace_back(ok ? -victim - 1 : -100000 - victim, s.now());
+        }
+      }
+    });
+  }
+
+  Rng rng_;
+  int max_events_;
+  int initial_;
+  int next_id_ = 0;
+  std::vector<Scheduler::EventId> ids_;
+  Trace trace_;
+};
+
+TEST(SchedulerBatch, RandomizedTwinMatchesUnbatchedDispatch) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Scheduler unbatched;
+    Script a(seed, /*initial=*/12, /*max_events=*/400);
+    a.run_on(unbatched, /*batched=*/false);
+
+    Scheduler batched;
+    Script b(seed, /*initial=*/12, /*max_events=*/400);
+    b.run_on(batched, /*batched=*/true);
+
+    ASSERT_EQ(a.trace(), b.trace()) << "seed " << seed;
+    EXPECT_EQ(unbatched.dispatched(), batched.dispatched()) << "seed " << seed;
+    EXPECT_EQ(unbatched.pending(), batched.pending()) << "seed " << seed;
+  }
+}
+
+TEST(SchedulerBatch, CancelInsideDrainedBatchSuppressesEvent) {
+  Scheduler s;
+  std::vector<int> order;
+  Scheduler::EventId b;
+  s.schedule_at(1.0, [&] {
+    order.push_back(0);
+    EXPECT_TRUE(s.cancel(b));  // B is already drained into this batch
+  });
+  b = s.schedule_at(1.0, [&] { order.push_back(1); });
+  s.schedule_at(1.0, [&] { order.push_back(2); });
+  s.run_until(2.0);
+  EXPECT_EQ(order, (std::vector<int>{0, 2}));
+  EXPECT_EQ(s.pending(), 0u);
+  EXPECT_EQ(s.dispatched(), 2);
+}
+
+TEST(SchedulerBatch, CancelOfAlreadyDispatchedBatchEventReportsFalse) {
+  Scheduler s;
+  Scheduler::EventId a;
+  bool cancelled = false;
+  a = s.schedule_at(1.0, [] {});
+  s.schedule_at(1.0, [&] { cancelled = s.cancel(a); });
+  s.run_until(2.0);
+  EXPECT_FALSE(cancelled);  // A ran earlier in the same batch
+}
+
+TEST(SchedulerBatch, CancelledBatchSlotIsReusableImmediately) {
+  // Cancelling an in-batch event releases its slot; a schedule from the same
+  // batch may reuse it. The stale EventId (old generation) must stay dead.
+  Scheduler s;
+  std::vector<int> order;
+  Scheduler::EventId b;
+  s.schedule_at(1.0, [&] {
+    EXPECT_TRUE(s.cancel(b));
+    s.schedule_at(1.0, [&] { order.push_back(9); });  // may recycle B's slot
+    EXPECT_FALSE(s.cancel(b));                        // old gen: must miss
+  });
+  b = s.schedule_at(1.0, [&] { order.push_back(1); });
+  s.run_until(2.0);
+  EXPECT_EQ(order, (std::vector<int>{9}));
+}
+
+TEST(SchedulerBatch, PendingCountsUndispatchedBatchRemainder) {
+  Scheduler s;
+  std::vector<std::size_t> seen;
+  for (int i = 0; i < 5; ++i)
+    s.schedule_at(1.0, [&] { seen.push_back(s.pending()); });
+  s.run_until(2.0);
+  // Each dispatched event observes the not-yet-run remainder of its own
+  // batch as still pending — exactly what run_next() would report.
+  EXPECT_EQ(seen, (std::vector<std::size_t>{4, 3, 2, 1, 0}));
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(SchedulerBatch, SameTimeScheduleFromBatchRunsAfterBatch) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(1.0, [&] {
+    order.push_back(0);
+    s.schedule_at(1.0, [&] { order.push_back(99); });
+  });
+  s.schedule_at(1.0, [&] { order.push_back(1); });
+  s.run_until(2.0);
+  // The same-timestamp child has a later sequence number than every event
+  // in the current batch, so it runs after them — batched or not.
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 99}));
+  EXPECT_EQ(s.now(), 2.0);  // run_until advances the clock to its horizon
+}
+
+TEST(SchedulerBatch, KeyedEventsOrderBeforeLocalsAtEqualTime) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(1.0, [&] { order.push_back(100); });   // local lane
+  s.schedule_at_keyed(1.0, 7, [&] { order.push_back(7); });
+  s.schedule_at_keyed(1.0, 3, [&] { order.push_back(3); });
+  s.run_until(2.0);
+  // Boundary (keyed) events sort by key below every local event, no matter
+  // the call order — the parallel engine's determinism hinges on this.
+  EXPECT_EQ(order, (std::vector<int>{3, 7, 100}));
+}
+
+TEST(SchedulerBatch, RunUntilExclusiveStopsBeforeBoundary) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(1.0, [&] { order.push_back(1); });
+  s.schedule_at(2.0, [&] { order.push_back(2); });
+  s.run_until_exclusive(2.0);
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  EXPECT_EQ(s.pending(), 1u);
+  EXPECT_EQ(s.next_time(), 2.0);
+  s.run_until(2.0);  // inclusive picks up the boundary event
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(SchedulerBatch, NextTimeIsInfinityWhenEmpty) {
+  Scheduler s;
+  EXPECT_GT(s.next_time(), 1e300);
+  s.schedule_at(4.0, [] {});
+  EXPECT_EQ(s.next_time(), 4.0);
+}
+
+}  // namespace
+}  // namespace pert::sim

@@ -4,23 +4,33 @@
 //
 // Usage:
 //   perf_baseline convert <gbench.json> <out.json>
-//   perf_baseline compare <baseline.json> <candidate.json> [--warn-pct P]
+//   perf_baseline median <out.json> <in1.json> <in2.json> [in3.json ...]
+//   perf_baseline compare <baseline.json> <candidate.json>
+//                 [--warn-pct P] [--only PREFIX[,PREFIX...]]
 //
 // convert reads the file produced by
 //   bench_micro --benchmark_format=json --benchmark_out=<gbench.json>
 // and writes {"schema", "benchmarks": {name: {ns_per_op, items_per_s}}} with
 // stable key order (diffable in review).
 //
+// median folds several converted baselines (independent bench runs) into one
+// by taking the per-benchmark median ns/op — the standard defense against a
+// single noisy run when a comparison is meant to gate.
+//
 // compare prints a per-benchmark table of ns/op deltas and exits 0 when no
 // shared benchmark slowed down by more than P percent (default 15), or 3 when
-// at least one did. The CI perf job runs it non-gating (hardware differs
-// between the machine that recorded the baseline and the CI runner), so a
-// regression surfaces as a loud warning rather than a red build; see
+// at least one did. --only restricts the comparison to benchmarks whose name
+// starts with one of the given prefixes. CI runs compare twice: a gating
+// median-of-3 pass over the stable scheduler/queue micro-benches (allocation-
+// free inner loops, low run-to-run variance) and a non-gating pass over
+// everything else (end-to-end benches swing with runner hardware); see
 // docs/performance.md for how to re-record the baseline after intentional
 // changes.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <map>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -104,8 +114,77 @@ int convert(const std::string& in_path, const std::string& out_path) {
   return 0;
 }
 
+/// True when `name` starts with one of the comma-separated prefixes in
+/// `only` ("" = no filter, everything matches).
+bool matches_only(const std::string& name, const std::string& only) {
+  if (only.empty()) return true;
+  std::size_t start = 0;
+  while (start <= only.size()) {
+    const std::size_t comma = only.find(',', start);
+    const std::string pfx =
+        only.substr(start, comma == std::string::npos ? comma : comma - start);
+    if (!pfx.empty() && name.compare(0, pfx.size(), pfx) == 0) return true;
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return false;
+}
+
+int median(const std::string& out_path,
+           const std::vector<std::string>& in_paths) {
+  // name -> samples, in first-file key order (stable, diffable output).
+  std::vector<std::string> order;
+  std::map<std::string, std::vector<double>> ns, ips;
+  for (std::size_t f = 0; f < in_paths.size(); ++f) {
+    JsonValue doc;
+    try {
+      doc = JsonValue::parse(read_file(in_paths[f]));
+    } catch (const std::exception& e) {
+      std::cerr << "perf_baseline: " << in_paths[f] << ": " << e.what()
+                << "\n";
+      return 2;
+    }
+    const JsonValue* table = doc.find("benchmarks");
+    if (!table || !table->is_object()) {
+      std::cerr << "perf_baseline: " << in_paths[f]
+                << " is not a converted baseline\n";
+      return 2;
+    }
+    for (const auto& [name, row] : table->as_object()) {
+      if (f == 0) order.push_back(name);
+      ns[name].push_back(row.at("ns_per_op").as_double());
+      if (const JsonValue* v = row.find("items_per_s"))
+        ips[name].push_back(v->as_double());
+    }
+  }
+  JsonValue out{JsonValue::Object{}};
+  out.set("schema", "pert-bench-baseline-v1");
+  JsonValue table{JsonValue::Object{}};
+  const auto mid = [](std::vector<double>& v) {
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];  // upper median for even counts — conservative
+  };
+  for (const std::string& name : order) {
+    JsonValue row{JsonValue::Object{}};
+    row.set("ns_per_op", mid(ns[name]));
+    if (auto it = ips.find(name); it != ips.end() && !it->second.empty())
+      row.set("items_per_s", mid(it->second));
+    table.set(name, std::move(row));
+  }
+  out.set("benchmarks", std::move(table));
+  std::ofstream o(out_path, std::ios::binary);
+  o << out.dump(2) << "\n";
+  if (!o) {
+    std::cerr << "perf_baseline: cannot write " << out_path << "\n";
+    return 2;
+  }
+  std::cout << "wrote " << out_path << " (median of " << in_paths.size()
+            << " runs)\n";
+  return 0;
+}
+
 int compare(const std::string& base_path, const std::string& cand_path,
-            double warn_pct) {
+            double warn_pct, const std::string& only) {
   JsonValue base, cand;
   try {
     base = JsonValue::parse(read_file(base_path));
@@ -124,6 +203,7 @@ int compare(const std::string& base_path, const std::string& cand_path,
   std::printf("%-34s %12s %12s %8s\n", "benchmark", "base ns/op", "cand ns/op",
               "delta");
   for (const auto& [name, row] : bt->as_object()) {
+    if (!matches_only(name, only)) continue;
     const JsonValue* crow = ct->find(name);
     if (!crow) {
       std::printf("%-34s %12s %12s %8s\n", name.c_str(), "-", "missing", "");
@@ -138,7 +218,7 @@ int compare(const std::string& base_path, const std::string& cand_path,
     if (regressed) ++regressions;
   }
   for (const auto& [name, row] : ct->as_object())
-    if (!bt->find(name))
+    if (matches_only(name, only) && !bt->find(name))
       std::printf("%-34s %12s %12.1f %8s\n", name.c_str(), "new",
                   row.at("ns_per_op").as_double(), "");
   if (regressions > 0) {
@@ -158,20 +238,27 @@ int compare(const std::string& base_path, const std::string& cand_path,
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
   double warn_pct = 15.0;
+  std::string only;
   std::vector<std::string> pos;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--warn-pct" && i + 1 < args.size()) {
       warn_pct = std::atof(args[++i].c_str());
+    } else if (args[i] == "--only" && i + 1 < args.size()) {
+      only = args[++i];
     } else {
       pos.push_back(args[i]);
     }
   }
   if (pos.size() == 3 && pos[0] == "convert") return convert(pos[1], pos[2]);
+  if (pos.size() >= 4 && pos[0] == "median")
+    return median(pos[1], {pos.begin() + 2, pos.end()});
   if (pos.size() == 3 && pos[0] == "compare")
-    return compare(pos[1], pos[2], warn_pct);
+    return compare(pos[1], pos[2], warn_pct, only);
   std::cerr << "usage:\n"
                "  perf_baseline convert <gbench.json> <out.json>\n"
+               "  perf_baseline median <out.json> <in1.json> <in2.json> "
+               "[in3.json ...]\n"
                "  perf_baseline compare <baseline.json> <candidate.json> "
-               "[--warn-pct P]\n";
+               "[--warn-pct P] [--only PREFIX[,...]]\n";
   return 2;
 }
