@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
     spec.x_labels.push_back(exp::fmt(bw / 1e6, "%g Mbps"));
   spec.schemes = {exp::Scheme::kPert, exp::Scheme::kSackDroptail,
                   exp::Scheme::kSackRedEcn, exp::Scheme::kVegas};
-  spec.config = [&](double bw, exp::Scheme s) {
+  spec.config = [&](double bw, const exp::SchemeSpec& s) {
     exp::DumbbellConfig cfg;
     cfg.scheme = s;
     cfg.bottleneck_bps = bw;

@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
   spec.schemes = {exp::Scheme::kPert, exp::Scheme::kSackDroptail,
                   exp::Scheme::kSackRedEcn, exp::Scheme::kVegas};
   const double bw = opt.full ? 150e6 : 100e6;
-  spec.config = [&](double rtt, exp::Scheme s) {
+  spec.config = [&](double rtt, const exp::SchemeSpec& s) {
     exp::DumbbellConfig cfg;
     cfg.scheme = s;
     cfg.bottleneck_bps = bw;

@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
   spec.schemes = {exp::Scheme::kPertPi, exp::Scheme::kSackPiEcn,
                   exp::Scheme::kSackDroptail};
   const double bw = opt.full ? 150e6 : 100e6;
-  spec.config = [&](double rtt, exp::Scheme s) {
+  spec.config = [&](double rtt, const exp::SchemeSpec& s) {
     exp::DumbbellConfig cfg;
     cfg.scheme = s;
     cfg.bottleneck_bps = bw;

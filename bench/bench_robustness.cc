@@ -106,7 +106,7 @@ int main(int argc, char** argv) {
     spec.x_labels.push_back(cells[i].label);
   }
   spec.schemes = {exp::Scheme::kPert, exp::Scheme::kSackDroptail};
-  spec.config = [&](double x, exp::Scheme s) {
+  spec.config = [&](double x, const exp::SchemeSpec& s) {
     exp::DumbbellConfig cfg;
     cfg.scheme = s;
     cfg.bottleneck_bps = opt.smoke ? 20e6 : 50e6;

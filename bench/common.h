@@ -25,19 +25,43 @@
 //
 // Flags are parsed by exp::cli::OptionSet, so --help lists them and unknown
 // flags are an error (they used to be silently ignored).
+//   --list-schemes  print the registered CC modules and queue disciplines
+//                (the vocabulary of --schemes) and exit
+//   --schemes LIST  comma list of scheme specs overriding the bench's
+//                built-in scheme set, e.g. --schemes pert,cubic/codel
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "dist/shard.h"
 #include "exp/option_set.h"
+#include "exp/scheme.h"
+#include "net/qdisc_registry.h"
 #include "runner/report.h"
 #include "runner/runner.h"
+#include "tcp/cc_registry.h"
 
 namespace pert::bench {
+
+/// --list-schemes: both registries, one line per module, then exit.
+inline void print_scheme_registries() {
+  exp::ensure_scheme_modules();
+  std::printf("congestion-control modules:\n");
+  for (const tcp::CcInfo& m : tcp::CcRegistry::instance().list())
+    std::printf("  %-10s %s%s\n", m.name.c_str(), m.summary.c_str(),
+                m.wants_ecn ? " [wants ecn]" : "");
+  std::printf("queue disciplines:\n");
+  for (const net::QdiscInfo& m : net::QdiscRegistry::instance().list())
+    std::printf("  %-10s %s%s\n", m.name.c_str(), m.summary.c_str(),
+                m.marks_ecn ? " [marks ecn]" : "");
+  std::printf(
+      "scheme spec: a legacy paper name (pert, sack-red, ...) or cc/qdisc\n"
+      "with an optional +ecn/-ecn suffix, e.g. cubic/codel, dctcp/red+ecn\n");
+}
 
 struct Opts {
   bool full = false;
@@ -54,9 +78,12 @@ struct Opts {
   std::string trace_dir;  ///< when non-empty, per-cell event traces go here
   dist::ShardSpec shard;  ///< --shard K/N grid slice ({0,1} = whole grid)
   std::string worker;     ///< --worker HOST:PORT coordinator address
+  /// --schemes comma list (raw); see schemes_or(). Empty = bench default.
+  std::string schemes_arg;
 
   static Opts parse(int argc, char** argv) {
     Opts o;
+    bool list_schemes = false;
     std::string shard_arg;
     exp::cli::OptionSet opts(argv != nullptr && argc > 0 ? argv[0] : "bench");
     opts.flag("--full", &o.full, "paper-scale grid (default: reduced)")
@@ -76,11 +103,20 @@ struct Opts {
              "run only grid cells with index % N == K (0-based)", "K/N")
         .opt("--worker", &o.worker,
              "run as a distributed worker against this coordinator",
-             "HOST:PORT");
+             "HOST:PORT")
+        .opt("--schemes", &o.schemes_arg,
+             "comma list of scheme specs overriding the bench's scheme set",
+             "LIST")
+        .flag("--list-schemes", &list_schemes,
+              "print registered CC modules and queue disciplines, then exit");
     switch (opts.parse(argc, argv)) {
       case exp::cli::OptionSet::Result::kOk: break;
       case exp::cli::OptionSet::Result::kHelp: std::exit(0);
       case exp::cli::OptionSet::Result::kError: std::exit(2);
+    }
+    if (list_schemes) {
+      print_scheme_registries();
+      std::exit(0);
     }
     if (o.resume && o.journal.empty()) {
       std::fprintf(stderr, "error: --resume requires --journal PATH\n");
@@ -110,6 +146,31 @@ struct Opts {
                 : full ? "FULL (paper-scale)"
                        : "default (reduced grid; --full for paper scale)");
     std::printf("paper shape: %s\n\n", paper_expectation);
+  }
+
+  /// The bench's scheme set: `fallback` unless --schemes was given, in which
+  /// case the comma list is parsed (legacy names and cc/qdisc specs mix
+  /// freely). Parse errors are usage errors: message + exit(2).
+  std::vector<exp::SchemeSpec> schemes_or(
+      std::vector<exp::SchemeSpec> fallback) const {
+    if (schemes_arg.empty()) return fallback;
+    std::vector<exp::SchemeSpec> out;
+    std::size_t pos = 0;
+    const std::string& s = schemes_arg;
+    try {
+      while (pos <= s.size()) {
+        const std::size_t comma = s.find(',', pos);
+        const std::size_t end = comma == std::string::npos ? s.size() : comma;
+        out.push_back(exp::parse_scheme_spec(
+            std::string_view(s).substr(pos, end - pos)));
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      std::exit(2);
+    }
+    return out;
   }
 
   /// Runner options carrying --jobs / --journal / --resume / --shard for

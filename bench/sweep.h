@@ -32,9 +32,10 @@ struct SweepSpec {
   std::string x_name;
   std::vector<double> xs;
   std::vector<std::string> x_labels;  ///< same length as xs
-  std::vector<exp::Scheme> schemes;
+  std::vector<exp::SchemeSpec> schemes;
   /// Builds the scenario for one cell.
-  std::function<exp::DumbbellConfig(double x, exp::Scheme s)> config;
+  std::function<exp::DumbbellConfig(double x, const exp::SchemeSpec& s)>
+      config;
   /// Measurement window per x: {warmup, measure} seconds.
   std::function<std::pair<double, double>(double x)> window;
 };
@@ -77,10 +78,10 @@ inline runner::RunReport run_dumbbell_sweep(
       exp::DumbbellConfig cfg = spec.config(spec.xs[i], spec.schemes[j]);
       runner::Job job;
       job.key = spec.name + "/" + spec.x_name + "=" + spec.x_labels[i] + "/" +
-                std::string(exp::to_string(spec.schemes[j]));
+                exp::to_string(spec.schemes[j]);
       job.seed = runner::derive_seed(cfg.seed, job.key);
       job.tags = {{"x", spec.x_labels[i]},
-                  {"scheme", std::string(exp::to_string(spec.schemes[j]))}};
+                  {"scheme", exp::to_string(spec.schemes[j])}};
       cfg.seed = job.seed;
       std::string trace_path;
       if (!trace_dir.empty()) {
@@ -167,7 +168,8 @@ inline runner::RunReport run_dumbbell_sweep(
   for (const auto& md : metrics) {
     std::printf("-- %s --\n", md.name);
     std::vector<std::string> headers{spec.x_name};
-    for (auto s : spec.schemes) headers.emplace_back(exp::to_string(s));
+    for (const auto& s : spec.schemes)
+      headers.emplace_back(exp::to_string(s));
     exp::Table t(headers);
     for (std::size_t i = 0; i < nx; ++i) {
       std::vector<std::string> row{spec.x_labels[i]};

@@ -1,0 +1,16 @@
+// Registry glue for the paper's PERT family.
+//
+// tcp/ cannot depend on core/ (layering: core sits above tcp), so the
+// PERT, PERT/PI, and PERT/REM modules cannot be built-ins of CcRegistry;
+// this function registers them from the core layer. The experiment layer
+// calls it (wrapped in std::call_once) before its first registry lookup.
+#pragma once
+
+namespace pert::core {
+
+/// Adds "pert", "pert-pi", and "pert-rem" to tcp::CcRegistry. Not
+/// idempotent — a second call throws the registry's duplicate-name
+/// sim::ConfigError; callers guard with std::call_once.
+void register_pert_cc_modules();
+
+}  // namespace pert::core

@@ -3,8 +3,12 @@
 // On every ACK the sender updates srtt_0.99, maps the estimated queueing
 // delay through the emulated RED curve to a response probability, and — at
 // most once per RTT — performs a 35% multiplicative decrease. Packet losses
-// keep the inherited SACK fast-retransmit/recovery response.
+// keep the sender's built-in SACK fast-retransmit/recovery response (the
+// module leaves those hooks null). Implemented as a CongestionOps module;
+// `PertSender` is the typed wrapper exposing the legacy accessors.
 #pragma once
+
+#include <utility>
 
 #include "core/pert_params.h"
 #include "core/response_curve.h"
@@ -15,68 +19,52 @@
 
 namespace pert::core {
 
-class PertSender : public tcp::TcpSender {
- public:
-  PertSender(net::Network& net, tcp::TcpConfig cfg, net::FlowId flow,
-             PertParams params = {})
-      : tcp::TcpSender(net, cfg, flow),
-        params_(params),
-        estimator_(params.srtt_alpha),
-        curve_(params),
-        rng_(net.rng().fork()),
-        last_early_(arena_slot() >= 0 ? arena()->last_early(arena_slot())
-                                      : last_early_inline_) {
-    // Members above only store doubles, so validating here (before any use)
-    // is safe and keeps the throw out of the initializer list.
-    params_.validate();
-    if (arena_slot() >= 0) {
-      tcp::FlowArena& a = *arena();
-      estimator_.bind(&a.srtt99(arena_slot()), &a.min_rtt(arena_slot()),
-                      &a.srtt_seeded(arena_slot()));
-    }
-    last_early_ = kNeverEarly;  // arena lanes start at 0.0, not the sentinel
-  }
-
-  const SrttEstimator& estimator() const noexcept { return estimator_; }
-  const PertParams& params() const noexcept { return params_; }
-  /// Current pmax (moves only when the adaptive extension is on).
-  double cur_pmax() const noexcept { return curve_.pmax(); }
-  /// Current per-ACK response probability (diagnostics).
-  double response_probability() const {
-    return curve_.probability(estimator_.queueing_delay());
-  }
-
-  /// Base TCP checks plus the srtt_0.99 estimator and the (possibly
-  /// adapted) response-curve knee probability.
-  std::string invariant_violation() const override;
-
- protected:
-  void cc_on_rtt_sample(double rtt) override {
-    if (!params_.use_one_way_delay) estimator_.add_sample(rtt);
-    maybe_early_response(rtt);
-  }
-  void cc_on_owd_sample(double owd) override {
-    if (params_.use_one_way_delay) estimator_.add_sample(owd);
-  }
-
- private:
-  void maybe_early_response(double rtt);
-  void maybe_adapt_pmax();
-
+/// Per-flow PERT state (the module's private-state slot).
+struct PertState {
   /// "Never responded yet": far enough in the past that the once-per-RTT
   /// guard passes on the first opportunity.
   static constexpr sim::Time kNeverEarly = -1e18;
 
-  PertParams params_;
-  SrttEstimator estimator_;
-  ResponseCurve curve_;
-  sim::Rng rng_;
-  /// Time of the last early response. A reference for the same reason as
-  /// TcpSender::cwnd_: it lives in the flow's arena row when one exists.
-  sim::Time& last_early_;
-  sim::Time last_early_inline_ = kNeverEarly;
-  sim::Time last_adapt_ = 0.0;
-  int trace_region_ = 0;  ///< last T_min/T_max region reported to the tracer
+  PertParams params;
+  SrttEstimator estimator;
+  ResponseCurve curve;
+  sim::Rng rng;
+  /// Time of the last early response. A pointer for the same reason as
+  /// TcpSender::cwnd_ is a reference: it lives in the flow's arena row when
+  /// one exists.
+  sim::Time* last_early = nullptr;
+  sim::Time last_early_inline = kNeverEarly;
+  sim::Time last_adapt = 0.0;
+  int trace_region = 0;  ///< last T_min/T_max region reported to the tracer
+};
+
+/// The ops table. init forks the network RNG (same construction-time
+/// position as the legacy member initializer) and binds the estimator to
+/// the sender's arena row; same init_arg lifetime contract as cubic_ops.
+tcp::CongestionOps pert_ops(const PertParams& params);
+
+class PertSender final : public tcp::TcpSender {
+ public:
+  PertSender(net::Network& net, tcp::TcpConfig cfg, net::FlowId flow,
+             PertParams params = {})
+      : tcp::TcpSender(net, std::move(cfg), flow, pert_ops(params)) {}
+
+  const SrttEstimator& estimator() const noexcept {
+    return state().estimator;
+  }
+  const PertParams& params() const noexcept { return state().params; }
+  /// Current pmax (moves only when the adaptive extension is on).
+  double cur_pmax() const noexcept { return state().curve.pmax(); }
+  /// Current per-ACK response probability (diagnostics).
+  double response_probability() const {
+    return state().curve.probability(state().estimator.queueing_delay());
+  }
+
+ private:
+  const PertState& state() const noexcept {
+    return *static_cast<const PertState*>(cc_priv());
+  }
+  PertState& state() noexcept { return *static_cast<PertState*>(cc_priv()); }
 
   friend class SentinelTestPeer;  // NaN-injection tests for the sentinel layer
 };

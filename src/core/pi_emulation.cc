@@ -1,6 +1,7 @@
 #include "core/pi_emulation.h"
 
 #include <cmath>
+#include <new>
 
 #include "tcp/flow_arena.h"
 
@@ -30,56 +31,84 @@ PiEmuDesign PiEmuDesign::for_path(double capacity_pps, double n_min,
   return d;
 }
 
-PertPiSender::PertPiSender(net::Network& net, tcp::TcpConfig cfg,
-                           net::FlowId flow, PiEmuDesign design,
-                           double srtt_alpha)
-    : tcp::TcpSender(net, cfg, flow),
-      pi_(design),
-      estimator_(srtt_alpha),
-      rng_(net.rng().fork()),
-      sample_timer_(net.sched(), [this] { sample(); }) {
-  design.validate();
-  sim::require_in("PertPiSender", "srtt_alpha", srtt_alpha, 0.0, 1.0);
-  sim::require_less("PertPiSender", "srtt_alpha", srtt_alpha, "1", 1.0);
-  if (arena_slot() >= 0) {
-    tcp::FlowArena& a = *arena();
-    estimator_.bind(&a.srtt99(arena_slot()), &a.min_rtt(arena_slot()),
-                    &a.srtt_seeded(arena_slot()));
-  }
-  sample_timer_.schedule_in(design.sample_interval);
-}
+namespace {
 
-void PertPiSender::sample() {
-  if (estimator_.ready()) {
-    pi_.update(estimator_.queueing_delay());
-    if (obs::Tracer* tr = tracer();
+PertPiState& st(void* priv) { return *static_cast<PertPiState*>(priv); }
+
+/// Periodic controller update (the timer callback). Re-derives the state
+/// from the sender's priv blob — both addresses are stable for the
+/// sender's lifetime.
+void pi_sample(tcp::TcpSender& sender, PertPiState& s) {
+  tcp::CcHost h(sender);
+  if (s.estimator.ready()) {
+    s.pi.update(s.estimator.queueing_delay());
+    if (obs::Tracer* tr = h.tracer();
         tr && tr->wants(obs::Category::kPert, obs::Severity::kInfo)) {
-      tr->counter(now(), obs::Category::kPert, obs::Severity::kInfo,
-                  "pert_pi.prob", trace_id(), pi_.probability());
-      tr->counter(now(), obs::Category::kPert, obs::Severity::kInfo,
-                  "pert_pi.tq", trace_id(), estimator_.queueing_delay());
+      tr->counter(h.now(), obs::Category::kPert, obs::Severity::kInfo,
+                  "pert_pi.prob", h.trace_id(), s.pi.probability());
+      tr->counter(h.now(), obs::Category::kPert, obs::Severity::kInfo,
+                  "pert_pi.tq", h.trace_id(), s.estimator.queueing_delay());
     }
   }
-  sample_timer_.schedule_in(pi_.design().sample_interval);
+  s.sample_timer.schedule_in(s.pi.design().sample_interval);
 }
 
-std::string PertPiSender::invariant_violation() const {
-  if (std::string v = tcp::TcpSender::invariant_violation(); !v.empty())
-    return v;
-  if (std::string v = pi_.numeric_violation(); !v.empty()) return v;
-  if (std::string v = estimator_.numeric_violation(); !v.empty()) return v;
+void pert_pi_init(tcp::CcHost& h, void* priv) {
+  const auto& cfg = *static_cast<const PertPiConfig*>(h.ops().init_arg);
+  tcp::TcpSender* sender = &h.sender();
+  // Brace-init evaluates left to right, reproducing the legacy member
+  // order: controller, estimator, RNG fork, then the timer.
+  auto* s = new (priv) PertPiState{
+      PiEmulator(cfg.design), SrttEstimator(cfg.srtt_alpha),
+      h.net().rng().fork(),
+      sim::Timer(h.net().sched(), [sender, priv] {
+        pi_sample(*sender, *static_cast<PertPiState*>(priv));
+      })};
+  cfg.design.validate();
+  sim::require_in("PertPiSender", "srtt_alpha", cfg.srtt_alpha, 0.0, 1.0);
+  sim::require_less("PertPiSender", "srtt_alpha", cfg.srtt_alpha, "1", 1.0);
+  if (h.arena_slot() >= 0) {
+    tcp::FlowArena& a = *h.arena();
+    s->estimator.bind(&a.srtt99(h.arena_slot()), &a.min_rtt(h.arena_slot()),
+                      &a.srtt_seeded(h.arena_slot()));
+  }
+  s->sample_timer.schedule_in(cfg.design.sample_interval);
+}
+
+void pert_pi_release(void* priv) { st(priv).~PertPiState(); }
+
+void pert_pi_on_rtt_sample(tcp::CcHost& h, void* priv, double rtt) {
+  auto& s = st(priv);
+  s.estimator.add_sample(rtt);
+  const double p = s.pi.probability();
+  if (p <= 0.0 || !s.rng.bernoulli(p)) return;
+  if (h.in_recovery() || h.cwnd() <= 2.0) return;
+  if (h.now() - s.last_early < rtt) return;  // once per RTT
+  h.multiplicative_decrease(s.pi.design().early_beta);
+  s.last_early = h.now();
+  h.note_early_response();
+}
+
+std::string pert_pi_invariants(const tcp::TcpSender& /*sender*/,
+                               const void* priv) {
+  const auto& s = *static_cast<const PertPiState*>(priv);
+  if (std::string v = s.pi.numeric_violation(); !v.empty()) return v;
+  if (std::string v = s.estimator.numeric_violation(); !v.empty()) return v;
   return {};
 }
 
-void PertPiSender::cc_on_rtt_sample(double rtt) {
-  estimator_.add_sample(rtt);
-  const double p = pi_.probability();
-  if (p <= 0.0 || !rng_.bernoulli(p)) return;
-  if (in_recovery() || cwnd_ <= 2.0) return;
-  if (now() - last_early_ < rtt) return;  // once per RTT
-  multiplicative_decrease(pi_.design().early_beta);
-  last_early_ = now();
-  bump_early_responses();
+}  // namespace
+
+tcp::CongestionOps pert_pi_ops(const PertPiConfig& cfg) {
+  tcp::CongestionOps ops;
+  ops.name = "pert-pi";
+  ops.priv_size = sizeof(PertPiState);
+  ops.init_arg = &cfg;
+  ops.init = &pert_pi_init;
+  ops.release = &pert_pi_release;
+  ops.on_rtt_sample = &pert_pi_on_rtt_sample;
+  ops.invariant_check = &pert_pi_invariants;
+  return ops;
 }
 
 }  // namespace pert::core

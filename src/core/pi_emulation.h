@@ -19,6 +19,7 @@
 
 #include <algorithm>
 #include <string>
+#include <utility>
 
 #include "core/srtt_estimator.h"
 #include "sim/sentinel.h"
@@ -97,28 +98,46 @@ class PiEmulator {
   friend class SentinelTestPeer;  // NaN-injection tests for the sentinel layer
 };
 
-class PertPiSender : public tcp::TcpSender {
+/// init_arg payload for pert_pi_ops (the design plus the estimator gain).
+struct PertPiConfig {
+  PiEmuDesign design;
+  double srtt_alpha = 0.99;
+};
+
+/// Per-flow PERT/PI state (the module's private-state slot).
+struct PertPiState {
+  PiEmulator pi;
+  SrttEstimator estimator;
+  sim::Rng rng;
+  sim::Timer sample_timer;
+  sim::Time last_early = -1e18;
+};
+
+/// The ops table. init forks the network RNG and starts the sampling
+/// timer; same init_arg lifetime contract as cubic_ops.
+tcp::CongestionOps pert_pi_ops(const PertPiConfig& cfg);
+
+class PertPiSender final : public tcp::TcpSender {
  public:
   PertPiSender(net::Network& net, tcp::TcpConfig cfg, net::FlowId flow,
-               PiEmuDesign design, double srtt_alpha = 0.99);
+               PiEmuDesign design, double srtt_alpha = 0.99)
+      : tcp::TcpSender(net, std::move(cfg), flow,
+                       pert_pi_ops(PertPiConfig{design, srtt_alpha})) {}
 
-  double response_probability() const noexcept { return pi_.probability(); }
-  const SrttEstimator& estimator() const noexcept { return estimator_; }
-
-  /// Base TCP checks plus the PI integrator and srtt estimator.
-  std::string invariant_violation() const override;
-
- protected:
-  void cc_on_rtt_sample(double rtt) override;
+  double response_probability() const noexcept {
+    return state().pi.probability();
+  }
+  const SrttEstimator& estimator() const noexcept {
+    return state().estimator;
+  }
 
  private:
-  void sample();
-
-  PiEmulator pi_;
-  SrttEstimator estimator_;
-  sim::Rng rng_;
-  sim::Timer sample_timer_;
-  sim::Time last_early_ = -1e18;
+  const PertPiState& state() const noexcept {
+    return *static_cast<const PertPiState*>(cc_priv());
+  }
+  PertPiState& state() noexcept {
+    return *static_cast<PertPiState*>(cc_priv());
+  }
 
   friend class SentinelTestPeer;  // NaN-injection tests for the sentinel layer
 };

@@ -15,11 +15,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
+#include <utility>
 
 #include "core/srtt_estimator.h"
 #include "sim/random.h"
+#include "sim/sentinel.h"
 #include "sim/timer.h"
-#include "tcp/flow_arena.h"
+#include "sim/validate.h"
 #include "tcp/tcp_sender.h"
 
 namespace pert::core {
@@ -42,6 +45,17 @@ struct RemEmuDesign {
     d.sample_interval = 1.0 / sample_hz;
     return d;
   }
+
+  /// Rejects out-of-domain parameters with sim::ConfigError.
+  void validate() const {
+    sim::require_positive("RemEmuDesign", "gamma", gamma);
+    sim::require_greater("RemEmuDesign", "phi", phi, 1.0);
+    sim::require_positive("RemEmuDesign", "tq_ref", tq_ref);
+    sim::require_non_negative("RemEmuDesign", "rate_weight", rate_weight);
+    sim::require_positive("RemEmuDesign", "sample_interval", sample_interval);
+    sim::require_prob("RemEmuDesign", "early_beta", early_beta);
+    sim::require_less("RemEmuDesign", "early_beta", early_beta, "1", 1.0);
+  }
 };
 
 /// The price/probability state machine, reusable outside the sender.
@@ -62,56 +76,72 @@ class RemEmulator {
   double probability() const noexcept { return prob_; }
   const RemEmuDesign& design() const noexcept { return d_; }
 
+  /// Numeric sentinel: price stays a finite non-negative number and prob a
+  /// probability (a NaN delay sample poisons both through max/pow).
+  /// "" while healthy.
+  std::string numeric_violation() const {
+    if (std::string v = sim::finite_violation("pert_rem.price", price_);
+        !v.empty())
+      return v;
+    if (std::string v =
+            sim::bounded_violation("pert_rem.prob", prob_, 0.0, 1.0);
+        !v.empty())
+      return v;
+    if (std::string v = sim::finite_violation("pert_rem.prev_tq", prev_tq_);
+        !v.empty())
+      return v;
+    return {};
+  }
+
  private:
   RemEmuDesign d_;
   double price_ = 0.0;
   double prob_ = 0.0;
   double prev_tq_ = 0.0;
+
+  friend class SentinelTestPeer;  // NaN-injection tests for the sentinel layer
 };
 
-class PertRemSender : public tcp::TcpSender {
+/// init_arg payload for pert_rem_ops (the design plus the estimator gain).
+struct PertRemConfig {
+  RemEmuDesign design;
+  double srtt_alpha = 0.99;
+};
+
+/// Per-flow PERT/REM state (the module's private-state slot).
+struct PertRemState {
+  RemEmulator rem;
+  SrttEstimator estimator;
+  sim::Rng rng;
+  sim::Timer sample_timer;
+  sim::Time last_early = -1e18;
+};
+
+/// The ops table. init forks the network RNG and starts the sampling
+/// timer; same init_arg lifetime contract as cubic_ops.
+tcp::CongestionOps pert_rem_ops(const PertRemConfig& cfg);
+
+class PertRemSender final : public tcp::TcpSender {
  public:
   PertRemSender(net::Network& net, tcp::TcpConfig cfg, net::FlowId flow,
                 RemEmuDesign design, double srtt_alpha = 0.99)
-      : tcp::TcpSender(net, cfg, flow),
-        rem_(design),
-        estimator_(srtt_alpha),
-        rng_(net.rng().fork()),
-        sample_timer_(net.sched(), [this] { sample(); }) {
-    if (arena_slot() >= 0) {
-      tcp::FlowArena& a = *arena();
-      estimator_.bind(&a.srtt99(arena_slot()), &a.min_rtt(arena_slot()),
-                      &a.srtt_seeded(arena_slot()));
-    }
-    sample_timer_.schedule_in(design.sample_interval);
-  }
+      : tcp::TcpSender(net, std::move(cfg), flow,
+                       pert_rem_ops(PertRemConfig{design, srtt_alpha})) {}
 
-  double response_probability() const noexcept { return rem_.probability(); }
-  const RemEmulator& emulator() const noexcept { return rem_; }
-
- protected:
-  void cc_on_rtt_sample(double rtt) override {
-    estimator_.add_sample(rtt);
-    const double p = rem_.probability();
-    if (p <= 0.0 || !rng_.bernoulli(p)) return;
-    if (in_recovery() || cwnd_ <= 2.0) return;
-    if (now() - last_early_ < rtt) return;  // once per RTT
-    multiplicative_decrease(rem_.design().early_beta);
-    last_early_ = now();
-    bump_early_responses();
+  double response_probability() const noexcept {
+    return state().rem.probability();
   }
+  const RemEmulator& emulator() const noexcept { return state().rem; }
 
  private:
-  void sample() {
-    if (estimator_.ready()) rem_.update(estimator_.queueing_delay());
-    sample_timer_.schedule_in(rem_.design().sample_interval);
+  const PertRemState& state() const noexcept {
+    return *static_cast<const PertRemState*>(cc_priv());
+  }
+  PertRemState& state() noexcept {
+    return *static_cast<PertRemState*>(cc_priv());
   }
 
-  RemEmulator rem_;
-  SrttEstimator estimator_;
-  sim::Rng rng_;
-  sim::Timer sample_timer_;
-  sim::Time last_early_ = -1e18;
+  friend class SentinelTestPeer;  // NaN-injection tests for the sentinel layer
 };
 
 }  // namespace pert::core

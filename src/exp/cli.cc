@@ -216,7 +216,7 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
         const std::string_view one =
             val.substr(pos, comma == std::string_view::npos ? val.size() - pos
                                                             : comma - pos);
-        o.schemes.push_back(parse_scheme(one));
+        o.schemes.push_back(parse_scheme_spec(one));
         if (comma == std::string_view::npos) break;
         pos = comma + 1;
       }
@@ -289,8 +289,12 @@ std::string cli_usage() {
          "[--resume]] key=value ...\n"
          "       pert_sim repro=<bundle.json>   (replay a fuzzer repro "
          "bundle)\n"
+         "       pert_sim schemes               (list CC modules + queue "
+         "disciplines)\n"
          "  scheme=pert|pert-pi|pert-rem|vegas|sack|sack-red|sack-pi|"
          "sack-rem|sack-avq\n"
+         "         or any cc/qdisc pair, e.g. scheme=cubic/codel, "
+         "scheme=dctcp/red+ecn\n"
          "         (comma list runs one scenario per scheme, in parallel "
          "with --jobs)\n"
          "  bw=150M rtt=60 [rtts=12,24,36] flows=50 [rev_flows=0] [web=0]\n"

@@ -2,7 +2,10 @@
 //
 // Grammar (one token per argument, order-insensitive):
 //   scheme=pert|pert-pi|pert-rem|vegas|sack|sack-red|sack-pi|sack-rem|sack-avq
-//          (or a comma list, e.g. scheme=pert,sack-red — one run per scheme)
+//          or any registered "cc/qdisc" pair, e.g. scheme=cubic/codel or
+//          scheme=dctcp/red+ecn ("+ecn"/"-ecn" overrides the default; run
+//          `pert_sim schemes` for the module lists). A comma list runs one
+//          scenario per scheme, e.g. scheme=pert,sack-red,cubic/pie.
 //   bw=<rate>        link rate: plain bits/s or with k/M/G suffix (150M)
 //   rtt=<ms>         end-to-end RTT in milliseconds
 //   rtts=<ms,ms,..>  per-flow RTT list (overrides rtt for long-term flows)
@@ -42,7 +45,7 @@ struct CliOptions {
   /// Every scheme named by the scheme= token, in order (cfg.scheme is the
   /// first). Drivers run one scenario per entry; size > 1 only when the user
   /// passed a comma list.
-  std::vector<Scheme> schemes{Scheme::kPert};
+  std::vector<SchemeSpec> schemes{Scheme::kPert};
   double warmup = 20.0;
   double measure = 40.0;
   std::string trace_out;
@@ -57,7 +60,9 @@ struct CliOptions {
 /// Parses a rate like "150M", "2.5G", "64k", or "1000000".
 double parse_rate(std::string_view s);
 
-/// Parses a scheme name (see grammar above).
+/// Parses a legacy paper scheme name into the closed enum. Free-form
+/// "cc/qdisc" combinations are NOT accepted here — use parse_scheme_spec
+/// (scheme.h), which this parser's CLI callers go through.
 Scheme parse_scheme(std::string_view s);
 
 /// Parses one impair= specification ("model:key=value,...") into `out`,

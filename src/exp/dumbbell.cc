@@ -6,7 +6,9 @@
 #include <optional>
 
 #include "exp/invariants.h"
+#include "net/qdisc_registry.h"
 #include "stats/stats.h"
+#include "tcp/cc_registry.h"
 
 namespace pert::exp {
 
@@ -15,6 +17,21 @@ constexpr std::int32_t kPort = 1;
 }
 
 void DumbbellConfig::validate() const {
+  // Resolve both scheme names up front so a typo'd combination fails here,
+  // before any node is built, with the registries' did-you-mean hint.
+  ensure_scheme_modules();
+  if (tcp::CcRegistry::instance().find(scheme.cc) == nullptr ||
+      net::QdiscRegistry::instance().find(scheme.qdisc) == nullptr) {
+    std::string msg = "DumbbellConfig: unknown scheme '" + scheme.cc + "/" +
+                      scheme.qdisc + "'";
+    if (const std::string s =
+            tcp::CcRegistry::instance().find(scheme.cc) == nullptr
+                ? tcp::CcRegistry::instance().suggestion_for(scheme.cc)
+                : net::QdiscRegistry::instance().suggestion_for(scheme.qdisc);
+        !s.empty())
+      msg += " (did you mean '" + s + "'?)";
+    throw sim::ConfigError(msg, "component=DumbbellConfig param=scheme\n");
+  }
   sim::require_positive("DumbbellConfig", "bottleneck_bps", bottleneck_bps);
   sim::require_positive("DumbbellConfig", "rtt", rtt);
   for (double r : flow_rtts)
@@ -74,7 +91,7 @@ Dumbbell::Dumbbell(DumbbellConfig cfg)
     net_.set_sim_threads(cfg_.sim_threads);
   }
   next_flow_ = cfg_.flow_id_base;
-  cfg_.tcp.ecn = sender_ecn(cfg_.scheme);
+  cfg_.tcp.ecn = cfg_.scheme.ecn;
 
   // Struct-of-arrays arenas for the hot per-flow state, pre-sized for the
   // configured flow population (later add_flows cohorts that overflow fall
@@ -197,73 +214,44 @@ Dumbbell::Dumbbell(DumbbellConfig cfg)
 
 std::unique_ptr<net::Queue> Dumbbell::make_bottleneck_queue() {
   const double pps = cfg_.bottleneck_bps / (8.0 * cfg_.tcp.seg_bytes());
-  switch (cfg_.scheme) {
-    case Scheme::kSackRedEcn: {
-      net::RedParams rp =
-          net::RedParams::auto_tuned(buffer_pkts_, pps, /*ecn=*/true);
-      return std::make_unique<net::RedQueue>(net_.sched(), buffer_pkts_, rp,
-                                             net_.rng().fork());
-    }
-    case Scheme::kSackPiEcn: {
-      const double rtt_max = cfg_.rtt * 1.5 + buffer_pkts_ / pps;
-      const double q_want = pps * cfg_.pi_target_delay;
-      const double q_ref = std::min<double>(buffer_pkts_ / 2.0, q_want);
-      net::PiDesign d = net::PiDesign::for_link(
-          pps, std::max(1, cfg_.num_fwd_flows), rtt_max, q_ref);
-      auto q = std::make_unique<net::PiQueue>(net_.sched(), buffer_pkts_, d,
-                                              /*ecn=*/true, net_.rng().fork());
-      if (q_ref < q_want) q->note_param_clamp("q_ref", q_want, q_ref);
-      return q;
-    }
-    case Scheme::kSackRemEcn: {
-      net::RemParams rp;
-      const double q_want = pps * cfg_.pi_target_delay;
-      rp.q_ref = std::min<double>(buffer_pkts_ / 2.0, q_want);
-      auto q = std::make_unique<net::RemQueue>(net_.sched(), buffer_pkts_, rp,
-                                               net_.rng().fork());
-      if (rp.q_ref < q_want) q->note_param_clamp("q_ref", q_want, rp.q_ref);
-      return q;
-    }
-    case Scheme::kSackAvqEcn:
-      return std::make_unique<net::AvqQueue>(net_.sched(), buffer_pkts_,
-                                             cfg_.bottleneck_bps,
-                                             net::AvqParams{});
-    default:
-      return std::make_unique<net::DropTailQueue>(net_.sched(), buffer_pkts_);
-  }
+  net::QdiscContext qc;
+  qc.sched = &net_.sched();
+  qc.capacity_pkts = buffer_pkts_;
+  qc.link_bps = cfg_.bottleneck_bps;
+  qc.pps = pps;
+  qc.ecn = cfg_.scheme.ecn;
+  qc.n_flows = std::max(1, cfg_.num_fwd_flows);
+  qc.rtt_max = cfg_.rtt * 1.5 + buffer_pkts_ / pps;
+  qc.target_delay = cfg_.pi_target_delay;
+  // The discipline's backlog target: the delay target in packets, capped at
+  // half the buffer (the factory emits the q_ref clamp note when capped).
+  qc.q_ref_requested = pps * cfg_.pi_target_delay;
+  qc.q_ref = std::min<double>(buffer_pkts_ / 2.0, qc.q_ref_requested);
+  // Lazy: only drawing disciplines fork, so DropTail/AVQ/CoDel builds leave
+  // the scenario RNG stream exactly where the hard-wired switch left it.
+  qc.fork_rng = [this] { return net_.rng().fork(); };
+  return net::QdiscRegistry::instance().make(cfg_.scheme.qdisc, qc);
 }
 
 tcp::TcpSender* Dumbbell::make_sender(net::FlowId flow, bool force_sack) {
-  const double pps = cfg_.bottleneck_bps / (8.0 * cfg_.tcp.seg_bytes());
-  Scheme s = force_sack ? Scheme::kSackDroptail : cfg_.scheme;
-  tcp::TcpConfig tc = cfg_.tcp;
-  tc.ecn = sender_ecn(s);
-  tc.arena = cur_arena_;
-  switch (s) {
-    case Scheme::kVegas:
-      return net_.add_agent<tcp::VegasSender>(nullptr, 0, net_, tc, flow);
-    case Scheme::kPert:
-      return net_.add_agent<core::PertSender>(nullptr, 0, net_, tc, flow,
-                                              cfg_.pert);
-    case Scheme::kPertPi: {
-      // When the controller works, the stationary RTT is close to the
-      // propagation RTT plus the target delay — designing for the full
-      // buffer-delay worst case makes K ~ R^-3 uselessly sluggish.
-      const double rtt_max = cfg_.rtt * 1.2 + 4.0 * cfg_.pi_target_delay;
-      core::PiEmuDesign d = core::PiEmuDesign::for_path(
-          pps, std::max(1, cfg_.num_fwd_flows), rtt_max, cfg_.pi_target_delay,
-          cfg_.pert_pi_sample_hz, cfg_.pert_pi_gain_boost);
-      return net_.add_agent<core::PertPiSender>(nullptr, 0, net_, tc, flow, d);
-    }
-    case Scheme::kPertRem: {
-      core::RemEmuDesign d =
-          core::RemEmuDesign::for_path(pps, 0.001, cfg_.pi_target_delay);
-      return net_.add_agent<core::PertRemSender>(nullptr, 0, net_, tc, flow,
-                                                 d);
-    }
-    default:
-      return net_.add_agent<tcp::TcpSender>(nullptr, 0, net_, tc, flow);
-  }
+  tcp::CcContext cx;
+  cx.net = &net_;
+  cx.tcp = cfg_.tcp;
+  cx.tcp.ecn = force_sack ? false : cfg_.scheme.ecn;
+  cx.tcp.arena = cur_arena_;
+  cx.flow = flow;
+  cx.pps = cfg_.bottleneck_bps / (8.0 * cfg_.tcp.seg_bytes());
+  cx.n_flows = std::max(1, cfg_.num_fwd_flows);
+  // When the controller works, the stationary RTT is close to the
+  // propagation RTT plus the target delay — designing for the full
+  // buffer-delay worst case makes K ~ R^-3 uselessly sluggish.
+  cx.rtt_max = cfg_.rtt * 1.2 + 4.0 * cfg_.pi_target_delay;
+  cx.target_delay = cfg_.pi_target_delay;
+  cx.gain_boost = cfg_.pert_pi_gain_boost;
+  cx.sample_hz = cfg_.pert_pi_sample_hz;
+  cx.pert_params = &cfg_.pert;
+  return tcp::CcRegistry::instance().make(
+      force_sack ? "sack" : cfg_.scheme.cc, cx);
 }
 
 tcp::TcpSender* Dumbbell::add_flow_path(net::Node* edge_src,

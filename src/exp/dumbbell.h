@@ -9,31 +9,26 @@
 #include <memory>
 #include <vector>
 
-#include "core/pert_sender.h"
-#include "core/pi_emulation.h"
-#include "core/rem_emulation.h"
+#include "core/pert_params.h"
 #include "exp/scheme.h"
 #include "exp/window_metrics.h"
 #include "exp/window_recorder.h"
-#include "net/avq_queue.h"
-#include "obs/obs.h"
 #include "net/impairment.h"
 #include "net/network.h"
-#include "net/pi_queue.h"
-#include "net/red_queue.h"
-#include "net/rem_queue.h"
+#include "obs/obs.h"
 #include "sim/timer.h"
 #include "sim/watchdog.h"
 #include "tcp/flow_arena.h"
 #include "tcp/tcp_sender.h"
 #include "tcp/tcp_sink.h"
-#include "tcp/vegas.h"
 #include "traffic/web_session.h"
 
 namespace pert::exp {
 
 struct DumbbellConfig {
-  Scheme scheme = Scheme::kPert;
+  /// End-host CC module + bottleneck discipline + ECN. Assignable from a
+  /// legacy `Scheme` enumerator or a parse_scheme_spec() result.
+  SchemeSpec scheme = Scheme::kPert;
   double bottleneck_bps = 150e6;
   /// End-to-end two-way propagation delay for flows without an explicit RTT.
   double rtt = 0.060;
@@ -115,13 +110,6 @@ class Dumbbell {
 
   /// Advances to `warmup`, then measures until `warmup + measure`.
   WindowMetrics measure_window(sim::Time warmup, sim::Time measure);
-
-  /// Old spelling of measure_window(); kept one release for callers that
-  /// predate the observability layer.
-  [[deprecated("use measure_window()")]] WindowMetrics run(sim::Time warmup,
-                                                           sim::Time measure) {
-    return measure_window(warmup, measure);
-  }
 
   net::Network& network() noexcept { return net_; }
   net::Queue& fwd_queue() noexcept { return *fwd_queue_; }

@@ -3,8 +3,10 @@
 #include <algorithm>
 
 #include "exp/invariants.h"
+#include "net/qdisc_registry.h"
 #include "sim/validate.h"
 #include "stats/stats.h"
+#include "tcp/cc_registry.h"
 
 namespace pert::exp {
 
@@ -13,6 +15,13 @@ constexpr std::int32_t kPort = 1;
 }
 
 void MultiBottleneckConfig::validate() const {
+  ensure_scheme_modules();
+  if (tcp::CcRegistry::instance().find(scheme.cc) == nullptr ||
+      net::QdiscRegistry::instance().find(scheme.qdisc) == nullptr)
+    throw sim::ConfigError(
+        "MultiBottleneckConfig: unknown scheme '" + scheme.cc + "/" +
+            scheme.qdisc + "'",
+        "component=MultiBottleneckConfig param=scheme\n");
   // Below 3 routers there is no "middle" hop and the long-haul group
   // degenerates into the one-hop group; the chain topology needs >= 3.
   sim::require_at_least("MultiBottleneckConfig", "num_routers", num_routers, 3);
@@ -57,7 +66,7 @@ MultiBottleneck::MultiBottleneck(MultiBottleneckConfig cfg)
     net_.set_shards(cfg_.num_routers);  // one shard per router cloud
     net_.set_sim_threads(cfg_.sim_threads);
   }
-  cfg_.tcp.ecn = sender_ecn(cfg_.scheme);
+  cfg_.tcp.ecn = cfg_.scheme.ecn;
 
   const double seg_bytes = cfg_.tcp.seg_bytes();
   // Longest path RTT: access + all router hops + access, both ways.
@@ -179,58 +188,36 @@ MultiBottleneck::MultiBottleneck(MultiBottleneckConfig cfg)
 }
 
 std::unique_ptr<net::Queue> MultiBottleneck::make_queue() {
-  const double pps = cfg_.router_link_bps / (8.0 * cfg_.tcp.seg_bytes());
-  switch (cfg_.scheme) {
-    case Scheme::kSackRedEcn: {
-      net::RedParams rp =
-          net::RedParams::auto_tuned(buffer_pkts_, pps, /*ecn=*/true);
-      return std::make_unique<net::RedQueue>(net_.sched(), buffer_pkts_, rp,
-                                             net_.rng().fork());
-    }
-    case Scheme::kSackPiEcn: {
-      net::PiDesign d = net::PiDesign::for_link(
-          pps, cfg_.hosts_per_cloud, 0.2, buffer_pkts_ / 4.0);
-      return std::make_unique<net::PiQueue>(net_.sched(), buffer_pkts_, d,
-                                            /*ecn=*/true, net_.rng().fork());
-    }
-    case Scheme::kSackRemEcn: {
-      net::RemParams rp;
-      rp.q_ref = buffer_pkts_ / 4.0;
-      return std::make_unique<net::RemQueue>(net_.sched(), buffer_pkts_, rp,
-                                             net_.rng().fork());
-    }
-    case Scheme::kSackAvqEcn:
-      return std::make_unique<net::AvqQueue>(net_.sched(), buffer_pkts_,
-                                             cfg_.router_link_bps,
-                                             net::AvqParams{});
-    default:
-      return std::make_unique<net::DropTailQueue>(net_.sched(), buffer_pkts_);
-  }
+  net::QdiscContext qc;
+  qc.sched = &net_.sched();
+  qc.capacity_pkts = buffer_pkts_;
+  qc.link_bps = cfg_.router_link_bps;
+  qc.pps = cfg_.router_link_bps / (8.0 * cfg_.tcp.seg_bytes());
+  qc.ecn = cfg_.scheme.ecn;
+  qc.n_flows = cfg_.hosts_per_cloud;
+  // The chain keeps the historical hop-queue design point: rtt_max 200 ms
+  // and a quarter-buffer backlog target, with no clamp note.
+  qc.rtt_max = 0.2;
+  qc.q_ref = buffer_pkts_ / 4.0;
+  qc.q_ref_requested = qc.q_ref;
+  qc.fork_rng = [this] { return net_.rng().fork(); };
+  return net::QdiscRegistry::instance().make(cfg_.scheme.qdisc, qc);
 }
 
 tcp::TcpSender* MultiBottleneck::make_sender(net::FlowId flow) {
-  tcp::TcpConfig tc = cfg_.tcp;
-  tc.arena = cur_arena_;
-  switch (cfg_.scheme) {
-    case Scheme::kVegas:
-      return net_.add_agent<tcp::VegasSender>(nullptr, 0, net_, tc, flow);
-    case Scheme::kPert:
-      return net_.add_agent<core::PertSender>(nullptr, 0, net_, tc, flow,
-                                              cfg_.pert);
-    case Scheme::kPertPi: {
-      const double pps = cfg_.router_link_bps / (8.0 * cfg_.tcp.seg_bytes());
-      core::PiEmuDesign d = core::PiEmuDesign::for_path(
-          pps, cfg_.hosts_per_cloud, 0.2);
-      return net_.add_agent<core::PertPiSender>(nullptr, 0, net_, tc, flow, d);
-    }
-    case Scheme::kPertRem: {
-      const double pps = cfg_.router_link_bps / (8.0 * cfg_.tcp.seg_bytes());
-      return net_.add_agent<core::PertRemSender>(
-          nullptr, 0, net_, tc, flow, core::RemEmuDesign::for_path(pps));
-    }
-    default:
-      return net_.add_agent<tcp::TcpSender>(nullptr, 0, net_, tc, flow);
-  }
+  tcp::CcContext cx;
+  cx.net = &net_;
+  cx.tcp = cfg_.tcp;
+  cx.tcp.arena = cur_arena_;
+  cx.flow = flow;
+  cx.pps = cfg_.router_link_bps / (8.0 * cfg_.tcp.seg_bytes());
+  cx.n_flows = cfg_.hosts_per_cloud;
+  // Historical chain design point: PERT/PI and PERT/REM controllers are
+  // designed for a 200 ms RTT bound with their default target delay,
+  // sampling frequency, and gain (no DumbbellConfig-style knobs here).
+  cx.rtt_max = 0.2;
+  cx.pert_params = &cfg_.pert;
+  return tcp::CcRegistry::instance().make(cfg_.scheme.cc, cx);
 }
 
 void MultiBottleneck::maybe_start_sampler() {

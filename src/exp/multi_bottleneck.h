@@ -15,7 +15,9 @@
 namespace pert::exp {
 
 struct MultiBottleneckConfig {
-  Scheme scheme = Scheme::kPert;
+  /// End-host CC module + hop-queue discipline + ECN. Assignable from a
+  /// legacy `Scheme` enumerator or a parse_scheme_spec() result.
+  SchemeSpec scheme = Scheme::kPert;
   std::int32_t num_routers = 6;
   std::int32_t hosts_per_cloud = 20;
   double router_link_bps = 150e6;
@@ -58,13 +60,6 @@ class MultiBottleneck {
   /// Runs warmup then a measurement window; returns one entry per router
   /// pair (R1-R2, ..., R5-R6).
   std::vector<HopMetrics> measure_window(sim::Time warmup, sim::Time measure);
-
-  /// Old spelling of measure_window(); kept one release for callers that
-  /// predate the observability layer.
-  [[deprecated("use measure_window()")]] std::vector<HopMetrics> run(
-      sim::Time warmup, sim::Time measure) {
-    return measure_window(warmup, measure);
-  }
 
   net::Network& network() noexcept { return net_; }
   std::int32_t num_hops() const {

@@ -1,0 +1,88 @@
+// CoDel AQM (Nichols & Jacobson, CACM 2012 — RFC 8289).
+//
+// Controlled Delay watches each packet's *sojourn time* through the queue
+// instead of queue length: when the minimum sojourn over a sliding
+// `interval` stays above `target`, the queue holds a standing buffer that
+// no burst can explain, and CoDel enters a dropping state. Drops are spaced
+// by interval/sqrt(count) — the control law that walks drop frequency up
+// until the standing queue drains. Because the decision runs at dequeue
+// time, the head packet (the one that actually waited) is the one dropped,
+// which is what makes the sojourn signal accurate.
+//
+// ECN: when `ecn` is set and the head packet is ECT, the "drop" becomes a
+// CE mark and the packet is still delivered (RFC 8289 §3), ending that
+// round of the control law.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <deque>
+
+#include "net/queue.h"
+
+namespace pert::net {
+
+struct CodelParams {
+  double target = 0.005;   ///< acceptable standing sojourn time, seconds
+  double interval = 0.1;   ///< sliding window; ~worst expected RTT
+  bool ecn = true;         ///< mark ECT heads instead of dropping them
+
+  void validate() const {
+    sim::require_positive("CodelParams", "target", target);
+    sim::require_positive("CodelParams", "interval", interval);
+    sim::require_less("CodelParams", "target", target, "interval", interval);
+  }
+};
+
+class CodelQueue final : public Queue {
+ public:
+  CodelQueue(sim::Scheduler& sched, std::int32_t capacity_pkts,
+             CodelParams params = {});
+
+  void enqueue(PacketPtr p) override;
+  PacketPtr dequeue() override;
+
+  const CodelParams& params() const noexcept { return params_; }
+
+  /// Control-law state, exposed for the interval/sojourn-law unit tests.
+  bool dropping() const noexcept { return dropping_; }
+  std::uint32_t drop_count() const noexcept { return count_; }
+  sim::Time drop_next() const noexcept { return drop_next_; }
+  /// Sojourn the current head packet has accumulated (0 when empty).
+  sim::Time head_sojourn() const noexcept {
+    return ts_.empty() ? 0.0 : now() - ts_.front();
+  }
+
+  /// Base checks plus the sojourn ledger and control-law state.
+  std::string numeric_violation() const override;
+
+ private:
+  struct Head {
+    PacketPtr p;
+    bool ok_to_drop = false;
+  };
+
+  /// RFC 8289's dodeque(): pops the head and classifies it against the
+  /// target/interval law. Clears first_above_ when the standing queue is
+  /// gone.
+  Head next_head();
+
+  /// True when the packet was CE-marked in lieu of a drop.
+  bool mark_instead(Packet& p);
+
+  sim::Time control_law(sim::Time t) const {
+    return t + params_.interval / std::sqrt(static_cast<double>(count_));
+  }
+
+  CodelParams params_;
+  std::deque<sim::Time> ts_;    ///< enqueue stamp per resident packet
+  sim::Time first_above_ = 0.0; ///< when sojourn first exceeded target; 0=not
+  sim::Time drop_next_ = 0.0;   ///< next scheduled drop while dropping
+  std::uint32_t count_ = 0;     ///< drops in the current dropping state
+  std::uint32_t last_count_ = 0;
+  bool dropping_ = false;
+
+  friend class SentinelTestPeer;
+};
+
+}  // namespace pert::net

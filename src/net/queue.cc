@@ -8,14 +8,9 @@ namespace pert::net {
 
 PacketPtr Queue::dequeue() {
   if (fifo_.empty()) return nullptr;
-  advance_integrals();
-  PacketPtr p = std::move(fifo_.front());
-  fifo_.pop_front();
-  bytes_ -= p->size_bytes;
+  PacketPtr p = take_head();
   count_departure();
-  if (tracer_ && tracer_->wants(obs::Category::kQueue, obs::Severity::kDebug))
-    tracer_->counter(now(), obs::Category::kQueue, obs::Severity::kDebug,
-                     "queue.len", trace_id_, static_cast<double>(fifo_.size()));
+  trace_len();
   return p;
 }
 

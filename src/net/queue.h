@@ -71,7 +71,7 @@ class Queue {
   virtual Stats snapshot() const {
     Stats s = stats_;
     const sim::Time now = sched_->now();
-    s.len_integral += static_cast<double>(fifo_.size()) * (now - last_change_);
+    s.len_integral += integral_len() * (now - last_change_);
     s.avg_integral += avg_estimate() * (now - last_change_);
     return s;
   }
@@ -142,11 +142,42 @@ class Queue {
     stats_.bytes_in += static_cast<std::uint64_t>(p->size_bytes);
     bytes_ += p->size_bytes;
     fifo_.push_back(std::move(p));
+    trace_len();
+  }
+
+  /// Removes and returns the head packet without counting a departure or
+  /// emitting a length trace — building block for disciplines that inspect
+  /// the head before deciding its fate (CoDel's sojourn law). The caller
+  /// must not call this on an empty fifo_ and must finish the packet's
+  /// story itself: count_departure()+trace_len() on delivery, or drop().
+  PacketPtr take_head() {
+    advance_integrals();
+    PacketPtr p = std::move(fifo_.front());
+    fifo_.pop_front();
+    bytes_ -= p->size_bytes;
+    return p;
+  }
+
+  /// Emits the "queue.len" counter sample (kDebug) at the current length.
+  void trace_len() {
     if (tracer_ &&
         tracer_->wants(obs::Category::kQueue, obs::Severity::kDebug))
       tracer_->counter(now(), obs::Category::kQueue, obs::Severity::kDebug,
-                       "queue.len", trace_id_,
-                       static_cast<double>(fifo_.size()));
+                       "queue.len", trace_id_, integral_len());
+  }
+
+  /// Byte/integral bookkeeping of push() for disciplines with their own
+  /// storage (FQ-CoDel's per-bucket deques): accepts the packet into the
+  /// accounting without touching fifo_. Pair every book_insert with either
+  /// a book_remove (delivery) or nothing (the packet left via drop()).
+  void book_insert(const Packet& p) {
+    advance_integrals();
+    stats_.bytes_in += static_cast<std::uint64_t>(p.size_bytes);
+    bytes_ += p.size_bytes;
+  }
+  void book_remove(const Packet& p) {
+    advance_integrals();
+    bytes_ -= p.size_bytes;
   }
 
   /// Counts and disposes a dropped packet.
@@ -160,7 +191,7 @@ class Queue {
     if (tracer_ && tracer_->wants(obs::Category::kQueue, obs::Severity::kInfo))
       tracer_->instant(now(), obs::Category::kQueue, obs::Severity::kInfo,
                        drop_event_name(cause), trace_id_, "len",
-                       static_cast<double>(fifo_.size()), "flow",
+                       integral_len(), "flow",
                        static_cast<double>(p->flow));
     if (on_drop) on_drop(*p, now());
   }
@@ -176,8 +207,7 @@ class Queue {
     ++stats_.ecn_marks;
     if (tracer_ && tracer_->wants(obs::Category::kQueue, obs::Severity::kInfo))
       tracer_->instant(now(), obs::Category::kQueue, obs::Severity::kInfo,
-                       "queue.ecn_mark", trace_id_, "len",
-                       static_cast<double>(fifo_.size()));
+                       "queue.ecn_mark", trace_id_, "len", integral_len());
   }
 
   static constexpr const char* drop_event_name(DropCause cause) noexcept {
@@ -195,9 +225,18 @@ class Queue {
   /// Accrues the length/avg integrals up to now; call before length changes.
   void advance_integrals() {
     const sim::Time t = now();
-    stats_.len_integral += static_cast<double>(fifo_.size()) * (t - last_change_);
+    stats_.len_integral += integral_len() * (t - last_change_);
     stats_.avg_integral += avg_estimate() * (t - last_change_);
     last_change_ = t;
+  }
+
+  /// Instantaneous length used for the integrals and length-annotated trace
+  /// events. Base: resident packets in fifo_. Disciplines with their own
+  /// storage (FQ-CoDel) override; wrapper disciplines whose len_pkts()
+  /// includes held-in-flight packets deliberately keep the base definition
+  /// so their integrals stay over the resident buffer.
+  virtual double integral_len() const noexcept {
+    return static_cast<double>(fifo_.size());
   }
 
   std::deque<PacketPtr> fifo_;

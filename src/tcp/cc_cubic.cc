@@ -1,0 +1,144 @@
+#include "tcp/cc_cubic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <new>
+#include <string>
+
+#include "sim/sentinel.h"
+#include "sim/validate.h"
+
+namespace pert::tcp {
+
+void CubicParams::validate() const {
+  sim::require_positive("CubicParams", "c", c);
+  sim::require_in("CubicParams", "beta", beta, 0.1, 0.999);
+}
+
+namespace {
+
+CubicState& st(void* priv) { return *static_cast<CubicState*>(priv); }
+
+void reset_epoch(CubicState& s) {
+  s.epoch_start = -1.0;
+  s.w_est = 0.0;
+  s.ack_cnt = 0.0;
+}
+
+void cubic_init(CcHost& h, void* priv) {
+  const auto* arg = static_cast<const CubicParams*>(h.ops().init_arg);
+  CubicParams params = arg != nullptr ? *arg : CubicParams{};
+  params.validate();
+  new (priv) CubicState{params};
+}
+
+void cubic_release(void* priv) { st(priv).~CubicState(); }
+
+void cubic_on_ack(CcHost& h, void* priv, std::int64_t newly) {
+  auto& s = st(priv);
+  double& cwnd = h.cwnd();
+  const double& ssthresh = h.ssthresh();
+  for (std::int64_t i = 0; i < newly; ++i) {
+    if (cwnd < ssthresh) {  // slow start: Reno-identical
+      cwnd = std::min(cwnd + 1.0, h.config().max_cwnd);
+      continue;
+    }
+    if (s.epoch_start < 0.0) {
+      // New congestion-avoidance epoch: anchor the cubic at the last W_max
+      // (concave approach) or at the current window (convex probing when we
+      // are already past it).
+      s.epoch_start = h.now();
+      s.ack_cnt = 0.0;
+      s.w_est = cwnd;
+      if (cwnd < s.w_max) {
+        s.k = std::cbrt((s.w_max - cwnd) / s.params.c);
+        s.origin = s.w_max;
+      } else {
+        s.k = 0.0;
+        s.origin = cwnd;
+      }
+    }
+    // Elapsed epoch time, advanced one min-RTT as the RFC's RTT-ahead target.
+    const double min_rtt = std::isfinite(h.min_rtt()) ? h.min_rtt() : 0.0;
+    const double t = h.now() - s.epoch_start + min_rtt;
+    const double d = t - s.k;
+    const double target = s.origin + s.params.c * d * d * d;
+    double grow = target > cwnd ? (target - cwnd) / cwnd
+                                : 1.0 / (100.0 * cwnd);  // below origin: creep
+    if (s.params.tcp_friendliness) {
+      // Reno-friendly estimate W_est grows at alpha = 3(1-b)/(1+b) per RTT;
+      // when it beats the cubic, grow at the Reno-equivalent rate instead.
+      const double alpha = 3.0 * (1.0 - s.params.beta) / (1.0 + s.params.beta);
+      s.w_est += alpha / cwnd;
+      s.ack_cnt += 1.0;
+      if (s.w_est > cwnd) grow = std::max(grow, (s.w_est - cwnd) / cwnd);
+    }
+    // Linux's cnt >= 2 clamp: at most half a segment per ACK.
+    grow = std::min(grow, 0.5);
+    cwnd = std::min(cwnd + grow, h.config().max_cwnd);
+  }
+}
+
+void cubic_on_loss(CcHost& h, void* priv) {
+  auto& s = st(priv);
+  const double cwnd = h.cwnd();  // pre-reduction value
+  reset_epoch(s);
+  if (s.params.fast_convergence && cwnd < s.w_max) {
+    // Still below the previous saturation point: the flow's share is
+    // shrinking, so release bandwidth early (RFC 9438 fast convergence).
+    s.w_max = cwnd * (2.0 - s.params.beta) / 2.0;
+  } else {
+    s.w_max = cwnd;
+  }
+}
+
+double cubic_ssthresh(CcHost& h, void* priv) {
+  return h.cwnd() * st(priv).params.beta;
+}
+
+void cubic_cwnd_event(CcHost& /*h*/, void* priv, CcEvent e) {
+  if (e == CcEvent::kRestartTransfer) {
+    auto& s = st(priv);
+    s.w_max = 0.0;
+    s.k = 0.0;
+    s.origin = 0.0;
+    reset_epoch(s);
+  }
+}
+
+std::string cubic_invariants(const TcpSender& /*sender*/, const void* priv) {
+  const auto& s = *static_cast<const CubicState*>(priv);
+  if (auto v = sim::finite_violation("cubic.w_max", s.w_max); !v.empty())
+    return v;
+  if (auto v = sim::finite_violation("cubic.k", s.k); !v.empty()) return v;
+  if (auto v = sim::finite_violation("cubic.w_est", s.w_est); !v.empty())
+    return v;
+  if (s.w_max < 0.0 || s.k < 0.0)
+    return "cubic state negative (w_max=" + std::to_string(s.w_max) +
+           " k=" + std::to_string(s.k) + ")";
+  return {};
+}
+
+}  // namespace
+
+CongestionOps cubic_ops(const CubicParams& params) {
+  CongestionOps ops;
+  ops.name = "cubic";
+  ops.priv_size = sizeof(CubicState);
+  ops.init_arg = &params;
+  ops.init = &cubic_init;
+  ops.release = &cubic_release;
+  ops.on_ack = &cubic_on_ack;
+  ops.on_loss_event = &cubic_on_loss;
+  ops.ssthresh = &cubic_ssthresh;
+  ops.cwnd_event = &cubic_cwnd_event;
+  ops.invariant_check = &cubic_invariants;
+  return ops;
+}
+
+TcpSender* make_cubic_sender(const CcContext& ctx) {
+  return ctx.net->add_agent<CubicSender>(nullptr, 0, *ctx.net, ctx.tcp,
+                                         ctx.flow, CubicParams{});
+}
+
+}  // namespace pert::tcp

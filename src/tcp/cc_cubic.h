@@ -1,0 +1,64 @@
+// CUBIC congestion control (Ha, Rhee, Xu — RFC 9438) as a CongestionOps
+// module: the extending.md worked example.
+//
+// Outside slow start the window follows W(t) = C*(t - K)^3 + W_max, the
+// cubic centered on the pre-loss window: concave convergence toward W_max,
+// a plateau around t = K, then convex probing beyond it. A parallel
+// Reno-friendly estimate keeps CUBIC at least as aggressive as standard TCP
+// in the short-RTT regime, and fast convergence releases bandwidth early
+// when a flow's share is shrinking. Loss response is cwnd * beta with
+// beta = 0.7 (gentler than Reno's 0.5).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "tcp/cc_registry.h"
+#include "tcp/tcp_sender.h"
+
+namespace pert::tcp {
+
+struct CubicParams {
+  double c = 0.4;         ///< cubic scaling constant (units: pkts/s^3)
+  double beta = 0.7;      ///< window fraction kept on loss
+  bool fast_convergence = true;
+  bool tcp_friendliness = true;
+
+  void validate() const;
+};
+
+/// Per-flow CUBIC state (the module's private-state slot). Exposed for the
+/// wrapper's typed accessors and the characteristic-shape unit tests.
+struct CubicState {
+  CubicParams params;
+  double w_max = 0.0;         ///< window before the last reduction
+  double k = 0.0;             ///< plateau offset, seconds
+  double origin = 0.0;        ///< cubic origin point (W_max or cwnd at epoch)
+  double epoch_start = -1.0;  ///< epoch base time; < 0 = no epoch yet
+  double w_est = 0.0;         ///< Reno-friendly window estimate
+  double ack_cnt = 0.0;       ///< acks accumulated for w_est
+};
+
+/// The ops table (for direct construction in tests and the wrapper). The
+/// returned table's init_arg points at `params` — keep the argument alive
+/// through the TcpSender constructor (a temporary in the mem-initializer
+/// is fine; init() copies the params into the private state).
+CongestionOps cubic_ops(const CubicParams& params);
+
+/// Typed wrapper: TcpSender with the CUBIC ops installed plus accessors
+/// into the private state for tests and predictors.
+class CubicSender final : public TcpSender {
+ public:
+  CubicSender(net::Network& net, TcpConfig cfg, net::FlowId flow,
+              CubicParams params = {})
+      : TcpSender(net, std::move(cfg), flow, cubic_ops(params)) {}
+
+  const CubicState& cubic() const {
+    return *static_cast<const CubicState*>(cc_priv());
+  }
+};
+
+/// CcRegistry factory ("cubic").
+TcpSender* make_cubic_sender(const CcContext& ctx);
+
+}  // namespace pert::tcp

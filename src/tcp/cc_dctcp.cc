@@ -1,0 +1,93 @@
+#include "tcp/cc_dctcp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <new>
+#include <string>
+
+#include "sim/sentinel.h"
+#include "sim/validate.h"
+
+namespace pert::tcp {
+
+void DctcpParams::validate() const {
+  sim::require_in("DctcpParams", "g", g, 1e-6, 1.0);
+  sim::require_prob("DctcpParams", "init_alpha", init_alpha);
+}
+
+namespace {
+
+DctcpState& st(void* priv) { return *static_cast<DctcpState*>(priv); }
+
+void dctcp_init(CcHost& h, void* priv) {
+  const auto* arg = static_cast<const DctcpParams*>(h.ops().init_arg);
+  DctcpParams params = arg != nullptr ? *arg : DctcpParams{};
+  params.validate();
+  auto* s = new (priv) DctcpState{params};
+  s->alpha = params.init_alpha;
+  s->window_end = h.next_seq();
+}
+
+void dctcp_release(void* priv) { st(priv).~DctcpState(); }
+
+void dctcp_ack_event(CcHost& h, void* priv, const CcAck& ack) {
+  auto& s = st(priv);
+  if (ack.newly > 0) {
+    s.acked += ack.newly;
+    if (ack.ece) s.marked += ack.newly;
+  }
+  // Observation window closes once the sequence sent when it opened is
+  // cumulatively acked: fold the window's marked fraction into alpha.
+  if (h.snd_una() >= s.window_end) {
+    if (s.acked > 0) {
+      const double frac =
+          static_cast<double>(s.marked) / static_cast<double>(s.acked);
+      s.alpha = (1.0 - s.params.g) * s.alpha + s.params.g * frac;
+    }
+    s.acked = 0;
+    s.marked = 0;
+    s.window_end = h.next_seq();
+  }
+}
+
+void dctcp_on_ecn(CcHost& h, void* priv) {
+  // Proportional response: cwnd *= (1 - alpha/2). The sender's once-per-
+  // window ECE gate has already run, so this fires at most once per RTT.
+  const double b = std::clamp(st(priv).alpha / 2.0, 0.0, 0.5);
+  if (b > 0.0) h.multiplicative_decrease(b);
+}
+
+std::string dctcp_invariants(const TcpSender& /*sender*/, const void* priv) {
+  const auto& s = *static_cast<const DctcpState*>(priv);
+  if (auto v = sim::bounded_violation("dctcp.alpha", s.alpha, 0.0, 1.0);
+      !v.empty())
+    return v;
+  if (auto v = sim::counter_violation("dctcp.acked", s.acked); !v.empty())
+    return v;
+  if (s.marked > s.acked)
+    return "dctcp.marked (" + std::to_string(s.marked) +
+           ") exceeds dctcp.acked (" + std::to_string(s.acked) + ")";
+  return {};
+}
+
+}  // namespace
+
+CongestionOps dctcp_ops(const DctcpParams& params) {
+  CongestionOps ops;
+  ops.name = "dctcp";
+  ops.priv_size = sizeof(DctcpState);
+  ops.init_arg = &params;
+  ops.init = &dctcp_init;
+  ops.release = &dctcp_release;
+  ops.ack_event = &dctcp_ack_event;
+  ops.on_ecn = &dctcp_on_ecn;
+  ops.invariant_check = &dctcp_invariants;
+  return ops;
+}
+
+TcpSender* make_dctcp_sender(const CcContext& ctx) {
+  return ctx.net->add_agent<DctcpSender>(nullptr, 0, *ctx.net, ctx.tcp,
+                                         ctx.flow, DctcpParams{});
+}
+
+}  // namespace pert::tcp

@@ -1,0 +1,60 @@
+// DCTCP (Alizadeh et al., SIGCOMM 2010 / RFC 8257) as a CongestionOps
+// module: window reduction proportional to the *fraction* of ECN-marked
+// packets, not one halving per congestion window.
+//
+// The sender keeps an EWMA `alpha` of the marked fraction, updated once per
+// observation window (one RTT of sequence space); an ECN response then cuts
+// cwnd by alpha/2. Under a marking AQM that signals early and often, alpha
+// stays small and DCTCP holds the queue short without Reno's sawtooth.
+//
+// Feedback-fidelity caveat: the simulator's sink echoes ECE with RFC 3168
+// latching (ECE held high until CWR), not DCTCP's precise per-packet echo,
+// so the measured marked fraction is biased upward between the mark and the
+// next CWR. That makes in-sim alpha conservative (responds harder than true
+// DCTCP); the characteristic alpha/2-proportional response is unit-tested by
+// driving the private state directly.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "tcp/cc_registry.h"
+#include "tcp/tcp_sender.h"
+
+namespace pert::tcp {
+
+struct DctcpParams {
+  double g = 0.0625;        ///< alpha EWMA gain (RFC 8257's 1/16)
+  double init_alpha = 1.0;  ///< conservative start: first ECN acts like Reno
+
+  void validate() const;
+};
+
+/// Per-flow DCTCP state (the module's private-state slot).
+struct DctcpState {
+  DctcpParams params;
+  double alpha = 1.0;            ///< EWMA of marked fraction, [0, 1]
+  std::int64_t acked = 0;        ///< packets cumulatively acked this window
+  std::int64_t marked = 0;       ///< of those, acked by an ECE-bearing ACK
+  std::int64_t window_end = 0;   ///< sequence closing the observation window
+};
+
+/// The ops table; same init_arg lifetime contract as cubic_ops.
+CongestionOps dctcp_ops(const DctcpParams& params);
+
+/// Typed wrapper with accessors into the private state.
+class DctcpSender final : public TcpSender {
+ public:
+  DctcpSender(net::Network& net, TcpConfig cfg, net::FlowId flow,
+              DctcpParams params = {})
+      : TcpSender(net, std::move(cfg), flow, dctcp_ops(params)) {}
+
+  const DctcpState& dctcp() const {
+    return *static_cast<const DctcpState*>(cc_priv());
+  }
+};
+
+/// CcRegistry factory ("dctcp"); wants_ecn — the sender negotiates ECT.
+TcpSender* make_dctcp_sender(const CcContext& ctx);
+
+}  // namespace pert::tcp

@@ -13,21 +13,43 @@
 namespace pert::tcp {
 
 TcpSender::TcpSender(net::Network& net, TcpConfig cfg, net::FlowId flow)
-    : TcpSender(net, cfg, flow, cfg.arena ? cfg.arena->acquire() : -1) {}
+    : TcpSender(net, cfg, flow, CongestionOps{}) {}
 
 TcpSender::TcpSender(net::Network& net, TcpConfig cfg, net::FlowId flow,
-                     std::int32_t slot)
+                     const CongestionOps& ops)
+    : TcpSender(net, cfg, flow, ops, cfg.arena ? cfg.arena->acquire() : -1) {}
+
+TcpSender::TcpSender(net::Network& net, TcpConfig cfg, net::FlowId flow,
+                     const CongestionOps& ops, std::int32_t slot)
     : cwnd_(slot >= 0 ? cfg.arena->cwnd(slot) : cwnd_inline_),
       ssthresh_(slot >= 0 ? cfg.arena->ssthresh(slot) : ssthresh_inline_),
       net_(&net),
       cfg_(cfg),
       flow_(flow),
       arena_slot_(slot),
+      ops_(ops),
       rto_timer_(net.sched(), [this] { on_rto(); }) {
   cfg_.validate();
   cwnd_ = cfg_.initial_cwnd;
   ssthresh_ = cfg_.initial_ssthresh;
   rto_ = cfg_.initial_rto;
+  // Module init runs at the end of construction — the point where a CC
+  // subclass's member initializers used to run, so RNG forks and timer
+  // schedules happen in the legacy order.
+  if (ops_.priv_size > 0) {
+    const std::size_t n = (ops_.priv_size + sizeof(std::max_align_t) - 1) /
+                          sizeof(std::max_align_t);
+    cc_priv_ = std::make_unique<std::max_align_t[]>(n);
+  }
+  if (ops_.init) {
+    CcHost h(*this);
+    ops_.init(h, cc_priv());
+  }
+  ops_.init_arg = nullptr;  // construction-only; never leave it dangling
+}
+
+TcpSender::~TcpSender() {
+  if (ops_.release && cc_priv_) ops_.release(cc_priv_.get());
 }
 
 void TcpSender::connect(net::NodeId dst, std::int32_t dst_port) {
@@ -51,6 +73,7 @@ void TcpSender::start_transfer(std::int64_t pkts, bool fresh_slow_start) {
   if (fresh_slow_start) {
     cwnd_ = cfg_.initial_cwnd;
     ssthresh_ = cfg_.initial_ssthresh;
+    dispatch_cwnd_event(CcEvent::kRestartTransfer);
   }
   try_send();
 }
@@ -64,10 +87,25 @@ void TcpSender::receive(net::PacketPtr p) {
     if (sample >= 0) {
       update_rtt(sample);
       if (on_rtt_sample) on_rtt_sample(sample, now());
-      cc_on_rtt_sample(sample);
+      if (ops_.on_rtt_sample) {
+        CcHost h(*this);
+        ops_.on_rtt_sample(h, cc_priv(), sample);
+      }
     }
-    if (p->ts_rx != sim::kNever && p->ts_rx >= p->ts_echo)
-      cc_on_owd_sample(p->ts_rx - p->ts_echo);
+    if (p->ts_rx != sim::kNever && p->ts_rx >= p->ts_echo) {
+      if (ops_.on_owd_sample) {
+        CcHost h(*this);
+        ops_.on_owd_sample(h, cc_priv(), p->ts_rx - p->ts_echo);
+      }
+    }
+  }
+
+  if (ops_.ack_event) {
+    CcHost h(*this);
+    CcAck a;
+    a.newly = std::max<std::int64_t>(0, p->ack - snd_una_);
+    a.ece = p->ece;
+    ops_.ack_event(h, cc_priv(), a);
   }
 
   if (cfg_.ecn && p->ece) handle_ece();
@@ -106,7 +144,12 @@ void TcpSender::update_rtt(double sample) {
 void TcpSender::handle_ece() {
   // One reduction per window of data (RFC 3168); recovery already reduced.
   if (in_recovery_ || next_seq_ <= ece_reduce_point_) return;
-  multiplicative_decrease(cfg_.loss_beta);
+  if (ops_.on_ecn) {
+    CcHost h(*this);
+    ops_.on_ecn(h, cc_priv());
+  } else {
+    multiplicative_decrease(cfg_.loss_beta);
+  }
   ece_reduce_point_ = next_seq_;
   pending_cwr_ = true;
   ++st_.ecn_responses;
@@ -186,7 +229,7 @@ void TcpSender::handle_new_ack(std::int64_t ack) {
     }
     if (rto_recovery_) {
       // Post-timeout resend proceeds under normal slow start.
-      cc_on_new_ack(newly);
+      dispatch_ack(newly);
     } else if (!cfg_.sack) {
       // NewReno partial ack: retransmit the next hole, deflate by the
       // amount acked, re-inflate by one for the retransmission.
@@ -196,10 +239,19 @@ void TcpSender::handle_new_ack(std::int64_t ack) {
     }
     return;
   }
-  cc_on_new_ack(newly);
+  dispatch_ack(newly);
 }
 
-void TcpSender::cc_on_new_ack(std::int64_t newly) {
+void TcpSender::dispatch_ack(std::int64_t newly) {
+  if (ops_.on_ack) {
+    CcHost h(*this);
+    ops_.on_ack(h, cc_priv(), newly);
+    return;
+  }
+  default_reno_ack(newly);
+}
+
+void TcpSender::default_reno_ack(std::int64_t newly) {
   for (std::int64_t i = 0; i < newly; ++i) {
     if (cwnd_ < ssthresh_)
       cwnd_ += 1.0;  // slow start
@@ -207,6 +259,20 @@ void TcpSender::cc_on_new_ack(std::int64_t newly) {
       cwnd_ += 1.0 / cwnd_;  // congestion avoidance
   }
   cwnd_ = std::min(cwnd_, cfg_.max_cwnd);
+}
+
+void TcpSender::dispatch_loss_event() {
+  if (ops_.on_loss_event) {
+    CcHost h(*this);
+    ops_.on_loss_event(h, cc_priv());
+  }
+}
+
+void TcpSender::dispatch_cwnd_event(CcEvent e) {
+  if (ops_.cwnd_event) {
+    CcHost h(*this);
+    ops_.cwnd_event(h, cc_priv(), e);
+  }
 }
 
 void TcpSender::handle_dupack() {
@@ -221,12 +287,17 @@ void TcpSender::handle_dupack() {
 void TcpSender::enter_recovery() {
   ++st_.loss_events;
   if (on_loss_event) on_loss_event(now());
-  cc_on_loss();
+  dispatch_loss_event();  // cwnd still holds its pre-loss value here
 
   in_recovery_ = true;
   rto_recovery_ = false;
   recovery_point_ = next_seq_;
-  ssthresh_ = std::max(2.0, cwnd_ * (1.0 - cfg_.loss_beta));
+  double target = cwnd_ * (1.0 - cfg_.loss_beta);
+  if (ops_.ssthresh) {
+    CcHost h(*this);
+    target = ops_.ssthresh(h, cc_priv());
+  }
+  ssthresh_ = std::max(2.0, target);
   cwnd_ = ssthresh_;
   scan_ = snd_una_;
   if (tracer_ && tracer_->wants(obs::Category::kTcp, obs::Severity::kInfo))
@@ -250,6 +321,7 @@ void TcpSender::enter_recovery() {
     send_segment(snd_una_, /*rexmit=*/true);
     cwnd_ += static_cast<double>(dupacks_);  // inflate by dupacks seen
   }
+  dispatch_cwnd_event(CcEvent::kEnterRecovery);
 }
 
 void TcpSender::exit_recovery() {
@@ -261,6 +333,7 @@ void TcpSender::exit_recovery() {
   if (tracer_ && tracer_->wants(obs::Category::kTcp, obs::Severity::kInfo))
     tracer_->instant(now(), obs::Category::kTcp, obs::Severity::kInfo,
                      "tcp.exit_recovery", trace_id(), "cwnd", cwnd_);
+  dispatch_cwnd_event(CcEvent::kExitRecovery);
 }
 
 void TcpSender::on_rto() {
@@ -272,8 +345,9 @@ void TcpSender::on_rto() {
                      static_cast<double>(backoff_), "outstanding",
                      static_cast<double>(next_seq_ - snd_una_));
   if (on_loss_event) on_loss_event(now());
-  cc_on_loss();
+  dispatch_loss_event();  // cwnd still holds its pre-timeout value here
 
+  // Every module keeps the flightsize/2 RTO rule (observe kRto to react).
   ssthresh_ = std::max(2.0, static_cast<double>(next_seq_ - snd_una_) / 2.0);
   cwnd_ = 1.0;
   dupacks_ = 0;
@@ -292,6 +366,7 @@ void TcpSender::on_rto() {
 
   backoff_ = std::min(backoff_ * 2, 64);
   rto_timer_.schedule_in(std::min(rto_ * backoff_, cfg_.max_rto));
+  dispatch_cwnd_event(CcEvent::kRto);
   try_send();
 }
 
@@ -405,6 +480,9 @@ std::string TcpSender::invariant_violation() const {
           sim::counter_violation("tcp.data_pkts_sent", st_.data_pkts_sent);
       !v.empty())
     return v;
+  if (ops_.invariant_check)
+    if (std::string v = ops_.invariant_check(*this, cc_priv()); !v.empty())
+      return v;
   return {};
 }
 

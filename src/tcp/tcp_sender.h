@@ -7,13 +7,18 @@
 //   - ECN response (RFC 3168: one window reduction per RTT, CWR signalling),
 //   - exact per-ACK RTT via the receiver's timestamp echo.
 //
-// Congestion-control variants (Vegas, PERT, PERT/PI) subclass the cc_* hooks.
+// Congestion-control variants (Vegas, PERT, CUBIC, DCTCP, ...) plug in
+// through a `CongestionOps` table (tcp/cc_ops.h) passed at construction; a
+// default-constructed table keeps the built-in Reno/loss_beta behavior —
+// that IS the paper's SACK sender. Modules see the sender through the
+// `CcHost` facade defined at the bottom of this header.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <limits>
+#include <memory>
 #include <string>
 
 #include "net/network.h"
@@ -21,6 +26,7 @@
 #include "net/packet.h"
 #include "obs/trace.h"
 #include "sim/timer.h"
+#include "tcp/cc_ops.h"
 #include "tcp/tcp_config.h"
 
 namespace pert::tcp {
@@ -37,8 +43,15 @@ class TcpSender : public net::Agent {
     std::int64_t early_responses = 0; ///< PERT proactive reductions
   };
 
+  /// Built-in behavior (empty ops table): the paper's SACK/Reno sender.
   TcpSender(net::Network& net, TcpConfig cfg, net::FlowId flow);
-  ~TcpSender() override = default;
+  /// Installs a congestion-control module. `ops.init` runs at the end of
+  /// this constructor; `ops.init_arg` must stay valid until then (a
+  /// temporary in the caller's mem-initializer qualifies) and is nulled
+  /// afterwards.
+  TcpSender(net::Network& net, TcpConfig cfg, net::FlowId flow,
+            const CongestionOps& ops);
+  ~TcpSender() override;
 
   /// Sets the destination endpoint. Must be called before start().
   void connect(net::NodeId dst, std::int32_t dst_port);
@@ -75,13 +88,20 @@ class TcpSender : public net::Agent {
     return snd_una_ * cfg_.seg_payload;
   }
 
+  /// The installed congestion-control module table.
+  const CongestionOps& cc_ops() const noexcept { return ops_; }
+  /// The module's private-state slot (null when priv_size == 0). Typed
+  /// wrapper classes (CubicSender, PertSender, ...) cast this to their
+  /// state struct for tests and predictors.
+  void* cc_priv() noexcept { return cc_priv_.get(); }
+  const void* cc_priv() const noexcept { return cc_priv_.get(); }
+
   /// Self-check for the simulation watchdog: cwnd/ssthresh finite, positive,
   /// and bounded; sequence space consistent; RTT state sane; cumulative
-  /// counters below saturation. Returns "" while healthy, else a message
-  /// describing the broken invariant. Virtual so CC variants extend it with
-  /// their own estimator/controller state (PERT's srtt99 EWMA, PERT/PI's
-  /// integrator).
-  virtual std::string invariant_violation() const;
+  /// counters below saturation; plus the module's own invariant_check hook
+  /// (PERT's srtt99 EWMA, PERT/PI's integrator). Returns "" while healthy,
+  /// else a message describing the broken invariant.
+  std::string invariant_violation() const;
 
   /// One diagnostic line (cwnd, ssthresh, una/next, recovery, rto) for abort
   /// snapshots.
@@ -95,8 +115,8 @@ class TcpSender : public net::Agent {
   /// Attaches a tracer (not owned; may be null). The sender reports under
   /// its flow id: "tcp.enter_recovery"/"tcp.exit_recovery"/"tcp.ecn_response"
   /// (kInfo), "tcp.rto" (kWarn), and "tcp.cwnd"/"tcp.srtt" counter series
-  /// (kDebug, per ACK). CC variants (PERT, PERT/PI) add their own series
-  /// through the protected tracer() accessor.
+  /// (kDebug, per ACK). CC modules (PERT, PERT/PI) add their own series
+  /// through CcHost::tracer().
   void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
 
  protected:
@@ -104,17 +124,6 @@ class TcpSender : public net::Agent {
   std::uint32_t trace_id() const noexcept {
     return static_cast<std::uint32_t>(flow_);
   }
-  // --- congestion-control variant hooks ---
-  /// Called for every valid RTT sample, before any window action.
-  virtual void cc_on_rtt_sample(double /*rtt*/) {}
-  /// Called for every valid one-way forward-delay sample (receiver arrival
-  /// clock minus sender clock; exact under the simulator's global clock).
-  virtual void cc_on_owd_sample(double /*owd*/) {}
-  /// Window growth for `newly` cumulatively acked packets outside recovery.
-  /// Default: Reno (slow start +1/ack, congestion avoidance +1/cwnd per ack).
-  virtual void cc_on_new_ack(std::int64_t newly);
-  /// Called when a loss is detected (fast retransmit entry or timeout).
-  virtual void cc_on_loss() {}
 
   /// Reduces cwnd by `beta` (cwnd *= 1-beta) and leaves slow start.
   /// Used by ECN response and PERT's early response.
@@ -127,15 +136,15 @@ class TcpSender : public net::Agent {
 
   /// Arena slot backing this sender's hot state, or -1 when it fell back to
   /// the inline fields (no arena configured, or the arena was full).
-  /// Subclasses bind their own lanes (PERT's estimator) to the same row.
+  /// Modules bind their own lanes (PERT's estimator) to the same row.
   std::int32_t arena_slot() const noexcept { return arena_slot_; }
   FlowArena* arena() const noexcept { return cfg_.arena; }
 
-  /// Hot congestion state. References, so subclasses and every existing use
-  /// site read/write them exactly as before: they bind either to this
-  /// sender's inline fields or — when cfg.arena has a free slot — to the
-  /// flow's row in the struct-of-arrays FlowArena, which packs the per-ACK
-  /// working set of a many-flow scenario into contiguous cache lines.
+  /// Hot congestion state. References, so every use site reads/writes them
+  /// exactly as before: they bind either to this sender's inline fields
+  /// or — when cfg.arena has a free slot — to the flow's row in the
+  /// struct-of-arrays FlowArena, which packs the per-ACK working set of a
+  /// many-flow scenario into contiguous cache lines.
   double& cwnd_;
   double& ssthresh_;
 
@@ -144,7 +153,7 @@ class TcpSender : public net::Agent {
   /// constructor (acquire() is stateful, so it must run exactly once,
   /// before the reference members bind).
   TcpSender(net::Network& net, TcpConfig cfg, net::FlowId flow,
-            std::int32_t slot);
+            const CongestionOps& ops, std::int32_t slot);
 
   enum Flag : std::uint8_t { kSacked = 1, kRexmit = 2, kLost = 4 };
 
@@ -174,6 +183,16 @@ class TcpSender : public net::Agent {
   void restart_rto_timer();
   void check_complete();
 
+  // --- module dispatch ---
+  /// ops_.on_ack or the built-in Reno growth.
+  void dispatch_ack(std::int64_t newly);
+  /// Reno: slow start +1/ack, congestion avoidance +1/cwnd per ack.
+  void default_reno_ack(std::int64_t newly);
+  /// ops_.on_loss_event (fires before any window reduction).
+  void dispatch_loss_event();
+  /// ops_.cwnd_event notification.
+  void dispatch_cwnd_event(CcEvent e);
+
   /// Next retransmission candidate in recovery, or -1.
   std::int64_t next_hole();
 
@@ -193,6 +212,10 @@ class TcpSender : public net::Agent {
   double ssthresh_inline_ = 0.0;
   net::NodeId dst_ = net::kNoNode;
   std::int32_t dst_port_ = 0;
+
+  CongestionOps ops_;
+  /// Module private state, max_align_t-aligned, sized by ops_.priv_size.
+  std::unique_ptr<std::max_align_t[]> cc_priv_;
 
   std::int64_t snd_una_ = 0;
   std::int64_t next_seq_ = 0;
@@ -225,6 +248,48 @@ class TcpSender : public net::Agent {
   sim::Timer rto_timer_;
   FlowStats st_;
   obs::Tracer* tracer_ = nullptr;
+
+  friend class CcHost;
+};
+
+/// Narrow facade over TcpSender's congestion surface, handed to every
+/// CongestionOps hook. Modules see the window, the clock, the config,
+/// tracing, and the shared reduction helper — not the scoreboard or the
+/// retransmission machinery.
+class CcHost {
+ public:
+  explicit CcHost(TcpSender& s) noexcept : s_(&s) {}
+
+  TcpSender& sender() noexcept { return *s_; }
+  const TcpSender& sender() const noexcept { return *s_; }
+  /// The installed ops table (init reads init_arg through this).
+  const CongestionOps& ops() const noexcept { return s_->ops_; }
+  const TcpConfig& config() const noexcept { return s_->cfg_; }
+  net::Network& net() noexcept { return *s_->net_; }
+  sim::Time now() const noexcept { return s_->now(); }
+
+  double& cwnd() noexcept { return s_->cwnd_; }
+  double& ssthresh() noexcept { return s_->ssthresh_; }
+  bool in_recovery() const noexcept { return s_->in_recovery_; }
+  std::int64_t snd_una() const noexcept { return s_->snd_una_; }
+  std::int64_t next_seq() const noexcept { return s_->next_seq_; }
+  double srtt() const noexcept { return s_->srtt_; }
+  double min_rtt() const noexcept { return s_->min_rtt_; }
+
+  /// cwnd *= 1-beta, ssthresh follows; leaves slow start.
+  void multiplicative_decrease(double beta) {
+    s_->multiplicative_decrease(beta);
+  }
+  /// Counts a PERT-style proactive reduction in FlowStats.
+  void note_early_response() noexcept { s_->bump_early_responses(); }
+
+  obs::Tracer* tracer() const noexcept { return s_->tracer_; }
+  std::uint32_t trace_id() const noexcept { return s_->trace_id(); }
+  std::int32_t arena_slot() const noexcept { return s_->arena_slot_; }
+  FlowArena* arena() const noexcept { return s_->cfg_.arena; }
+
+ private:
+  TcpSender* s_;
 };
 
 }  // namespace pert::tcp

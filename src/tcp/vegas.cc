@@ -1,43 +1,78 @@
 #include "tcp/vegas.h"
 
 #include <algorithm>
+#include <new>
 
 namespace pert::tcp {
 
-void VegasSender::cc_on_rtt_sample(double rtt) {
-  base_rtt_ = std::min(base_rtt_, rtt);
-  epoch_rtt_sum_ += rtt;
-  ++epoch_rtt_cnt_;
+namespace {
+
+VegasState& st(void* priv) { return *static_cast<VegasState*>(priv); }
+
+void vegas_init(CcHost& h, void* priv) {
+  const auto* arg = static_cast<const VegasParams*>(h.ops().init_arg);
+  new (priv) VegasState{arg != nullptr ? *arg : VegasParams{}};
 }
 
-void VegasSender::cc_on_new_ack(std::int64_t /*newly*/) {
+void vegas_release(void* priv) { st(priv).~VegasState(); }
+
+void vegas_on_rtt_sample(CcHost& /*h*/, void* priv, double rtt) {
+  auto& s = st(priv);
+  s.base_rtt = std::min(s.base_rtt, rtt);
+  s.epoch_rtt_sum += rtt;
+  ++s.epoch_rtt_cnt;
+}
+
+void vegas_on_ack(CcHost& h, void* priv, std::int64_t /*newly*/) {
+  auto& s = st(priv);
   // Vegas acts once per RTT epoch, not per ACK.
-  if (snd_una() < epoch_end_seq_ || epoch_rtt_cnt_ == 0) return;
+  if (h.snd_una() < s.epoch_end_seq || s.epoch_rtt_cnt == 0) return;
 
-  const double rtt = epoch_rtt_sum_ / static_cast<double>(epoch_rtt_cnt_);
-  const double diff = cwnd_ * (rtt - base_rtt_) / rtt;  // queued packets
-  last_diff_ = diff;
+  double& cwnd = h.cwnd();
+  double& ssthresh = h.ssthresh();
+  const double rtt = s.epoch_rtt_sum / static_cast<double>(s.epoch_rtt_cnt);
+  const double diff = cwnd * (rtt - s.base_rtt) / rtt;  // queued packets
+  s.last_diff = diff;
 
-  if (cwnd_ < ssthresh_) {
+  if (cwnd < ssthresh) {
     // Vegas slow start: double every other epoch until the backlog appears.
-    if (diff > vp_.gamma) {
-      ssthresh_ = std::max(2.0, cwnd_);
-      cwnd_ = std::max(2.0, cwnd_ - (diff - vp_.gamma));
-    } else if (grow_toggle_) {
-      cwnd_ *= 2.0;
+    if (diff > s.params.gamma) {
+      ssthresh = std::max(2.0, cwnd);
+      cwnd = std::max(2.0, cwnd - (diff - s.params.gamma));
+    } else if (s.grow_toggle) {
+      cwnd *= 2.0;
     }
-    grow_toggle_ = !grow_toggle_;
+    s.grow_toggle = !s.grow_toggle;
   } else {
-    if (diff < vp_.alpha)
-      cwnd_ += 1.0;
-    else if (diff > vp_.beta)
-      cwnd_ = std::max(2.0, cwnd_ - 1.0);
+    if (diff < s.params.alpha)
+      cwnd += 1.0;
+    else if (diff > s.params.beta)
+      cwnd = std::max(2.0, cwnd - 1.0);
   }
-  cwnd_ = std::min(cwnd_, config().max_cwnd);
+  cwnd = std::min(cwnd, h.config().max_cwnd);
 
-  epoch_end_seq_ = next_seq();
-  epoch_rtt_sum_ = 0.0;
-  epoch_rtt_cnt_ = 0;
+  s.epoch_end_seq = h.next_seq();
+  s.epoch_rtt_sum = 0.0;
+  s.epoch_rtt_cnt = 0;
+}
+
+}  // namespace
+
+CongestionOps vegas_ops(const VegasParams& params) {
+  CongestionOps ops;
+  ops.name = "vegas";
+  ops.priv_size = sizeof(VegasState);
+  ops.init_arg = &params;
+  ops.init = &vegas_init;
+  ops.release = &vegas_release;
+  ops.on_rtt_sample = &vegas_on_rtt_sample;
+  ops.on_ack = &vegas_on_ack;
+  return ops;
+}
+
+TcpSender* make_vegas_sender(const CcContext& ctx) {
+  return ctx.net->add_agent<VegasSender>(nullptr, 0, *ctx.net, ctx.tcp,
+                                         ctx.flow, VegasParams{});
 }
 
 }  // namespace pert::tcp

@@ -3,11 +3,14 @@
 // Once per RTT epoch the sender estimates how many packets it keeps queued at
 // the bottleneck, diff = cwnd * (rtt - baseRTT) / rtt, and nudges cwnd by +-1
 // to hold diff inside [alpha, beta]. Slow start doubles every other epoch and
-// ends when diff exceeds gamma. Loss response is inherited (Reno/SACK).
+// ends when diff exceeds gamma. Loss response is the sender's built-in
+// Reno/SACK behavior (the module leaves those hooks null).
 #pragma once
 
 #include <limits>
+#include <utility>
 
+#include "tcp/cc_registry.h"
 #include "tcp/tcp_sender.h"
 
 namespace pert::tcp {
@@ -18,28 +21,39 @@ struct VegasParams {
   double gamma = 1.0;  ///< slow-start exit threshold
 };
 
-class VegasSender : public TcpSender {
+/// Per-flow Vegas state (the module's private-state slot).
+struct VegasState {
+  VegasParams params;
+  double base_rtt = std::numeric_limits<double>::infinity();
+  double epoch_rtt_sum = 0.0;
+  std::int64_t epoch_rtt_cnt = 0;
+  std::int64_t epoch_end_seq = 0;
+  bool grow_toggle = false;
+  double last_diff = 0.0;
+};
+
+/// The ops table; same init_arg lifetime contract as cubic_ops.
+CongestionOps vegas_ops(const VegasParams& params);
+
+/// Typed wrapper: TcpSender with the Vegas ops installed plus the legacy
+/// accessors into the private state.
+class VegasSender final : public TcpSender {
  public:
   VegasSender(net::Network& net, TcpConfig cfg, net::FlowId flow,
               VegasParams vp = {})
-      : TcpSender(net, cfg, flow), vp_(vp) {}
+      : TcpSender(net, std::move(cfg), flow, vegas_ops(vp)) {}
 
-  double base_rtt() const noexcept { return base_rtt_; }
+  double base_rtt() const noexcept { return state().base_rtt; }
   /// Estimated backlog at the bottleneck in packets (last epoch).
-  double last_diff() const noexcept { return last_diff_; }
-
- protected:
-  void cc_on_rtt_sample(double rtt) override;
-  void cc_on_new_ack(std::int64_t newly) override;
+  double last_diff() const noexcept { return state().last_diff; }
 
  private:
-  VegasParams vp_;
-  double base_rtt_ = std::numeric_limits<double>::infinity();
-  double epoch_rtt_sum_ = 0.0;
-  std::int64_t epoch_rtt_cnt_ = 0;
-  std::int64_t epoch_end_seq_ = 0;
-  bool grow_toggle_ = false;
-  double last_diff_ = 0.0;
+  const VegasState& state() const noexcept {
+    return *static_cast<const VegasState*>(cc_priv());
+  }
 };
+
+/// CcRegistry factory ("vegas").
+TcpSender* make_vegas_sender(const CcContext& ctx);
 
 }  // namespace pert::tcp

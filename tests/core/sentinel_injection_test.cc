@@ -23,10 +23,10 @@ namespace pert::core {
 class SentinelTestPeer {
  public:
   static void poison_srtt(PertSender& s) {
-    s.estimator_.add_sample(std::numeric_limits<double>::quiet_NaN());
+    s.state().estimator.add_sample(std::numeric_limits<double>::quiet_NaN());
   }
   static void poison_pi(PertPiSender& s) {
-    s.pi_.update(std::numeric_limits<double>::quiet_NaN());
+    s.state().pi.update(std::numeric_limits<double>::quiet_NaN());
   }
 };
 

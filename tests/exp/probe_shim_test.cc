@@ -1,18 +1,16 @@
-// Probe API and compat-shim tests.
+// Probe API tests.
 //
 // The ad-hoc per-experiment recording fields were replaced by obs::Probe /
-// measure_window(); Dumbbell::run() and MultiBottleneck::run() remain one
-// release as deprecated shims. These tests pin (a) that the shim forwards
-// exactly, (b) that installed probes observe the run without changing its
-// results, and (c) that an un-observed run is not perturbed by the
-// observability layer existing.
+// measure_window() (the deprecated run() shims are gone). These tests pin
+// (a) that installed probes observe the run without changing its results,
+// and (b) that an un-observed run is not perturbed by the observability
+// layer existing.
 #include <gtest/gtest.h>
 
 #include <map>
 #include <string>
 
 #include "exp/dumbbell.h"
-#include "exp/multi_bottleneck.h"
 
 namespace pert::exp {
 namespace {
@@ -25,40 +23,6 @@ DumbbellConfig small() {
   cfg.rtt = 0.04;
   cfg.seed = 7;
   return cfg;
-}
-
-TEST(ProbeShim, DeprecatedRunForwardsToMeasureWindow) {
-  Dumbbell a(small());
-  const WindowMetrics via_new = a.measure_window(3.0, 5.0);
-
-  Dumbbell b(small());
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const WindowMetrics via_shim = b.run(3.0, 5.0);
-#pragma GCC diagnostic pop
-  EXPECT_EQ(via_new, via_shim);
-}
-
-TEST(ProbeShim, MultiBottleneckShimForwards) {
-  MultiBottleneckConfig cfg;
-  cfg.num_routers = 3;
-  cfg.hosts_per_cloud = 2;
-  cfg.router_link_bps = 20e6;
-  cfg.seed = 3;
-  MultiBottleneck a(cfg);
-  const auto via_new = a.measure_window(4.0, 4.0);
-
-  MultiBottleneck b(cfg);
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const auto via_shim = b.run(4.0, 4.0);
-#pragma GCC diagnostic pop
-  ASSERT_EQ(via_new.size(), via_shim.size());
-  for (std::size_t h = 0; h < via_new.size(); ++h) {
-    EXPECT_DOUBLE_EQ(via_new[h].avg_queue_pkts, via_shim[h].avg_queue_pkts);
-    EXPECT_DOUBLE_EQ(via_new[h].utilization, via_shim[h].utilization);
-    EXPECT_DOUBLE_EQ(via_new[h].jain, via_shim[h].jain);
-  }
 }
 
 TEST(ProbeShim, InstalledProbeObservesSamplesAndEvents) {

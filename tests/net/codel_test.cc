@@ -1,0 +1,127 @@
+#include "net/codel_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/errors.h"
+#include "sim/scheduler.h"
+
+namespace pert::net {
+namespace {
+
+PacketPtr mk(Ecn ecn = Ecn::NotEct) {
+  auto p = make_packet();
+  p->size_bytes = 1000;
+  p->ecn = ecn;
+  return p;
+}
+
+TEST(CodelParams, RejectsTargetAtOrAboveInterval) {
+  CodelParams p;
+  p.target = 0.2;
+  p.interval = 0.1;
+  EXPECT_THROW(p.validate(), sim::ConfigError);
+  p.target = 0.0;
+  EXPECT_THROW(p.validate(), sim::ConfigError);
+}
+
+TEST(CodelQueue, BelowTargetNeverDrops) {
+  sim::Scheduler s;
+  CodelParams cp;
+  cp.ecn = false;
+  CodelQueue q(s, 100, cp);
+  // Enqueue and dequeue at the same instant: sojourn 0 < target.
+  for (int round = 0; round < 20; ++round) {
+    for (int i = 0; i < 5; ++i) q.enqueue(mk());
+    while (q.dequeue()) {
+    }
+  }
+  EXPECT_EQ(q.snapshot().drops, 0u);
+  EXPECT_FALSE(q.dropping());
+}
+
+TEST(CodelQueue, StandingQueueWaitsOneIntervalThenDrops) {
+  sim::Scheduler s;
+  CodelParams cp;  // target 5 ms, interval 100 ms
+  cp.ecn = false;
+  CodelQueue q(s, 1000, cp);
+  for (int i = 0; i < 100; ++i) q.enqueue(mk());
+
+  // First above-target head only arms the interval clock; it is delivered.
+  s.run_until(0.2);
+  EXPECT_TRUE(q.dequeue());
+  EXPECT_FALSE(q.dropping());
+  EXPECT_EQ(q.snapshot().early_drops, 0u);
+
+  // Sojourn stayed above target for a whole interval: the next dequeue
+  // enters the dropping state and sheds the head.
+  s.run_until(0.31);
+  EXPECT_TRUE(q.dequeue());
+  EXPECT_TRUE(q.dropping());
+  EXPECT_EQ(q.drop_count(), 1u);
+  EXPECT_EQ(q.snapshot().early_drops, 1u);
+}
+
+TEST(CodelQueue, ControlLawSpacesDropsByInverseSqrtCount) {
+  sim::Scheduler s;
+  CodelParams cp;
+  cp.ecn = false;
+  CodelQueue q(s, 1000, cp);
+  for (int i = 0; i < 500; ++i) q.enqueue(mk());
+
+  s.run_until(0.2);
+  ASSERT_TRUE(q.dequeue());  // arms first_above at 0.3
+  s.run_until(0.31);
+  ASSERT_TRUE(q.dequeue());  // enters dropping: count=1
+  ASSERT_EQ(q.drop_count(), 1u);
+  const sim::Time first_next = q.drop_next();
+  EXPECT_DOUBLE_EQ(first_next, 0.31 + cp.interval);
+
+  // Ride past drop_next with the queue still standing: one more drop and
+  // the spacing tightens to interval/sqrt(2).
+  s.run_until(first_next + 0.001);
+  ASSERT_TRUE(q.dequeue());
+  EXPECT_EQ(q.drop_count(), 2u);
+  EXPECT_DOUBLE_EQ(q.drop_next(), first_next + cp.interval / std::sqrt(2.0));
+}
+
+TEST(CodelQueue, MarksEctHeadInsteadOfDropping) {
+  sim::Scheduler s;
+  CodelParams cp;
+  cp.ecn = true;
+  CodelQueue q(s, 1000, cp);
+  for (int i = 0; i < 100; ++i) q.enqueue(mk(Ecn::Ect0));
+
+  s.run_until(0.2);
+  ASSERT_TRUE(q.dequeue());
+  s.run_until(0.31);
+  PacketPtr p = q.dequeue();
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->ecn, Ecn::Ce) << "the would-be-dropped head must carry CE";
+  EXPECT_EQ(q.snapshot().early_drops, 0u);
+  EXPECT_GE(q.snapshot().ecn_marks, 1u);
+}
+
+TEST(CodelQueue, OverflowIsTailDrop) {
+  sim::Scheduler s;
+  CodelQueue q(s, 4, CodelParams{});
+  for (int i = 0; i < 10; ++i) q.enqueue(mk());
+  EXPECT_EQ(q.snapshot().forced_drops, 6u);
+  EXPECT_EQ(q.len_pkts(), 4);
+}
+
+TEST(CodelQueue, SojournLedgerStaysConsistent) {
+  sim::Scheduler s;
+  CodelQueue q(s, 100, CodelParams{});
+  for (int i = 0; i < 10; ++i) q.enqueue(mk(Ecn::Ect0));
+  s.run_until(0.5);
+  while (q.dequeue()) {
+  }
+  for (int i = 0; i < 3; ++i) q.enqueue(mk(Ecn::Ect0));
+  EXPECT_EQ(q.numeric_violation(), "");
+  EXPECT_EQ(q.len_pkts(), 3);
+}
+
+}  // namespace
+}  // namespace pert::net

@@ -1,0 +1,127 @@
+#include "net/fq_codel_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sim/errors.h"
+#include "sim/scheduler.h"
+
+namespace pert::net {
+namespace {
+
+PacketPtr mk(FlowId flow, Ecn ecn = Ecn::NotEct) {
+  auto p = make_packet();
+  p->flow = flow;
+  p->size_bytes = 1000;
+  p->ecn = ecn;
+  return p;
+}
+
+/// A flow id hashing to a different bucket than `other` (flow hashing is
+/// deterministic, so a short scan always finds one).
+FlowId distinct_bucket_flow(const FqCodelQueue& q, FlowId other) {
+  for (FlowId f = other + 1; f < other + 200; ++f)
+    if (q.bucket_of(f) != q.bucket_of(other)) return f;
+  ADD_FAILURE() << "no flow with a distinct bucket in 200 tries";
+  return other;
+}
+
+TEST(FqCodelParams, RejectsDegenerateConfigs) {
+  FqCodelParams p;
+  p.flows = 0;
+  EXPECT_THROW(p.validate(), sim::ConfigError);
+  p = {};
+  p.quantum_pkts = 0;
+  EXPECT_THROW(p.validate(), sim::ConfigError);
+}
+
+TEST(FqCodelQueue, FlowHashIsDeterministic) {
+  sim::Scheduler s;
+  FqCodelQueue q(s, 100);
+  for (FlowId f = 0; f < 50; ++f) {
+    const std::int32_t b = q.bucket_of(f);
+    EXPECT_EQ(b, q.bucket_of(f));
+    EXPECT_GE(b, 0);
+    EXPECT_LT(b, q.params().flows);
+  }
+}
+
+TEST(FqCodelQueue, NewFlowJumpsAheadOfBulkBacklog) {
+  sim::Scheduler s;
+  FqCodelQueue q(s, 1000);
+  const FlowId bulk = 1;
+  const FlowId sparse = distinct_bucket_flow(q, bulk);
+  for (int i = 0; i < 50; ++i) q.enqueue(mk(bulk));
+  ASSERT_TRUE(q.dequeue());  // bulk is now an old flow mid-backlog
+
+  q.enqueue(mk(sparse));
+  PacketPtr p = q.dequeue();
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->flow, sparse)
+      << "a flow's first packet after idle gets new-flow priority";
+}
+
+TEST(FqCodelQueue, DrrSharesServiceEqually) {
+  sim::Scheduler s;
+  FqCodelQueue q(s, 1000);
+  const FlowId a = 1;
+  const FlowId b = distinct_bucket_flow(q, a);
+  for (int i = 0; i < 30; ++i) q.enqueue(mk(a));
+  for (int i = 0; i < 30; ++i) q.enqueue(mk(b));
+
+  std::map<FlowId, int> served;
+  for (int i = 0; i < 20; ++i) {
+    PacketPtr p = q.dequeue();
+    ASSERT_TRUE(p);
+    ++served[p->flow];
+  }
+  EXPECT_EQ(served[a], 10);
+  EXPECT_EQ(served[b], 10);
+}
+
+TEST(FqCodelQueue, PerFlowCodelShedsOnlyTheStandingFlow) {
+  sim::Scheduler s;
+  FqCodelParams fp;
+  fp.codel.ecn = false;
+  FqCodelQueue q(s, 1000, fp);
+  const FlowId bulk = 1;
+  for (int i = 0; i < 200; ++i) q.enqueue(mk(bulk));
+
+  s.run_until(0.2);
+  ASSERT_TRUE(q.dequeue());  // arms the bulk bucket's interval clock
+  s.run_until(0.31);
+  ASSERT_TRUE(q.dequeue());  // bulk bucket enters dropping
+  EXPECT_GE(q.snapshot().early_drops, 1u);
+
+  // A sparse flow arriving now sails through unmarked and undropped.
+  const FlowId sparse = distinct_bucket_flow(q, bulk);
+  const auto before = q.snapshot();
+  q.enqueue(mk(sparse));
+  PacketPtr p = q.dequeue();
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->flow, sparse);
+  EXPECT_EQ(p->ecn, Ecn::NotEct);
+  EXPECT_EQ(q.snapshot().early_drops, before.early_drops);
+}
+
+TEST(FqCodelQueue, OverflowIsTailDrop) {
+  sim::Scheduler s;
+  FqCodelQueue q(s, 4);
+  for (int i = 0; i < 10; ++i) q.enqueue(mk(static_cast<FlowId>(i)));
+  EXPECT_EQ(q.snapshot().forced_drops, 6u);
+  EXPECT_EQ(q.len_pkts(), 4);
+}
+
+TEST(FqCodelQueue, CrossBucketAccountingStaysConsistent) {
+  sim::Scheduler s;
+  FqCodelQueue q(s, 100);
+  for (int i = 0; i < 40; ++i) q.enqueue(mk(static_cast<FlowId>(i % 7)));
+  for (int i = 0; i < 15; ++i) ASSERT_TRUE(q.dequeue());
+  EXPECT_EQ(q.len_pkts(), 25);
+  EXPECT_GE(q.active_buckets(), 1);
+  EXPECT_EQ(q.numeric_violation(), "");
+}
+
+}  // namespace
+}  // namespace pert::net

@@ -1,0 +1,114 @@
+#include "net/pie_queue.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/errors.h"
+#include "sim/scheduler.h"
+
+namespace pert::net {
+namespace {
+
+PacketPtr mk(Ecn ecn = Ecn::NotEct) {
+  auto p = make_packet();
+  p->size_bytes = 1000;
+  p->ecn = ecn;
+  return p;
+}
+
+PieParams base() {
+  PieParams p;
+  p.pps = 1000.0;  // queue_delay = len / 1000 s
+  return p;
+}
+
+TEST(PieParams, RequiresDrainRate) {
+  PieParams p;  // pps left at 0
+  EXPECT_THROW(p.validate(), sim::ConfigError);
+  p = base();
+  p.mark_ecnth = 1.5;
+  EXPECT_THROW(p.validate(), sim::ConfigError);
+}
+
+TEST(PieQueue, ProbabilityRisesWhileDelayExceedsTarget) {
+  sim::Scheduler s;
+  PieQueue q(s, 10000, base());
+  // 200 resident packets = 200 ms of delay against a 15 ms target.
+  for (int i = 0; i < 200; ++i) q.enqueue(mk());
+  s.run_until(2.0);
+  EXPECT_GT(q.drop_prob(), 0.01);
+  EXPECT_LE(q.drop_prob(), 1.0);
+  EXPECT_DOUBLE_EQ(q.burst_allowance(), 0.0);
+}
+
+TEST(PieQueue, ProbabilityDecaysOnceDrained) {
+  sim::Scheduler s;
+  PieQueue q(s, 10000, base());
+  for (int i = 0; i < 200; ++i) q.enqueue(mk());
+  s.run_until(2.0);
+  ASSERT_GT(q.drop_prob(), 0.01);
+  while (q.dequeue()) {
+  }
+  s.run_until(30.0);  // idle: controller steps down + exponential decay
+  EXPECT_LT(q.drop_prob(), 1e-3);
+}
+
+TEST(PieQueue, BurstAllowanceShieldsStartup) {
+  sim::Scheduler s;
+  PieParams p = base();
+  p.max_burst = 0.15;
+  PieQueue q(s, 10000, p);
+  EXPECT_DOUBLE_EQ(q.burst_allowance(), 0.15);
+  for (int i = 0; i < 200; ++i) q.enqueue(mk());
+  // Within the allowance no arrival is punished no matter the backlog.
+  s.run_until(0.10);
+  for (int i = 0; i < 100; ++i) q.enqueue(mk(Ecn::Ect0));
+  EXPECT_EQ(q.snapshot().early_drops, 0u);
+  EXPECT_EQ(q.snapshot().ecn_marks, 0u);
+}
+
+TEST(PieQueue, MarksEctWhileProbabilityBelowThreshold) {
+  sim::Scheduler s;
+  PieParams p = base();
+  p.mark_ecnth = 1.0;  // every congestion action becomes a mark
+  PieQueue q(s, 10000, p);
+  for (int i = 0; i < 200; ++i) q.enqueue(mk());
+  // Step the controller until the probability is inside the marking range
+  // (0, mark_ecnth) — left running it saturates at 1.0 and must drop.
+  double t = 0.0;
+  while (q.drop_prob() < 0.05 && t < 5.0) s.run_until(t += p.tupdate);
+  // One more tick: the burst allowance can hold a last sub-ulp residue.
+  s.run_until(t += p.tupdate);
+  ASSERT_DOUBLE_EQ(q.burst_allowance(), 0.0);
+  ASSERT_GT(q.drop_prob(), 0.01);
+  ASSERT_LT(q.drop_prob(), 1.0);
+  for (int i = 0; i < 500; ++i) q.enqueue(mk(Ecn::Ect0));
+  EXPECT_GT(q.snapshot().ecn_marks, 0u);
+  EXPECT_EQ(q.snapshot().early_drops, 0u);
+}
+
+TEST(PieQueue, DropsNotEctAtSameOperatingPoint) {
+  sim::Scheduler s;
+  PieParams p = base();
+  p.ecn = false;
+  PieQueue q(s, 10000, p);
+  for (int i = 0; i < 200; ++i) q.enqueue(mk());
+  s.run_until(2.0);
+  ASSERT_GT(q.drop_prob(), 0.01);
+  for (int i = 0; i < 500; ++i) q.enqueue(mk());
+  EXPECT_GT(q.snapshot().early_drops, 0u);
+  EXPECT_EQ(q.snapshot().ecn_marks, 0u);
+}
+
+TEST(PieQueue, ControllerStateStaysHealthy) {
+  sim::Scheduler s;
+  PieQueue q(s, 50, base());
+  for (int i = 0; i < 100; ++i) q.enqueue(mk(Ecn::Ect0));
+  s.run_until(5.0);
+  while (q.dequeue()) {
+  }
+  s.run_until(10.0);
+  EXPECT_EQ(q.numeric_violation(), "");
+}
+
+}  // namespace
+}  // namespace pert::net

@@ -1,0 +1,125 @@
+// CUBIC characteristic-shape tests: the window curve is concave below the
+// last saturation point and convex beyond it, the loss response keeps
+// beta = 0.7 of the window, and fast convergence releases bandwidth early.
+// The curve tests drive the ops table directly through CcHost so the shape
+// is checked against controlled time, not against ACK-clock noise.
+#include "tcp/cc_cubic.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/errors.h"
+#include "tcp_test_util.h"
+
+namespace pert::tcp {
+namespace {
+
+using testutil::Path;
+
+TEST(CubicParams, RejectsOutOfDomainKnobs) {
+  CubicParams p;
+  p.c = 0.0;
+  EXPECT_THROW(p.validate(), sim::ConfigError);
+  p = {};
+  p.beta = 1.5;
+  EXPECT_THROW(p.validate(), sim::ConfigError);
+}
+
+TEST(Cubic, SlowStartIsRenoIdentical) {
+  Path p(10e6, 0.02, 500);
+  auto* s = p.make_sender<CubicSender>();
+  CcHost h(*s);
+  ASSERT_LT(h.cwnd(), h.ssthresh());
+  const double before = h.cwnd();
+  s->cc_ops().on_ack(h, s->cc_priv(), 3);
+  EXPECT_DOUBLE_EQ(h.cwnd(), before + 3.0);
+}
+
+TEST(Cubic, SsthreshKeepsBetaFractionOfWindow) {
+  Path p(10e6, 0.02, 500);
+  auto* s = p.make_sender<CubicSender>();
+  CcHost h(*s);
+  h.cwnd() = 100.0;
+  EXPECT_DOUBLE_EQ(s->cc_ops().ssthresh(h, s->cc_priv()), 70.0);
+}
+
+TEST(Cubic, LossRemembersWmaxAndFastConvergenceReleasesEarly) {
+  Path p(10e6, 0.02, 500);
+  auto* s = p.make_sender<CubicSender>();
+  CcHost h(*s);
+  h.cwnd() = 100.0;
+  s->cc_ops().on_loss_event(h, s->cc_priv());
+  EXPECT_DOUBLE_EQ(s->cubic().w_max, 100.0);
+
+  // Second loss below the remembered saturation point: the flow's share is
+  // shrinking, so W_max is set below the current window (RFC 9438 §4.6).
+  h.cwnd() = 80.0;
+  s->cc_ops().on_loss_event(h, s->cc_priv());
+  EXPECT_DOUBLE_EQ(s->cubic().w_max, 80.0 * (2.0 - 0.7) / 2.0);
+}
+
+TEST(Cubic, ConcaveBelowWmaxConvexAbove) {
+  Path p(10e6, 0.02, 500);
+  CubicParams params;
+  params.tcp_friendliness = false;  // isolate the pure cubic curve
+  auto* s = p.make_sender<CubicSender>(TcpConfig{}, 0, params);
+  CcHost h(*s);
+
+  // A loss at cwnd = 100 anchors the cubic; regrowth starts from 70.
+  h.cwnd() = 100.0;
+  s->cc_ops().on_loss_event(h, s->cc_priv());
+  h.cwnd() = 70.0;
+  h.ssthresh() = 2.0;  // congestion avoidance from the first ACK
+
+  // K = cbrt((100 - 70) / 0.4) ~= 4.217 s: the plateau time.
+  const double k = std::cbrt((100.0 - 70.0) / 0.4);
+  std::vector<double> w_at;  // window sampled once per second
+  w_at.push_back(h.cwnd());
+  for (int sec = 1; sec <= 8; ++sec) {
+    for (int step = 0; step < 20; ++step) {
+      p.net.sched().run_until((sec - 1) + (step + 1) * 0.05);
+      s->cc_ops().on_ack(h, s->cc_priv(), 60);  // ~ACK-clocked batch
+    }
+    w_at.push_back(h.cwnd());
+  }
+
+  // Concave approach: each second gains less than the one before while
+  // below W_max, and the plateau lands on W_max.
+  EXPECT_GT(w_at[1] - w_at[0], w_at[3] - w_at[2]);
+  EXPECT_NEAR(w_at[4], 100.0, 4.0) << "plateau should sit at W_max near t=K";
+  ASSERT_GT(k, 4.0);
+  ASSERT_LT(k, 4.5);
+  // Convex probing: growth accelerates once past the plateau.
+  EXPECT_GT(w_at[8] - w_at[7], w_at[6] - w_at[5]);
+  EXPECT_GT(w_at[8], 100.0);
+}
+
+TEST(Cubic, RestartTransferForgetsHistory) {
+  Path p(10e6, 0.02, 500);
+  auto* s = p.make_sender<CubicSender>();
+  CcHost h(*s);
+  h.cwnd() = 100.0;
+  s->cc_ops().on_loss_event(h, s->cc_priv());
+  ASSERT_GT(s->cubic().w_max, 0.0);
+  s->cc_ops().cwnd_event(h, s->cc_priv(), CcEvent::kRestartTransfer);
+  EXPECT_DOUBLE_EQ(s->cubic().w_max, 0.0);
+  EXPECT_LT(s->cubic().epoch_start, 0.0);
+}
+
+TEST(Cubic, FillsAPathEndToEnd) {
+  Path p(5e6, 0.02, 200);
+  auto* s = p.make_sender<CubicSender>();
+  s->start(0.0);
+  p.net.run_until(10.0);
+  const auto acked10 = s->acked_bytes();
+  p.net.run_until(30.0);
+  const double goodput =
+      static_cast<double>(s->acked_bytes() - acked10) * 8.0 / 20.0;
+  EXPECT_GT(goodput, 0.8 * 5e6 * 1000.0 / 1040.0);
+  EXPECT_EQ(s->invariant_violation(), "");
+}
+
+}  // namespace
+}  // namespace pert::tcp

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <new>
 #include <vector>
 
 #include "tcp/tcp_sender.h"
@@ -137,18 +138,26 @@ TEST(OneWayDelay, SampleMatchesForwardPath) {
   cfg.max_cwnd = 20;  // keep the forward queue empty (BDP ~ 120 pkts)
   net.add_agent<TcpSink>(b, 5, net, cfg);
 
-  struct OwdProbe : TcpSender {
-    using TcpSender::TcpSender;
+  // Minimal CC module that just records the latest one-way-delay sample.
+  struct OwdState {
     double last_owd = -1;
-    void cc_on_owd_sample(double owd) override { last_owd = owd; }
   };
-  auto* s = net.add_agent<OwdProbe>(a, 5, net, cfg, 0);
+  CongestionOps probe_ops;
+  probe_ops.name = "owd-probe";
+  probe_ops.priv_size = sizeof(OwdState);
+  probe_ops.init = [](CcHost&, void* priv) { new (priv) OwdState{}; };
+  probe_ops.on_owd_sample = [](CcHost&, void* priv, double owd) {
+    static_cast<OwdState*>(priv)->last_owd = owd;
+  };
+  auto* s = net.add_agent<TcpSender>(a, 5, net, cfg, 0, probe_ops);
   s->connect(b->id(), 5);
   s->start(0.0);
   net.run_until(2.0);
+  const double last_owd =
+      static_cast<const OwdState*>(s->cc_priv())->last_owd;
   // Forward OWD ~ 10 ms (+ tx + queueing); RTT ~ 100 ms.
-  ASSERT_GE(s->last_owd, 0.0);
-  EXPECT_LT(s->last_owd, 0.030);
+  ASSERT_GE(last_owd, 0.0);
+  EXPECT_LT(last_owd, 0.030);
   EXPECT_GT(s->min_rtt(), 0.095);
 }
 

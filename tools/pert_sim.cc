@@ -33,16 +33,18 @@
 #include "exp/table.h"
 #include "predictors/trace_io.h"
 #include "predictors/trace_recorder.h"
+#include "net/qdisc_registry.h"
 #include "runner/report.h"
 #include "runner/runner.h"
 #include "sim/errors.h"
 #include "stats/time_series.h"
+#include "tcp/cc_registry.h"
 
 namespace {
 
 using namespace pert;
 
-void print_banner(const exp::CliOptions& opt, exp::Scheme scheme,
+void print_banner(const exp::CliOptions& opt, const exp::SchemeSpec& scheme,
                   std::int32_t buffer_pkts) {
   std::printf("scheme=%s bw=%.0f rtt=%.0fms flows=%d web=%d buffer=%d "
               "window=[%.0f,%.0f]s\n\n",
@@ -66,6 +68,28 @@ void print_metrics(const exp::WindowMetrics& m) {
   t.row({"loss events", std::to_string(m.loss_events)});
   t.row({"timeouts", std::to_string(m.timeouts)});
   t.print();
+}
+
+/// `pert_sim schemes`: dumps both registries plus the legacy paper names,
+/// so a user can see what scheme=<cc>/<qdisc> combinations are available.
+int list_schemes() {
+  exp::ensure_scheme_modules();
+  std::printf("congestion-control modules (scheme=<cc>/<qdisc>):\n");
+  exp::Table cc({"name", "ecn", "summary"});
+  for (const tcp::CcInfo& m : tcp::CcRegistry::instance().list())
+    cc.row({m.name, m.wants_ecn ? "yes" : "no", m.summary});
+  cc.print();
+  std::printf("\nqueue disciplines:\n");
+  exp::Table qd({"name", "marks", "summary"});
+  for (const net::QdiscInfo& m : net::QdiscRegistry::instance().list())
+    qd.row({m.name, m.marks_ecn ? "yes" : "no", m.summary});
+  qd.print();
+  std::printf(
+      "\nlegacy paper scheme names: pert pert-pi pert-rem vegas sack\n"
+      "  sack-droptail sack-red sack-pi sack-rem sack-avq\n"
+      "free-form combinations take an optional +ecn/-ecn suffix, e.g.\n"
+      "  scheme=cubic/codel  scheme=dctcp/red+ecn  scheme=sack/pie-ecn\n");
+  return 0;
 }
 
 /// Derives a per-job output path from a user-given one by inserting `tag`
@@ -314,6 +338,8 @@ int main(int argc, char** argv) {
     case exp::cli::OptionSet::Result::kError: return 2;
   }
   for (const std::string& spec : impairs) args.push_back("impair=" + spec);
+
+  if (args.size() == 1 && args[0] == "schemes") return list_schemes();
 
   // worker=HOST:PORT rides in the key=value grammar (like repro=) but is
   // dispatch, not scenario shape: pull it out before scenario parsing.
